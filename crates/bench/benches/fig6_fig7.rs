@@ -1,0 +1,88 @@
+//! Regenerates **Figure 6** (success probability of single Toffolis
+//! between random qubit triplets on IBM Johannesburg, four compiler
+//! configurations) and **Figure 7** (CNOT counts for the same triplets).
+//!
+//! The paper ran these on the real device; we evaluate the same compiled
+//! circuits under the paper's §2.6 model with the published Johannesburg
+//! calibration (see DESIGN.md §2 for the substitution argument).
+//!
+//! Paper reference points — Fig. 7 geomean CX: 29 / 28 / 23 / 19
+//! (Trios-8 −35% vs baseline); Fig. 6 geomean success: 41% / 35% / 47% /
+//! 50% (Trios-8 +23% vs baseline).
+//!
+//! Run with `cargo bench -p trios-bench --bench fig6_fig7`.
+
+use trios_bench::{
+    calibrations, compile_single_toffoli, device, geomean, pct, rule, FIG67_TRIPLETS,
+};
+use trios_core::PaperConfig;
+
+fn main() {
+    let dev = device();
+    let (cal_now, _) = calibrations();
+    let configs = PaperConfig::FIG6;
+
+    println!("Figure 7: CNOT count / Figure 6: success probability per triplet");
+    println!(
+        "{:<14} {:>4} | {:>5} {:>5} {:>5} {:>5} | {:>8} {:>8} {:>8} {:>8}",
+        "triplet", "dist", "Qis6", "Qis8", "Tri6", "Tri8", "Qis6", "Qis8", "Tri6", "Tri8"
+    );
+    rule(100);
+
+    let mut cx_by_config = vec![Vec::new(); 4];
+    let mut p_by_config = vec![Vec::new(); 4];
+    for &(a, b, t) in &FIG67_TRIPLETS {
+        let dist = dev.triple_distance(a, b, t).unwrap();
+        let mut cx_row = Vec::new();
+        let mut p_row = Vec::new();
+        for (i, config) in configs.into_iter().enumerate() {
+            let compiled = compile_single_toffoli(&dev, (a, b, t), config, 0);
+            let cx = compiled.stats.two_qubit_gates;
+            let p = compiled.estimate_success(&cal_now).probability();
+            cx_by_config[i].push(cx as f64);
+            p_by_config[i].push(p);
+            cx_row.push(cx);
+            p_row.push(p);
+        }
+        println!(
+            "({:>2}-{:>2}-{:>2})   {:>4} | {:>5} {:>5} {:>5} {:>5} | {:>8} {:>8} {:>8} {:>8}",
+            a,
+            b,
+            t,
+            dist,
+            cx_row[0],
+            cx_row[1],
+            cx_row[2],
+            cx_row[3],
+            pct(p_row[0]),
+            pct(p_row[1]),
+            pct(p_row[2]),
+            pct(p_row[3])
+        );
+    }
+    rule(100);
+
+    let cx_gm: Vec<f64> = cx_by_config.iter().map(|v| geomean(v)).collect();
+    let p_gm: Vec<f64> = p_by_config.iter().map(|v| geomean(v)).collect();
+    println!(
+        "{:<19} | {:>5.1} {:>5.1} {:>5.1} {:>5.1} | {:>8} {:>8} {:>8} {:>8}",
+        "geometric mean",
+        cx_gm[0],
+        cx_gm[1],
+        cx_gm[2],
+        cx_gm[3],
+        pct(p_gm[0]),
+        pct(p_gm[1]),
+        pct(p_gm[2]),
+        pct(p_gm[3])
+    );
+    println!();
+    println!("paper Fig. 7 geomeans:   29.0  28.0  23.0  19.0   (CX count)");
+    println!("paper Fig. 6 geomeans:  41.0%  35.0%  47.0%  50.0% (success, real hardware)");
+    println!();
+    println!(
+        "Trios (8-CNOT) vs Qiskit baseline: {:.0}% fewer CNOTs (paper: 35%), {:.0}% higher success (paper: 23%)",
+        100.0 * (1.0 - cx_gm[3] / cx_gm[0]),
+        100.0 * (p_gm[3] / p_gm[0] - 1.0)
+    );
+}

@@ -1,0 +1,59 @@
+//! Regenerates **Figure 8**: normalized success probability
+//! (Trios / baseline) for 99 random qubit triplets on Johannesburg,
+//! grouped by gather distance. Paper: +23% geomean, max +286%, a few
+//! bars below 100%.
+//!
+//! Run with `cargo bench -p trios-bench --bench fig8`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trios_bench::{calibrations, compile_single_toffoli, device, geomean, rule};
+use trios_core::PaperConfig;
+
+fn main() {
+    let dev = device();
+    let (cal_now, _) = calibrations();
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // 99 distinct random triplets (the paper samples random locations).
+    let mut triplets = Vec::new();
+    while triplets.len() < 99 {
+        let a = rng.gen_range(0..20);
+        let b = rng.gen_range(0..20);
+        let t = rng.gen_range(0..20);
+        if a != b && b != t && a != t {
+            triplets.push((a, b, t));
+        }
+    }
+
+    let mut rows: Vec<(usize, (usize, usize, usize), f64)> = triplets
+        .into_iter()
+        .map(|tri| {
+            let base = compile_single_toffoli(&dev, tri, PaperConfig::QiskitBaseline, 0);
+            let trios = compile_single_toffoli(&dev, tri, PaperConfig::TriosEight, 0);
+            let p_base = base.estimate_success(&cal_now).probability();
+            let p_trios = trios.estimate_success(&cal_now).probability();
+            let dist = dev.triple_distance(tri.0, tri.1, tri.2).unwrap();
+            (dist, tri, p_trios / p_base)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+    println!("Figure 8: Toffoli success normalized to baseline (99 random triplets)");
+    println!("{:<6} {:<14} {:>12}", "dist", "triplet", "p_trios/p_base");
+    rule(36);
+    for &(dist, (a, b, t), ratio) in &rows {
+        println!("{:<6} ({:>2}-{:>2}-{:>2})    {:>11.1}%", dist, a, b, t, 100.0 * ratio);
+    }
+    rule(36);
+
+    let ratios: Vec<f64> = rows.iter().map(|r| r.2).collect();
+    let below = ratios.iter().filter(|&&r| r < 1.0).count();
+    let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
+    println!(
+        "geomean: {:+.1}% (paper: +23%) | max: {:+.0}% (paper: +286%) | bars below 100%: {}/99",
+        100.0 * (geomean(&ratios) - 1.0),
+        100.0 * (max - 1.0),
+        below
+    );
+}

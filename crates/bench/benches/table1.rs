@@ -1,0 +1,50 @@
+//! Regenerates **Table 1**: the benchmark inventory — qubits, Toffoli
+//! count, and two-qubit gate count after 8-CNOT Toffoli decomposition
+//! (before routing).
+//!
+//! Run with `cargo bench -p trios-bench --bench table1`.
+
+use trios_benchmarks::Benchmark;
+
+/// The paper's Table 1 values, for side-by-side comparison.
+fn paper_row(b: Benchmark) -> (usize, usize, usize) {
+    match b {
+        Benchmark::CnxDirty11 => (11, 16, 128),
+        Benchmark::CnxHalfborrowed19 => (19, 32, 256),
+        Benchmark::CnxLogancilla19 => (19, 17, 136),
+        Benchmark::CnxInplace4 => (4, 54, 490),
+        Benchmark::CuccaroAdder20 => (20, 18, 190),
+        Benchmark::TakahashiAdder20 => (20, 18, 188),
+        Benchmark::IncrementerBorrowedbit5 => (5, 50, 448),
+        Benchmark::Grovers9 => (9, 84, 672),
+        Benchmark::QftAdder16 => (16, 0, 92),
+        Benchmark::Bv20 => (20, 0, 19),
+        Benchmark::QaoaComplete10 => (10, 0, 90),
+    }
+}
+
+fn main() {
+    println!("Table 1: benchmark details (ours vs. paper)");
+    println!(
+        "{:<28} {:>6} {:>6} | {:>9} {:>9} | {:>9} {:>9}",
+        "benchmark", "qubits", "(pap)", "toffolis", "(paper)", "cnots*", "(paper)"
+    );
+    trios_bench::rule(92);
+    for b in Benchmark::ALL {
+        let (q, t, c) = b.table1_row();
+        let (pq, pt, pc) = paper_row(b);
+        println!(
+            "{:<28} {:>6} {:>6} | {:>9} {:>9} | {:>9} {:>9}",
+            b.name(),
+            q,
+            pq,
+            t,
+            pt,
+            c,
+            pc
+        );
+    }
+    trios_bench::rule(92);
+    println!("* two-qubit gates after decomposing Toffolis with the 8-CNOT form, before routing");
+    println!("  (cnx_inplace uses the Barenco ladder substitution — see DESIGN.md §2)");
+}

@@ -1,0 +1,261 @@
+//! Quantum adders: Cuccaro (ripple-carry with ancilla), Takahashi
+//! (ripple-carry without ancilla), and the Draper QFT adder.
+
+use std::f64::consts::PI;
+use trios_ir::Circuit;
+
+/// The Cuccaro–Draper–Kutin–Moulton ripple-carry adder \[11\] on
+/// `2n + 2` qubits: computes `b ← a + b (mod 2ⁿ)` with the carry-out on
+/// the last qubit.
+///
+/// Qubit convention: `0` = carry-in ancilla (`|0⟩`), `1..=n` = register
+/// `a`, `n+1..=2n` = register `b`, `2n+1` = carry-out.
+///
+/// Gate profile: `2n` Toffolis (one per MAJ and per UMA block) — the
+/// Toffoli-rich benchmark `cuccaro_adder-20` is `n = 9`.
+pub fn cuccaro_adder(n: usize) -> Circuit {
+    assert!(n >= 1, "adder width must be at least 1");
+    let mut c = Circuit::with_name(2 * n + 2, format!("cuccaro_adder-{}", 2 * n + 2));
+    let a = |i: usize| 1 + i;
+    let b = |i: usize| 1 + n + i;
+    let cin = 0;
+    let cout = 2 * n + 1;
+
+    let maj = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        c.cx(z, y).cx(z, x).ccx(x, y, z);
+    };
+    let uma = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        c.ccx(x, y, z).cx(z, x).cx(x, y);
+    };
+
+    maj(&mut c, cin, b(0), a(0));
+    for i in 1..n {
+        maj(&mut c, a(i - 1), b(i), a(i));
+    }
+    c.cx(a(n - 1), cout);
+    for i in (1..n).rev() {
+        uma(&mut c, a(i - 1), b(i), a(i));
+    }
+    uma(&mut c, cin, b(0), a(0));
+    c
+}
+
+/// The Takahashi–Tani–Kunihiro adder \[35\] on `2n` qubits: computes
+/// `b ← a + b (mod 2ⁿ)` using **no** ancilla.
+///
+/// Qubit convention: `0..n` = register `a` (restored), `n..2n` = register
+/// `b` (receives the sum).
+///
+/// Gate profile: `2(n−1)` Toffolis — `takahashi_adder-20` is `n = 10`.
+pub fn takahashi_adder(n: usize) -> Circuit {
+    assert!(n >= 1, "adder width must be at least 1");
+    let mut c = Circuit::with_name(2 * n, format!("takahashi_adder-{}", 2 * n));
+    let a = |i: usize| i;
+    let b = |i: usize| n + i;
+
+    if n == 1 {
+        c.cx(a(0), b(0));
+        return c;
+    }
+    // Step 1: fold a into b (sum bits, before carries).
+    for i in 1..n {
+        c.cx(a(i), b(i));
+    }
+    // Step 2: prepare the carry-propagation chain along a.
+    for i in (1..n - 1).rev() {
+        c.cx(a(i), a(i + 1));
+    }
+    // Step 3: ripple carries forward.
+    for i in 0..n - 1 {
+        c.ccx(a(i), b(i), a(i + 1));
+    }
+    // Step 4: unwind carries, producing sum bits high-to-low.
+    for i in (1..n).rev() {
+        c.cx(a(i), b(i));
+        c.ccx(a(i - 1), b(i - 1), a(i));
+    }
+    // Step 5: undo the propagation chain.
+    for i in 1..n - 1 {
+        c.cx(a(i), a(i + 1));
+    }
+    // Step 6: final sum bit corrections.
+    for i in 0..n {
+        c.cx(a(i), b(i));
+    }
+    c
+}
+
+/// The Draper QFT adder \[29\] on `2n` qubits: `b ← a + b (mod 2ⁿ)` via
+/// phase arithmetic — QFT on `b`, controlled phases from `a`, inverse QFT.
+///
+/// Contains **zero** Toffolis (all two-qubit gates are controlled phases),
+/// which is why the paper includes it as a no-gain control benchmark.
+pub fn qft_adder(n: usize) -> Circuit {
+    assert!(n >= 1, "adder width must be at least 1");
+    let mut c = Circuit::with_name(2 * n, format!("qft_adder-{}", 2 * n));
+    let a = |i: usize| i;
+    let b = |i: usize| n + i;
+
+    // QFT on b (most significant qubit first), without the final swaps —
+    // the addition and inverse QFT below use the same bit ordering, so the
+    // swaps would cancel.
+    for j in (0..n).rev() {
+        c.h(b(j));
+        for k in (0..j).rev() {
+            c.cp(PI / f64::powi(2.0, (j - k) as i32), b(k), b(j));
+        }
+    }
+    // Phase additions: a_k contributes a rotation to every b_j with j ≥ k.
+    for j in 0..n {
+        for k in 0..=j {
+            c.cp(PI / f64::powi(2.0, (j - k) as i32), a(k), b(j));
+        }
+    }
+    // Inverse QFT on b.
+    for j in 0..n {
+        for k in 0..j {
+            c.cp(-PI / f64::powi(2.0, (j - k) as i32), b(k), b(j));
+        }
+        c.h(b(j));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trios_sim::State;
+
+    /// Checks `b ← a + b` on computational basis inputs, including the
+    /// carry-out bit if the adder exposes one.
+    fn check_addition(
+        circuit: &Circuit,
+        n: usize,
+        encode: impl Fn(usize, usize) -> usize,
+        decode_sum: impl Fn(usize) -> usize,
+        decode_a: impl Fn(usize) -> usize,
+        pairs: &[(usize, usize)],
+    ) {
+        for &(av, bv) in pairs {
+            let input = encode(av, bv);
+            let mut state = State::basis(circuit.num_qubits(), input).unwrap();
+            state.apply_circuit(circuit).unwrap();
+            // The output must be a single basis state.
+            let (best, amp) = state
+                .amplitudes()
+                .iter()
+                .enumerate()
+                .max_by(|x, y| x.1.norm_sqr().partial_cmp(&y.1.norm_sqr()).unwrap())
+                .unwrap();
+            assert!(
+                (amp.abs() - 1.0).abs() < 1e-7,
+                "a={av}, b={bv}: output is not a basis state (|amp|={})",
+                amp.abs()
+            );
+            assert_eq!(
+                decode_sum(best),
+                (av + bv) % (1 << n),
+                "a={av}, b={bv}: wrong sum"
+            );
+            assert_eq!(decode_a(best), av, "a={av}, b={bv}: register a not restored");
+        }
+    }
+
+    fn test_pairs(n: usize) -> Vec<(usize, usize)> {
+        let max = 1usize << n;
+        let mut pairs = vec![
+            (0, 0),
+            (1, 0),
+            (0, 1),
+            (max - 1, 1),
+            (max - 1, max - 1),
+            (max / 2, max / 2),
+        ];
+        pairs.push((3 % max, 5 % max));
+        pairs
+    }
+
+    #[test]
+    fn cuccaro_adds_correctly() {
+        for n in 1..=4usize {
+            let c = cuccaro_adder(n);
+            check_addition(
+                &c,
+                n,
+                |a, b| (a << 1) | (b << (1 + n)),
+                |out| (out >> (1 + n)) & ((1 << n) - 1),
+                |out| (out >> 1) & ((1 << n) - 1),
+                &test_pairs(n),
+            );
+        }
+    }
+
+    #[test]
+    fn cuccaro_carry_out() {
+        let n = 3;
+        let c = cuccaro_adder(n);
+        // 7 + 1 = 8: sum bits 000, carry-out 1.
+        let input = (7usize << 1) | (1usize << (1 + n));
+        let mut state = State::basis(c.num_qubits(), input).unwrap();
+        state.apply_circuit(&c).unwrap();
+        let cout = 2 * n + 1;
+        assert!((state.marginal_probability(&[cout], 1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cuccaro_gate_profile() {
+        let c = cuccaro_adder(9);
+        assert_eq!(c.num_qubits(), 20);
+        assert_eq!(c.counts().ccx, 18, "2n Toffolis");
+        assert_eq!(c.counts().cx, 4 * 9 + 1);
+    }
+
+    #[test]
+    fn takahashi_adds_correctly() {
+        for n in 1..=4usize {
+            let c = takahashi_adder(n);
+            check_addition(
+                &c,
+                n,
+                |a, b| a | (b << n),
+                |out| (out >> n) & ((1 << n) - 1),
+                |out| out & ((1 << n) - 1),
+                &test_pairs(n),
+            );
+        }
+    }
+
+    #[test]
+    fn takahashi_gate_profile() {
+        let c = takahashi_adder(10);
+        assert_eq!(c.num_qubits(), 20);
+        assert_eq!(c.counts().ccx, 18, "2(n−1) Toffolis");
+        // Steps 1/2/4/5/6: (n−1) + (n−2) + (n−1) + (n−2) + n = 5n−6 = 44.
+        assert_eq!(c.counts().cx, 44);
+    }
+
+    #[test]
+    fn qft_adds_correctly() {
+        for n in 1..=4usize {
+            let c = qft_adder(n);
+            check_addition(
+                &c,
+                n,
+                |a, b| a | (b << n),
+                |out| (out >> n) & ((1 << n) - 1),
+                |out| out & ((1 << n) - 1),
+                &test_pairs(n),
+            );
+        }
+    }
+
+    #[test]
+    fn qft_adder_has_no_toffolis() {
+        let c = qft_adder(8);
+        assert_eq!(c.num_qubits(), 16);
+        assert_eq!(c.counts().ccx, 0);
+        // Two-qubit gates: QFT 28 + additions 36 + IQFT 28 = 92, matching
+        // Table 1's CNOT column (which counts pre-lowering 2q gates).
+        assert_eq!(c.counts().two_qubit, 92);
+    }
+}

@@ -1,0 +1,377 @@
+//! Many-controlled-NOT (CnX) constructions.
+//!
+//! The paper's benchmark suite uses four CnX implementations trading
+//! ancilla count against gate count (Table 1). All four are implemented
+//! here and verified against the plain multi-controlled-X semantics by the
+//! statevector simulator:
+//!
+//! * [`cnx_dirty_chain`] — the Barenco et al. `4(n−2)`-Toffoli chain using
+//!   `n−2` *borrowed* (dirty, state-preserved) qubits. Backs both
+//!   `cnx_dirty` (Baker et al. [6]) and `cnx_halfborrowed` (Gidney [14]),
+//!   which differ only in their control/borrowed ratio at the benchmark
+//!   sizes.
+//! * [`cnx_one_borrowed`] — the Barenco split: two half-size dirty chains
+//!   through a single borrowed qubit, applied twice.
+//! * [`cnx_log_ancilla`] — a binary AND-tree over `n−2` *clean* ancillas,
+//!   `2n−3` Toffolis, logarithmic depth.
+//! * [`cnx_inplace_ladder`] — zero extra qubits: the Barenco Lemma 7.5
+//!   controlled-root ladder (Toffolis + controlled-`X^(1/2^k)` gates).
+//!   This substitutes for the paper's Gidney incrementer-based
+//!   `cnx_inplace` (see DESIGN.md §2).
+
+use trios_ir::Circuit;
+
+/// Appends a multi-controlled X using the `4(n−2)`-Toffoli chain with
+/// `n−2` borrowed qubits (Barenco et al. 1995, Lemma 7.2).
+///
+/// Borrowed qubits may hold arbitrary data; they are restored.
+///
+/// # Panics
+///
+/// Panics if fewer than `controls.len() − 2` borrowed qubits are supplied
+/// (for 3+ controls) or any index collides.
+pub fn cnx_dirty_chain(c: &mut Circuit, controls: &[usize], borrowed: &[usize], target: usize) {
+    let k = controls.len();
+    match k {
+        0 => {
+            c.x(target);
+        }
+        1 => {
+            c.cx(controls[0], target);
+        }
+        2 => {
+            c.ccx(controls[0], controls[1], target);
+        }
+        _ => {
+            assert!(
+                borrowed.len() >= k - 2,
+                "{k} controls need {} borrowed qubits, got {}",
+                k - 2,
+                borrowed.len()
+            );
+            let b = &borrowed[..k - 2];
+            // Top Toffoli touches the target; the V-chain sweeps down the
+            // borrowed ladder and back. [top, V, top, V] computes
+            // AND(controls) onto the target while restoring every borrowed
+            // bit.
+            let top = |c: &mut Circuit| {
+                c.ccx(controls[k - 1], b[k - 3], target);
+            };
+            let v_chain = |c: &mut Circuit| {
+                for i in (2..=k - 2).rev() {
+                    c.ccx(controls[i], b[i - 2], b[i - 1]);
+                }
+                c.ccx(controls[1], controls[0], b[0]);
+                for i in 2..=k - 2 {
+                    c.ccx(controls[i], b[i - 2], b[i - 1]);
+                }
+            };
+            top(c);
+            v_chain(c);
+            top(c);
+            v_chain(c);
+        }
+    }
+}
+
+/// Appends a multi-controlled X using a **single** borrowed qubit
+/// (Barenco et al. 1995, Lemma 7.3): the controls are split in half, each
+/// half runs as a dirty chain borrowing from the other half, and the pair
+/// of chains is applied twice to cancel the garbage.
+///
+/// # Panics
+///
+/// Panics on index collisions (propagated from the circuit builder).
+pub fn cnx_one_borrowed(c: &mut Circuit, controls: &[usize], borrowed: usize, target: usize) {
+    let k = controls.len();
+    if k <= 2 {
+        cnx_dirty_chain(c, controls, &[], target);
+        return;
+    }
+    let m = k.div_ceil(2);
+    let (a, b) = controls.split_at(m);
+    // Free-to-borrow sets: the other half plus the target / the first half.
+    let borrow_for_a: Vec<usize> = b.iter().copied().chain([target]).collect();
+    let borrow_for_b: Vec<usize> = a.to_vec();
+    let b_controls: Vec<usize> = b.iter().copied().chain([borrowed]).collect();
+    for _ in 0..2 {
+        cnx_dirty_chain(c, a, &borrow_for_a, borrowed);
+        cnx_dirty_chain(c, &b_controls, &borrow_for_b, target);
+    }
+}
+
+/// Appends a multi-controlled X using a binary AND-tree over `n−2` clean
+/// (`|0⟩`) ancillas: `n−2` compute Toffolis, one Toffoli onto the target,
+/// and `n−2` uncompute Toffolis (`2n−3` total, logarithmic depth).
+///
+/// # Panics
+///
+/// Panics if fewer than `controls.len() − 2` ancillas are supplied for 3+
+/// controls.
+pub fn cnx_log_ancilla(c: &mut Circuit, controls: &[usize], ancillas: &[usize], target: usize) {
+    let k = controls.len();
+    if k <= 2 {
+        cnx_dirty_chain(c, controls, &[], target);
+        return;
+    }
+    assert!(
+        ancillas.len() >= k - 2,
+        "{k} controls need {} clean ancillas, got {}",
+        k - 2,
+        ancillas.len()
+    );
+    // Reduce the list of conjunction roots pairwise until two remain, then
+    // AND those two onto the target.
+    let mut roots: Vec<usize> = controls.to_vec();
+    let mut compute: Vec<(usize, usize, usize)> = Vec::new();
+    let mut next_anc = 0usize;
+    while roots.len() > 2 {
+        let mut next_roots = Vec::with_capacity(roots.len().div_ceil(2));
+        let mut i = 0;
+        while i + 1 < roots.len() {
+            let anc = ancillas[next_anc];
+            next_anc += 1;
+            compute.push((roots[i], roots[i + 1], anc));
+            next_roots.push(anc);
+            i += 2;
+        }
+        if i < roots.len() {
+            next_roots.push(roots[i]);
+        }
+        roots = next_roots;
+    }
+    for &(a, b, t) in &compute {
+        c.ccx(a, b, t);
+    }
+    c.ccx(roots[0], roots[1], target);
+    for &(a, b, t) in compute.iter().rev() {
+        c.ccx(a, b, t);
+    }
+}
+
+/// Appends a multi-controlled X using **zero** extra qubits: the Barenco
+/// Lemma 7.5 ladder `CⁿX = C(V)·Cⁿ⁻¹X·C(V†)·Cⁿ⁻¹X·Cⁿ⁻¹(V)` with
+/// `V = X^(1/2)`, recursing on both the inner CnX's and the controlled
+/// root. Gate count grows quickly with `n` — exactly why the paper's
+/// `cnx_inplace` benchmark is the expensive member of the family.
+pub fn cnx_inplace_ladder(c: &mut Circuit, controls: &[usize], target: usize) {
+    controlled_xpow_ladder(c, controls, target, 1.0);
+}
+
+fn controlled_xpow_ladder(c: &mut Circuit, controls: &[usize], target: usize, s: f64) {
+    match controls.len() {
+        0 => {
+            c.xpow(s, target);
+        }
+        1 => {
+            if (s - 1.0).abs() < 1e-15 {
+                c.cx(controls[0], target);
+            } else {
+                c.cxpow(s, controls[0], target);
+            }
+        }
+        2 if (s - 1.0).abs() < 1e-15 => {
+            c.ccx(controls[0], controls[1], target);
+        }
+        k => {
+            let last = controls[k - 1];
+            let rest = &controls[..k - 1];
+            c.cxpow(s / 2.0, last, target);
+            cnx_inplace_ladder(c, rest, last);
+            c.cxpow(-s / 2.0, last, target);
+            cnx_inplace_ladder(c, rest, last);
+            controlled_xpow_ladder(c, rest, target, s / 2.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trios_sim::{State, C64};
+
+    /// Verifies that `circuit` implements a multi-controlled X on the
+    /// given wires — including phases: every basis state must map to its
+    /// image with one *common* global phase. `clean` lists qubits the
+    /// construction requires to start in `|0⟩` (inputs violating that are
+    /// out of contract and skipped).
+    fn assert_implements_mcx_clean(
+        circuit: &Circuit,
+        controls: &[usize],
+        target: usize,
+        clean: &[usize],
+    ) {
+        let n = circuit.num_qubits();
+        let dim = 1usize << n;
+        let mask: usize = controls.iter().map(|&q| 1usize << q).sum();
+        let clean_mask: usize = clean.iter().map(|&q| 1usize << q).sum();
+        let mut phase: Option<C64> = None;
+        for input in (0..dim).filter(|i| i & clean_mask == 0) {
+            let mut state = State::basis(n, input).unwrap();
+            state.apply_circuit(circuit).unwrap();
+            let expected = if input & mask == mask {
+                input ^ (1 << target)
+            } else {
+                input
+            };
+            let amp = state.amplitudes()[expected];
+            assert!(
+                (amp.abs() - 1.0).abs() < 1e-9,
+                "basis {input:0width$b} mapped away from {expected:0width$b} (|amp|={})",
+                amp.abs(),
+                width = n
+            );
+            match phase {
+                None => phase = Some(amp),
+                Some(p) => assert!(
+                    amp.approx_eq(p, 1e-9),
+                    "inconsistent phase on basis {input:b}: {amp} vs {p}"
+                ),
+            }
+        }
+    }
+
+    /// [`assert_implements_mcx_clean`] with no cleanliness requirement —
+    /// for constructions whose extra qubits are borrowed (dirty-safe).
+    fn assert_implements_mcx(circuit: &Circuit, controls: &[usize], target: usize) {
+        assert_implements_mcx_clean(circuit, controls, target, &[]);
+    }
+
+    #[test]
+    fn dirty_chain_small_cases() {
+        // 0 controls = X, 1 = CX, 2 = CCX.
+        for k in 0..=2usize {
+            let n = k + 1;
+            let mut c = Circuit::new(n);
+            let controls: Vec<usize> = (0..k).collect();
+            cnx_dirty_chain(&mut c, &controls, &[], k);
+            assert_implements_mcx(&c, &controls, k);
+        }
+    }
+
+    #[test]
+    fn dirty_chain_three_to_five_controls() {
+        for k in 3..=5usize {
+            let n = 2 * k - 1; // k controls + (k-2) borrowed + target
+            let mut c = Circuit::new(n);
+            let controls: Vec<usize> = (0..k).collect();
+            let borrowed: Vec<usize> = (k..2 * k - 2).collect();
+            cnx_dirty_chain(&mut c, &controls, &borrowed, n - 1);
+            assert_eq!(c.counts().ccx, 4 * (k - 2), "Toffoli count for k={k}");
+            assert_implements_mcx(&c, &controls, n - 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "borrowed qubits")]
+    fn dirty_chain_rejects_missing_borrowed() {
+        let mut c = Circuit::new(5);
+        cnx_dirty_chain(&mut c, &[0, 1, 2, 3], &[], 4);
+    }
+
+    #[test]
+    fn one_borrowed_three_to_six_controls() {
+        for k in 3..=6usize {
+            let n = k + 2; // controls + 1 borrowed + target
+            let mut c = Circuit::new(n);
+            let controls: Vec<usize> = (0..k).collect();
+            cnx_one_borrowed(&mut c, &controls, k, k + 1);
+            assert_implements_mcx(&c, &controls, k + 1);
+        }
+    }
+
+    #[test]
+    fn one_borrowed_toffoli_count_for_three_controls() {
+        let mut c = Circuit::new(5);
+        cnx_one_borrowed(&mut c, &[0, 1, 2], 3, 4);
+        assert_eq!(c.counts().ccx, 4);
+        assert_eq!(c.counts().total, 4);
+    }
+
+    #[test]
+    fn log_ancilla_three_to_six_controls() {
+        for k in 3..=6usize {
+            let n = 2 * k - 1;
+            let mut c = Circuit::new(n);
+            let controls: Vec<usize> = (0..k).collect();
+            let ancillas: Vec<usize> = (k..2 * k - 2).collect();
+            cnx_log_ancilla(&mut c, &controls, &ancillas, n - 1);
+            assert_eq!(c.counts().ccx, 2 * k - 3, "Toffoli count for k={k}");
+            assert_implements_mcx_clean(&c, &controls, n - 1, &ancillas);
+        }
+    }
+
+    #[test]
+    fn log_ancilla_requires_clean_ancillas() {
+        // With dirty (|1⟩) ancillas the tree construction is *wrong* —
+        // demonstrate the contract by flipping an ancilla first.
+        let mut c = Circuit::new(7);
+        c.x(4); // dirty ancilla (pairs with controls 0,1)
+        c.x(2).x(3); // controls 2,3 set, controls 0,1 unset
+        let controls = [0usize, 1, 2, 3];
+        cnx_log_ancilla(&mut c, &controls, &[4, 5], 6);
+        // AND(0,1,2,3) = 0, so a correct CnX leaves the target at |0⟩ —
+        // but the dirty ancilla makes the root Toffoli fire.
+        let state = State::run(&c).unwrap();
+        let p_target_set = state.marginal_probability(&[6], 1);
+        assert!(
+            p_target_set > 0.5,
+            "dirty ancilla should corrupt the tree (demonstrating the clean requirement)"
+        );
+    }
+
+    #[test]
+    fn inplace_ladder_two_to_four_controls() {
+        for k in 2..=4usize {
+            let n = k + 1;
+            let mut c = Circuit::new(n);
+            let controls: Vec<usize> = (0..k).collect();
+            cnx_inplace_ladder(&mut c, &controls, k);
+            assert_implements_mcx(&c, &controls, k);
+        }
+    }
+
+    #[test]
+    fn inplace_ladder_profile_for_three_controls() {
+        let mut c = Circuit::new(4);
+        cnx_inplace_ladder(&mut c, &[0, 1, 2], 3);
+        let counts = c.counts();
+        assert_eq!(counts.ccx, 2);
+        assert_eq!(counts.cx, 2);
+        // 5 controlled roots: ±1/2, ±1/4, +1/4.
+        let roots = c
+            .iter()
+            .filter(|i| matches!(i.gate(), trios_ir::Gate::Cxpow(_)))
+            .count();
+        assert_eq!(roots, 5);
+    }
+
+    #[test]
+    fn borrowed_bits_really_are_restored() {
+        // Run the dirty chain with borrowed bits in |1⟩ and check they end
+        // in |1⟩ for every control pattern.
+        let k = 4;
+        let n = 2 * k - 1;
+        let controls: Vec<usize> = (0..k).collect();
+        let borrowed: Vec<usize> = (k..2 * k - 2).collect();
+        for pattern in 0..(1usize << k) {
+            let mut c = Circuit::new(n);
+            for (bit, &q) in controls.iter().enumerate() {
+                if (pattern >> bit) & 1 == 1 {
+                    c.x(q);
+                }
+            }
+            for &b in &borrowed {
+                c.x(b);
+            }
+            cnx_dirty_chain(&mut c, &controls, &borrowed, n - 1);
+            let state = State::run(&c).unwrap();
+            for &b in &borrowed {
+                assert!(
+                    (state.marginal_probability(&[b], 1) - 1.0).abs() < 1e-9,
+                    "borrowed {b} not restored for pattern {pattern:b}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Benchmarks beyond the paper's Table 1, exercising the extended
+//! three-qubit gate set (CCZ, Fredkin) and stressing the router with
+//! different interaction shapes.
+//!
+//! These back the repository's extension studies; the paper-faithful suite
+//! stays in [`Benchmark`](crate::Benchmark).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+use std::fmt;
+use trios_ir::Circuit;
+
+/// The standard quantum Fourier transform on `n` qubits (with the final
+/// bit-reversal SWAPs, so the unitary is the textbook DFT).
+///
+/// Toffoli-free, but its all-to-all controlled-phase pattern is the worst
+/// case for pair routing — a useful stress control next to the
+/// Toffoli-dense workloads.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn qft(n: usize) -> Circuit {
+    assert!(n > 0, "qft needs at least one qubit");
+    let mut c = Circuit::with_name(n, format!("qft-{n}"));
+    for j in (0..n).rev() {
+        c.h(j);
+        for k in (0..j).rev() {
+            c.cp(PI / f64::powi(2.0, (j - k) as i32), k, j);
+        }
+    }
+    for q in 0..n / 2 {
+        c.swap(q, n - 1 - q);
+    }
+    c
+}
+
+/// A ripple of overlapping Toffolis: `ccx(0,1,2), ccx(1,2,3), …` repeated
+/// for `layers` sweeps.
+///
+/// Maximally Toffoli-dense with purely local logical structure — the
+/// workload shape where trio routing has the least left to win (every trio
+/// is already almost gathered), bounding Trios' benefit from below.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `layers == 0`.
+pub fn toffoli_chain(n: usize, layers: usize) -> Circuit {
+    assert!(n >= 3, "a toffoli chain needs at least 3 qubits");
+    assert!(layers > 0, "need at least one layer");
+    let mut c = Circuit::with_name(n, format!("toffoli_chain-{n}"));
+    for _ in 0..layers {
+        for i in 0..n - 2 {
+            c.ccx(i, i + 1, i + 2);
+        }
+    }
+    c
+}
+
+/// A seeded random NISQ-style circuit: `depth` layers, each a random mix
+/// of single-qubit rotations, CNOTs, and (with probability ~1/5) Toffolis
+/// on uniformly chosen operand triples.
+///
+/// Random long-range interactions are the workload where conventional
+/// routing degrades fastest; the seed makes every instance reproducible.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `depth == 0`.
+pub fn random_nisq(n: usize, depth: usize, seed: u64) -> Circuit {
+    assert!(n >= 3, "random circuits need at least 3 qubits");
+    assert!(depth > 0, "need at least one layer");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_name(n, format!("random_nisq-{n}"));
+    for _ in 0..depth {
+        match rng.gen_range(0..5) {
+            0 => {
+                let q = rng.gen_range(0..n);
+                match rng.gen_range(0..3) {
+                    0 => c.h(q),
+                    1 => c.t(q),
+                    _ => c.rz(rng.gen_range(0.0..PI), q),
+                };
+            }
+            4 => {
+                let trio = distinct(&mut rng, n, 3);
+                c.ccx(trio[0], trio[1], trio[2]);
+            }
+            _ => {
+                let pair = distinct(&mut rng, n, 2);
+                c.cx(pair[0], pair[1]);
+            }
+        }
+    }
+    c
+}
+
+fn distinct(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
+    let mut picked = Vec::with_capacity(k);
+    while picked.len() < k {
+        let q = rng.gen_range(0..n);
+        if !picked.contains(&q) {
+            picked.push(q);
+        }
+    }
+    picked
+}
+
+/// A random three-uniform hypergraph state: `H` on every qubit, then one
+/// CCZ per hyperedge (`triples` seeded random triples).
+///
+/// The canonical CCZ-native workload (measurement-based and IQP-style
+/// circuits): with CCZ left to the router, Trios gathers each hyperedge as
+/// a unit and — CCZ being fully symmetric — never pays for operand roles.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `triples == 0`.
+pub fn hypergraph_state(n: usize, triples: usize, seed: u64) -> Circuit {
+    assert!(n >= 3, "hyperedges need 3 distinct qubits");
+    assert!(triples > 0, "need at least one hyperedge");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_name(n, format!("hypergraph_state-{n}"));
+    for q in 0..n {
+        c.h(q);
+    }
+    for _ in 0..triples {
+        let t = distinct(&mut rng, n, 3);
+        c.ccz(t[0], t[1], t[2]);
+    }
+    c
+}
+
+/// A Fredkin routing network: a register of `2k + 1` qubits where one
+/// control conditionally permutes `k` data pairs, sweeping the control
+/// across a data line (`cswap(c, d_i, d_{i+1})` for consecutive pairs).
+///
+/// Fredkin chains appear in quantum switch fabrics and in the SWAP-test
+/// family of subroutines; each `cswap` is routed as a trio by the extended
+/// Trios router.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `n` is even (one control + an even data count).
+pub fn fredkin_network(n: usize) -> Circuit {
+    assert!(n >= 3, "need a control and at least one data pair");
+    assert!(n % 2 == 1, "need one control plus an even number of data qubits");
+    let mut c = Circuit::with_name(n, format!("fredkin_network-{n}"));
+    let control = 0;
+    // Down-sweep then up-sweep across the data line: a depth-2 butterfly.
+    for i in (1..n - 1).step_by(2) {
+        c.cswap(control, i, i + 1);
+    }
+    for i in (2..n - 1).step_by(2) {
+        c.cswap(control, i, i + 1);
+    }
+    for i in (1..n - 1).step_by(2) {
+        c.cswap(control, i, i + 1);
+    }
+    c
+}
+
+/// The extension benchmark suite: instances sized for the paper's
+/// 20-qubit devices, exercising QFT stress, Toffoli density extremes, and
+/// the CCZ/Fredkin gate extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtendedBenchmark {
+    /// `qft-16`: full 16-qubit QFT (Toffoli-free stress control).
+    Qft16,
+    /// `toffoli_chain-18`: two sweeps of overlapping local Toffolis.
+    ToffoliChain18,
+    /// `random_nisq-16`: 160 random gates, seed 7.
+    RandomNisq16,
+    /// `hypergraph_state-12`: 24 random CCZ hyperedges, seed 11.
+    HypergraphState12,
+    /// `fredkin_network-11`: a 3-sweep controlled-SWAP butterfly.
+    FredkinNetwork11,
+}
+
+impl ExtendedBenchmark {
+    /// All extension benchmarks, in reporting order.
+    pub const ALL: [ExtendedBenchmark; 5] = [
+        ExtendedBenchmark::Qft16,
+        ExtendedBenchmark::ToffoliChain18,
+        ExtendedBenchmark::RandomNisq16,
+        ExtendedBenchmark::HypergraphState12,
+        ExtendedBenchmark::FredkinNetwork11,
+    ];
+
+    /// The instance name (mirrors the paper's `name-qubits` convention).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExtendedBenchmark::Qft16 => "qft-16",
+            ExtendedBenchmark::ToffoliChain18 => "toffoli_chain-18",
+            ExtendedBenchmark::RandomNisq16 => "random_nisq-16",
+            ExtendedBenchmark::HypergraphState12 => "hypergraph_state-12",
+            ExtendedBenchmark::FredkinNetwork11 => "fredkin_network-11",
+        }
+    }
+
+    /// Builds the instance.
+    pub fn build(self) -> Circuit {
+        match self {
+            ExtendedBenchmark::Qft16 => qft(16),
+            ExtendedBenchmark::ToffoliChain18 => toffoli_chain(18, 2),
+            ExtendedBenchmark::RandomNisq16 => random_nisq(16, 160, 7),
+            ExtendedBenchmark::HypergraphState12 => hypergraph_state(12, 24, 11),
+            ExtendedBenchmark::FredkinNetwork11 => fredkin_network(11),
+        }
+    }
+
+    /// `true` when the instance contains any three-qubit gate (the ones
+    /// that should gain from trio routing).
+    pub fn uses_three_qubit(self) -> bool {
+        !matches!(self, ExtendedBenchmark::Qft16)
+    }
+}
+
+impl fmt::Display for ExtendedBenchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trios_sim::State;
+
+    #[test]
+    fn qft_matches_dft_amplitudes() {
+        // QFT|x⟩ = (1/√N) Σ_y ω^{xy} |y⟩ with ω = e^{2πi/N}. Our qubit 0
+        // is the least-significant bit in both input and output (the final
+        // swaps restore natural ordering).
+        let n = 4;
+        let dim = 1usize << n;
+        for x in [0usize, 1, 5, 9, 15] {
+            let mut c = Circuit::new(n);
+            for q in 0..n {
+                if (x >> q) & 1 == 1 {
+                    c.x(q);
+                }
+            }
+            c.append(&qft(n));
+            let state = State::run(&c).unwrap();
+            let norm = 1.0 / (dim as f64).sqrt();
+            for y in 0..dim {
+                let phase = 2.0 * PI * (x * y % dim) as f64 / dim as f64;
+                let amp = state.amplitudes()[y];
+                assert!(
+                    (amp.re - norm * phase.cos()).abs() < 1e-9
+                        && (amp.im - norm * phase.sin()).abs() < 1e-9,
+                    "x={x} y={y}: got {amp:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn toffoli_chain_is_the_expected_permutation() {
+        // On basis states a Toffoli chain is classical: simulate the sweep.
+        let n = 5;
+        for input in [0usize, 0b11, 0b111, 0b10110, 0b11111] {
+            let mut c = Circuit::new(n);
+            for q in 0..n {
+                if (input >> q) & 1 == 1 {
+                    c.x(q);
+                }
+            }
+            c.append(&toffoli_chain(n, 1));
+            let state = State::run(&c).unwrap();
+            let mut bits = input;
+            for i in 0..n - 2 {
+                if (bits >> i) & 1 == 1 && (bits >> (i + 1)) & 1 == 1 {
+                    bits ^= 1 << (i + 2);
+                }
+            }
+            assert!(
+                (state.probability(bits) - 1.0).abs() < 1e-9,
+                "input {input:#b}: expected {bits:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_nisq_is_seeded_and_valid() {
+        let a = random_nisq(8, 60, 3);
+        let b = random_nisq(8, 60, 3);
+        let c = random_nisq(8, 60, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.validate().is_ok());
+        assert_eq!(a.len(), 60);
+    }
+
+    #[test]
+    fn hypergraph_state_has_expected_phases() {
+        // Amplitude of |b⟩ is ±1/√N with sign (−1)^{#satisfied hyperedges}.
+        let n = 4;
+        let c = hypergraph_state(n, 3, 5);
+        let triples: Vec<Vec<usize>> = c
+            .iter()
+            .filter(|i| i.gate() == trios_ir::Gate::Ccz)
+            .map(|i| i.qubits().iter().map(|q| q.index()).collect())
+            .collect();
+        assert_eq!(triples.len(), 3);
+        let state = State::run(&c).unwrap();
+        let norm = 1.0 / (1usize << n) as f64;
+        for b in 0..(1usize << n) {
+            let sign = triples
+                .iter()
+                .filter(|t| t.iter().all(|&q| (b >> q) & 1 == 1))
+                .count()
+                % 2;
+            let expected = if sign == 1 { -norm.sqrt() } else { norm.sqrt() };
+            assert!(
+                (state.amplitudes()[b].re - expected).abs() < 1e-9,
+                "basis {b:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn fredkin_network_permutes_data_only_when_control_set() {
+        let n = 5;
+        // Control clear: identity.
+        let mut c = Circuit::new(n);
+        c.x(1).append(&fredkin_network(n));
+        let state = State::run(&c).unwrap();
+        assert!((state.probability(0b00010) - 1.0).abs() < 1e-9);
+        // Control set: the 3-sweep butterfly walks qubit 1's bit to the
+        // far end of the 4-qubit data line.
+        let mut c = Circuit::new(n);
+        c.x(0).x(1).append(&fredkin_network(n));
+        let state = State::run(&c).unwrap();
+        assert!((state.probability(0b10001) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extended_suite_builds_and_fits_devices() {
+        for b in ExtendedBenchmark::ALL {
+            let c = b.build();
+            assert!(c.validate().is_ok(), "{b}");
+            assert!(c.num_qubits() <= 20, "{b}");
+            assert_eq!(c.name(), b.name(), "{b}");
+            let has_3q = c.counts().three_qubit > 0;
+            assert_eq!(has_3q, b.uses_three_qubit(), "{b}");
+        }
+    }
+
+    #[test]
+    fn generators_validate_arguments() {
+        assert!(std::panic::catch_unwind(|| qft(0)).is_err());
+        assert!(std::panic::catch_unwind(|| toffoli_chain(2, 1)).is_err());
+        assert!(std::panic::catch_unwind(|| fredkin_network(4)).is_err());
+        assert!(std::panic::catch_unwind(|| hypergraph_state(2, 1, 0)).is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Gidney-style incrementer with one borrowed bit.
+
+use crate::{cnx_dirty_chain, cnx_one_borrowed};
+use trios_ir::Circuit;
+
+/// Appends one `x ← x + 1 (mod 2ⁿ)` on register `bits`, using `borrowed`
+/// as a single borrowed (dirty, restored) qubit.
+///
+/// Construction: the descending multi-controlled-X ladder — bit `k` flips
+/// iff all lower bits are 1, applied from the top down so each gate sees
+/// the pre-increment low bits. Each CnX borrows the idle *higher* bits of
+/// the register as dirty ancillas; the topmost gate, which has none to
+/// spare, uses the Barenco one-borrowed-bit split through `borrowed`.
+pub fn append_increment(c: &mut Circuit, bits: &[usize], borrowed: usize) {
+    let n = bits.len();
+    for k in (1..n).rev() {
+        let controls = &bits[..k];
+        let target = bits[k];
+        let idle: Vec<usize> = bits[k + 1..].iter().copied().chain([borrowed]).collect();
+        if idle.len() >= controls.len().saturating_sub(2) {
+            cnx_dirty_chain(c, controls, &idle, target);
+        } else {
+            cnx_one_borrowed(c, controls, borrowed, target);
+        }
+    }
+    c.x(bits[0]);
+}
+
+/// The `incrementer_borrowedbit` benchmark \[14\]: an `n`-bit register plus
+/// one borrowed bit, incremented `repetitions` times.
+///
+/// The paper's instance (`incrementer_borrowedbit-5`, 50 Toffolis) is
+/// `n = 4` with 10 repetitions: each increment costs 5 Toffolis (one plain
+/// Toffoli plus a 4-Toffoli one-borrowed-bit C³X).
+pub fn incrementer_borrowedbit(n: usize, repetitions: usize) -> Circuit {
+    assert!(n >= 1, "register width must be at least 1");
+    let mut c = Circuit::with_name(n + 1, format!("incrementer_borrowedbit-{}", n + 1));
+    let bits: Vec<usize> = (0..n).collect();
+    for _ in 0..repetitions {
+        append_increment(&mut c, &bits, n);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trios_sim::State;
+
+    fn run_increment(n: usize, reps: usize, x: usize, borrowed_value: bool) -> (usize, bool) {
+        let mut c = Circuit::new(n + 1);
+        if borrowed_value {
+            c.x(n);
+        }
+        for (bit, _) in (0..n).enumerate() {
+            if (x >> bit) & 1 == 1 {
+                c.x(bit);
+            }
+        }
+        let bits: Vec<usize> = (0..n).collect();
+        for _ in 0..reps {
+            append_increment(&mut c, &bits, n);
+        }
+        let state = State::run(&c).unwrap();
+        let (best, amp) = state
+            .amplitudes()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.norm_sqr().partial_cmp(&b.1.norm_sqr()).unwrap())
+            .unwrap();
+        assert!(
+            (amp.abs() - 1.0).abs() < 1e-7,
+            "output is not a basis state"
+        );
+        (best & ((1 << n) - 1), (best >> n) & 1 == 1)
+    }
+
+    #[test]
+    fn increments_every_value() {
+        for n in 2..=4usize {
+            for x in 0..(1usize << n) {
+                let (result, borrowed) = run_increment(n, 1, x, false);
+                assert_eq!(result, (x + 1) % (1 << n), "n={n}, x={x}");
+                assert!(!borrowed, "borrowed bit must be restored");
+            }
+        }
+    }
+
+    #[test]
+    fn borrowed_bit_value_is_irrelevant_and_restored() {
+        for x in [0usize, 5, 15] {
+            let (result, borrowed) = run_increment(4, 1, x, true);
+            assert_eq!(result, (x + 1) % 16);
+            assert!(borrowed, "borrowed |1⟩ must stay |1⟩");
+        }
+    }
+
+    #[test]
+    fn repeated_increments_accumulate() {
+        let (result, _) = run_increment(3, 5, 6, false);
+        assert_eq!(result, (6 + 5) % 8);
+    }
+
+    #[test]
+    fn paper_instance_profile() {
+        let c = incrementer_borrowedbit(4, 10);
+        assert_eq!(c.num_qubits(), 5);
+        // Per increment: C³X (one-borrowed, 4 Toffolis) + CCX + CX + X.
+        assert_eq!(c.counts().ccx, 50, "matches Table 1's 50 Toffolis");
+        assert_eq!(c.counts().cx, 10);
+    }
+}

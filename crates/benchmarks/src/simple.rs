@@ -1,0 +1,123 @@
+//! Toffoli-free NISQ benchmarks: Bernstein–Vazirani and QAOA Max-Cut.
+//!
+//! These are the paper's control group — programs with no 3-qubit gates,
+//! on which Trios must change nothing (Figures 9–11, rightmost bars).
+
+use trios_ir::Circuit;
+
+/// Bernstein–Vazirani \[9\] over `n − 1` data qubits plus one phase
+/// ancilla, recovering the hidden string `secret` in one query.
+///
+/// The paper's `bv-20` assumes the all-ones secret, giving 19 CNOTs.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `secret` has bits beyond `n − 1`.
+pub fn bernstein_vazirani(n: usize, secret: usize) -> Circuit {
+    assert!(n >= 2, "need at least one data qubit plus the ancilla");
+    let data = n - 1;
+    assert!(
+        secret < (1usize << data),
+        "secret {secret} does not fit in {data} bits"
+    );
+    let mut c = Circuit::with_name(n, format!("bv-{n}"));
+    let anc = n - 1;
+    for q in 0..data {
+        c.h(q);
+    }
+    c.x(anc).h(anc);
+    for q in 0..data {
+        if (secret >> q) & 1 == 1 {
+            c.cx(q, anc);
+        }
+    }
+    for q in 0..data {
+        c.h(q);
+    }
+    c
+}
+
+/// Single-layer (p = 1) QAOA \[13\] for Max-Cut on the complete graph
+/// `K_n`: one `ZZ(γ)` interaction per edge (2 CNOTs + 1 Rz each) and an
+/// `Rx(2β)` mixer. The paper's `qaoa_complete-10` has 45 edges → 90 CNOTs.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn qaoa_complete(n: usize, gamma: f64, beta: f64) -> Circuit {
+    assert!(n >= 2, "need at least two vertices");
+    let mut c = Circuit::with_name(n, format!("qaoa_complete-{n}"));
+    for q in 0..n {
+        c.h(q);
+    }
+    for a in 0..n {
+        for b in a + 1..n {
+            c.cx(a, b).rz(2.0 * gamma, b).cx(a, b);
+        }
+    }
+    for q in 0..n {
+        c.rx(2.0 * beta, q);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trios_sim::State;
+
+    #[test]
+    fn bv_recovers_the_secret() {
+        for secret in [0usize, 0b101, 0b111, 0b010] {
+            let c = bernstein_vazirani(4, secret);
+            let state = State::run(&c).unwrap();
+            let p = state.marginal_probability(&[0, 1, 2], secret);
+            assert!(
+                (p - 1.0).abs() < 1e-9,
+                "secret {secret:03b} recovered with probability {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn bv_paper_instance_profile() {
+        let c = bernstein_vazirani(20, (1 << 19) - 1);
+        assert_eq!(c.num_qubits(), 20);
+        assert_eq!(c.counts().cx, 19, "matches Table 1");
+        assert_eq!(c.counts().ccx, 0);
+    }
+
+    #[test]
+    fn qaoa_paper_instance_profile() {
+        let c = qaoa_complete(10, 0.4, 0.8);
+        assert_eq!(c.counts().cx, 90, "45 edges × 2 CNOTs (Table 1)");
+        assert_eq!(c.counts().ccx, 0);
+    }
+
+    #[test]
+    fn qaoa_zero_angles_is_trivial_rotation_layer() {
+        // γ = β = 0 leaves the uniform superposition untouched.
+        let c = qaoa_complete(4, 0.0, 0.0);
+        let state = State::run(&c).unwrap();
+        for k in 0..16 {
+            assert!((state.probability(k) - 1.0 / 16.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn qaoa_distribution_respects_maxcut_symmetry() {
+        // MaxCut on K_n is invariant under flipping every vertex, so the
+        // p=1 QAOA output distribution must satisfy P(s) = P(!s) — and
+        // with non-trivial angles it must deviate from uniform.
+        let c = qaoa_complete(4, 0.35, 0.39);
+        let state = State::run(&c).unwrap();
+        let mut max_dev = 0.0f64;
+        for s in 0..16usize {
+            let p = state.probability(s);
+            let p_flip = state.probability(s ^ 0b1111);
+            assert!((p - p_flip).abs() < 1e-9, "Z2 symmetry broken at {s:04b}");
+            max_dev = max_dev.max((p - 1.0 / 16.0).abs());
+        }
+        assert!(max_dev > 1e-3, "distribution should be non-uniform");
+    }
+}

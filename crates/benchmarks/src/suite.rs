@@ -1,0 +1,213 @@
+//! The paper's benchmark suite (Table 1) as a closed enumeration.
+
+use crate::{
+    bernstein_vazirani, cnx_dirty_chain, cnx_inplace_ladder, cnx_log_ancilla, cuccaro_adder,
+    grovers, incrementer_borrowedbit, qaoa_complete, qft_adder, takahashi_adder,
+};
+use std::fmt;
+use trios_ir::Circuit;
+
+/// One row of the paper's Table 1: a named benchmark instance.
+///
+/// The first eight contain Toffolis and benefit from Trios; the last three
+/// (`qft_adder`, `bv`, `qaoa_complete`) are the Toffoli-free control group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// `cnx_dirty-11`: 6-control CnX, 4 dirty ancillas (Baker et al.).
+    CnxDirty11,
+    /// `cnx_halfborrowed-19`: 10-control CnX, 8 borrowed bits (Gidney).
+    CnxHalfborrowed19,
+    /// `cnx_logancilla-19`: 10-control CnX, 8 clean ancillas (Barenco).
+    CnxLogancilla19,
+    /// `cnx_inplace-4`: 3-control CnX with zero ancillas.
+    CnxInplace4,
+    /// `cuccaro_adder-20`: 9-bit ripple-carry adder.
+    CuccaroAdder20,
+    /// `takahashi_adder-20`: 10-bit ancilla-free adder.
+    TakahashiAdder20,
+    /// `incrementer_borrowedbit-5`: 4-bit incrementer ×10 repetitions.
+    IncrementerBorrowedbit5,
+    /// `grovers-9`: 6-qubit Grover search with log-ancilla oracle.
+    Grovers9,
+    /// `qft_adder-16`: 8-bit Draper adder (no Toffolis).
+    QftAdder16,
+    /// `bv-20`: Bernstein–Vazirani, all-ones secret (no Toffolis).
+    Bv20,
+    /// `qaoa_complete-10`: QAOA Max-Cut on K₁₀ (no Toffolis).
+    QaoaComplete10,
+}
+
+impl Benchmark {
+    /// All benchmarks, in the paper's figure order.
+    pub const ALL: [Benchmark; 11] = [
+        Benchmark::CnxDirty11,
+        Benchmark::CnxHalfborrowed19,
+        Benchmark::CnxLogancilla19,
+        Benchmark::CnxInplace4,
+        Benchmark::CuccaroAdder20,
+        Benchmark::TakahashiAdder20,
+        Benchmark::IncrementerBorrowedbit5,
+        Benchmark::Grovers9,
+        Benchmark::QftAdder16,
+        Benchmark::Bv20,
+        Benchmark::QaoaComplete10,
+    ];
+
+    /// The benchmarks that contain Toffolis (the ones the paper expects to
+    /// gain from Trios).
+    pub fn toffoli_suite() -> impl Iterator<Item = Benchmark> {
+        Benchmark::ALL.into_iter().filter(|b| b.uses_toffoli())
+    }
+
+    /// The paper's name for this instance (Table 1 / figure x-labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::CnxDirty11 => "cnx_dirty-11",
+            Benchmark::CnxHalfborrowed19 => "cnx_halfborrowed-19",
+            Benchmark::CnxLogancilla19 => "cnx_logancilla-19",
+            Benchmark::CnxInplace4 => "cnx_inplace-4",
+            Benchmark::CuccaroAdder20 => "cuccaro_adder-20",
+            Benchmark::TakahashiAdder20 => "takahashi_adder-20",
+            Benchmark::IncrementerBorrowedbit5 => "incrementer_borrowedbit-5",
+            Benchmark::Grovers9 => "grovers-9",
+            Benchmark::QftAdder16 => "qft_adder-16",
+            Benchmark::Bv20 => "bv-20",
+            Benchmark::QaoaComplete10 => "qaoa_complete-10",
+        }
+    }
+
+    /// Builds the benchmark circuit (Toffoli-level: 1q, 2q, and `ccx`
+    /// gates; no measurements — harnesses append those).
+    pub fn build(self) -> Circuit {
+        match self {
+            Benchmark::CnxDirty11 => {
+                let mut c = Circuit::with_name(11, self.name());
+                let controls: Vec<usize> = (0..6).collect();
+                let borrowed: Vec<usize> = (6..10).collect();
+                cnx_dirty_chain(&mut c, &controls, &borrowed, 10);
+                c
+            }
+            Benchmark::CnxHalfborrowed19 => {
+                let mut c = Circuit::with_name(19, self.name());
+                let controls: Vec<usize> = (0..10).collect();
+                let borrowed: Vec<usize> = (10..18).collect();
+                cnx_dirty_chain(&mut c, &controls, &borrowed, 18);
+                c
+            }
+            Benchmark::CnxLogancilla19 => {
+                let mut c = Circuit::with_name(19, self.name());
+                let controls: Vec<usize> = (0..10).collect();
+                let ancillas: Vec<usize> = (10..18).collect();
+                cnx_log_ancilla(&mut c, &controls, &ancillas, 18);
+                c
+            }
+            Benchmark::CnxInplace4 => {
+                let mut c = Circuit::with_name(4, self.name());
+                cnx_inplace_ladder(&mut c, &[0, 1, 2], 3);
+                c
+            }
+            Benchmark::CuccaroAdder20 => cuccaro_adder(9),
+            Benchmark::TakahashiAdder20 => takahashi_adder(10),
+            Benchmark::IncrementerBorrowedbit5 => incrementer_borrowedbit(4, 10),
+            Benchmark::Grovers9 => grovers(6, 0b101010),
+            Benchmark::QftAdder16 => qft_adder(8),
+            Benchmark::Bv20 => bernstein_vazirani(20, (1 << 19) - 1),
+            Benchmark::QaoaComplete10 => qaoa_complete(10, 0.4, 0.8),
+        }
+    }
+
+    /// `true` for the benchmarks containing Toffoli gates.
+    pub fn uses_toffoli(self) -> bool {
+        !matches!(
+            self,
+            Benchmark::QftAdder16 | Benchmark::Bv20 | Benchmark::QaoaComplete10
+        )
+    }
+
+    /// The Table 1 row for this benchmark: `(qubits, toffolis, cnots)`
+    /// where `cnots` counts two-qubit gates after decomposing every
+    /// Toffoli with the 8-CNOT form but before any routing — the paper's
+    /// starred CNOT column.
+    pub fn table1_row(self) -> (usize, usize, usize) {
+        let c = self.build();
+        let counts = c.counts();
+        (
+            c.num_qubits(),
+            counts.ccx,
+            counts.two_qubit + 8 * counts.ccx,
+        )
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_build_and_validate() {
+        for b in Benchmark::ALL {
+            let c = b.build();
+            assert!(c.validate().is_ok(), "{b}");
+            assert!(!c.is_empty(), "{b}");
+            assert_eq!(c.name(), b.name());
+        }
+    }
+
+    #[test]
+    fn qubit_counts_match_names() {
+        for b in Benchmark::ALL {
+            let c = b.build();
+            let suffix: usize = b
+                .name()
+                .rsplit('-')
+                .next()
+                .unwrap()
+                .parse()
+                .expect("name ends in qubit count");
+            assert_eq!(c.num_qubits(), suffix, "{b}");
+        }
+    }
+
+    #[test]
+    fn toffoli_flag_matches_contents() {
+        for b in Benchmark::ALL {
+            let has = b.build().counts().ccx > 0;
+            assert_eq!(has, b.uses_toffoli(), "{b}");
+        }
+    }
+
+    #[test]
+    fn table1_rows_match_paper_where_construction_matches() {
+        // Exact matches with the paper's Table 1.
+        assert_eq!(Benchmark::CnxDirty11.table1_row(), (11, 16, 128));
+        assert_eq!(Benchmark::CnxHalfborrowed19.table1_row(), (19, 32, 256));
+        assert_eq!(Benchmark::CnxLogancilla19.table1_row(), (19, 17, 136));
+        let (q, t, _) = Benchmark::IncrementerBorrowedbit5.table1_row();
+        assert_eq!((q, t), (5, 50));
+        assert_eq!(Benchmark::Grovers9.table1_row().1, 84);
+        assert_eq!(Benchmark::CuccaroAdder20.table1_row().1, 18);
+        assert_eq!(Benchmark::TakahashiAdder20.table1_row().1, 18);
+        assert_eq!(Benchmark::QftAdder16.table1_row(), (16, 0, 92));
+        assert_eq!(Benchmark::Bv20.table1_row(), (20, 0, 19));
+        assert_eq!(Benchmark::QaoaComplete10.table1_row(), (10, 0, 90));
+    }
+
+    #[test]
+    fn no_benchmark_exceeds_twenty_qubits() {
+        // All must fit the paper's 20-qubit devices.
+        for b in Benchmark::ALL {
+            assert!(b.build().num_qubits() <= 20, "{b}");
+        }
+    }
+
+    #[test]
+    fn toffoli_suite_has_eight_members() {
+        assert_eq!(Benchmark::toffoli_suite().count(), 8);
+    }
+}

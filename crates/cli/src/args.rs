@@ -1,0 +1,258 @@
+//! Argument parsing (hand-rolled; the CLI's surface is small).
+
+use crate::CliError;
+use trios_core::{Pipeline, ToffoliDecomposition};
+use trios_topology::{
+    clusters, full, grid, heavy_hex_falcon27, johannesburg, line, ring, Topology,
+};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `trios list` — benchmarks and devices.
+    List,
+    /// `trios table1` — regenerate the paper's Table 1.
+    Table1,
+    /// `trios compile <input> [flags]`.
+    Compile(Options),
+    /// `trios estimate <input> [flags]`.
+    Estimate(Options),
+    /// `trios verify <input> [flags]`.
+    Verify(Options),
+    /// `trios help` (also `-h` / `--help` / no arguments).
+    Help,
+}
+
+/// Flags shared by `compile` and `estimate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Benchmark name or `.qasm` path.
+    pub input: String,
+    /// Device spec (default: `johannesburg`).
+    pub device: String,
+    /// Pass structure (default: Trios).
+    pub pipeline: Pipeline,
+    /// Second-pass Toffoli strategy (default: connectivity-aware).
+    pub toffoli: ToffoliDecomposition,
+    /// Seed for stochastic routing (default 0).
+    pub seed: u64,
+    /// Use the windowed-lookahead pair strategy.
+    pub lookahead: bool,
+    /// Implement distance-2 CNOTs as bridges.
+    pub bridge: bool,
+    /// Error-improvement factor for `estimate` (default 1.0).
+    pub improve: f64,
+    /// Emit compiled OpenQASM to this path (`-` for inline output).
+    pub emit_qasm: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            input: String::new(),
+            device: "johannesburg".into(),
+            pipeline: Pipeline::Trios,
+            toffoli: ToffoliDecomposition::ConnectivityAware,
+            seed: 0,
+            lookahead: false,
+            bridge: false,
+            improve: 1.0,
+            emit_qasm: None,
+        }
+    }
+}
+
+/// Parses a full argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown subcommands, unknown flags, or
+/// missing flag values.
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "list" => Ok(Command::List),
+        "table1" => Ok(Command::Table1),
+        "help" | "-h" | "--help" => Ok(Command::Help),
+        "compile" | "estimate" | "verify" => {
+            let mut options = Options::default();
+            let mut positional = Vec::new();
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0usize;
+            let value = |i: &mut usize, flag: &str| -> Result<String, CliError> {
+                *i += 1;
+                rest.get(*i)
+                    .map(|s| s.to_string())
+                    .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+            };
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--device" | "-d" => options.device = value(&mut i, "--device")?,
+                    "--pipeline" | "-p" => {
+                        options.pipeline = match value(&mut i, "--pipeline")?.as_str() {
+                            "baseline" => Pipeline::Baseline,
+                            "trios" => Pipeline::Trios,
+                            other => {
+                                return Err(CliError::Usage(format!(
+                                    "--pipeline must be 'baseline' or 'trios', got '{other}'"
+                                )))
+                            }
+                        }
+                    }
+                    "--toffoli" => {
+                        options.toffoli = match value(&mut i, "--toffoli")?.as_str() {
+                            "6" => ToffoliDecomposition::Six,
+                            "8" => ToffoliDecomposition::Eight,
+                            "aware" => ToffoliDecomposition::ConnectivityAware,
+                            other => {
+                                return Err(CliError::Usage(format!(
+                                    "--toffoli must be '6', '8', or 'aware', got '{other}'"
+                                )))
+                            }
+                        }
+                    }
+                    "--seed" | "-s" => {
+                        let v = value(&mut i, "--seed")?;
+                        options.seed = v.parse().map_err(|_| {
+                            CliError::Usage(format!("--seed must be an integer, got '{v}'"))
+                        })?;
+                    }
+                    "--improve" => {
+                        let v = value(&mut i, "--improve")?;
+                        options.improve = v.parse().map_err(|_| {
+                            CliError::Usage(format!("--improve must be a number, got '{v}'"))
+                        })?;
+                    }
+                    "--lookahead" => options.lookahead = true,
+                    "--bridge" => options.bridge = true,
+                    "--emit-qasm" => options.emit_qasm = Some(value(&mut i, "--emit-qasm")?),
+                    flag if flag.starts_with('-') => {
+                        return Err(CliError::Usage(format!("unknown flag '{flag}'")))
+                    }
+                    positional_arg => positional.push(positional_arg.to_string()),
+                }
+                i += 1;
+            }
+            match positional.len() {
+                0 => return Err(CliError::Usage(format!("{cmd} needs an input"))),
+                1 => options.input = positional.remove(0),
+                n => {
+                    return Err(CliError::Usage(format!(
+                        "{cmd} takes one input, got {n}"
+                    )))
+                }
+            }
+            match cmd.as_str() {
+                "compile" => Ok(Command::Compile(options)),
+                "estimate" => Ok(Command::Estimate(options)),
+                _ => Ok(Command::Verify(options)),
+            }
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}' (try 'trios help')"
+        ))),
+    }
+}
+
+/// Resolves a device spec to a topology.
+///
+/// Named devices: `johannesburg`, `heavy-hex`, `grid` (5×4), `line` (20),
+/// `clusters` (4×5). Parametric: `line:N`, `ring:N`, `full:N`,
+/// `grid:CxR`, `clusters:KxS`.
+///
+/// # Errors
+///
+/// Returns [`CliError::Unknown`] for unrecognized specs.
+pub fn parse_device(spec: &str) -> Result<Topology, CliError> {
+    let unknown = || CliError::Unknown(format!("device '{spec}'"));
+    match spec {
+        "johannesburg" => return Ok(johannesburg()),
+        "heavy-hex" => return Ok(heavy_hex_falcon27()),
+        "grid" => return Ok(grid(5, 4)),
+        "line" => return Ok(line(20)),
+        "clusters" => return Ok(clusters(4, 5)),
+        _ => {}
+    }
+    let (kind, params) = spec.split_once(':').ok_or_else(unknown)?;
+    let parse_n = |s: &str| s.parse::<usize>().map_err(|_| unknown());
+    match kind {
+        "line" => Ok(line(parse_n(params)?)),
+        "ring" => Ok(ring(parse_n(params)?)),
+        "full" => Ok(full(parse_n(params)?)),
+        "grid" | "clusters" => {
+            let (a, b) = params.split_once('x').ok_or_else(unknown)?;
+            let (a, b) = (parse_n(a)?, parse_n(b)?);
+            if kind == "grid" {
+                Ok(grid(a, b))
+            } else {
+                Ok(clusters(a, b))
+            }
+        }
+        _ => Err(unknown()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_compile_with_flags() {
+        let cmd = parse_args(&args(&[
+            "compile",
+            "grovers-9",
+            "--device",
+            "line:12",
+            "--pipeline",
+            "baseline",
+            "--seed",
+            "7",
+            "--lookahead",
+        ]))
+        .unwrap();
+        let Command::Compile(o) = cmd else {
+            panic!("expected compile");
+        };
+        assert_eq!(o.input, "grovers-9");
+        assert_eq!(o.device, "line:12");
+        assert_eq!(o.pipeline, Pipeline::Baseline);
+        assert_eq!(o.seed, 7);
+        assert!(o.lookahead);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args(&["frob"])).is_err());
+        assert!(parse_args(&args(&["compile"])).is_err());
+        assert!(parse_args(&args(&["compile", "a", "b"])).is_err());
+        assert!(parse_args(&args(&["compile", "a", "--pipeline", "x"])).is_err());
+        assert!(parse_args(&args(&["compile", "a", "--seed", "x"])).is_err());
+        assert!(parse_args(&args(&["compile", "a", "--seed"])).is_err());
+        assert!(parse_args(&args(&["compile", "a", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn empty_args_mean_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn device_specs_resolve() {
+        assert_eq!(parse_device("johannesburg").unwrap().num_qubits(), 20);
+        assert_eq!(parse_device("heavy-hex").unwrap().num_qubits(), 27);
+        assert_eq!(parse_device("line:7").unwrap().num_qubits(), 7);
+        assert_eq!(parse_device("ring:8").unwrap().num_qubits(), 8);
+        assert_eq!(parse_device("grid:3x3").unwrap().num_qubits(), 9);
+        assert_eq!(parse_device("clusters:2x4").unwrap().num_qubits(), 8);
+        assert!(parse_device("torus:3x3").is_err());
+        assert!(parse_device("line:x").is_err());
+        assert!(parse_device("nonsense").is_err());
+    }
+}

@@ -1,0 +1,416 @@
+//! Command execution.
+
+use crate::args::{parse_args, parse_device, Command, Options};
+use crate::CliError;
+use std::fmt::Write as _;
+use trios_benchmarks::{Benchmark, ExtendedBenchmark};
+use trios_core::{compile, Calibration, CompileOptions, CompiledProgram};
+use trios_ir::Circuit;
+use trios_route::LookaheadConfig;
+
+const HELP: &str = "\
+trios — the Orchestrated Trios quantum compiler (ASPLOS 2021 reproduction)
+
+USAGE:
+    trios <command> [arguments]
+
+COMMANDS:
+    list                         benchmarks and devices
+    table1                       regenerate the paper's Table 1
+    compile <input> [flags]      compile a benchmark or .qasm file
+    estimate <input> [flags]     compile, then estimate success probability
+    verify <input> [flags]       compile, then statevector-check semantics
+    help                         this text
+
+FLAGS (compile / estimate):
+    --device, -d <spec>          johannesburg | heavy-hex | grid | line |
+                                 clusters | line:N | ring:N | full:N |
+                                 grid:CxR | clusters:KxS   (default johannesburg)
+    --pipeline, -p <which>       baseline | trios          (default trios)
+    --toffoli <which>            6 | 8 | aware             (default aware)
+    --seed, -s <n>               routing seed              (default 0)
+    --lookahead                  windowed-lookahead pair routing
+    --bridge                     distance-2 CNOTs as 4-CNOT bridges
+    --improve <factor>           error-improvement factor for estimate
+    --emit-qasm <path|->         write the compiled circuit as OpenQASM 2.0
+";
+
+/// Parses `args` (without the program name) and runs the command,
+/// returning its rendered output.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for usage errors, unknown inputs, and
+/// compilation failures.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    match parse_args(args)? {
+        Command::Help => Ok(HELP.to_string()),
+        Command::List => Ok(render_list()),
+        Command::Table1 => Ok(render_table1()),
+        Command::Compile(options) => {
+            let (compiled, out) = compile_input(&options)?;
+            let mut out = out;
+            if let Some(path) = &options.emit_qasm {
+                let qasm = trios_qasm::emit(&compiled.circuit);
+                if path == "-" {
+                    out.push('\n');
+                    out.push_str(&qasm);
+                } else {
+                    std::fs::write(path, qasm)?;
+                    let _ = writeln!(out, "\nwrote compiled OpenQASM to {path}");
+                }
+            }
+            Ok(out)
+        }
+        Command::Verify(options) => {
+            let circuit = load_input(&options.input)?;
+            let device = parse_device(&options.device)?;
+            if device.num_qubits() > trios_sim::MAX_QUBITS {
+                return Err(CliError::Usage(format!(
+                    "device has {} qubits; dense verification caps at {}",
+                    device.num_qubits(),
+                    trios_sim::MAX_QUBITS
+                )));
+            }
+            let (compiled, mut out) = compile_input(&options)?;
+            let ok = trios_sim::compiled_equivalent(
+                &circuit,
+                &compiled.circuit,
+                &compiled.initial_layout.to_mapping(),
+                &compiled.final_layout.to_mapping(),
+                2,
+                options.seed.wrapping_add(1),
+                1e-7,
+            )
+            .map_err(|e| CliError::Usage(e.to_string()))?;
+            let _ = writeln!(
+                out,
+                "
+semantics:       {}",
+                if ok {
+                    "VERIFIED (statevector replay through initial/final layouts)"
+                } else {
+                    "FAILED — compiled circuit does not implement the program"
+                }
+            );
+            if !ok {
+                return Err(CliError::Usage(
+                    "verification failed — please report this as a compiler bug".into(),
+                ));
+            }
+            Ok(out)
+        }
+        Command::Estimate(options) => {
+            let (compiled, mut out) = compile_input(&options)?;
+            let calibration =
+                Calibration::johannesburg_2020_08_19().improved(options.improve);
+            let estimate = compiled.estimate_success(&calibration);
+            let _ = writeln!(
+                out,
+                "\ncalibration:     Johannesburg 2020-08-19, errors improved {}x",
+                options.improve
+            );
+            let _ = writeln!(out, "est. success:    {estimate}");
+            Ok(out)
+        }
+    }
+}
+
+fn load_input(input: &str) -> Result<Circuit, CliError> {
+    if input.ends_with(".qasm") {
+        let source = std::fs::read_to_string(input)?;
+        return Ok(trios_qasm::parse(&source)?);
+    }
+    if let Some(b) = Benchmark::ALL.into_iter().find(|b| b.name() == input) {
+        return Ok(b.build());
+    }
+    if let Some(b) = ExtendedBenchmark::ALL.into_iter().find(|b| b.name() == input) {
+        return Ok(b.build());
+    }
+    Err(CliError::Unknown(format!(
+        "benchmark '{input}' (and it is not a .qasm path; see 'trios list')"
+    )))
+}
+
+fn compile_input(options: &Options) -> Result<(CompiledProgram, String), CliError> {
+    let circuit = load_input(&options.input)?;
+    let device = parse_device(&options.device)?;
+    let compile_options = CompileOptions {
+        pipeline: options.pipeline,
+        toffoli: options.toffoli,
+        seed: options.seed,
+        lookahead: options.lookahead.then(LookaheadConfig::default),
+        bridge: options.bridge,
+        ..CompileOptions::default()
+    };
+    let compiled = compile(&circuit, &device, &compile_options)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "input:           {} ({})", options.input, circuit.counts());
+    let _ = writeln!(out, "device:          {device}");
+    let _ = writeln!(
+        out,
+        "pipeline:        {:?} (toffoli {:?}, seed {}{}{})",
+        options.pipeline,
+        options.toffoli,
+        options.seed,
+        if options.lookahead { ", lookahead" } else { "" },
+        if options.bridge { ", bridge" } else { "" }
+    );
+    let _ = writeln!(out, "two-qubit gates: {}", compiled.stats.two_qubit_gates);
+    let _ = writeln!(out, "one-qubit gates: {}", compiled.stats.one_qubit_gates);
+    let _ = writeln!(out, "SWAPs inserted:  {}", compiled.stats.swap_count);
+    let _ = writeln!(out, "depth:           {}", compiled.stats.depth);
+    let _ = writeln!(out, "duration:        {:.3} µs", compiled.stats.duration_us);
+    let _ = writeln!(out, "final layout:    {}", compiled.final_layout);
+    Ok((compiled, out))
+}
+
+fn render_list() -> String {
+    let mut out = String::new();
+    out.push_str("paper benchmarks (Table 1):\n");
+    for b in Benchmark::ALL {
+        let (q, t, cx) = b.table1_row();
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>2} qubits {:>3} toffolis {:>4} cnots",
+            b.name(),
+            q,
+            t,
+            cx
+        );
+    }
+    out.push_str("\nextended benchmarks:\n");
+    for b in ExtendedBenchmark::ALL {
+        let c = b.build();
+        let counts = c.counts();
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>2} qubits {:>3} three-qubit gates",
+            b.name(),
+            c.num_qubits(),
+            counts.three_qubit
+        );
+    }
+    out.push_str(
+        "\ndevices: johannesburg, heavy-hex, grid, line, clusters,\n         \
+         line:N, ring:N, full:N, grid:CxR, clusters:KxS\n",
+    );
+    out
+}
+
+fn render_table1() -> String {
+    let mut out = String::new();
+    out.push_str("Table 1: benchmark inventory (CNOTs after 8-CNOT Toffoli decomposition)\n");
+    let _ = writeln!(out, "{:<28} {:>7} {:>9} {:>7}", "benchmark", "qubits", "toffolis", "cnots");
+    let _ = writeln!(out, "{}", "-".repeat(54));
+    for b in Benchmark::ALL {
+        let (q, t, cx) = b.table1_row();
+        let _ = writeln!(out, "{:<28} {:>7} {:>9} {:>7}", b.name(), q, t, cx);
+    }
+    out
+}
+
+/// The binary's entry logic: run and print, mapping errors to stderr and
+/// a nonzero exit code.
+pub fn main_impl() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            std::process::ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trios: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let out = run(&args(&["help"])).unwrap();
+        assert!(out.contains("compile"));
+        assert!(out.contains("estimate"));
+        assert!(out.contains("--device"));
+    }
+
+    #[test]
+    fn list_names_all_benchmarks() {
+        let out = run(&args(&["list"])).unwrap();
+        for b in Benchmark::ALL {
+            assert!(out.contains(b.name()), "{}", b.name());
+        }
+        for b in ExtendedBenchmark::ALL {
+            assert!(out.contains(b.name()), "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn table1_matches_paper_rows() {
+        let out = run(&args(&["table1"])).unwrap();
+        assert!(out.contains("cnx_dirty-11"));
+        assert!(out.contains("128"));
+    }
+
+    #[test]
+    fn compile_reports_stats() {
+        let out = run(&args(&[
+            "compile",
+            "cnx_inplace-4",
+            "--device",
+            "line:6",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("two-qubit gates:"));
+        assert!(out.contains("line-6"));
+    }
+
+    #[test]
+    fn compile_emits_inline_qasm() {
+        let out = run(&args(&[
+            "compile",
+            "cnx_inplace-4",
+            "--device",
+            "line:6",
+            "--emit-qasm",
+            "-",
+        ]))
+        .unwrap();
+        assert!(out.contains("OPENQASM 2.0;"));
+        assert!(out.contains("qreg q[6];"));
+    }
+
+    #[test]
+    fn estimate_includes_probability() {
+        let out = run(&args(&[
+            "estimate",
+            "cnx_inplace-4",
+            "--device",
+            "line:6",
+            "--improve",
+            "20",
+        ]))
+        .unwrap();
+        assert!(out.contains("est. success:"));
+        assert!(out.contains("20x"));
+    }
+
+    #[test]
+    fn compile_accepts_qasm_files() {
+        let dir = std::env::temp_dir().join("trios-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bell.qasm");
+        std::fs::write(
+            &path,
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0], q[1];\n",
+        )
+        .unwrap();
+        let out = run(&args(&[
+            "compile",
+            path.to_str().unwrap(),
+            "--device",
+            "line:4",
+        ]))
+        .unwrap();
+        assert!(out.contains("two-qubit gates: 1"));
+    }
+
+    #[test]
+    fn unknown_benchmark_is_a_clean_error() {
+        let err = run(&args(&["compile", "not_a_benchmark", "-d", "line:4"])).unwrap_err();
+        assert!(err.to_string().contains("not_a_benchmark"));
+    }
+
+    #[test]
+    fn baseline_and_trios_differ_on_toffoli_input() {
+        let base = run(&args(&[
+            "compile",
+            "cnx_inplace-4",
+            "-d",
+            "line:6",
+            "-p",
+            "baseline",
+        ]))
+        .unwrap();
+        let trios = run(&args(&[
+            "compile",
+            "cnx_inplace-4",
+            "-d",
+            "line:6",
+            "-p",
+            "trios",
+        ]))
+        .unwrap();
+        let gates = |s: &str| -> usize {
+            s.lines()
+                .find(|l| l.starts_with("two-qubit gates:"))
+                .and_then(|l| l.split_whitespace().last())
+                .and_then(|n| n.parse().ok())
+                .unwrap()
+        };
+        assert!(gates(&trios) < gates(&base));
+    }
+
+    #[test]
+    fn verify_confirms_correct_compilation() {
+        let out = run(&args(&[
+            "verify",
+            "cnx_inplace-4",
+            "--device",
+            "line:6",
+            "--seed",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("VERIFIED"));
+    }
+
+    #[test]
+    fn verify_rejects_oversimulatable_devices() {
+        let err = run(&args(&["verify", "bv-20", "--device", "full:25"])).unwrap_err();
+        assert!(err.to_string().contains("caps at"));
+    }
+
+    #[test]
+    fn verify_works_on_qasm_input() {
+        let dir = std::env::temp_dir().join("trios-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ghz.qasm");
+        std::fs::write(
+            &path,
+            "OPENQASM 2.0;\nqreg q[3];\nh q[0];\ncx q[0], q[1];\nccx q[0], q[1], q[2];\n",
+        )
+        .unwrap();
+        let out = run(&args(&[
+            "verify",
+            path.to_str().unwrap(),
+            "--device",
+            "grid:3x2",
+        ]))
+        .unwrap();
+        assert!(out.contains("VERIFIED"));
+    }
+
+    #[test]
+    fn lookahead_flag_compiles() {
+        let out = run(&args(&[
+            "compile",
+            "grovers-9",
+            "-d",
+            "grid:3x3",
+            "--lookahead",
+        ]))
+        .unwrap();
+        assert!(out.contains("lookahead"));
+    }
+}

@@ -1,0 +1,75 @@
+//! CLI errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error from argument parsing or command execution.
+#[derive(Debug)]
+pub enum CliError {
+    /// Unknown subcommand or malformed flags.
+    Usage(String),
+    /// The named benchmark / device / file could not be resolved.
+    Unknown(String),
+    /// Reading an input file failed.
+    Io(std::io::Error),
+    /// Parsing an input QASM file failed.
+    Qasm(trios_qasm::QasmError),
+    /// Compilation failed.
+    Compile(trios_core::CompileError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Unknown(what) => write!(f, "unknown {what}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Qasm(e) => write!(f, "qasm error: {e}"),
+            CliError::Compile(e) => write!(f, "compile error: {e}"),
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Io(e) => Some(e),
+            CliError::Qasm(e) => Some(e),
+            CliError::Compile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<trios_qasm::QasmError> for CliError {
+    fn from(e: trios_qasm::QasmError) -> Self {
+        CliError::Qasm(e)
+    }
+}
+
+impl From<trios_core::CompileError> for CliError {
+    fn from(e: trios_core::CompileError) -> Self {
+        CliError::Compile(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CliError::Usage("missing --device".into())
+            .to_string()
+            .contains("--device"));
+        assert!(CliError::Unknown("benchmark 'nope'".into())
+            .to_string()
+            .contains("nope"));
+    }
+}

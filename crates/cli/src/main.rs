@@ -1,0 +1,5 @@
+//! The `trios` binary: thin wrapper over [`trios_cli::run`].
+
+fn main() -> std::process::ExitCode {
+    trios_cli::commands_main()
+}

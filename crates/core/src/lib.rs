@@ -1,0 +1,52 @@
+//! # trios-core — the Orchestrated Trios compiler
+//!
+//! End-to-end compilation pipelines reproducing
+//! [*Orchestrated Trios* (ASPLOS 2021)](https://doi.org/10.1145/3445814.3446718):
+//!
+//! * [`Pipeline::Baseline`] — conventional, Qiskit-style: decompose all
+//!   Toffolis to 1q/2q gates first, then map, route each distant CNOT
+//!   individually, and schedule (paper Fig. 2a).
+//! * [`Pipeline::Trios`] — the paper's contribution: decomposition stops
+//!   at the Toffoli; the router gathers each Toffoli's three operands to a
+//!   connected neighborhood as a unit; a second, *mapping-aware*
+//!   decomposition then picks the 6-CNOT form on triangles and the 8-CNOT
+//!   form (with the correct middle qubit) on lines (paper Fig. 2b, §4).
+//!
+//! [`PaperConfig`] names the exact compiler configurations evaluated in
+//! the paper's figures. Every compiled program carries its initial/final
+//! layouts so `trios_sim::compiled_equivalent` can verify semantics, and
+//! [`CompiledProgram::estimate_success`] applies the §2.6 noise model.
+//!
+//! # Examples
+//!
+//! ```
+//! use trios_core::{compile, CompileOptions, PaperConfig};
+//! use trios_ir::Circuit;
+//! use trios_topology::johannesburg;
+//!
+//! let mut program = Circuit::new(3);
+//! program.ccx(0, 1, 2);
+//!
+//! let device = johannesburg();
+//! let trios = compile(&program, &device, &PaperConfig::Trios.to_options(0))?;
+//! let baseline = compile(&program, &device, &PaperConfig::QiskitBaseline.to_options(0))?;
+//! assert!(trios.stats.two_qubit_gates <= baseline.stats.two_qubit_gates);
+//! # Ok::<(), trios_core::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod options;
+mod pipeline;
+
+pub use options::{CompileOptions, PaperConfig, Pipeline};
+pub use pipeline::{compile, with_measurements, CompileError, CompileStats, CompiledProgram};
+
+// Re-export the pieces callers need alongside `compile`, so downstream
+// users can depend on `trios-core` alone for common workflows.
+pub use trios_ir::{Circuit, Gate, GateCounts, Instruction, Qubit};
+pub use trios_noise::{Calibration, SuccessEstimate};
+pub use trios_passes::{OptimizeOptions, ToffoliDecomposition};
+pub use trios_route::{DirectionPolicy, InitialMapping, Layout, PathMetric};
+pub use trios_topology::{PaperDevice, Topology};

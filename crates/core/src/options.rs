@@ -1,0 +1,158 @@
+//! Compilation options and the paper's named compiler configurations.
+
+use trios_passes::{OptimizeOptions, ToffoliDecomposition};
+use trios_route::{DirectionPolicy, InitialMapping, LookaheadConfig, PathMetric};
+
+/// Which pass structure to use (paper Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pipeline {
+    /// Conventional: decompose everything to 1q/2q gates **before**
+    /// mapping and routing (Fig. 2a). The paper's Qiskit-style baseline.
+    Baseline,
+    /// Orchestrated Trios: stop decomposition at the Toffoli, route trios
+    /// as units, then decompose placement-aware (Fig. 2b).
+    #[default]
+    Trios,
+}
+
+/// Everything a [`compile`](crate::compile) call needs to know.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileOptions {
+    /// Pass structure.
+    pub pipeline: Pipeline,
+    /// Toffoli decomposition. For [`Pipeline::Baseline`] this is applied
+    /// up-front with canonical qubit roles; for [`Pipeline::Trios`] it is
+    /// the second-pass strategy (`ConnectivityAware` is the paper's Trios).
+    pub toffoli: ToffoliDecomposition,
+    /// Initial placement strategy.
+    pub mapping: InitialMapping,
+    /// Which endpoint moves when routing distant pairs.
+    pub direction: DirectionPolicy,
+    /// Path metric (hops or noise-aware edge weights).
+    pub metric: PathMetric,
+    /// Seed for stochastic choices.
+    pub seed: u64,
+    /// Post-routing gate-level optimizations.
+    pub optimize: OptimizeOptions,
+    /// Windowed-lookahead pair routing (paper §3's comparator); `None`
+    /// uses committed shortest-path walks as in the paper's experiments.
+    pub lookahead: Option<LookaheadConfig>,
+    /// Implement distance-2 CNOTs as 4-CNOT bridges (layout unchanged)
+    /// instead of SWAP-then-CNOT. Off in the paper's experiments.
+    pub bridge: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            pipeline: Pipeline::Trios,
+            toffoli: ToffoliDecomposition::ConnectivityAware,
+            mapping: InitialMapping::Trivial,
+            direction: DirectionPolicy::Stochastic,
+            metric: PathMetric::Hops,
+            seed: 0,
+            optimize: OptimizeOptions::default(),
+            lookahead: None,
+            bridge: false,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Default options with a specific seed.
+    pub fn with_seed(seed: u64) -> Self {
+        CompileOptions {
+            seed,
+            ..CompileOptions::default()
+        }
+    }
+}
+
+/// The four compiler configurations of the paper's Toffoli experiments
+/// (Figures 6 and 7), plus the full Trios used in the benchmark studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperConfig {
+    /// "Qiskit (baseline)": decompose-first with the 6-CNOT Toffoli.
+    QiskitBaseline,
+    /// "Qiskit (8-CNOT Toffoli)": decompose-first with the 8-CNOT form.
+    QiskitEight,
+    /// "Trios (6-CNOT Toffoli)": trio routing, forced 6-CNOT second pass.
+    TriosSix,
+    /// "Trios (8-CNOT Toffoli)": trio routing, forced 8-CNOT second pass.
+    TriosEight,
+    /// Full Trios: trio routing with connectivity-aware decomposition
+    /// (what the benchmark figures call simply "Trios").
+    Trios,
+}
+
+impl PaperConfig {
+    /// The four Figure 6/7 series, in the paper's legend order.
+    pub const FIG6: [PaperConfig; 4] = [
+        PaperConfig::QiskitBaseline,
+        PaperConfig::QiskitEight,
+        PaperConfig::TriosSix,
+        PaperConfig::TriosEight,
+    ];
+
+    /// The legend label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PaperConfig::QiskitBaseline => "Qiskit (baseline)",
+            PaperConfig::QiskitEight => "Qiskit (8-CNOT Toffoli)",
+            PaperConfig::TriosSix => "Trios (6-CNOT Toffoli)",
+            PaperConfig::TriosEight => "Trios (8-CNOT Toffoli)",
+            PaperConfig::Trios => "Trios",
+        }
+    }
+
+    /// Expands to full [`CompileOptions`]. The direction policy is
+    /// stochastic — the paper's Qiskit baseline uses a stochastic routing
+    /// policy (§5.2), and §3's "even chance" of separating just-gathered
+    /// qubits is central to its motivation — but seeded, so every figure
+    /// is exactly reproducible.
+    pub fn to_options(self, seed: u64) -> CompileOptions {
+        let (pipeline, toffoli) = match self {
+            PaperConfig::QiskitBaseline => (Pipeline::Baseline, ToffoliDecomposition::Six),
+            PaperConfig::QiskitEight => (Pipeline::Baseline, ToffoliDecomposition::Eight),
+            PaperConfig::TriosSix => (Pipeline::Trios, ToffoliDecomposition::Six),
+            PaperConfig::TriosEight => (Pipeline::Trios, ToffoliDecomposition::Eight),
+            PaperConfig::Trios => (Pipeline::Trios, ToffoliDecomposition::ConnectivityAware),
+        };
+        CompileOptions {
+            pipeline,
+            toffoli,
+            direction: DirectionPolicy::Stochastic,
+            seed,
+            ..CompileOptions::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_full_trios() {
+        let o = CompileOptions::default();
+        assert_eq!(o.pipeline, Pipeline::Trios);
+        assert_eq!(o.toffoli, ToffoliDecomposition::ConnectivityAware);
+    }
+
+    #[test]
+    fn paper_configs_expand_correctly() {
+        let o = PaperConfig::QiskitBaseline.to_options(1);
+        assert_eq!(o.pipeline, Pipeline::Baseline);
+        assert_eq!(o.toffoli, ToffoliDecomposition::Six);
+        let o = PaperConfig::TriosEight.to_options(1);
+        assert_eq!(o.pipeline, Pipeline::Trios);
+        assert_eq!(o.toffoli, ToffoliDecomposition::Eight);
+        assert_eq!(PaperConfig::FIG6.len(), 4);
+    }
+
+    #[test]
+    fn labels_match_figure_legends() {
+        assert_eq!(PaperConfig::QiskitBaseline.label(), "Qiskit (baseline)");
+        assert_eq!(PaperConfig::TriosEight.label(), "Trios (8-CNOT Toffoli)");
+    }
+}

@@ -1,0 +1,359 @@
+//! The end-to-end compilation pipelines (paper Figure 2).
+
+use crate::{CompileOptions, Pipeline};
+use std::error::Error;
+use std::fmt;
+use trios_ir::Circuit;
+use trios_noise::{estimate_success, Calibration, SuccessEstimate};
+use trios_passes::{decompose_toffolis, lower_to_hardware_gates, optimize};
+use trios_route::{
+    check_legal, initial_layout, route_baseline, route_trios, Layout, RouteError, RouterOptions,
+    ToffoliPolicy,
+};
+use trios_schedule::{schedule_asap, GateDurations};
+use trios_topology::Topology;
+
+/// Errors from the end-to-end compiler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Mapping/routing failed.
+    Route(RouteError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Route(e) => write!(f, "routing failed: {e}"),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Route(e) => Some(e),
+        }
+    }
+}
+
+impl From<RouteError> for CompileError {
+    fn from(e: RouteError) -> Self {
+        CompileError::Route(e)
+    }
+}
+
+/// Static metrics of a compiled program.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CompileStats {
+    /// SWAPs inserted by routing (before lowering to CNOTs).
+    pub swap_count: usize,
+    /// Two-qubit gates in the final circuit — the paper's primary metric.
+    pub two_qubit_gates: usize,
+    /// Single-qubit gates in the final circuit.
+    pub one_qubit_gates: usize,
+    /// Measurements in the final circuit.
+    pub measurements: usize,
+    /// Gate-layer depth of the final circuit.
+    pub depth: usize,
+    /// ASAP-scheduled duration Δ (µs) under Johannesburg gate times.
+    pub duration_us: f64,
+}
+
+/// A fully compiled program: hardware gate set, coupling-legal, scheduled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledProgram {
+    /// The executable circuit over physical qubits (1q gates, CX, and
+    /// measurements only; every CX on a coupling edge).
+    pub circuit: Circuit,
+    /// Where each logical qubit started.
+    pub initial_layout: Layout,
+    /// Where each logical qubit ended.
+    pub final_layout: Layout,
+    /// Static metrics.
+    pub stats: CompileStats,
+}
+
+impl CompiledProgram {
+    /// Success probability under the paper's §2.6 model.
+    pub fn estimate_success(&self, calibration: &Calibration) -> SuccessEstimate {
+        estimate_success(&self.circuit, calibration)
+    }
+}
+
+/// Compiles `circuit` (a Toffoli-level program: 1q, 2q, and `ccx` gates)
+/// for `topology` under `options`.
+///
+/// Pipeline stages (paper Fig. 2):
+///
+/// 1. *Baseline*: decompose Toffolis up-front (canonical roles) — or, for
+///    *Trios*, keep them.
+/// 2. Initial mapping.
+/// 3. Routing (pair router / trio router with inline mapping-aware
+///    decomposition).
+/// 4. Lowering to hardware gates (SWAP → 3 CX and friends).
+/// 5. Gate-level optimization (inverse cancellation, 1q-run merging).
+/// 6. ASAP scheduling for the duration metric.
+///
+/// The output is checked against the coupling graph before returning
+/// (debug builds assert; release builds rely on the routed-by-construction
+/// invariant, which the test suite exercises heavily).
+///
+/// # Errors
+///
+/// Returns [`CompileError::Route`] when the circuit does not fit the
+/// device or interacting qubits are disconnected.
+pub fn compile(
+    circuit: &Circuit,
+    topology: &Topology,
+    options: &CompileOptions,
+) -> Result<CompiledProgram, CompileError> {
+    let layout = initial_layout(circuit, topology, &options.mapping)?;
+    let router_options = RouterOptions {
+        toffoli: options.toffoli,
+        direction: options.direction,
+        metric: options.metric.clone(),
+        seed: options.seed,
+        lower_toffoli: true,
+        lookahead: options.lookahead,
+        bridge: options.bridge,
+    };
+
+    let routed = match options.pipeline {
+        Pipeline::Baseline => {
+            let decomposed = decompose_toffolis(circuit, options.toffoli);
+            route_baseline(&decomposed, topology, layout, &router_options)?
+        }
+        Pipeline::Trios => route_trios(circuit, topology, layout, &router_options)?,
+    };
+
+    let lowered = lower_to_hardware_gates(&routed.circuit, options.toffoli);
+    let optimized = optimize(&lowered, options.optimize);
+    debug_assert!(optimized.is_hardware_lowered());
+    debug_assert!(check_legal(&optimized, topology, ToffoliPolicy::Forbid).is_ok());
+
+    let schedule = schedule_asap(&optimized, &GateDurations::johannesburg());
+    let counts = optimized.counts();
+    let stats = CompileStats {
+        swap_count: routed.swap_count,
+        two_qubit_gates: counts.two_qubit,
+        one_qubit_gates: counts.one_qubit,
+        measurements: counts.measure,
+        depth: optimized.depth(),
+        duration_us: schedule.total_duration_us(),
+    };
+    Ok(CompiledProgram {
+        circuit: optimized,
+        initial_layout: routed.initial_layout,
+        final_layout: routed.final_layout,
+        stats,
+    })
+}
+
+/// Appends measurements of the listed logical qubits to a copy of
+/// `circuit` — the form the success-rate experiments compile (the paper
+/// measures the three qubits of interest in the Toffoli experiments, and
+/// all data qubits in the benchmark studies).
+pub fn with_measurements(circuit: &Circuit, qubits: &[usize]) -> Circuit {
+    let mut out = circuit.clone();
+    for &q in qubits {
+        out.measure(q);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PaperConfig;
+    use trios_sim::compiled_equivalent;
+    use trios_topology::{johannesburg, line, PaperDevice};
+
+    fn verify(original: &Circuit, compiled: &CompiledProgram) -> bool {
+        compiled_equivalent(
+            original,
+            &compiled.circuit,
+            &compiled.initial_layout.to_mapping(),
+            &compiled.final_layout.to_mapping(),
+            2,
+            11,
+            1e-8,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn compiles_single_toffoli_all_paper_configs() {
+        let mut program = Circuit::new(3);
+        program.ccx(0, 1, 2);
+        let topo = johannesburg();
+        for config in PaperConfig::FIG6 {
+            let compiled = compile(&program, &topo, &config.to_options(0)).unwrap();
+            assert!(compiled.circuit.is_hardware_lowered(), "{config:?}");
+            assert!(
+                check_legal(&compiled.circuit, &topo, ToffoliPolicy::Forbid).is_ok(),
+                "{config:?}"
+            );
+            assert!(verify(&program, &compiled), "{config:?}");
+        }
+    }
+
+    #[test]
+    fn trios_beats_baseline_on_distant_toffoli() {
+        let mut program = Circuit::new(3);
+        program.ccx(0, 1, 2);
+        let topo = johannesburg();
+        let place = trios_route::InitialMapping::Fixed(vec![6, 17, 3]);
+        let mut base_opts = PaperConfig::QiskitBaseline.to_options(0);
+        base_opts.mapping = place.clone();
+        let mut trios_opts = PaperConfig::Trios.to_options(0);
+        trios_opts.mapping = place;
+        let base = compile(&program, &topo, &base_opts).unwrap();
+        let trios = compile(&program, &topo, &trios_opts).unwrap();
+        assert!(
+            trios.stats.two_qubit_gates < base.stats.two_qubit_gates,
+            "trios {} vs baseline {}",
+            trios.stats.two_qubit_gates,
+            base.stats.two_qubit_gates
+        );
+        assert!(verify(&program, &trios));
+        assert!(verify(&program, &base));
+    }
+
+    #[test]
+    fn success_estimate_orders_with_gate_count() {
+        let mut program = Circuit::new(3);
+        program.ccx(0, 1, 2);
+        let program = with_measurements(&program, &[0, 1, 2]);
+        let topo = johannesburg();
+        let place = trios_route::InitialMapping::Fixed(vec![0, 12, 15]);
+        let cal = Calibration::johannesburg_2020_08_19();
+        let mut ps = Vec::new();
+        for config in [PaperConfig::QiskitBaseline, PaperConfig::TriosEight] {
+            let mut opts = config.to_options(0);
+            opts.mapping = place.clone();
+            let compiled = compile(&program, &topo, &opts).unwrap();
+            ps.push(compiled.estimate_success(&cal).probability());
+        }
+        assert!(
+            ps[1] > ps[0],
+            "Trios-8 ({}) should beat baseline ({})",
+            ps[1],
+            ps[0]
+        );
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let mut program = Circuit::new(4);
+        program.h(0).ccx(0, 1, 2).cx(2, 3);
+        let topo = line(6);
+        let compiled = compile(&program, &topo, &CompileOptions::with_seed(4)).unwrap();
+        let counts = compiled.circuit.counts();
+        assert_eq!(compiled.stats.two_qubit_gates, counts.two_qubit);
+        assert_eq!(compiled.stats.one_qubit_gates, counts.one_qubit);
+        assert_eq!(compiled.stats.depth, compiled.circuit.depth());
+        assert!(compiled.stats.duration_us > 0.0);
+    }
+
+    #[test]
+    fn toffoli_free_circuits_identical_across_pipelines() {
+        // The paper's control claim: Trios has no effect without Toffolis.
+        let mut program = Circuit::new(5);
+        program.h(0).cx(0, 4).cx(1, 3).cx(2, 4).h(2);
+        let topo = line(5);
+        let base = compile(
+            &program,
+            &topo,
+            &CompileOptions {
+                pipeline: Pipeline::Baseline,
+                direction: trios_route::DirectionPolicy::MoveFirst,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        let trios = compile(
+            &program,
+            &topo,
+            &CompileOptions {
+                pipeline: Pipeline::Trios,
+                direction: trios_route::DirectionPolicy::MoveFirst,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(base.circuit, trios.circuit);
+        assert_eq!(base.stats, trios.stats);
+    }
+
+    #[test]
+    fn all_paper_devices_compile_a_toffoli_program() {
+        let mut program = Circuit::new(6);
+        program.h(0).ccx(0, 2, 4).ccx(1, 3, 5).cx(0, 5);
+        for device in PaperDevice::ALL {
+            let topo = device.build();
+            let compiled = compile(&program, &topo, &CompileOptions::with_seed(2)).unwrap();
+            assert!(
+                check_legal(&compiled.circuit, &topo, ToffoliPolicy::Forbid).is_ok(),
+                "{device:?}"
+            );
+            assert!(verify(&program, &compiled), "{device:?}");
+        }
+    }
+
+    #[test]
+    fn extended_three_qubit_gates_compile_on_both_pipelines() {
+        // The §4 extension: ccz and cswap ride the same trio machinery.
+        let mut program = Circuit::new(6);
+        program.h(0).ccz(0, 2, 4).cswap(1, 3, 5).ccx(0, 1, 5);
+        let topo = johannesburg();
+        for pipeline in [Pipeline::Baseline, Pipeline::Trios] {
+            let compiled = compile(
+                &program,
+                &topo,
+                &CompileOptions {
+                    pipeline,
+                    ..CompileOptions::with_seed(3)
+                },
+            )
+            .unwrap();
+            assert!(compiled.circuit.is_hardware_lowered(), "{pipeline:?}");
+            assert!(
+                check_legal(&compiled.circuit, &topo, ToffoliPolicy::Forbid).is_ok(),
+                "{pipeline:?}"
+            );
+            assert!(verify(&program, &compiled), "{pipeline:?}");
+        }
+    }
+
+    #[test]
+    fn trios_beats_baseline_on_distant_ccz() {
+        // CCZ profits from the same gather + symmetric decomposition.
+        let mut program = Circuit::new(3);
+        program.ccz(0, 1, 2);
+        let topo = johannesburg();
+        let place = trios_route::InitialMapping::Fixed(vec![6, 17, 3]);
+        let mut base_opts = PaperConfig::QiskitBaseline.to_options(0);
+        base_opts.mapping = place.clone();
+        let mut trios_opts = PaperConfig::Trios.to_options(0);
+        trios_opts.mapping = place;
+        let base = compile(&program, &topo, &base_opts).unwrap();
+        let trios = compile(&program, &topo, &trios_opts).unwrap();
+        assert!(
+            trios.stats.two_qubit_gates < base.stats.two_qubit_gates,
+            "trios {} vs baseline {}",
+            trios.stats.two_qubit_gates,
+            base.stats.two_qubit_gates
+        );
+        assert!(verify(&program, &trios));
+        assert!(verify(&program, &base));
+    }
+
+    #[test]
+    fn error_type_wraps_route_errors() {
+        let program = Circuit::new(25);
+        let topo = johannesburg();
+        let err = compile(&program, &topo, &CompileOptions::default()).unwrap_err();
+        assert!(matches!(err, CompileError::Route(_)));
+        assert!(err.to_string().contains("routing failed"));
+    }
+}

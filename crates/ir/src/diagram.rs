@@ -1,0 +1,276 @@
+//! ASCII wire diagrams of circuits, in the style of the paper's circuit
+//! figures (and every quantum-computing textbook).
+//!
+//! The renderer lays instructions into time columns with the same greedy
+//! rule the depth metric uses (a gate starts in the earliest column where
+//! all its qubits — and every wire between them — are free), then draws
+//! one text row per qubit wire:
+//!
+//! ```text
+//! q0: ---*-------
+//!        |
+//! q1: ---*---T---
+//!        |
+//! q2: ---X-------
+//! ```
+//!
+//! Plain ASCII throughout: `*` marks controls (and both CZ operands), `X`
+//! a NOT target, `x` SWAP endpoints, `M` measurement, `|` the vertical
+//! connector of a multi-qubit gate.
+
+use crate::{Circuit, Gate};
+
+/// Renders `circuit` as an ASCII wire diagram.
+///
+/// Intended for small circuits (examples, tests, bug reports); wide
+/// circuits produce long lines rather than wrapping.
+///
+/// # Examples
+///
+/// ```
+/// use trios_ir::{diagram, Circuit};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// let text = diagram(&c);
+/// assert!(text.contains("q0: ---H---*---"));
+/// assert!(text.contains("q1: -------X---"));
+/// ```
+pub fn diagram(circuit: &Circuit) -> String {
+    let n = circuit.num_qubits();
+    if n == 0 {
+        return String::new();
+    }
+
+    // Column assignment: greedy ASAP layering over *wire spans* so the
+    // vertical connector of a multi-qubit gate never crosses a busy wire.
+    let mut wire_free = vec![0usize; n];
+    let mut columns: Vec<Vec<usize>> = Vec::new(); // column -> instruction indices
+    for (idx, instr) in circuit.iter().enumerate() {
+        let qubits: Vec<usize> = instr.qubits().iter().map(|q| q.index()).collect();
+        let lo = *qubits.iter().min().expect("gates have operands");
+        let hi = *qubits.iter().max().expect("gates have operands");
+        let column = (lo..=hi).map(|q| wire_free[q]).max().unwrap_or(0);
+        for slot in &mut wire_free[lo..=hi] {
+            *slot = column + 1;
+        }
+        if columns.len() <= column {
+            columns.resize_with(column + 1, Vec::new);
+        }
+        columns[column].push(idx);
+    }
+
+    // Render column by column into per-row strings (wire rows interleaved
+    // with connector rows).
+    let prefix_width = format!("q{}", n - 1).len();
+    let mut wires: Vec<String> = (0..n)
+        .map(|q| format!("{:<width$}: ", format!("q{q}"), width = prefix_width))
+        .collect();
+    let mut gaps: Vec<String> = vec![" ".repeat(prefix_width + 2); n.saturating_sub(1)];
+
+    for column in &columns {
+        let labels: Vec<ColumnEntry> = column
+            .iter()
+            .map(|&idx| {
+                let instr = &circuit.instructions()[idx];
+                let qubits: Vec<usize> = instr.qubits().iter().map(|q| q.index()).collect();
+                let lo = *qubits.iter().min().expect("operands");
+                let hi = *qubits.iter().max().expect("operands");
+                (idx, symbol_set(instr.gate(), &qubits), (lo, hi))
+            })
+            .collect();
+        let cell = labels
+            .iter()
+            .flat_map(|(_, symbols, _)| symbols.iter().map(|(_, s)| s.len()))
+            .max()
+            .unwrap_or(1)
+            .max(1);
+
+        // Wire rows: symbol or filler dashes.
+        let mut row_symbol: Vec<Option<String>> = vec![None; n];
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        for (_, symbols, span) in &labels {
+            for (q, s) in symbols {
+                row_symbol[*q] = Some(s.clone());
+            }
+            spans.push(*span);
+        }
+        for (q, wire) in wires.iter_mut().enumerate() {
+            let body = match &row_symbol[q] {
+                Some(s) => format!("{s:-<cell$}"),
+                None => {
+                    // A wire strictly inside a gate span carries the
+                    // connector through its dashes.
+                    "-".repeat(cell)
+                }
+            };
+            wire.push_str("---");
+            wire.push_str(&body);
+        }
+        // Connector rows between wires.
+        for (g, gap) in gaps.iter_mut().enumerate() {
+            // Gap g sits between wires g and g+1: draw `|` if any gate in
+            // this column spans across it.
+            let crossed = spans.iter().any(|&(lo, hi)| lo <= g && g < hi);
+            gap.push_str("   ");
+            if crossed {
+                gap.push('|');
+                gap.push_str(&" ".repeat(cell - 1));
+            } else {
+                gap.push_str(&" ".repeat(cell));
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for q in 0..n {
+        let line = format!("{}---", wires[q]);
+        out.push_str(line.trim_end());
+        out.push('\n');
+        if q + 1 < n {
+            let gap = gaps[q].trim_end();
+            if !gap.is_empty() {
+                out.push_str(gap);
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// One rendered gate: `(instruction index, per-qubit symbols, wire span)`.
+type ColumnEntry = (usize, Vec<(usize, String)>, (usize, usize));
+
+/// The per-qubit symbols of one instruction: `(qubit, symbol)`.
+fn symbol_set(gate: Gate, qubits: &[usize]) -> Vec<(usize, String)> {
+    match gate {
+        Gate::Cx => vec![(qubits[0], "*".into()), (qubits[1], "X".into())],
+        Gate::Cz => vec![(qubits[0], "*".into()), (qubits[1], "*".into())],
+        Gate::Cp(l) => vec![
+            (qubits[0], "*".into()),
+            (qubits[1], format!("P({l:.2})")),
+        ],
+        Gate::Cxpow(t) => vec![
+            (qubits[0], "*".into()),
+            (qubits[1], format!("X^{t:.2}")),
+        ],
+        Gate::Swap => vec![(qubits[0], "x".into()), (qubits[1], "x".into())],
+        Gate::Ccx => vec![
+            (qubits[0], "*".into()),
+            (qubits[1], "*".into()),
+            (qubits[2], "X".into()),
+        ],
+        Gate::Ccz => vec![
+            (qubits[0], "*".into()),
+            (qubits[1], "*".into()),
+            (qubits[2], "*".into()),
+        ],
+        Gate::Cswap => vec![
+            (qubits[0], "*".into()),
+            (qubits[1], "x".into()),
+            (qubits[2], "x".into()),
+        ],
+        Gate::Measure => vec![(qubits[0], "M".into())],
+        g if g.arity() == 1 => {
+            let params = g.params();
+            let label = if params.is_empty() {
+                g.name().to_uppercase()
+            } else {
+                format!(
+                    "{}({})",
+                    g.name().to_uppercase(),
+                    params
+                        .iter()
+                        .map(|p| format!("{p:.2}"))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )
+            };
+            vec![(qubits[0], label)]
+        }
+        g => unreachable!("no symbol mapping for {g:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_bell_pair() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let text = diagram(&c);
+        assert_eq!(text, "q0: ---H---*---\n           |\nq1: -------X---\n");
+    }
+
+    #[test]
+    fn parallel_gates_share_a_column() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(2, 3);
+        let text = diagram(&c);
+        // Both CXs in the first column: all four wires have symbols at the
+        // same offset.
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "q0: ---*---");
+        assert_eq!(lines[2], "q1: ---X---");
+        assert_eq!(lines[4], "q2: ---*---");
+        assert_eq!(lines[6], "q3: ---X---");
+    }
+
+    #[test]
+    fn connector_blocks_inner_wires() {
+        // CX(0,2) spans wire 1, so a later H(1) needs its own column.
+        let mut c = Circuit::new(3);
+        c.cx(0, 2).h(1);
+        let text = diagram(&c);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "q0: ---*-------");
+        assert_eq!(lines[2], "q1: -------H---");
+        assert_eq!(lines[4], "q2: ---X-------");
+        // The connector passes through the q0/q1 and q1/q2 gaps.
+        assert!(lines[1].contains('|'));
+        assert!(lines[3].contains('|'));
+    }
+
+    #[test]
+    fn toffoli_and_friends_have_distinct_symbols() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2).ccz(0, 1, 2).cswap(0, 1, 2);
+        let text = diagram(&c);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "q0: ---*---*---*---");
+        assert_eq!(lines[2], "q1: ---*---*---x---");
+        assert_eq!(lines[4], "q2: ---X---*---x---");
+    }
+
+    #[test]
+    fn parameterized_gates_show_values() {
+        let mut c = Circuit::new(1);
+        c.rz(0.5, 0);
+        assert!(diagram(&c).contains("RZ(0.50)"));
+    }
+
+    #[test]
+    fn measurement_is_marked() {
+        let mut c = Circuit::new(1);
+        c.h(0).measure(0);
+        assert!(diagram(&c).contains("M"));
+    }
+
+    #[test]
+    fn empty_circuit_renders_bare_wires() {
+        let c = Circuit::new(2);
+        let text = diagram(&c);
+        assert_eq!(text, "q0: ---\n\nq1: ---\n");
+    }
+
+    #[test]
+    fn ten_plus_qubits_align_prefixes() {
+        let mut c = Circuit::new(11);
+        c.h(0).h(10);
+        let text = diagram(&c);
+        assert!(text.contains("q0 : ---H"));
+        assert!(text.contains("q10: ---"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types for circuit validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Reasons a circuit (or an edit to one) can be invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// An instruction references a qubit index at or beyond the circuit width.
+    QubitOutOfRange {
+        /// Index of the offending instruction.
+        instruction: usize,
+        /// The out-of-range qubit index.
+        qubit: usize,
+        /// The circuit width.
+        num_qubits: usize,
+    },
+    /// An instruction applies a gate to the same qubit more than once.
+    DuplicateOperand {
+        /// Index of the offending instruction.
+        instruction: usize,
+    },
+    /// An operand count does not match the gate arity.
+    ArityMismatch {
+        /// Gate mnemonic.
+        gate: &'static str,
+        /// Arity the gate requires.
+        expected: usize,
+        /// Operands supplied.
+        actual: usize,
+    },
+    /// A unitary-only operation (e.g. [`inverse`]) met a measurement.
+    ///
+    /// [`inverse`]: crate::Circuit::inverse
+    NotUnitary {
+        /// Index of the measurement instruction.
+        instruction: usize,
+    },
+    /// Composition of circuits with incompatible widths.
+    WidthMismatch {
+        /// Width expected by the receiving circuit/mapping.
+        expected: usize,
+        /// Width actually supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange {
+                instruction,
+                qubit,
+                num_qubits,
+            } => write!(
+                f,
+                "instruction {instruction} references qubit {qubit} but the circuit has {num_qubits} qubits"
+            ),
+            CircuitError::DuplicateOperand { instruction } => {
+                write!(f, "instruction {instruction} repeats a qubit operand")
+            }
+            CircuitError::ArityMismatch {
+                gate,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "gate {gate} expects {expected} operand(s) but {actual} were supplied"
+            ),
+            CircuitError::NotUnitary { instruction } => write!(
+                f,
+                "instruction {instruction} is a measurement; the operation requires a unitary circuit"
+            ),
+            CircuitError::WidthMismatch { expected, actual } => write!(
+                f,
+                "expected a circuit/mapping over {expected} qubits, got {actual}"
+            ),
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = CircuitError::QubitOutOfRange {
+            instruction: 3,
+            qubit: 9,
+            num_qubits: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("instruction 3"));
+        assert!(msg.contains("qubit 9"));
+        assert!(msg.contains('5'));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(CircuitError::DuplicateOperand { instruction: 0 });
+    }
+}

@@ -1,0 +1,204 @@
+//! [`Operands`]: the inline list of qubits an instruction acts on.
+
+use crate::Qubit;
+use std::fmt;
+use std::ops::Index;
+
+/// The qubits an instruction acts on: one, two, or three, stored inline.
+///
+/// Control qubits come first, the target last, matching the OpenQASM
+/// convention (`ccx control1, control2, target`).
+///
+/// # Examples
+///
+/// ```
+/// use trios_ir::{Operands, Qubit};
+///
+/// let ops = Operands::three(Qubit::new(0), Qubit::new(1), Qubit::new(2));
+/// assert_eq!(ops.len(), 3);
+/// assert_eq!(ops[2], Qubit::new(2));
+/// assert!(ops.contains(Qubit::new(1)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Operands {
+    qubits: [Qubit; 3],
+    len: u8,
+}
+
+impl Operands {
+    /// Operand list for a single-qubit instruction.
+    pub fn one(q: Qubit) -> Self {
+        Operands {
+            qubits: [q, Qubit::new(0), Qubit::new(0)],
+            len: 1,
+        }
+    }
+
+    /// Operand list for a two-qubit instruction (control first).
+    pub fn two(a: Qubit, b: Qubit) -> Self {
+        Operands {
+            qubits: [a, b, Qubit::new(0)],
+            len: 2,
+        }
+    }
+
+    /// Operand list for a three-qubit instruction (controls first).
+    pub fn three(a: Qubit, b: Qubit, c: Qubit) -> Self {
+        Operands {
+            qubits: [a, b, c],
+            len: 3,
+        }
+    }
+
+    /// Builds an operand list from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` has length 0 or greater than 3.
+    pub fn from_slice(slice: &[Qubit]) -> Self {
+        match *slice {
+            [a] => Operands::one(a),
+            [a, b] => Operands::two(a, b),
+            [a, b, c] => Operands::three(a, b, c),
+            _ => panic!("operand count must be 1..=3, got {}", slice.len()),
+        }
+    }
+
+    /// Number of operands (1, 2, or 3).
+    #[allow(clippy::len_without_is_empty)] // operands are never empty
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// View of the operands as a slice.
+    pub fn as_slice(&self) -> &[Qubit] {
+        &self.qubits[..self.len as usize]
+    }
+
+    /// Iterator over the operands.
+    pub fn iter(&self) -> std::slice::Iter<'_, Qubit> {
+        self.as_slice().iter()
+    }
+
+    /// `true` if `q` is one of the operands.
+    pub fn contains(&self, q: Qubit) -> bool {
+        self.as_slice().contains(&q)
+    }
+
+    /// `true` if no qubit appears twice.
+    pub fn are_distinct(&self) -> bool {
+        let s = self.as_slice();
+        match s.len() {
+            1 => true,
+            2 => s[0] != s[1],
+            3 => s[0] != s[1] && s[0] != s[2] && s[1] != s[2],
+            _ => unreachable!(),
+        }
+    }
+
+    /// Returns a copy with every qubit replaced by `f(qubit)`.
+    pub fn map(&self, mut f: impl FnMut(Qubit) -> Qubit) -> Self {
+        let mut out = *self;
+        for q in out.qubits[..out.len as usize].iter_mut() {
+            *q = f(*q);
+        }
+        out
+    }
+
+    /// The largest qubit index among the operands.
+    pub fn max_index(&self) -> usize {
+        self.iter().map(|q| q.index()).max().expect("non-empty")
+    }
+}
+
+impl Index<usize> for Operands {
+    type Output = Qubit;
+
+    fn index(&self, index: usize) -> &Qubit {
+        &self.as_slice()[index]
+    }
+}
+
+impl<'a> IntoIterator for &'a Operands {
+    type Item = &'a Qubit;
+    type IntoIter = std::slice::Iter<'a, Qubit>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl fmt::Display for Operands {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, q) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{q}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    #[test]
+    fn constructors_and_len() {
+        assert_eq!(Operands::one(q(4)).len(), 1);
+        assert_eq!(Operands::two(q(1), q(2)).len(), 2);
+        assert_eq!(Operands::three(q(1), q(2), q(3)).len(), 3);
+    }
+
+    #[test]
+    fn as_slice_preserves_order() {
+        let ops = Operands::three(q(5), q(1), q(9));
+        assert_eq!(ops.as_slice(), &[q(5), q(1), q(9)]);
+        assert_eq!(ops[0], q(5));
+        assert_eq!(ops[2], q(9));
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        for slice in [vec![q(1)], vec![q(1), q(2)], vec![q(3), q(2), q(1)]] {
+            assert_eq!(Operands::from_slice(&slice).as_slice(), slice.as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "operand count")]
+    fn from_slice_rejects_empty() {
+        Operands::from_slice(&[]);
+    }
+
+    #[test]
+    fn distinctness() {
+        assert!(Operands::three(q(0), q(1), q(2)).are_distinct());
+        assert!(!Operands::two(q(3), q(3)).are_distinct());
+        assert!(!Operands::three(q(0), q(1), q(0)).are_distinct());
+    }
+
+    #[test]
+    fn map_applies_to_all() {
+        let ops = Operands::three(q(0), q(1), q(2)).map(|x| Qubit::new(x.index() + 10));
+        assert_eq!(ops.as_slice(), &[q(10), q(11), q(12)]);
+    }
+
+    #[test]
+    fn display_is_comma_separated() {
+        assert_eq!(Operands::three(q(0), q(1), q(2)).to_string(), "q0, q1, q2");
+    }
+
+    #[test]
+    fn contains_and_max() {
+        let ops = Operands::two(q(7), q(3));
+        assert!(ops.contains(q(7)));
+        assert!(!ops.contains(q(4)));
+        assert_eq!(ops.max_index(), 7);
+    }
+}

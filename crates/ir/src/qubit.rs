@@ -1,0 +1,101 @@
+//! The [`Qubit`] index newtype.
+
+use std::fmt;
+
+/// An index identifying one qubit of a circuit or device.
+///
+/// A `Qubit` is a plain index; whether it denotes a *logical* (program)
+/// qubit or a *physical* (hardware) qubit depends on the circuit it appears
+/// in. Circuits produced by the routing passes are over physical qubits and
+/// carry the logical-to-physical [layout] alongside.
+///
+/// [layout]: https://docs.rs/trios-route
+///
+/// # Examples
+///
+/// ```
+/// use trios_ir::Qubit;
+///
+/// let q = Qubit::new(3);
+/// assert_eq!(q.index(), 3);
+/// assert_eq!(q.to_string(), "q3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Qubit(u32);
+
+impl Qubit {
+    /// Creates a qubit with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32` (circuits anywhere near that
+    /// size are far outside this library's simulation range).
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        Qubit(u32::try_from(index).expect("qubit index exceeds u32::MAX"))
+    }
+
+    /// Returns the index as a `usize`, suitable for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u32> for Qubit {
+    fn from(index: u32) -> Self {
+        Qubit(index)
+    }
+}
+
+impl From<usize> for Qubit {
+    fn from(index: usize) -> Self {
+        Qubit::new(index)
+    }
+}
+
+impl From<Qubit> for usize {
+    fn from(qubit: Qubit) -> Self {
+        qubit.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        for i in [0usize, 1, 7, 19, 1000] {
+            assert_eq!(Qubit::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_uses_q_prefix() {
+        assert_eq!(Qubit::new(0).to_string(), "q0");
+        assert_eq!(Qubit::new(19).to_string(), "q19");
+    }
+
+    #[test]
+    fn conversions() {
+        let q: Qubit = 5usize.into();
+        assert_eq!(q, Qubit::new(5));
+        let q: Qubit = 7u32.into();
+        assert_eq!(q.index(), 7);
+        let i: usize = Qubit::new(9).into();
+        assert_eq!(i, 9);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Qubit::new(1) < Qubit::new(2));
+        assert_eq!(Qubit::default(), Qubit::new(0));
+    }
+}

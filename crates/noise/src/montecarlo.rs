@@ -1,0 +1,372 @@
+//! Monte Carlo (quantum-trajectory) noise simulation, cross-validating the
+//! paper's analytic success model (§2.6).
+//!
+//! The analytic model multiplies "no gate error" probabilities with a
+//! whole-program decoherence factor. This module checks that model
+//! empirically: it samples noisy executions of the actual circuit on the
+//! statevector simulator, injecting
+//!
+//! * **gate errors** — after each gate, with the calibrated probability, a
+//!   uniformly random non-identity Pauli on the gate's operands;
+//! * **decoherence** — per qubit and per scheduled time interval (busy and
+//!   idle alike, from the ASAP schedule), a Pauli-twirled
+//!   relaxation/dephasing channel: `X` with probability
+//!   `(1 − e^{−dt/T1})/2` and `Z` with `(1 − e^{−dt/T2})/2`;
+//!
+//! and reports the mean fidelity with the ideal output. Two analytic
+//! quantities are directly validated:
+//!
+//! * the fraction of completely error-free trajectories is an unbiased
+//!   estimator of the model's `p_gates · p_coherence`-style product, and
+//! * mean fidelity ≥ that product — erred trajectories retain some
+//!   overlap — with the *gap* measuring how pessimistic the paper's
+//!   "success = nothing went wrong" approximation is.
+
+use crate::Calibration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trios_ir::{Circuit, Gate, Instruction, Qubit};
+use trios_schedule::schedule_asap;
+use trios_sim::{SimError, State};
+
+/// Configuration of a Monte Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloOptions {
+    /// Number of sampled trajectories.
+    pub shots: usize,
+    /// RNG seed (trajectories are reproducible per seed).
+    pub seed: u64,
+    /// Inject per-gate Pauli errors at the calibrated rates.
+    pub gate_errors: bool,
+    /// Inject time-resolved relaxation/dephasing from the ASAP schedule.
+    pub decoherence: bool,
+}
+
+impl Default for MonteCarloOptions {
+    fn default() -> Self {
+        MonteCarloOptions {
+            shots: 200,
+            seed: 0,
+            gate_errors: true,
+            decoherence: true,
+        }
+    }
+}
+
+/// Aggregate result of a Monte Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloResult {
+    /// Mean fidelity `|⟨ψ_ideal|ψ_shot⟩|²` over trajectories.
+    pub mean_fidelity: f64,
+    /// Standard error of the mean fidelity.
+    pub std_error: f64,
+    /// Trajectories in which no error of any kind was injected.
+    pub error_free_shots: usize,
+    /// Total trajectories sampled.
+    pub shots: usize,
+}
+
+impl MonteCarloResult {
+    /// Fraction of trajectories with no injected error — the Monte Carlo
+    /// estimate of the analytic model's "nothing went wrong" probability.
+    pub fn error_free_fraction(&self) -> f64 {
+        self.error_free_shots as f64 / self.shots as f64
+    }
+}
+
+/// Runs `options.shots` noisy trajectories of `circuit` under
+/// `calibration` and reports fidelity statistics against the noiseless
+/// output.
+///
+/// Measurements are skipped (fidelity is computed on the pre-measurement
+/// state); readout error is a classical per-bit flip best handled
+/// analytically, as [`estimate_success`](crate::estimate_success) does.
+///
+/// # Errors
+///
+/// Returns [`SimError::TooManyQubits`] if the circuit is too wide to
+/// simulate densely.
+///
+/// # Panics
+///
+/// Panics if `options.shots == 0`.
+pub fn monte_carlo_fidelity(
+    circuit: &Circuit,
+    calibration: &Calibration,
+    options: MonteCarloOptions,
+) -> Result<MonteCarloResult, SimError> {
+    assert!(options.shots > 0, "need at least one shot");
+    let ideal = State::run(circuit)?;
+    let schedule = schedule_asap(circuit, &calibration.durations);
+    let n = circuit.num_qubits();
+    let mut rng = StdRng::seed_from_u64(options.seed);
+
+    let mut mean = 0.0f64;
+    let mut m2 = 0.0f64;
+    let mut error_free = 0usize;
+    for shot in 0..options.shots {
+        let mut state = State::zero(n)?;
+        let mut erred = false;
+        // Per-qubit time already accounted for by decoherence injection.
+        let mut qubit_clock = vec![0.0f64; n];
+        for op in schedule.ops() {
+            let instr = &op.instruction;
+            if instr.gate().is_measurement() {
+                continue;
+            }
+            if options.decoherence {
+                // Idle + gate time since this qubit's last update.
+                for q in instr.qubits() {
+                    let dt = op.end_us() - qubit_clock[q.index()];
+                    qubit_clock[q.index()] = op.end_us();
+                    erred |= inject_decoherence(
+                        &mut state,
+                        &mut rng,
+                        q.index(),
+                        dt,
+                        calibration,
+                    );
+                }
+            }
+            state.apply(instr);
+            if options.gate_errors {
+                let rate = match instr.gate().arity() {
+                    1 => calibration.one_qubit_error,
+                    _ => calibration.two_qubit_error,
+                };
+                if rng.gen_bool(rate) {
+                    inject_random_pauli(&mut state, &mut rng, instr.qubits());
+                    erred = true;
+                }
+            }
+        }
+        if options.decoherence {
+            // Trailing idle up to circuit end.
+            let total = schedule.total_duration_us();
+            for (q, clock) in qubit_clock.iter().enumerate() {
+                let dt = total - clock;
+                erred |= inject_decoherence(&mut state, &mut rng, q, dt, calibration);
+            }
+        }
+        if !erred {
+            error_free += 1;
+        }
+        let fidelity = ideal.fidelity(&state);
+        // Welford's online mean/variance.
+        let delta = fidelity - mean;
+        mean += delta / (shot + 1) as f64;
+        m2 += delta * (fidelity - mean);
+    }
+    let variance = if options.shots > 1 {
+        m2 / (options.shots - 1) as f64
+    } else {
+        0.0
+    };
+    Ok(MonteCarloResult {
+        mean_fidelity: mean,
+        std_error: (variance / options.shots as f64).sqrt(),
+        error_free_shots: error_free,
+        shots: options.shots,
+    })
+}
+
+/// Applies a uniformly random non-identity Pauli over `qubits`.
+fn inject_random_pauli(state: &mut State, rng: &mut StdRng, qubits: &[Qubit]) {
+    let options = 4usize.pow(qubits.len() as u32);
+    let pick = rng.gen_range(1..options); // 0 = identity, excluded
+    for (i, q) in qubits.iter().enumerate() {
+        let pauli = (pick >> (2 * i)) & 0b11;
+        let gate = match pauli {
+            0 => continue,
+            1 => Gate::X,
+            2 => Gate::Y,
+            _ => Gate::Z,
+        };
+        state.apply(&Instruction::new(gate, &[*q]));
+    }
+}
+
+/// Pauli-twirled relaxation/dephasing on one qubit over `dt` µs. Returns
+/// `true` if an error was injected.
+fn inject_decoherence(
+    state: &mut State,
+    rng: &mut StdRng,
+    qubit: usize,
+    dt: f64,
+    calibration: &Calibration,
+) -> bool {
+    if dt <= 0.0 {
+        return false;
+    }
+    let q = Qubit::new(qubit);
+    let mut erred = false;
+    let p_relax = 0.5 * (1.0 - (-dt / calibration.t1_us).exp());
+    if rng.gen_bool(p_relax.clamp(0.0, 1.0)) {
+        state.apply(&Instruction::new(Gate::X, &[q]));
+        erred = true;
+    }
+    let p_dephase = 0.5 * (1.0 - (-dt / calibration.t2_us).exp());
+    if rng.gen_bool(p_dephase.clamp(0.0, 1.0)) {
+        state.apply(&Instruction::new(Gate::Z, &[q]));
+        erred = true;
+    }
+    erred
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate_success;
+
+    fn toffoli_program() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.x(0).x(1).ccx(0, 1, 2);
+        c
+    }
+
+    fn gate_errors_only(shots: usize, seed: u64) -> MonteCarloOptions {
+        MonteCarloOptions {
+            shots,
+            seed,
+            gate_errors: true,
+            decoherence: false,
+        }
+    }
+
+    #[test]
+    fn noiseless_run_has_unit_fidelity() {
+        let opts = MonteCarloOptions {
+            shots: 10,
+            seed: 1,
+            gate_errors: false,
+            decoherence: false,
+        };
+        let r =
+            monte_carlo_fidelity(&toffoli_program(), &Calibration::default(), opts).unwrap();
+        assert!((r.mean_fidelity - 1.0).abs() < 1e-12);
+        assert_eq!(r.error_free_shots, 10);
+        assert_eq!(r.std_error, 0.0);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let cal = Calibration::default();
+        let a = monte_carlo_fidelity(&toffoli_program(), &cal, gate_errors_only(50, 9)).unwrap();
+        let b = monte_carlo_fidelity(&toffoli_program(), &cal, gate_errors_only(50, 9)).unwrap();
+        let c = monte_carlo_fidelity(&toffoli_program(), &cal, gate_errors_only(50, 10)).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn error_free_fraction_matches_analytic_gate_model() {
+        // A circuit long enough that p_gates is meaningfully below 1.
+        let mut c = Circuit::new(3);
+        for _ in 0..10 {
+            c.cx(0, 1).cx(1, 2).h(0);
+        }
+        let cal = Calibration::default(); // e2q = 0.0147
+        let analytic = estimate_success(&c, &cal);
+        let mc = monte_carlo_fidelity(&c, &cal, gate_errors_only(4000, 3)).unwrap();
+        // Binomial check: error-free fraction estimates p_gates.
+        let p = analytic.p_gates;
+        let sigma = (p * (1.0 - p) / 4000.0).sqrt();
+        assert!(
+            (mc.error_free_fraction() - p).abs() < 4.0 * sigma,
+            "mc {} vs analytic {} (4σ = {})",
+            mc.error_free_fraction(),
+            p,
+            4.0 * sigma
+        );
+        // Fidelity can only exceed the "nothing went wrong" bound.
+        assert!(mc.mean_fidelity >= p - 4.0 * sigma);
+    }
+
+    #[test]
+    fn analytic_model_lower_bounds_fidelity() {
+        // Versus pure unitary-noise fidelity, the paper's "success = no
+        // error happened" product is a *lower* bound: erred trajectories
+        // keep some overlap. The gap is real and circuit-dependent — a
+        // Pauli landing on a wire that is in a computational basis state
+        // (Z) or a |±⟩ state (X) does no damage at all — so we assert the
+        // bound plus a generous cap, and assert tightness separately for
+        // phase-sensitive circuits below.
+        let mut c = Circuit::new(4);
+        for _ in 0..6 {
+            c.cx(0, 1).cx(2, 3).cx(0, 2).cx(2, 3).h(1).t(0);
+        }
+        let cal = Calibration::default();
+        let analytic = estimate_success(&c, &cal).p_gates;
+        let mc = monte_carlo_fidelity(&c, &cal, gate_errors_only(3000, 5)).unwrap();
+        assert!(mc.mean_fidelity >= analytic - 0.03);
+        assert!(mc.mean_fidelity <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn model_is_tight_for_phase_sensitive_circuits() {
+        // All qubits in superposition with irrational phases: nearly every
+        // injected Pauli destroys the overlap, so mean fidelity hugs the
+        // error-free fraction.
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2);
+        for _ in 0..8 {
+            c.t(0).cx(0, 1).rz(0.7, 1).cx(1, 2).t(2).cx(0, 2);
+        }
+        let cal = Calibration::default();
+        let mc = monte_carlo_fidelity(&c, &cal, gate_errors_only(3000, 5)).unwrap();
+        let gap = mc.mean_fidelity - mc.error_free_fraction();
+        assert!(
+            gap.abs() < 0.06,
+            "gap {gap} too large: error-free {} vs fidelity {}",
+            mc.error_free_fraction(),
+            mc.mean_fidelity
+        );
+    }
+
+    #[test]
+    fn decoherence_lowers_fidelity_of_idle_heavy_circuits() {
+        // Long idle stretch on a spectator qubit in superposition.
+        let mut c = Circuit::new(2);
+        c.h(1);
+        for _ in 0..60 {
+            c.x(0).x(0);
+        }
+        c.h(1);
+        let cal = Calibration::default();
+        let without = MonteCarloOptions {
+            shots: 300,
+            seed: 2,
+            gate_errors: false,
+            decoherence: false,
+        };
+        let with = MonteCarloOptions {
+            decoherence: true,
+            ..without
+        };
+        let clean = monte_carlo_fidelity(&c, &cal, without).unwrap();
+        let noisy = monte_carlo_fidelity(&c, &cal, with).unwrap();
+        assert!((clean.mean_fidelity - 1.0).abs() < 1e-12);
+        assert!(noisy.mean_fidelity < 0.95);
+    }
+
+    #[test]
+    fn rejects_oversized_circuits() {
+        let c = Circuit::new(30);
+        assert!(monte_carlo_fidelity(
+            &c,
+            &Calibration::default(),
+            MonteCarloOptions::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shot")]
+    fn rejects_zero_shots() {
+        let opts = MonteCarloOptions {
+            shots: 0,
+            ..MonteCarloOptions::default()
+        };
+        let _ = monte_carlo_fidelity(&Circuit::new(1), &Calibration::default(), opts);
+    }
+}

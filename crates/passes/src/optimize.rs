@@ -1,0 +1,398 @@
+//! Circuit-level optimizations mirroring Qiskit's "light optimization"
+//! (paper §5.2): inverse-pair cancellation and single-qubit-run
+//! consolidation into `u3` gates.
+
+use trios_ir::{Circuit, Gate, Instruction, Qubit};
+use trios_sim::{
+    mat2_eq_up_to_phase, mat2_mul, single_qubit_matrix, zyz_decompose, Mat2, MAT2_IDENTITY,
+};
+
+/// Which optimizations [`optimize`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizeOptions {
+    /// Cancel adjacent inverse pairs (`CX·CX`, `T·T†`, `SWAP·SWAP`, …).
+    pub cancel_inverses: bool,
+    /// Merge runs of single-qubit gates into one `u3` via ZYZ resynthesis.
+    pub merge_single_qubit: bool,
+    /// Drop identity gates and zero-angle rotations.
+    pub remove_trivial: bool,
+    /// Cancel inverse pairs separated by provably-commuting gates
+    /// ([`cancel_commuting_inverses`](crate::cancel_commuting_inverses)).
+    /// Off by default: the paper's configurations model Qiskit's *light*
+    /// optimization (§5.2).
+    pub cancel_commuting: bool,
+    /// Merge Z-rotations across commuting gates
+    /// ([`merge_commuting_rotations`](crate::merge_commuting_rotations)).
+    /// Off by default, as above.
+    pub merge_rotations: bool,
+}
+
+impl Default for OptimizeOptions {
+    fn default() -> Self {
+        OptimizeOptions {
+            cancel_inverses: true,
+            merge_single_qubit: true,
+            remove_trivial: true,
+            cancel_commuting: false,
+            merge_rotations: false,
+        }
+    }
+}
+
+impl OptimizeOptions {
+    /// No optimization at all (for ablations).
+    pub fn none() -> Self {
+        OptimizeOptions {
+            cancel_inverses: false,
+            merge_single_qubit: false,
+            remove_trivial: false,
+            cancel_commuting: false,
+            merge_rotations: false,
+        }
+    }
+
+    /// Everything on, including the commutation-aware passes — heavier than
+    /// the paper's light-optimization setting, for the optimization-level
+    /// ablation.
+    pub fn full() -> Self {
+        OptimizeOptions {
+            cancel_commuting: true,
+            merge_rotations: true,
+            ..OptimizeOptions::default()
+        }
+    }
+}
+
+/// Runs the selected optimizations. Semantics-preserving by construction;
+/// the test suite additionally verifies this with the statevector
+/// simulator.
+pub fn optimize(circuit: &Circuit, options: OptimizeOptions) -> Circuit {
+    let mut current = circuit.clone();
+    if options.remove_trivial {
+        current = remove_trivial_gates(&current);
+    }
+    if options.cancel_inverses {
+        current = cancel_adjacent_inverses(&current);
+    }
+    if options.cancel_commuting {
+        current = crate::cancel_commuting_inverses(&current);
+    }
+    if options.merge_rotations {
+        current = crate::merge_commuting_rotations(&current);
+        if options.cancel_commuting {
+            // Merged rotations can expose new commuting inverse pairs.
+            current = crate::cancel_commuting_inverses(&current);
+        }
+    }
+    if options.merge_single_qubit {
+        current = merge_single_qubit_runs(&current);
+        if options.remove_trivial {
+            current = remove_trivial_gates(&current);
+        }
+    }
+    current
+}
+
+/// Removes identity gates and (near-)zero-angle rotations.
+pub fn remove_trivial_gates(circuit: &Circuit) -> Circuit {
+    const EPS: f64 = 1e-12;
+    let mut out = Circuit::with_name(circuit.num_qubits(), circuit.name().to_string());
+    for instr in circuit.iter() {
+        let trivial = match instr.gate() {
+            Gate::I => true,
+            Gate::Rx(a) | Gate::Ry(a) | Gate::Rz(a) | Gate::U1(a) | Gate::Cp(a) => a.abs() < EPS,
+            Gate::Xpow(t) | Gate::Cxpow(t) => t.abs() < EPS,
+            Gate::U3(t, p, l) => t.abs() < EPS && (p + l).abs() < EPS,
+            _ => false,
+        };
+        if !trivial {
+            out.push(*instr);
+        }
+    }
+    out
+}
+
+/// Cancels adjacent inverse pairs, iterating to a fixpoint so that
+/// cancellations exposed by earlier ones (e.g. `H · CX · CX · H`) are also
+/// removed.
+///
+/// Two instructions cancel when no other gate touches their qubits in
+/// between, their gates are mutual inverses, and their operand orders are
+/// compatible (exact match, except that the symmetric gates CZ/CP/SWAP may
+/// have their operands flipped, and Toffoli controls may commute).
+pub fn cancel_adjacent_inverses(circuit: &Circuit) -> Circuit {
+    let mut instrs: Vec<Instruction> = circuit.instructions().to_vec();
+    loop {
+        let (next, changed) = cancel_pass(circuit.num_qubits(), &instrs);
+        instrs = next;
+        if !changed {
+            break;
+        }
+    }
+    Circuit::from_instructions(circuit.num_qubits(), instrs)
+        .expect("cancellation preserves validity")
+        .tap_name(circuit.name())
+}
+
+fn cancel_pass(num_qubits: usize, instrs: &[Instruction]) -> (Vec<Instruction>, bool) {
+    let mut out: Vec<Option<Instruction>> = Vec::with_capacity(instrs.len());
+    let mut last_touch: Vec<Option<usize>> = vec![None; num_qubits];
+    let mut changed = false;
+
+    for instr in instrs {
+        let qubits = instr.qubits();
+        // The candidate for cancellation is the unique previous instruction
+        // that was the last to touch *all* of this instruction's qubits.
+        let candidate = {
+            let first = last_touch[qubits[0].index()];
+            if qubits
+                .iter()
+                .all(|q| last_touch[q.index()] == first)
+            {
+                first
+            } else {
+                None
+            }
+        };
+        let cancelled = candidate
+            .and_then(|i| out[i].map(|prev| (i, prev)))
+            .filter(|(_, prev)| {
+                // Require the previous instruction to touch exactly the same
+                // qubit set (otherwise some of its qubits were re-touched).
+                prev.qubits().len() == qubits.len() && operands_cancel(prev, instr)
+            });
+        match cancelled {
+            Some((i, _)) => {
+                out[i] = None;
+                for q in qubits {
+                    last_touch[q.index()] = None;
+                }
+                changed = true;
+            }
+            None => {
+                out.push(Some(*instr));
+                let idx = out.len() - 1;
+                for q in qubits {
+                    last_touch[q.index()] = Some(idx);
+                }
+            }
+        }
+    }
+    (out.into_iter().flatten().collect(), changed)
+}
+
+pub(crate) fn operands_cancel(prev: &Instruction, next: &Instruction) -> bool {
+    if !prev.gate().cancels_with(next.gate()) {
+        return false;
+    }
+    let (p, n) = (prev.qubits(), next.qubits());
+    match next.gate() {
+        // Symmetric two-qubit gates: operand order is irrelevant.
+        Gate::Cz | Gate::Cp(_) | Gate::Swap => {
+            (p[0] == n[0] && p[1] == n[1]) || (p[0] == n[1] && p[1] == n[0])
+        }
+        // Toffoli: controls commute, target must match.
+        Gate::Ccx => p[2] == n[2] && ((p[0] == n[0] && p[1] == n[1]) || (p[0] == n[1] && p[1] == n[0])),
+        // CCZ: fully symmetric — same qubit set in any order.
+        Gate::Ccz => {
+            let mut ps = [p[0].index(), p[1].index(), p[2].index()];
+            let mut ns = [n[0].index(), n[1].index(), n[2].index()];
+            ps.sort_unstable();
+            ns.sort_unstable();
+            ps == ns
+        }
+        // Fredkin: control must match, swapped pair is unordered.
+        Gate::Cswap => {
+            p[0] == n[0] && ((p[1] == n[1] && p[2] == n[2]) || (p[1] == n[2] && p[2] == n[1]))
+        }
+        // Everything else: exact operand match.
+        _ => p == n,
+    }
+}
+
+/// Merges each maximal run of single-qubit gates into one `u3` gate (or
+/// nothing, when the run multiplies to the identity), using ZYZ
+/// resynthesis. This is the pass Qiskit calls "single qubit gate
+/// consolidation" (paper §5.2).
+pub fn merge_single_qubit_runs(circuit: &Circuit) -> Circuit {
+    let n = circuit.num_qubits();
+    let mut out = Circuit::with_name(n, circuit.name().to_string());
+    let mut pending: Vec<Option<Mat2>> = vec![None; n];
+
+    let flush = |out: &mut Circuit, pending: &mut Vec<Option<Mat2>>, q: usize| {
+        if let Some(m) = pending[q].take() {
+            if !mat2_eq_up_to_phase(&m, &MAT2_IDENTITY, 1e-10) {
+                let z = zyz_decompose(&m);
+                out.push(Instruction::new(
+                    Gate::U3(z.theta, z.phi, z.lambda),
+                    &[Qubit::new(q)],
+                ));
+            }
+        }
+    };
+
+    for instr in circuit.iter() {
+        let gate = instr.gate();
+        if gate.is_single_qubit() && !gate.is_measurement() {
+            if let Some(m) = single_qubit_matrix(gate) {
+                let q = instr.qubit(0).index();
+                let acc = pending[q].unwrap_or(MAT2_IDENTITY);
+                pending[q] = Some(mat2_mul(&m, &acc));
+                continue;
+            }
+        }
+        for q in instr.qubits() {
+            flush(&mut out, &mut pending, q.index());
+        }
+        out.push(*instr);
+    }
+    for q in 0..n {
+        flush(&mut out, &mut pending, q);
+    }
+    out
+}
+
+/// Small extension trait to keep the name when rebuilding circuits.
+pub(crate) trait TapName {
+    fn tap_name(self, name: &str) -> Self;
+}
+
+impl TapName for Circuit {
+    fn tap_name(mut self, name: &str) -> Self {
+        self.set_name(name.to_string());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trios_sim::circuits_equivalent;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn cancels_simple_pairs() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(0, 1).t(0).tdg(0).h(1);
+        let opt = cancel_adjacent_inverses(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt.instructions()[0].gate(), Gate::H);
+    }
+
+    #[test]
+    fn does_not_cancel_through_interleaving_gates() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).h(1).cx(0, 1);
+        let opt = cancel_adjacent_inverses(&c);
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn does_not_cancel_reversed_cx() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(1, 0);
+        assert_eq!(cancel_adjacent_inverses(&c).len(), 2);
+    }
+
+    #[test]
+    fn cancels_symmetric_gates_in_either_order() {
+        let mut c = Circuit::new(2);
+        c.cz(0, 1).cz(1, 0).swap(0, 1).swap(1, 0);
+        assert_eq!(cancel_adjacent_inverses(&c).len(), 0);
+    }
+
+    #[test]
+    fn cancels_toffoli_with_commuted_controls() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2).ccx(1, 0, 2);
+        assert_eq!(cancel_adjacent_inverses(&c).len(), 0);
+        let mut d = Circuit::new(3);
+        d.ccx(0, 1, 2).ccx(0, 2, 1); // different target: keep
+        assert_eq!(cancel_adjacent_inverses(&d).len(), 2);
+    }
+
+    #[test]
+    fn fixpoint_cancellation_unwraps_nested_pairs() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).cx(0, 1).h(0);
+        assert_eq!(cancel_adjacent_inverses(&c).len(), 0);
+    }
+
+    #[test]
+    fn rotation_pairs_cancel() {
+        let mut c = Circuit::new(1);
+        c.rz(0.7, 0).rz(-0.7, 0).rx(1.1, 0).rx(-1.1, 0);
+        assert_eq!(cancel_adjacent_inverses(&c).len(), 0);
+    }
+
+    #[test]
+    fn merge_collapses_runs_to_u3() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).h(0).s(0).cx(0, 1).h(1);
+        let merged = merge_single_qubit_runs(&c);
+        // One u3 for qubit 0's run, the CX, one u3 for the trailing H.
+        assert_eq!(merged.len(), 3);
+        assert!(circuits_equivalent(&c, &merged, EPS).unwrap());
+    }
+
+    #[test]
+    fn merge_drops_identity_runs() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0).x(0).x(0);
+        assert_eq!(merge_single_qubit_runs(&c).len(), 0);
+    }
+
+    #[test]
+    fn merge_flushes_before_measure() {
+        let mut c = Circuit::new(1);
+        c.h(0).measure(0);
+        let merged = merge_single_qubit_runs(&c);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.instructions()[1].gate(), Gate::Measure);
+    }
+
+    #[test]
+    fn remove_trivial_drops_zero_rotations() {
+        let mut c = Circuit::new(2);
+        c.rz(0.0, 0).u1(0.0, 1).cp(0.0, 0, 1).h(0);
+        let cleaned = remove_trivial_gates(&c);
+        assert_eq!(cleaned.len(), 1);
+    }
+
+    #[test]
+    fn optimize_preserves_semantics_on_mixed_circuit() {
+        let mut c = Circuit::new(4);
+        c.h(0)
+            .t(0)
+            .tdg(0)
+            .cx(0, 1)
+            .cx(0, 1)
+            .h(2)
+            .s(2)
+            .ccx(0, 1, 3)
+            .swap(2, 3)
+            .swap(2, 3)
+            .rz(0.4, 1)
+            .h(1)
+            .cz(1, 2);
+        let opt = optimize(&c, OptimizeOptions::default());
+        assert!(opt.len() < c.len());
+        assert!(circuits_equivalent(&c, &opt, EPS).unwrap());
+    }
+
+    #[test]
+    fn optimize_none_is_identity() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(0);
+        let opt = optimize(&c, OptimizeOptions::none());
+        assert_eq!(opt.len(), 2);
+    }
+
+    #[test]
+    fn measure_never_cancels() {
+        let mut c = Circuit::new(1);
+        c.measure(0).measure(0);
+        assert_eq!(cancel_adjacent_inverses(&c).len(), 2);
+    }
+}

@@ -1,0 +1,320 @@
+//! Toffoli decompositions: the paper's Figure 3 (6-CNOT, needs a triangle)
+//! and Figure 4 (8-CNOT, needs only a line).
+
+use trios_ir::{Circuit, Gate, Instruction, Qubit};
+
+/// Which Toffoli decomposition the second decomposition pass uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ToffoliDecomposition {
+    /// Always the 6-CNOT decomposition (paper Fig. 3). On triangle-free
+    /// hardware this forces extra SWAPs for the third CNOT pair.
+    Six,
+    /// Always the 8-CNOT linear decomposition (paper Fig. 4).
+    Eight,
+    /// Pick per-Toffoli from the routed placement: 6-CNOT on a triangle,
+    /// 8-CNOT (with the correct middle qubit) on a line. This is Trios'
+    /// mapping-aware decomposition (paper §4).
+    #[default]
+    ConnectivityAware,
+}
+
+/// The canonical 6-CNOT Toffoli (Nielsen & Chuang; paper Figure 3).
+///
+/// Uses CNOTs between **all three** qubit pairs: `(c2,t)`, `(c1,t)`, and
+/// `(c1,c2)` — fine on a triangle, expensive anywhere else.
+pub fn toffoli_6cnot(c1: Qubit, c2: Qubit, t: Qubit) -> Vec<Instruction> {
+    let i = |g: Gate, qs: &[Qubit]| Instruction::new(g, qs);
+    vec![
+        i(Gate::H, &[t]),
+        i(Gate::Cx, &[c2, t]),
+        i(Gate::Tdg, &[t]),
+        i(Gate::Cx, &[c1, t]),
+        i(Gate::T, &[t]),
+        i(Gate::Cx, &[c2, t]),
+        i(Gate::Tdg, &[t]),
+        i(Gate::Cx, &[c1, t]),
+        i(Gate::T, &[c2]),
+        i(Gate::T, &[t]),
+        i(Gate::H, &[t]),
+        i(Gate::Cx, &[c1, c2]),
+        i(Gate::T, &[c1]),
+        i(Gate::Tdg, &[c2]),
+        i(Gate::Cx, &[c1, c2]),
+    ]
+}
+
+/// The 8-CNOT linearly-connected Toffoli (Schuch; paper Figure 4).
+///
+/// CNOTs touch only the pairs `(end1, middle)` and `(middle, end2)`, so the
+/// decomposition runs natively on a path `end1 – middle – end2`. Built as
+/// `H(target) · CCZ · H(target)` where the CCZ phase polynomial accumulates
+/// parities on the middle and far wires; since CCZ is symmetric, **any** of
+/// the three qubits may be the target — the paper's "simply move the two H
+/// gates" observation.
+///
+/// # Panics
+///
+/// Panics if `target` is not one of the three qubits or the qubits are not
+/// distinct.
+pub fn toffoli_8cnot_linear(
+    end1: Qubit,
+    middle: Qubit,
+    end2: Qubit,
+    target: Qubit,
+) -> Vec<Instruction> {
+    assert!(
+        target == end1 || target == middle || target == end2,
+        "target {target} must be one of the trio"
+    );
+    assert!(
+        end1 != middle && middle != end2 && end1 != end2,
+        "trio qubits must be distinct"
+    );
+    let i = |g: Gate, qs: &[Qubit]| Instruction::new(g, qs);
+    let (a, m, b) = (end1, middle, end2);
+    vec![
+        i(Gate::H, &[target]),
+        // CCZ over the a–m–b chain: 8 CNOTs, 7 T/T†.
+        i(Gate::T, &[a]),
+        i(Gate::T, &[m]),
+        i(Gate::T, &[b]),
+        i(Gate::Cx, &[m, b]),
+        i(Gate::Tdg, &[b]),
+        i(Gate::Cx, &[a, m]),
+        i(Gate::Tdg, &[m]),
+        i(Gate::Cx, &[m, b]),
+        i(Gate::Tdg, &[b]),
+        i(Gate::Cx, &[a, m]),
+        i(Gate::Cx, &[m, b]),
+        i(Gate::T, &[b]),
+        i(Gate::Cx, &[a, m]),
+        i(Gate::Cx, &[m, b]),
+        i(Gate::Cx, &[a, m]),
+        i(Gate::H, &[target]),
+    ]
+}
+
+/// The 8-CNOT Toffoli in its *canonical* role assignment (second control as
+/// the middle qubit), used by the baseline "Qiskit (8-CNOT Toffoli)"
+/// configuration that decomposes before routing and therefore cannot know
+/// the placement.
+pub fn toffoli_8cnot(c1: Qubit, c2: Qubit, t: Qubit) -> Vec<Instruction> {
+    toffoli_8cnot_linear(c1, c2, t, t)
+}
+
+/// The Margolus "simplified Toffoli": **3 CNOTs**, equal to the Toffoli up
+/// to a `−1` phase on the `|101⟩` input (controls set with the target
+/// clear ⊕ …; exactly one basis state picks up a sign).
+///
+/// Not a drop-in replacement — the relative phase is real — but inside
+/// compute/uncompute pairs (the dominant Toffoli pattern in the paper's
+/// CnX benchmarks, where every borrowed-bit Toffoli is later undone) the
+/// phases cancel and the 3-CNOT form is sound. Exposed for such
+/// algorithm-aware lowering; the routers never substitute it silently.
+///
+/// Like the 6-CNOT form it touches the pairs `(c2, t)` and `(c1, t)` —
+/// only two pairs, so a line with the **target in the middle** suffices.
+pub fn toffoli_margolus(c1: Qubit, c2: Qubit, t: Qubit) -> Vec<Instruction> {
+    use std::f64::consts::FRAC_PI_4;
+    let i = |g: Gate, qs: &[Qubit]| Instruction::new(g, qs);
+    vec![
+        i(Gate::Ry(FRAC_PI_4), &[t]),
+        i(Gate::Cx, &[c2, t]),
+        i(Gate::Ry(FRAC_PI_4), &[t]),
+        i(Gate::Cx, &[c1, t]),
+        i(Gate::Ry(-FRAC_PI_4), &[t]),
+        i(Gate::Cx, &[c2, t]),
+        i(Gate::Ry(-FRAC_PI_4), &[t]),
+    ]
+}
+
+/// Replaces every Toffoli in `circuit` with the chosen decomposition,
+/// leaving all other gates untouched. Placement-unaware — this is the
+/// baseline's *first-pass-decomposes-everything* behaviour (paper Fig. 2a).
+///
+/// Also lowers the other three-qubit gates (`ccz`, `cswap`) so the
+/// baseline pipeline accepts the extended gate set; this is a convenience
+/// alias for [`decompose_three_qubit_gates`](crate::decompose_three_qubit_gates).
+///
+/// For [`ToffoliDecomposition::ConnectivityAware`] this falls back to the
+/// 6-CNOT form: connectivity awareness only exists *after* routing, which is
+/// precisely the paper's point.
+pub fn decompose_toffolis(circuit: &Circuit, strategy: ToffoliDecomposition) -> Circuit {
+    crate::decompose_three_qubit_gates(circuit, strategy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trios_sim::circuits_equivalent;
+
+    const EPS: f64 = 1e-9;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn reference_toffoli(c1: usize, c2: usize, t: usize) -> Circuit {
+        let mut c = Circuit::new(3);
+        c.ccx(c1, c2, t);
+        c
+    }
+
+    fn circuit_of(instrs: Vec<Instruction>) -> Circuit {
+        Circuit::from_instructions(3, instrs).unwrap()
+    }
+
+    #[test]
+    fn six_cnot_matches_toffoli() {
+        let dec = circuit_of(toffoli_6cnot(q(0), q(1), q(2)));
+        assert_eq!(dec.counts().cx, 6);
+        assert!(circuits_equivalent(&reference_toffoli(0, 1, 2), &dec, EPS).unwrap());
+    }
+
+    #[test]
+    fn six_cnot_matches_toffoli_any_operand_order() {
+        for (c1, c2, t) in [(1, 2, 0), (2, 0, 1), (1, 0, 2)] {
+            let dec = circuit_of(toffoli_6cnot(q(c1), q(c2), q(t)));
+            assert!(
+                circuits_equivalent(&reference_toffoli(c1, c2, t), &dec, EPS).unwrap(),
+                "roles ({c1},{c2},{t})"
+            );
+        }
+    }
+
+    #[test]
+    fn eight_cnot_matches_toffoli() {
+        // Chain 0–1–2 with target 2 (an end).
+        let dec = circuit_of(toffoli_8cnot_linear(q(0), q(1), q(2), q(2)));
+        assert_eq!(dec.counts().cx, 8);
+        assert!(circuits_equivalent(&reference_toffoli(0, 1, 2), &dec, EPS).unwrap());
+    }
+
+    #[test]
+    fn eight_cnot_target_can_be_any_qubit() {
+        // CCZ symmetry: controls are whichever two qubits are not the target.
+        for target in [0usize, 1, 2] {
+            let dec = circuit_of(toffoli_8cnot_linear(q(0), q(1), q(2), q(target)));
+            let controls: Vec<usize> = (0..3).filter(|&x| x != target).collect();
+            let reference = reference_toffoli(controls[0], controls[1], target);
+            assert!(
+                circuits_equivalent(&reference, &dec, EPS).unwrap(),
+                "target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn eight_cnot_only_uses_chain_pairs() {
+        let dec = toffoli_8cnot_linear(q(0), q(1), q(2), q(2));
+        for instr in &dec {
+            if instr.gate() == Gate::Cx {
+                let pair = (instr.qubit(0).index(), instr.qubit(1).index());
+                assert!(
+                    matches!(pair, (0, 1) | (1, 0) | (1, 2) | (2, 1)),
+                    "CX on non-chain pair {pair:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_eight_cnot_role_assignment() {
+        let dec = circuit_of(toffoli_8cnot(q(0), q(1), q(2)));
+        assert!(circuits_equivalent(&reference_toffoli(0, 1, 2), &dec, EPS).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be one of the trio")]
+    fn eight_cnot_rejects_foreign_target() {
+        toffoli_8cnot_linear(q(0), q(1), q(2), q(3));
+    }
+
+    #[test]
+    fn margolus_matches_toffoli_up_to_basis_phases() {
+        use trios_sim::State;
+        // On every basis input the Margolus form produces the same basis
+        // output as CCX, with a −1 exactly on |101⟩ (c1 set, c2 clear,
+        // t set — index order q0=c1, q1=c2, q2=t).
+        let dec = circuit_of(toffoli_margolus(q(0), q(1), q(2)));
+        for input in 0..8usize {
+            let mut prep = Circuit::new(3);
+            for b in 0..3 {
+                if (input >> b) & 1 == 1 {
+                    prep.x(b);
+                }
+            }
+            let mut reference = prep.clone();
+            reference.ccx(0, 1, 2);
+            let expected_index = {
+                let s = State::run(&reference).unwrap();
+                (0..8).find(|&k| s.probability(k) > 0.5).unwrap()
+            };
+            let mut margolus = prep;
+            margolus.append(&dec);
+            let s = State::run(&margolus).unwrap();
+            let amp = s.amplitudes()[expected_index];
+            assert!(
+                (amp.abs() - 1.0).abs() < 1e-9,
+                "input {input:#05b}: wrong basis output"
+            );
+            let expected_sign = if input == 0b101 { -1.0 } else { 1.0 };
+            assert!(
+                (amp.re - expected_sign).abs() < 1e-9 && amp.im.abs() < 1e-9,
+                "input {input:#05b}: phase {amp:?}, expected {expected_sign}"
+            );
+        }
+    }
+
+    #[test]
+    fn margolus_compute_uncompute_pair_is_exact_identity() {
+        // The use case that makes the 3-CNOT form sound: apply and undo.
+        let pair = {
+            let mut c = Circuit::new(3);
+            for instr in toffoli_margolus(q(0), q(1), q(2)) {
+                c.push(instr);
+            }
+            let inverse = c.inverse().unwrap();
+            c.append(&inverse);
+            c
+        };
+        let identity = Circuit::new(3);
+        assert!(circuits_equivalent(&identity, &pair, EPS).unwrap());
+    }
+
+    #[test]
+    fn margolus_uses_three_cnots_on_two_pairs() {
+        let dec = toffoli_margolus(q(0), q(1), q(2));
+        let cx_count = dec.iter().filter(|i| i.gate() == Gate::Cx).count();
+        assert_eq!(cx_count, 3);
+        for instr in &dec {
+            if instr.gate() == Gate::Cx {
+                assert_eq!(instr.qubit(1), q(2), "all CNOTs target the target");
+            }
+        }
+    }
+
+    #[test]
+    fn decompose_toffolis_replaces_all() {
+        let mut c = Circuit::new(4);
+        c.h(0).ccx(0, 1, 2).cx(1, 3).ccx(1, 2, 3);
+        let six = decompose_toffolis(&c, ToffoliDecomposition::Six);
+        assert_eq!(six.counts().ccx, 0);
+        assert_eq!(six.counts().cx, 1 + 2 * 6);
+        let eight = decompose_toffolis(&c, ToffoliDecomposition::Eight);
+        assert_eq!(eight.counts().cx, 1 + 2 * 8);
+    }
+
+    #[test]
+    fn decompose_toffolis_preserves_semantics() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).ccx(0, 1, 2).cx(2, 3).ccx(1, 2, 3).t(0);
+        for strategy in [ToffoliDecomposition::Six, ToffoliDecomposition::Eight] {
+            let lowered = decompose_toffolis(&c, strategy);
+            assert!(
+                circuits_equivalent(&c, &lowered, EPS).unwrap(),
+                "{strategy:?}"
+            );
+        }
+    }
+}

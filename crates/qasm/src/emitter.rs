@@ -1,0 +1,137 @@
+//! OpenQASM 2.0 emission.
+
+use std::fmt::Write as _;
+use trios_ir::{Circuit, Gate};
+
+/// Renders `circuit` as an OpenQASM 2.0 program.
+///
+/// The output targets `qelib1.inc` (Qiskit's extended header: `swap`,
+/// `cswap`, `sx`, `sxdg`, `cu1`, `cu3` included) and declares the gates
+/// this library uses beyond it (`ccz`, `xpow`, `cxpow`) on demand. One
+/// quantum register `q` covers the circuit; a classical register `c` is
+/// declared only when the circuit measures, and `measure q[i] -> c[i]`
+/// keeps bit indices aligned with qubit indices.
+///
+/// Parameters are printed with enough digits to round-trip `f64` exactly,
+/// so [`parse`](crate::parse) ∘ [`emit`] is the identity on circuits.
+pub fn emit(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    if !circuit.name().is_empty() {
+        let _ = writeln!(out, "// {}", circuit.name());
+    }
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+
+    let counts = circuit.counts();
+    if counts.ccz > 0 {
+        out.push_str("gate ccz a, b, c { h c; ccx a, b, c; h c; }\n");
+    }
+    let uses = |g: fn(&Gate) -> bool| circuit.iter().any(|i| g(&i.gate()));
+    if uses(|g| matches!(g, Gate::Xpow(_))) {
+        // Exact up to global phase (QASM 2 gate bodies cannot express
+        // global phase); our parser maps the name back natively.
+        out.push_str("gate xpow(t) a { u3(pi*t, -pi/2, pi/2) a; }\n");
+    }
+    if uses(|g| matches!(g, Gate::Cxpow(_))) {
+        out.push_str("gate cxpow(t) a, b { u1(pi*t/2) a; cu3(pi*t, -pi/2, pi/2) a, b; }\n");
+    }
+
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    if counts.measure > 0 {
+        let _ = writeln!(out, "creg c[{}];", circuit.num_qubits());
+    }
+
+    for instr in circuit.iter() {
+        let gate = instr.gate();
+        if gate.is_measurement() {
+            let q = instr.qubit(0).index();
+            let _ = writeln!(out, "measure q[{q}] -> c[{q}];");
+            continue;
+        }
+        out.push_str(qasm_name(gate));
+        let params = gate.params();
+        if !params.is_empty() {
+            out.push('(');
+            for (i, p) in params.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                // `{:?}` prints the shortest string that parses back to
+                // the same f64.
+                let _ = write!(out, "{p:?}");
+            }
+            out.push(')');
+        }
+        out.push(' ');
+        for (i, q) in instr.qubits().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "q[{}]", q.index());
+        }
+        out.push_str(";\n");
+    }
+    out
+}
+
+/// The OpenQASM spelling of a gate (parameters excluded).
+fn qasm_name(gate: Gate) -> &'static str {
+    match gate {
+        Gate::I => "id",
+        Gate::Cp(_) => "cu1",
+        g => g.name(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_register_layout() {
+        let mut c = Circuit::with_name(2, "demo");
+        c.h(0).cx(0, 1);
+        let text = emit(&c);
+        assert!(text.starts_with("// demo\nOPENQASM 2.0;\ninclude \"qelib1.inc\";\n"));
+        assert!(text.contains("qreg q[2];"));
+        assert!(!text.contains("creg"), "no measurements, no creg");
+    }
+
+    #[test]
+    fn measurements_declare_and_target_creg() {
+        let mut c = Circuit::new(2);
+        c.h(0).measure(0).measure(1);
+        let text = emit(&c);
+        assert!(text.contains("creg c[2];"));
+        assert!(text.contains("measure q[0] -> c[0];"));
+        assert!(text.contains("measure q[1] -> c[1];"));
+    }
+
+    #[test]
+    fn nonstandard_gates_get_declarations_only_when_used() {
+        let mut plain = Circuit::new(3);
+        plain.ccx(0, 1, 2);
+        assert!(!emit(&plain).contains("gate ccz"));
+        let mut fancy = Circuit::new(3);
+        fancy.ccz(0, 1, 2).xpow(0.5, 0);
+        let text = emit(&fancy);
+        assert!(text.contains("gate ccz a, b, c"));
+        assert!(text.contains("gate xpow(t) a"));
+        assert!(!text.contains("gate cxpow"));
+    }
+
+    #[test]
+    fn parameters_round_trip_digits() {
+        let mut c = Circuit::new(1);
+        c.rz(std::f64::consts::FRAC_PI_4, 0);
+        let text = emit(&c);
+        assert!(text.contains("rz(0.7853981633974483) q[0];"));
+    }
+
+    #[test]
+    fn cp_is_spelled_cu1() {
+        let mut c = Circuit::new(2);
+        c.cp(0.5, 0, 1);
+        assert!(emit(&c).contains("cu1(0.5) q[0], q[1];"));
+    }
+}

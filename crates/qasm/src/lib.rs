@@ -1,0 +1,48 @@
+//! # trios-qasm — OpenQASM 2.0 interchange
+//!
+//! Text-format import/export for the Orchestrated Trios circuit IR, so
+//! compiled programs can move to and from the wider ecosystem (Qiskit,
+//! simulators, visualization tools):
+//!
+//! * [`emit`] renders a [`Circuit`] as an OpenQASM 2.0 program against
+//!   `qelib1.inc`, declaring the few gates the library uses that the
+//!   standard header lacks (`ccz`, `xpow`, `cxpow`).
+//! * [`parse`] reads OpenQASM 2.0 back into a [`Circuit`], supporting
+//!   multiple quantum registers (flattened in declaration order),
+//!   parameter expressions with `pi`, and the full `qelib1` gate set this
+//!   library understands.
+//!
+//! Round trips are exact: `parse(&emit(&c))` reproduces `c` gate for gate
+//! (see the crate tests, which round-trip the entire benchmark suite and
+//! compiled outputs).
+//!
+//! # Examples
+//!
+//! ```
+//! use trios_ir::Circuit;
+//! use trios_qasm::{emit, parse};
+//!
+//! # fn main() -> Result<(), trios_qasm::QasmError> {
+//! let mut c = Circuit::new(3);
+//! c.h(0).ccx(0, 1, 2).measure(2);
+//! let text = emit(&c);
+//! assert!(text.contains("ccx q[0], q[1], q[2];"));
+//! let back = parse(&text)?;
+//! assert_eq!(back.len(), c.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod emitter;
+mod error;
+mod parser;
+
+pub use emitter::emit;
+pub use error::QasmError;
+pub use parser::parse;
+
+// Re-exported for doc examples and downstream convenience.
+pub use trios_ir::Circuit;

@@ -1,0 +1,143 @@
+//! Round-trip tests: `parse(emit(c))` must reproduce `c` exactly for the
+//! whole benchmark suite and for randomized circuits over the full gate
+//! set.
+
+use proptest::prelude::*;
+use trios_benchmarks::{Benchmark, ExtendedBenchmark};
+use trios_ir::{Circuit, Gate};
+use trios_qasm::{emit, parse};
+
+/// Structural equality: same width, same gates (names + params bitwise,
+/// since the emitter prints round-trip-exact digits), same operands.
+fn assert_round_trip(original: &Circuit) {
+    let text = emit(original);
+    let back = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+    assert_eq!(back.num_qubits(), original.num_qubits());
+    assert_eq!(back.len(), original.len(), "{text}");
+    for (a, b) in original.iter().zip(back.iter()) {
+        assert_eq!(a.gate(), b.gate());
+        assert_eq!(a.qubits(), b.qubits());
+    }
+}
+
+#[test]
+fn paper_suite_round_trips() {
+    for b in Benchmark::ALL {
+        assert_round_trip(&b.build());
+    }
+}
+
+#[test]
+fn extended_suite_round_trips() {
+    for b in ExtendedBenchmark::ALL {
+        assert_round_trip(&b.build());
+    }
+}
+
+#[test]
+fn measured_circuit_round_trips() {
+    let mut c = Benchmark::CnxInplace4.build();
+    c.measure_all();
+    assert_round_trip(&c);
+}
+
+#[test]
+fn all_gate_kinds_round_trip() {
+    let mut c = Circuit::new(4);
+    c.h(0)
+        .x(1)
+        .y(2)
+        .z(3)
+        .s(0)
+        .sdg(1)
+        .t(2)
+        .tdg(3)
+        .sx(0)
+        .rx(0.25, 1)
+        .ry(-1.5, 2)
+        .rz(3.25, 3)
+        .u1(0.125, 0)
+        .u2(0.5, -0.5, 1)
+        .u3(1.0, 2.0, 3.0, 2)
+        .xpow(0.31, 3)
+        .cxpow(0.5, 0, 1)
+        .cx(1, 2)
+        .cz(2, 3)
+        .cp(0.75, 0, 3)
+        .swap(1, 3)
+        .ccx(0, 1, 2)
+        .ccz(1, 2, 3)
+        .cswap(0, 2, 3)
+        .measure(0)
+        .measure(3);
+    c.apply(Gate::Sxdg, &[1]);
+    c.apply(Gate::I, &[2]);
+    assert_round_trip(&c);
+}
+
+/// Strategy for an arbitrary instruction on `n` qubits.
+fn instruction_strategy(n: usize) -> impl Strategy<Value = (u8, Vec<usize>, f64)> {
+    (
+        0u8..16,
+        proptest::sample::subsequence((0..n).collect::<Vec<_>>(), 3),
+        -10.0f64..10.0,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parser_never_panics_on_garbage(source in "\\PC{0,200}") {
+        // Arbitrary printable input must produce Ok or Err — never a panic.
+        let _ = parse(&source);
+    }
+
+    #[test]
+    fn parser_never_panics_on_qasm_like_garbage(
+        body in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "qreg q[2];", "creg c[2];", "h q[0];", "cx q[0], q[1];",
+                "measure q -> c;", "rz(pi/2) q[1];", "barrier q;",
+                "qreg q[0];", "h q[9];", "cx q[0];", "bogus q[0];",
+                "gate f a { h a; }", "h q[0]", "rz() q[0];", "u3(1,2) q[0];",
+            ]),
+            0..12,
+        )
+    ) {
+        let source = format!("OPENQASM 2.0;\n{}", body.join("\n"));
+        let _ = parse(&source);
+    }
+
+    #[test]
+    fn random_circuits_round_trip(
+        instrs in proptest::collection::vec(instruction_strategy(6), 1..60)
+    ) {
+        let mut c = Circuit::new(6);
+        for (kind, qs, angle) in instrs {
+            if qs.len() < 3 {
+                continue;
+            }
+            let (a, b, t) = (qs[0], qs[1], qs[2]);
+            match kind % 16 {
+                0 => c.h(a),
+                1 => c.t(a),
+                2 => c.rz(angle, a),
+                3 => c.rx(angle, b),
+                4 => c.u3(angle, -angle, 0.5 * angle, a),
+                5 => c.cx(a, b),
+                6 => c.cz(a, t),
+                7 => c.cp(angle, b, t),
+                8 => c.swap(a, b),
+                9 => c.ccx(a, b, t),
+                10 => c.ccz(a, b, t),
+                11 => c.cswap(a, b, t),
+                12 => c.xpow(angle / 10.0, a),
+                13 => c.sx(b),
+                14 => c.u2(angle, -angle, t),
+                _ => c.measure(a),
+            };
+        }
+        assert_round_trip(&c);
+    }
+}

@@ -1,0 +1,78 @@
+//! Routing error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Reasons mapping or routing can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The logical circuit has more qubits than the device.
+    CircuitTooWide {
+        /// Logical qubit count.
+        logical: usize,
+        /// Physical qubit count.
+        physical: usize,
+    },
+    /// The router met a gate it cannot handle (e.g. a Toffoli reached the
+    /// pair router, which requires fully decomposed input).
+    UnsupportedGate {
+        /// Gate mnemonic.
+        gate: &'static str,
+        /// Index of the instruction in the input circuit.
+        instruction: usize,
+    },
+    /// Qubits that must interact live in disconnected components.
+    Disconnected {
+        /// One endpoint (physical index).
+        a: usize,
+        /// The other endpoint (physical index).
+        b: usize,
+    },
+    /// An initial layout is malformed (wrong length, out of range, or not
+    /// injective).
+    InvalidLayout {
+        /// Explanation of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::CircuitTooWide { logical, physical } => write!(
+                f,
+                "circuit has {logical} logical qubits but the device only has {physical}"
+            ),
+            RouteError::UnsupportedGate { gate, instruction } => write!(
+                f,
+                "instruction {instruction} ({gate}) is not supported by this router"
+            ),
+            RouteError::Disconnected { a, b } => write!(
+                f,
+                "physical qubits {a} and {b} are in disconnected components"
+            ),
+            RouteError::InvalidLayout { reason } => write!(f, "invalid layout: {reason}"),
+        }
+    }
+}
+
+impl Error for RouteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RouteError::CircuitTooWide {
+            logical: 25,
+            physical: 20,
+        };
+        assert!(e.to_string().contains("25"));
+        let e = RouteError::UnsupportedGate {
+            gate: "ccx",
+            instruction: 7,
+        };
+        assert!(e.to_string().contains("ccx"));
+    }
+}

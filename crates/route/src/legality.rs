@@ -1,0 +1,183 @@
+//! Hardware-legality checking: the invariant every routed circuit must
+//! satisfy.
+
+use std::error::Error;
+use std::fmt;
+use trios_ir::Circuit;
+use trios_topology::{Topology, TripleShape};
+
+/// A violation of hardware constraints found by [`check_legal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LegalityViolation {
+    /// A two-qubit gate spans a non-edge.
+    NonAdjacentPair {
+        /// Index of the instruction.
+        instruction: usize,
+        /// First physical operand.
+        a: usize,
+        /// Second physical operand.
+        b: usize,
+    },
+    /// A Toffoli sits on a triple that is neither a line nor a triangle.
+    ScatteredTrio {
+        /// Index of the instruction.
+        instruction: usize,
+    },
+    /// A Toffoli was present although the check was asked to forbid them.
+    ToffoliPresent {
+        /// Index of the instruction.
+        instruction: usize,
+    },
+    /// The circuit is wider than the device.
+    TooWide {
+        /// Circuit width.
+        circuit: usize,
+        /// Device width.
+        device: usize,
+    },
+}
+
+impl fmt::Display for LegalityViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LegalityViolation::NonAdjacentPair { instruction, a, b } => write!(
+                f,
+                "instruction {instruction} applies a two-qubit gate to non-adjacent qubits {a} and {b}"
+            ),
+            LegalityViolation::ScatteredTrio { instruction } => write!(
+                f,
+                "instruction {instruction} applies a Toffoli to a scattered qubit triple"
+            ),
+            LegalityViolation::ToffoliPresent { instruction } => write!(
+                f,
+                "instruction {instruction} is a Toffoli but the target requires decomposed circuits"
+            ),
+            LegalityViolation::TooWide { circuit, device } => write!(
+                f,
+                "circuit has {circuit} qubits but the device only has {device}"
+            ),
+        }
+    }
+}
+
+impl Error for LegalityViolation {}
+
+/// Whether [`check_legal`] accepts intact Toffolis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ToffoliPolicy {
+    /// Toffolis are allowed if their trio forms a line or triangle
+    /// (the state between Trios routing and the second decomposition).
+    AllowGathered,
+    /// No Toffolis at all (final hardware circuits).
+    Forbid,
+}
+
+/// Checks that every multi-qubit gate in `circuit` respects `topology`.
+///
+/// This is the central invariant of routing, enforced in tests and by the
+/// pipelines after every compile.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_legal(
+    circuit: &Circuit,
+    topology: &Topology,
+    policy: ToffoliPolicy,
+) -> Result<(), LegalityViolation> {
+    if circuit.num_qubits() > topology.num_qubits() {
+        return Err(LegalityViolation::TooWide {
+            circuit: circuit.num_qubits(),
+            device: topology.num_qubits(),
+        });
+    }
+    for (idx, instr) in circuit.iter().enumerate() {
+        let qs = instr.qubits();
+        match qs.len() {
+            1 => {}
+            2 => {
+                let (a, b) = (qs[0].index(), qs[1].index());
+                if !topology.are_adjacent(a, b) {
+                    return Err(LegalityViolation::NonAdjacentPair {
+                        instruction: idx,
+                        a,
+                        b,
+                    });
+                }
+            }
+            3 => {
+                debug_assert!(instr.gate().is_three_qubit());
+                match policy {
+                    ToffoliPolicy::Forbid => {
+                        return Err(LegalityViolation::ToffoliPresent { instruction: idx })
+                    }
+                    ToffoliPolicy::AllowGathered => {
+                        let shape = topology.triple_shape(
+                            qs[0].index(),
+                            qs[1].index(),
+                            qs[2].index(),
+                        );
+                        if shape == TripleShape::Disconnected {
+                            return Err(LegalityViolation::ScatteredTrio { instruction: idx });
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("IR gates have arity 1..=3"),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trios_topology::line;
+
+    #[test]
+    fn legal_circuit_passes() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).swap(1, 2).measure(2);
+        assert!(check_legal(&c, &line(3), ToffoliPolicy::Forbid).is_ok());
+    }
+
+    #[test]
+    fn detects_non_adjacent_pair() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 2);
+        assert_eq!(
+            check_legal(&c, &line(3), ToffoliPolicy::Forbid),
+            Err(LegalityViolation::NonAdjacentPair {
+                instruction: 0,
+                a: 0,
+                b: 2
+            })
+        );
+    }
+
+    #[test]
+    fn toffoli_policy() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        assert!(check_legal(&c, &line(3), ToffoliPolicy::AllowGathered).is_ok());
+        assert!(matches!(
+            check_legal(&c, &line(3), ToffoliPolicy::Forbid),
+            Err(LegalityViolation::ToffoliPresent { .. })
+        ));
+        let mut scattered = Circuit::new(5);
+        scattered.ccx(0, 2, 4);
+        assert!(matches!(
+            check_legal(&scattered, &line(5), ToffoliPolicy::AllowGathered),
+            Err(LegalityViolation::ScatteredTrio { .. })
+        ));
+    }
+
+    #[test]
+    fn width_check() {
+        let c = Circuit::new(9);
+        assert!(matches!(
+            check_legal(&c, &line(3), ToffoliPolicy::Forbid),
+            Err(LegalityViolation::TooWide { .. })
+        ));
+    }
+}

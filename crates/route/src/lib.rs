@@ -1,0 +1,56 @@
+//! # trios-route — qubit mapping and routing
+//!
+//! The communication half of the Orchestrated Trios compiler:
+//!
+//! * [`Layout`] — the live logical→physical assignment that SWAPs permute.
+//! * [`initial_layout`] — placement strategies (trivial / fixed / random /
+//!   greedy interaction-aware).
+//! * [`route_baseline`] — the conventional pair router: requires a fully
+//!   decomposed circuit and routes each distant CNOT individually. This is
+//!   the paper's baseline and exhibits exactly the pathology of its
+//!   Figure 1a.
+//! * [`route_trios`] — the paper's contribution: Toffolis survive to the
+//!   router, which gathers each operand trio to a connected neighborhood
+//!   (minimum summed-distance destination, overlap-aware), then applies the
+//!   placement-appropriate decomposition (6-CNOT on triangles, 8-CNOT with
+//!   the correct middle on lines).
+//! * [`check_legal`] — the hardware-legality invariant both routers must
+//!   (and are tested to) satisfy.
+//!
+//! # Examples
+//!
+//! ```
+//! use trios_ir::Circuit;
+//! use trios_route::{route_trios, Layout, RouterOptions};
+//! use trios_topology::johannesburg;
+//!
+//! let mut program = Circuit::new(3);
+//! program.ccx(0, 1, 2);
+//!
+//! let device = johannesburg();
+//! let layout = Layout::from_mapping(&[6, 17, 3], 20)?; // a distant trio
+//! let routed = route_trios(&program, &device, layout, &RouterOptions::deterministic())?;
+//!
+//! // The trio was gathered with a handful of SWAPs and decomposed with
+//! // the 8-CNOT linear Toffoli (Johannesburg has no triangles).
+//! assert!(routed.swap_count <= 8);
+//! assert_eq!(routed.circuit.counts().cx, 8);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod layout;
+mod legality;
+mod mapper;
+mod options;
+mod router;
+
+pub use error::RouteError;
+pub use layout::Layout;
+pub use legality::{check_legal, LegalityViolation, ToffoliPolicy};
+pub use mapper::{initial_layout, InitialMapping};
+pub use options::{DirectionPolicy, LookaheadConfig, PathMetric, RouterOptions};
+pub use router::{route_baseline, route_trios, RoutedCircuit, TrioEvent};

@@ -1,0 +1,364 @@
+//! Initial mapping (placement) strategies.
+
+use crate::{Layout, RouteError};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use trios_ir::{Circuit, Gate};
+use trios_topology::Topology;
+
+/// How logical qubits are initially placed on the device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InitialMapping {
+    /// Logical `l` on physical `l`. The paper fixes the mapping for its
+    /// single-Toffoli experiments "to force routing to occur".
+    Trivial,
+    /// An explicit assignment `mapping[l] = p`.
+    Fixed(Vec<usize>),
+    /// A seeded random placement (used to sample the paper's random
+    /// triplets).
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Greedy interaction-aware placement: frequently interacting logical
+    /// qubits are placed close together. Toffolis count as their 6-CNOT
+    /// equivalent — 2 interactions per qubit pair (paper §4: "the mapper
+    /// can simply treat the non-decomposed Toffoli as it would the
+    /// equivalent 6 CNOTs").
+    GreedyInteraction,
+    /// Noise-aware greedy placement (paper §4's noise-aware extension, in
+    /// the style of Murali et al.): identical to
+    /// [`InitialMapping::GreedyInteraction`] but distances are measured in
+    /// `−log(1 − e)` per edge, so hot pairs land on *reliable* couplers,
+    /// not merely close ones.
+    ///
+    /// `edge_errors` holds one two-qubit error rate per topology edge, in
+    /// the same order as `Topology::edges()`.
+    NoiseAware {
+        /// Per-edge two-qubit error rates, aligned with `Topology::edges()`.
+        edge_errors: Vec<f64>,
+    },
+}
+
+/// Builds the initial [`Layout`] for `circuit` on `topology`.
+///
+/// # Errors
+///
+/// Returns [`RouteError::CircuitTooWide`] if the circuit does not fit, or
+/// [`RouteError::InvalidLayout`] for a malformed [`InitialMapping::Fixed`].
+pub fn initial_layout(
+    circuit: &Circuit,
+    topology: &Topology,
+    mapping: &InitialMapping,
+) -> Result<Layout, RouteError> {
+    let n_log = circuit.num_qubits();
+    let n_phys = topology.num_qubits();
+    if n_log > n_phys {
+        return Err(RouteError::CircuitTooWide {
+            logical: n_log,
+            physical: n_phys,
+        });
+    }
+    match mapping {
+        InitialMapping::Trivial => Ok(Layout::trivial(n_log, n_phys)),
+        InitialMapping::Fixed(assignment) => {
+            if assignment.len() != n_log {
+                return Err(RouteError::InvalidLayout {
+                    reason: format!(
+                        "fixed mapping has {} entries for a {}-qubit circuit",
+                        assignment.len(),
+                        n_log
+                    ),
+                });
+            }
+            Layout::from_mapping(assignment, n_phys)
+        }
+        InitialMapping::Random { seed } => {
+            let mut slots: Vec<usize> = (0..n_phys).collect();
+            let mut rng = StdRng::seed_from_u64(*seed);
+            slots.shuffle(&mut rng);
+            slots.truncate(n_log);
+            Layout::from_mapping(&slots, n_phys)
+        }
+        InitialMapping::GreedyInteraction => {
+            let dist =
+                |a: usize, b: usize| topology.distance(a, b).unwrap_or(n_phys) as f64;
+            Ok(greedy_layout(circuit, topology, &dist))
+        }
+        InitialMapping::NoiseAware { edge_errors } => {
+            if edge_errors.len() != topology.edges().len() {
+                return Err(RouteError::InvalidLayout {
+                    reason: format!(
+                        "{} edge errors supplied for a topology with {} edges",
+                        edge_errors.len(),
+                        topology.edges().len()
+                    ),
+                });
+            }
+            let d = noise_distances(topology, edge_errors);
+            let dist = |a: usize, b: usize| d[a][b];
+            Ok(greedy_layout(circuit, topology, &dist))
+        }
+    }
+}
+
+/// All-pairs `−log(1 − e)` distances (Dijkstra per source) — the reliability
+/// metric of the paper's noise-aware extension.
+fn noise_distances(topology: &Topology, edge_errors: &[f64]) -> Vec<Vec<f64>> {
+    let weight_of: std::collections::HashMap<(usize, usize), f64> = topology
+        .edges()
+        .iter()
+        .zip(edge_errors)
+        .map(|(&e, &err)| (e, -(1.0 - err.clamp(0.0, 0.999_999)).ln()))
+        .collect();
+    let cost = |a: usize, b: usize| -> f64 {
+        *weight_of
+            .get(&(a.min(b), a.max(b)))
+            .expect("edge is in the topology")
+    };
+    let n = topology.num_qubits();
+    let mut d = vec![vec![f64::INFINITY; n]; n];
+    for (a, row) in d.iter_mut().enumerate() {
+        row[a] = 0.0;
+        for (b, slot) in row.iter_mut().enumerate() {
+            if a != b {
+                if let Some((_, w)) = topology.shortest_path_weighted(a, b, &cost) {
+                    *slot = w;
+                }
+            }
+        }
+    }
+    d
+}
+
+/// Pairwise interaction weights of a Toffoli-level circuit. Each 2-qubit
+/// gate adds 1 to its pair; each Toffoli adds 2 to each of its three pairs
+/// (its 6-CNOT equivalent).
+fn interaction_weights(circuit: &Circuit) -> Vec<Vec<f64>> {
+    let n = circuit.num_qubits();
+    let mut w = vec![vec![0.0; n]; n];
+    let mut bump = |a: usize, b: usize, amount: f64| {
+        w[a][b] += amount;
+        w[b][a] += amount;
+    };
+    for instr in circuit.iter() {
+        let qs = instr.qubits();
+        match instr.gate() {
+            Gate::Ccx | Gate::Ccz => {
+                let (a, b, c) = (qs[0].index(), qs[1].index(), qs[2].index());
+                bump(a, b, 2.0);
+                bump(a, c, 2.0);
+                bump(b, c, 2.0);
+            }
+            Gate::Cswap => {
+                // 8-CNOT equivalent: the swapped pair carries the two
+                // conjugating CNOTs on top of the inner Toffoli's share.
+                let (c, a, b) = (qs[0].index(), qs[1].index(), qs[2].index());
+                bump(c, a, 2.0);
+                bump(c, b, 2.0);
+                bump(a, b, 4.0);
+            }
+            _ if qs.len() == 2 => bump(qs[0].index(), qs[1].index(), 1.0),
+            _ => {}
+        }
+    }
+    w
+}
+
+fn greedy_layout(
+    circuit: &Circuit,
+    topology: &Topology,
+    dist: &dyn Fn(usize, usize) -> f64,
+) -> Layout {
+    let n_log = circuit.num_qubits();
+    let n_phys = topology.num_qubits();
+    let w = interaction_weights(circuit);
+
+    // Order logical qubits: heaviest total interaction first.
+    let mut order: Vec<usize> = (0..n_log).collect();
+    let total = |l: usize| -> f64 { w[l].iter().sum() };
+    order.sort_by(|&a, &b| {
+        total(b)
+            .partial_cmp(&total(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    let mut assignment = vec![usize::MAX; n_log];
+    let mut free: Vec<bool> = vec![true; n_phys];
+
+    for &l in &order {
+        // Cost of placing l at p: sum over placed partners of
+        // weight · distance.
+        let mut best_p = usize::MAX;
+        let mut best_cost = f64::INFINITY;
+        for (p, slot_free) in free.iter().enumerate() {
+            if !slot_free {
+                continue;
+            }
+            let mut cost = 0.0;
+            for (m, &pm) in assignment.iter().enumerate() {
+                if pm != usize::MAX && w[l][m] > 0.0 {
+                    cost += w[l][m] * dist(p, pm);
+                }
+            }
+            // Prefer central qubits for the first placement: maximize
+            // degree by subtracting a small bonus.
+            cost -= 1e-3 * topology.degree(p) as f64;
+            if cost < best_cost {
+                best_cost = cost;
+                best_p = p;
+            }
+        }
+        assignment[l] = best_p;
+        free[best_p] = false;
+    }
+    Layout::from_mapping(&assignment, n_phys).expect("greedy assignment is injective")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trios_topology::{johannesburg, line};
+
+    #[test]
+    fn trivial_mapping() {
+        let c = Circuit::new(3);
+        let topo = line(5);
+        let l = initial_layout(&c, &topo, &InitialMapping::Trivial).unwrap();
+        assert_eq!(l.to_mapping(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn fixed_mapping_validates_length() {
+        let c = Circuit::new(3);
+        let topo = line(5);
+        assert!(initial_layout(&c, &topo, &InitialMapping::Fixed(vec![0, 1])).is_err());
+        let l = initial_layout(&c, &topo, &InitialMapping::Fixed(vec![4, 0, 2])).unwrap();
+        assert_eq!(l.physical(0), 4);
+    }
+
+    #[test]
+    fn random_mapping_is_seeded() {
+        let c = Circuit::new(5);
+        let topo = johannesburg();
+        let a = initial_layout(&c, &topo, &InitialMapping::Random { seed: 9 }).unwrap();
+        let b = initial_layout(&c, &topo, &InitialMapping::Random { seed: 9 }).unwrap();
+        let d = initial_layout(&c, &topo, &InitialMapping::Random { seed: 10 }).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn too_wide_is_rejected() {
+        let c = Circuit::new(25);
+        let topo = johannesburg();
+        assert!(matches!(
+            initial_layout(&c, &topo, &InitialMapping::Trivial),
+            Err(RouteError::CircuitTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn greedy_places_interacting_qubits_adjacently() {
+        // Two hot pairs (0,1) and (2,3), no cross-talk.
+        let mut c = Circuit::new(4);
+        for _ in 0..5 {
+            c.cx(0, 1).cx(2, 3);
+        }
+        let topo = line(8);
+        let l = initial_layout(&c, &topo, &InitialMapping::GreedyInteraction).unwrap();
+        assert_eq!(topo.distance(l.physical(0), l.physical(1)), Some(1));
+        assert_eq!(topo.distance(l.physical(2), l.physical(3)), Some(1));
+    }
+
+    #[test]
+    fn greedy_counts_toffoli_as_six_cnots() {
+        // Qubits 0,1,2 share a Toffoli; qubit 3 only has a single CX to 0.
+        let mut c = Circuit::new(4);
+        c.ccx(0, 1, 2).cx(0, 3);
+        let topo = line(10);
+        let l = initial_layout(&c, &topo, &InitialMapping::GreedyInteraction).unwrap();
+        // The trio should be contiguous.
+        let trio: Vec<usize> = (0..3).map(|q| l.physical(q)).collect();
+        let spread = trio.iter().max().unwrap() - trio.iter().min().unwrap();
+        assert!(spread <= 2, "trio spread {spread} too large: {trio:?}");
+    }
+
+    #[test]
+    fn noise_aware_avoids_bad_couplers() {
+        // Line of 5 with a terrible middle edge (1,2): a hot pair must be
+        // placed on one side of it, never straddling it.
+        let topo = line(5);
+        let errors: Vec<f64> = topo
+            .edges()
+            .iter()
+            .map(|&e| if e == (1, 2) { 0.5 } else { 0.001 })
+            .collect();
+        let mut c = Circuit::new(2);
+        for _ in 0..4 {
+            c.cx(0, 1);
+        }
+        let l = initial_layout(
+            &c,
+            &topo,
+            &InitialMapping::NoiseAware {
+                edge_errors: errors,
+            },
+        )
+        .unwrap();
+        let (p0, p1) = (l.physical(0), l.physical(1));
+        assert_eq!(topo.distance(p0, p1), Some(1), "hot pair stays adjacent");
+        assert_ne!(
+            (p0.min(p1), p0.max(p1)),
+            (1, 2),
+            "hot pair must not sit on the bad edge"
+        );
+    }
+
+    #[test]
+    fn noise_aware_validates_edge_count() {
+        let c = Circuit::new(2);
+        let topo = line(5);
+        let err = initial_layout(
+            &c,
+            &topo,
+            &InitialMapping::NoiseAware {
+                edge_errors: vec![0.01; 2],
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, RouteError::InvalidLayout { .. }));
+    }
+
+    #[test]
+    fn noise_aware_with_uniform_errors_matches_greedy() {
+        let mut c = Circuit::new(4);
+        c.ccx(0, 1, 2).cx(0, 3).cx(2, 3);
+        let topo = johannesburg();
+        let uniform = vec![0.01; topo.edges().len()];
+        let greedy = initial_layout(&c, &topo, &InitialMapping::GreedyInteraction).unwrap();
+        let noise = initial_layout(
+            &c,
+            &topo,
+            &InitialMapping::NoiseAware {
+                edge_errors: uniform,
+            },
+        )
+        .unwrap();
+        // Uniform errors make the reliability metric a scaled hop count, so
+        // both mappers make the same choices.
+        assert_eq!(greedy, noise);
+    }
+
+    #[test]
+    fn interaction_weights_profile() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2).cx(0, 1);
+        let w = interaction_weights(&c);
+        assert_eq!(w[0][1], 3.0); // 2 from the Toffoli + 1 from the CX
+        assert_eq!(w[0][2], 2.0);
+        assert_eq!(w[1][2], 2.0);
+    }
+}

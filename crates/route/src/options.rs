@@ -1,0 +1,177 @@
+//! Router configuration.
+
+use trios_passes::ToffoliDecomposition;
+
+/// Which endpoint of a distant 2-qubit gate the router moves (paper §3:
+/// "usually by adding SWAPs from control to target or the reverse, but a
+/// meet-in-the-middle strategy is also possible").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DirectionPolicy {
+    /// Always move the first operand toward the second.
+    MoveFirst,
+    /// Always move the second operand toward the first.
+    MoveSecond,
+    /// Choose randomly per gate — models Qiskit's stochastic routing, whose
+    /// "even chance" of separating just-gathered qubits motivates the paper.
+    #[default]
+    Stochastic,
+    /// Both endpoints move toward the middle of the path.
+    MeetInMiddle,
+}
+
+/// How the router measures path length.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum PathMetric {
+    /// Hop count (BFS shortest paths).
+    #[default]
+    Hops,
+    /// Noise-aware weights: one `−log(1 − e)` cost per topology edge, in
+    /// the same order as `Topology::edges()` (paper §4's noise-aware
+    /// extension).
+    EdgeWeights(Vec<f64>),
+}
+
+impl PathMetric {
+    /// Builds a noise-aware metric from per-edge two-qubit error rates
+    /// (aligned with `Topology::edges()`): weight `= −log(1 − error)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any error rate is outside `[0, 1)`.
+    pub fn from_edge_errors(errors: &[f64]) -> Self {
+        let weights = errors
+            .iter()
+            .map(|&e| {
+                assert!((0.0..1.0).contains(&e), "error rate {e} outside [0, 1)");
+                -(1.0 - e).ln()
+            })
+            .collect();
+        PathMetric::EdgeWeights(weights)
+    }
+}
+
+/// Configuration of the windowed-lookahead pair strategy (the "lookahead
+/// when choosing routing strategies" comparator of paper §3, after Wille et
+/// al.'s look-ahead schemes).
+///
+/// Instead of committing to a whole shortest path per gate, the router
+/// inserts one SWAP at a time: among the distance-decreasing SWAPs for the
+/// front gate, it picks the one that also minimizes a decayed sum of the
+/// distances of the next `window` multi-qubit gates. Progress is guaranteed
+/// because every candidate strictly shrinks the front gate's distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LookaheadConfig {
+    /// How many upcoming multi-qubit gates contribute to the cost.
+    pub window: usize,
+    /// Weight of the whole lookahead term relative to the front gate.
+    pub weight: f64,
+    /// Per-gate geometric decay inside the window.
+    pub decay: f64,
+}
+
+impl Default for LookaheadConfig {
+    fn default() -> Self {
+        LookaheadConfig {
+            window: 20,
+            weight: 0.5,
+            decay: 0.8,
+        }
+    }
+}
+
+/// Options shared by the baseline pair router and the Trios trio router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterOptions {
+    /// Toffoli handling for the Trios router's inline second decomposition
+    /// pass. `ConnectivityAware` is the paper's Trios;
+    /// `Six`/`Eight` force one decomposition for the Fig. 6/7 ablation.
+    pub toffoli: ToffoliDecomposition,
+    /// Which endpoint moves when routing a distant pair.
+    pub direction: DirectionPolicy,
+    /// Path metric (hops, or noise-aware edge weights).
+    pub metric: PathMetric,
+    /// Seed for the stochastic direction policy.
+    pub seed: u64,
+    /// When `false`, the Trios router leaves gathered Toffolis as `ccx`
+    /// instructions on their (line- or triangle-shaped) physical triples
+    /// instead of decomposing them — useful for inspecting routing itself,
+    /// as in the paper's Figure 1.
+    pub lower_toffoli: bool,
+    /// When set, distant pairs are routed with windowed lookahead instead
+    /// of a committed shortest-path walk. The paper's §3 position is that
+    /// lookahead "treats the symptoms" of pre-decomposition without fixing
+    /// it; the ablation bench quantifies exactly that.
+    pub lookahead: Option<LookaheadConfig>,
+    /// When `true`, a CNOT between qubits at distance exactly 2 is
+    /// implemented as a 4-CNOT *bridge* over the middle qubit instead of
+    /// SWAP-then-CNOT. Same CNOT cost (4 = 3 + 1) but the layout is left
+    /// unchanged — better when the pair interacts once, worse when the
+    /// proximity would have been reused. Off by default (the paper routes
+    /// with SWAPs only); ablated in the bench suite.
+    pub bridge: bool,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        RouterOptions {
+            toffoli: ToffoliDecomposition::ConnectivityAware,
+            direction: DirectionPolicy::default(),
+            metric: PathMetric::default(),
+            seed: 0,
+            lower_toffoli: true,
+            lookahead: None,
+            bridge: false,
+        }
+    }
+}
+
+impl RouterOptions {
+    /// Options with a fixed seed and otherwise default behaviour.
+    pub fn with_seed(seed: u64) -> Self {
+        RouterOptions {
+            seed,
+            ..RouterOptions::default()
+        }
+    }
+
+    /// Deterministic options (no stochastic choices), for reproducible
+    /// tests and figures.
+    pub fn deterministic() -> Self {
+        RouterOptions {
+            direction: DirectionPolicy::MoveFirst,
+            ..RouterOptions::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let o = RouterOptions::default();
+        assert_eq!(o.toffoli, ToffoliDecomposition::ConnectivityAware);
+        assert_eq!(o.direction, DirectionPolicy::Stochastic);
+        assert_eq!(o.metric, PathMetric::Hops);
+        assert!(o.lower_toffoli);
+    }
+
+    #[test]
+    fn edge_error_weights_are_positive_and_monotone() {
+        let m = PathMetric::from_edge_errors(&[0.01, 0.05, 0.0]);
+        if let PathMetric::EdgeWeights(w) = m {
+            assert!(w[0] > 0.0);
+            assert!(w[1] > w[0]);
+            assert_eq!(w[2], 0.0);
+        } else {
+            panic!("expected weights");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn edge_error_weights_reject_invalid() {
+        PathMetric::from_edge_errors(&[1.5]);
+    }
+}

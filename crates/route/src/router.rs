@@ -1,0 +1,1255 @@
+//! The routing passes: the conventional pair router (baseline) and the
+//! Trios trio router that gathers Toffoli operands as a unit (paper §4).
+
+use crate::{DirectionPolicy, Layout, LookaheadConfig, PathMetric, RouteError, RouterOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+use trios_ir::{Circuit, Gate, Instruction, Qubit};
+use trios_passes::{
+    ccz_6cnot, ccz_8cnot_linear, cswap_via_ccx, toffoli_6cnot, toffoli_8cnot_linear,
+    ToffoliDecomposition,
+};
+use trios_topology::{Topology, TripleShape};
+
+/// One gathered trio, recorded by the Trios router as it runs — the
+/// per-Toffoli data behind the paper's Figure 6/7 x-axis ("total swap
+/// distance") and its §6.3 placement discussion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrioEvent {
+    /// The gate that was gathered.
+    pub gate: Gate,
+    /// Gather distance before routing: the minimum summed distance from
+    /// two operands to the third (0 when already connected).
+    pub gather_distance: usize,
+    /// SWAPs this gather inserted.
+    pub swaps: usize,
+    /// How the trio sat after gathering.
+    pub shape: TripleShape,
+}
+
+/// The product of a routing pass: a physical-qubit circuit (with explicit
+/// SWAPs) plus the layouts needed to interpret and verify it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedCircuit {
+    /// The routed circuit over physical qubits. Contains `swap` gates;
+    /// contains `ccx` only when routing ran with `lower_toffoli = false`.
+    pub circuit: Circuit,
+    /// Where each logical qubit started.
+    pub initial_layout: Layout,
+    /// Where each logical qubit ended after all routing SWAPs.
+    pub final_layout: Layout,
+    /// Number of SWAP gates the router inserted.
+    pub swap_count: usize,
+    /// One entry per three-qubit gate the trio router processed, in
+    /// program order (a `cswap` contributes a second entry for its inner
+    /// Toffoli; empty for the baseline pair router).
+    pub trio_events: Vec<TrioEvent>,
+}
+
+impl RoutedCircuit {
+    /// Two-qubit gate count after lowering SWAPs to 3 CX each — the
+    /// paper's primary static metric.
+    pub fn cx_cost(&self) -> usize {
+        self.circuit.counts().two_qubit_equivalent()
+    }
+
+    /// Mean gather distance over the routed trios (`None` when the program
+    /// had no three-qubit gates) — a one-number locality profile of the
+    /// workload on this device.
+    pub fn mean_gather_distance(&self) -> Option<f64> {
+        if self.trio_events.is_empty() {
+            return None;
+        }
+        Some(
+            self.trio_events
+                .iter()
+                .map(|e| e.gather_distance as f64)
+                .sum::<f64>()
+                / self.trio_events.len() as f64,
+        )
+    }
+}
+
+/// Routes a fully decomposed circuit (1- and 2-qubit gates only) with the
+/// conventional per-pair strategy: this is the paper's baseline (Fig. 2a).
+///
+/// # Errors
+///
+/// Returns [`RouteError::UnsupportedGate`] if the circuit still contains a
+/// 3-qubit gate, [`RouteError::CircuitTooWide`] if it does not fit the
+/// device, or [`RouteError::Disconnected`] if interacting qubits cannot be
+/// joined.
+pub fn route_baseline(
+    circuit: &Circuit,
+    topology: &Topology,
+    initial: Layout,
+    options: &RouterOptions,
+) -> Result<RoutedCircuit, RouteError> {
+    Router::new(topology, initial, options, circuit)?.run(circuit, false)
+}
+
+/// Routes a Toffoli-level circuit (1-, 2-, and 3-qubit gates) with the
+/// Trios strategy: Toffoli operand trios are gathered to a common
+/// neighborhood as a unit, then decomposed with the placement-appropriate
+/// decomposition (paper Fig. 2b and §4).
+///
+/// # Errors
+///
+/// Same conditions as [`route_baseline`] except Toffolis are supported.
+pub fn route_trios(
+    circuit: &Circuit,
+    topology: &Topology,
+    initial: Layout,
+    options: &RouterOptions,
+) -> Result<RoutedCircuit, RouteError> {
+    Router::new(topology, initial, options, circuit)?.run(circuit, true)
+}
+
+struct Router<'a> {
+    topo: &'a Topology,
+    opts: &'a RouterOptions,
+    layout: Layout,
+    out: Circuit,
+    swap_count: usize,
+    rng: StdRng,
+    weights: Option<HashMap<(usize, usize), f64>>,
+    trio_events: Vec<TrioEvent>,
+}
+
+impl<'a> Router<'a> {
+    fn new(
+        topo: &'a Topology,
+        initial: Layout,
+        opts: &'a RouterOptions,
+        circuit: &Circuit,
+    ) -> Result<Self, RouteError> {
+        if circuit.num_qubits() > topo.num_qubits() {
+            return Err(RouteError::CircuitTooWide {
+                logical: circuit.num_qubits(),
+                physical: topo.num_qubits(),
+            });
+        }
+        if initial.num_logical() != circuit.num_qubits()
+            || initial.num_physical() != topo.num_qubits()
+        {
+            return Err(RouteError::InvalidLayout {
+                reason: format!(
+                    "layout is {}→{} but circuit/device are {}→{}",
+                    initial.num_logical(),
+                    initial.num_physical(),
+                    circuit.num_qubits(),
+                    topo.num_qubits()
+                ),
+            });
+        }
+        let weights = match &opts.metric {
+            PathMetric::Hops => None,
+            PathMetric::EdgeWeights(w) => {
+                let mut map = HashMap::new();
+                for (edge, weight) in topo.edges().iter().zip(w) {
+                    map.insert(*edge, *weight);
+                }
+                Some(map)
+            }
+        };
+        Ok(Router {
+            topo,
+            opts,
+            layout: initial,
+            out: Circuit::with_name(topo.num_qubits(), circuit.name().to_string()),
+            swap_count: 0,
+            rng: StdRng::seed_from_u64(opts.seed),
+            weights,
+            trio_events: Vec::new(),
+        })
+    }
+
+    fn run(mut self, circuit: &Circuit, allow_ccx: bool) -> Result<RoutedCircuit, RouteError> {
+        let initial_layout = self.layout.clone();
+        let mut queue: VecDeque<Instruction> = circuit.iter().copied().collect();
+        let mut index = 0usize;
+        while let Some(instr) = queue.pop_front() {
+            match instr.qubits().len() {
+                1 => self.emit_mapped(&instr),
+                2 => {
+                    let (la, lb) = (instr.qubit(0).index(), instr.qubit(1).index());
+                    if self.try_bridge(&instr, la, lb) {
+                        index += 1;
+                        continue;
+                    }
+                    match self.opts.lookahead {
+                        Some(cfg) => self.make_adjacent_lookahead(la, lb, &queue, cfg)?,
+                        None => self.make_adjacent(la, lb)?,
+                    }
+                    self.emit_mapped(&instr);
+                }
+                3 => {
+                    if !allow_ccx {
+                        return Err(RouteError::UnsupportedGate {
+                            gate: instr.gate().name(),
+                            instruction: index,
+                        });
+                    }
+                    let expansion = self.gather_trio(&instr)?;
+                    for sub in expansion.into_iter().rev() {
+                        queue.push_front(sub);
+                    }
+                }
+                _ => unreachable!("IR gates have arity 1..=3"),
+            }
+            index += 1;
+        }
+        Ok(RoutedCircuit {
+            circuit: self.out,
+            initial_layout,
+            final_layout: self.layout,
+            swap_count: self.swap_count,
+            trio_events: self.trio_events,
+        })
+    }
+
+    /// Emits an instruction with its logical operands mapped to their
+    /// current physical homes.
+    fn emit_mapped(&mut self, instr: &Instruction) {
+        let mapped = instr.map_qubits(|q| Qubit::new(self.layout.physical(q.index())));
+        self.out.push(mapped);
+    }
+
+    fn emit_swap(&mut self, p1: usize, p2: usize) {
+        debug_assert!(self.topo.are_adjacent(p1, p2), "swap on non-edge {p1}-{p2}");
+        self.out
+            .push(Instruction::new(Gate::Swap, &[Qubit::new(p1), Qubit::new(p2)]));
+        self.layout.swap_physical(p1, p2);
+        self.swap_count += 1;
+    }
+
+    /// Shortest physical path under the configured metric.
+    fn path(&self, a: usize, b: usize) -> Result<Vec<usize>, RouteError> {
+        let path = match &self.weights {
+            None => self.topo.shortest_path(a, b),
+            Some(w) => self
+                .topo
+                .shortest_path_weighted(a, b, &|x, y| {
+                    *w.get(&(x.min(y), x.max(y))).unwrap_or(&1.0)
+                })
+                .map(|(p, _)| p),
+        };
+        path.ok_or(RouteError::Disconnected { a, b })
+    }
+
+    /// Inserts SWAPs until logical qubits `la` and `lb` are physically
+    /// adjacent, following the configured direction policy.
+    fn make_adjacent(&mut self, la: usize, lb: usize) -> Result<(), RouteError> {
+        let pa = self.layout.physical(la);
+        let pb = self.layout.physical(lb);
+        if self.topo.are_adjacent(pa, pb) {
+            return Ok(());
+        }
+        let path = self.path(pa, pb)?;
+        let hops = path.len() - 2; // SWAPs needed
+        let first_moves = match self.opts.direction {
+            DirectionPolicy::MoveFirst => hops,
+            DirectionPolicy::MoveSecond => 0,
+            DirectionPolicy::Stochastic => {
+                if self.rng.gen_bool(0.5) {
+                    hops
+                } else {
+                    0
+                }
+            }
+            DirectionPolicy::MeetInMiddle => hops / 2,
+        };
+        // First operand walks forward to path[first_moves] …
+        for i in 0..first_moves {
+            self.emit_swap(path[i], path[i + 1]);
+        }
+        // … second operand walks backward to path[first_moves + 1].
+        for i in ((first_moves + 2)..path.len()).rev() {
+            self.emit_swap(path[i], path[i - 1]);
+        }
+        debug_assert!(self
+            .topo
+            .are_adjacent(self.layout.physical(la), self.layout.physical(lb)));
+        Ok(())
+    }
+
+    /// Bridge shortcut: a CNOT whose operands sit at distance exactly 2 is
+    /// emitted as the 4-CNOT bridge
+    /// `CX(a,m)·CX(m,b)·CX(a,m)·CX(m,b) = CX(a,b)` over the middle qubit
+    /// `m`, leaving the layout untouched. Returns `true` if it applied.
+    ///
+    /// Only plain CNOTs bridge; other two-qubit gates fall through to SWAP
+    /// routing.
+    fn try_bridge(&mut self, instr: &Instruction, la: usize, lb: usize) -> bool {
+        if !self.opts.bridge || instr.gate() != Gate::Cx {
+            return false;
+        }
+        let pa = self.layout.physical(la);
+        let pb = self.layout.physical(lb);
+        if self.topo.distance(pa, pb) != Some(2) {
+            return false;
+        }
+        let path = match self.path(pa, pb) {
+            Ok(p) => p,
+            Err(_) => return false,
+        };
+        let m = path[1];
+        let q = Qubit::new;
+        for _ in 0..2 {
+            self.out.push(Instruction::new(Gate::Cx, &[q(pa), q(m)]));
+            self.out.push(Instruction::new(Gate::Cx, &[q(m), q(pb)]));
+        }
+        true
+    }
+
+    /// Lookahead variant of [`Router::make_adjacent`]: one SWAP at a time,
+    /// each chosen among the moves that strictly shrink the front gate's
+    /// distance, scored by a decayed sum of upcoming gate distances (the
+    /// look-ahead schemes the paper cites as prior work in §3).
+    ///
+    /// Lookahead scoring is hop-based even under a noise-aware
+    /// [`PathMetric`]; the metric still governs committed shortest-path
+    /// walks elsewhere.
+    fn make_adjacent_lookahead(
+        &mut self,
+        la: usize,
+        lb: usize,
+        upcoming: &VecDeque<Instruction>,
+        cfg: LookaheadConfig,
+    ) -> Result<(), RouteError> {
+        loop {
+            let pa = self.layout.physical(la);
+            let pb = self.layout.physical(lb);
+            if self.topo.are_adjacent(pa, pb) {
+                return Ok(());
+            }
+            let d0 = self
+                .topo
+                .distance(pa, pb)
+                .ok_or(RouteError::Disconnected { a: pa, b: pb })?;
+
+            // Candidates: swaps on edges incident to either endpoint that
+            // bring the pair strictly closer. Moving one endpoint along any
+            // shortest path qualifies, so the set is never empty.
+            let mut best: Option<(f64, (usize, usize))> = None;
+            for (end, other) in [(pa, pb), (pb, pa)] {
+                for &n in self.topo.neighbors(end) {
+                    let d1 = match self.topo.distance(n, other) {
+                        Some(d) => d,
+                        None => continue,
+                    };
+                    if d1 + 1 != d0 {
+                        continue;
+                    }
+                    let mut hypothetical = self.layout.clone();
+                    hypothetical.swap_physical(end, n);
+                    let cost = d1 as f64
+                        + cfg.weight * self.window_cost(&hypothetical, upcoming, cfg);
+                    let edge = (end.min(n), end.max(n));
+                    let better = match best {
+                        None => true,
+                        Some((bc, be)) => {
+                            cost < bc - 1e-9 || ((cost - bc).abs() <= 1e-9 && edge < be)
+                        }
+                    };
+                    if better {
+                        best = Some((cost, edge));
+                    }
+                }
+            }
+            let (_, (p1, p2)) = best.expect("a distance-decreasing swap always exists");
+            self.emit_swap(p1, p2);
+        }
+    }
+
+    /// Decayed sum of the physical distances of the next `cfg.window`
+    /// multi-qubit gates under `layout` (trios cost their gather distance).
+    fn window_cost(
+        &self,
+        layout: &Layout,
+        upcoming: &VecDeque<Instruction>,
+        cfg: LookaheadConfig,
+    ) -> f64 {
+        let mut cost = 0.0;
+        let mut weight = 1.0;
+        let mut counted = 0usize;
+        for instr in upcoming {
+            let qs = instr.qubits();
+            let d = match qs.len() {
+                2 => {
+                    let a = layout.physical(qs[0].index());
+                    let b = layout.physical(qs[1].index());
+                    self.topo.distance(a, b).unwrap_or(0).saturating_sub(1)
+                }
+                3 => {
+                    let a = layout.physical(qs[0].index());
+                    let b = layout.physical(qs[1].index());
+                    let c = layout.physical(qs[2].index());
+                    self.topo
+                        .triple_distance(a, b, c)
+                        .unwrap_or(0)
+                        .saturating_sub(2)
+                }
+                _ => continue,
+            };
+            cost += weight * d as f64;
+            weight *= cfg.decay;
+            counted += 1;
+            if counted >= cfg.window {
+                break;
+            }
+        }
+        cost
+    }
+
+    /// The Trios gather step (paper §4): pick the operand with the minimal
+    /// summed distance as the destination, route the other two to be
+    /// adjacent to it (with the overlap refinement), then hand back the
+    /// placement-appropriate decomposition — or leave the three-qubit gate
+    /// intact when `lower_toffoli` is off.
+    ///
+    /// Handles the full three-qubit gate set (the paper's §4 extension):
+    /// `ccx` and `ccz` decompose in place; `cswap` expands into its
+    /// CX-conjugated Toffoli, whose inner `ccx` re-enters this gather (by
+    /// then a no-op, the trio being connected).
+    fn gather_trio(&mut self, instr: &Instruction) -> Result<Vec<Instruction>, RouteError> {
+        let logical: Vec<usize> = instr.qubits().iter().map(|q| q.index()).collect();
+        let phys: Vec<usize> = logical.iter().map(|&l| self.layout.physical(l)).collect();
+        let gather_distance = self
+            .topo
+            .triple_distance(phys[0], phys[1], phys[2])
+            .map(|d| d.saturating_sub(2)) // 2 = already connected
+            .unwrap_or(0);
+        let swaps_before = self.swap_count;
+
+        if self.topo.triple_shape(phys[0], phys[1], phys[2]) == TripleShape::Disconnected {
+            let dest_phys = match instr.gate() {
+                // Fredkin: gather around one of the *swapped* operands so
+                // the conjugating CNOT pair lands on a coupling edge.
+                Gate::Cswap => self.gather_destination(&phys[1..], &phys)?,
+                _ => self.gather_destination(&phys, &phys)?,
+            };
+            let dest_logical = self
+                .layout
+                .logical(dest_phys)
+                .expect("destination holds one of the trio");
+            let movers: Vec<usize> = logical
+                .iter()
+                .copied()
+                .filter(|&l| l != dest_logical)
+                .collect();
+
+            // First mover: stop on the neighbor of the destination.
+            let m1 = movers[0];
+            let path1 = self.path(self.layout.physical(m1), dest_phys)?;
+            for i in 0..path1.len().saturating_sub(2) {
+                self.emit_swap(path1[i], path1[i + 1]);
+            }
+
+            // Second mover: recompute from the updated layout. If its
+            // stopping point is where the first mover now sits, stop one
+            // step earlier — the first mover becomes the middle qubit
+            // (saves one SWAP; paper §4).
+            let m2 = movers[1];
+            let path2 = self.path(self.layout.physical(m2), dest_phys)?;
+            let mut swaps = path2.len().saturating_sub(2);
+            if swaps > 0 && path2[path2.len() - 2] == self.layout.physical(m1) {
+                swaps -= 1;
+            }
+            for i in 0..swaps {
+                self.emit_swap(path2[i], path2[i + 1]);
+            }
+        }
+
+        let shape = self.topo.triple_shape(
+            self.layout.physical(logical[0]),
+            self.layout.physical(logical[1]),
+            self.layout.physical(logical[2]),
+        );
+        debug_assert_ne!(
+            shape,
+            TripleShape::Disconnected,
+            "gather must produce a line or triangle"
+        );
+        self.trio_events.push(TrioEvent {
+            gate: instr.gate(),
+            gather_distance,
+            swaps: self.swap_count - swaps_before,
+            shape,
+        });
+
+        if !self.opts.lower_toffoli {
+            self.emit_mapped(instr);
+            return Ok(Vec::new());
+        }
+
+        // Second decomposition pass, now placement-aware. The decomposition
+        // is expressed over *logical* qubits and re-mapped at emission, so
+        // any SWAPs inserted for a forced-6-CNOT non-adjacent pair keep the
+        // bookkeeping consistent.
+        let q = Qubit::new;
+        Ok(match instr.gate() {
+            Gate::Ccx => {
+                let (c1, c2, t) = (logical[0], logical[1], logical[2]);
+                match self.opts.toffoli {
+                    ToffoliDecomposition::Six => toffoli_6cnot(q(c1), q(c2), q(t)),
+                    ToffoliDecomposition::Eight => {
+                        let middle = self.middle_logical(shape, &logical, c2);
+                        let ends: Vec<usize> =
+                            logical.iter().copied().filter(|&l| l != middle).collect();
+                        toffoli_8cnot_linear(q(ends[0]), q(middle), q(ends[1]), q(t))
+                    }
+                    ToffoliDecomposition::ConnectivityAware => match shape {
+                        TripleShape::Triangle => toffoli_6cnot(q(c1), q(c2), q(t)),
+                        TripleShape::Line { middle } => {
+                            let middle_logical = self
+                                .layout
+                                .logical(middle)
+                                .expect("middle of the trio holds data");
+                            let ends: Vec<usize> = logical
+                                .iter()
+                                .copied()
+                                .filter(|&l| l != middle_logical)
+                                .collect();
+                            toffoli_8cnot_linear(
+                                q(ends[0]),
+                                q(middle_logical),
+                                q(ends[1]),
+                                q(t),
+                            )
+                        }
+                        TripleShape::Disconnected => unreachable!("checked above"),
+                    },
+                }
+            }
+            Gate::Ccz => {
+                // CCZ is symmetric, so the placement constraint is the only
+                // constraint: 6-CNOT wants a triangle, 8-CNOT wants a line
+                // with the physically-middle operand in the middle role.
+                let use_six = match self.opts.toffoli {
+                    ToffoliDecomposition::Six => true,
+                    ToffoliDecomposition::Eight => false,
+                    ToffoliDecomposition::ConnectivityAware => {
+                        shape == TripleShape::Triangle
+                    }
+                };
+                if use_six {
+                    ccz_6cnot(q(logical[0]), q(logical[1]), q(logical[2]))
+                } else {
+                    let middle = self.middle_logical(shape, &logical, logical[1]);
+                    let ends: Vec<usize> =
+                        logical.iter().copied().filter(|&l| l != middle).collect();
+                    ccz_8cnot_linear(q(ends[0]), q(middle), q(ends[1]))
+                }
+            }
+            Gate::Cswap => {
+                // Expand to the CX-conjugated Toffoli over logical qubits;
+                // the inner ccx re-enters the gather (a no-op now) and
+                // picks the placement-appropriate decomposition there.
+                cswap_via_ccx(q(logical[0]), q(logical[1]), q(logical[2]))
+            }
+            g => unreachable!("gather_trio only sees 3-qubit gates, got {g:?}"),
+        })
+    }
+
+    /// The gather destination: the candidate with the smallest summed hop
+    /// distance to the other trio members (paper §4), ties toward the
+    /// earlier operand.
+    fn gather_destination(
+        &self,
+        candidates: &[usize],
+        trio: &[usize],
+    ) -> Result<usize, RouteError> {
+        let mut best: Option<(usize, usize)> = None;
+        for &cand in candidates {
+            let mut sum = 0usize;
+            for &other in trio.iter().filter(|&&p| p != cand) {
+                sum += self
+                    .topo
+                    .distance(cand, other)
+                    .ok_or(RouteError::Disconnected { a: cand, b: other })?;
+            }
+            if best.is_none_or(|(_, d)| sum < d) {
+                best = Some((cand, sum));
+            }
+        }
+        Ok(best.expect("candidate list is non-empty").0)
+    }
+
+    /// Picks the logical middle qubit for a forced 8-CNOT decomposition.
+    fn middle_logical(&self, shape: TripleShape, logical: &[usize], fallback: usize) -> usize {
+        match shape {
+            TripleShape::Line { middle } => self
+                .layout
+                .logical(middle)
+                .expect("middle of the trio holds data"),
+            // On a triangle every qubit touches the other two; the second
+            // control is as good a middle as any.
+            _ => {
+                let _ = logical;
+                fallback
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trios_passes::lower_swaps;
+    use trios_sim::compiled_equivalent;
+    use trios_topology::{grid, johannesburg, line};
+
+    const EPS: f64 = 1e-9;
+
+    fn verify(original: &Circuit, routed: &RoutedCircuit) -> bool {
+        let lowered = lower_swaps(&routed.circuit);
+        compiled_equivalent(
+            original,
+            &lowered,
+            &routed.initial_layout.to_mapping(),
+            &routed.final_layout.to_mapping(),
+            3,
+            7,
+            EPS,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn adjacent_gates_need_no_swaps() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let topo = line(3);
+        let routed =
+            route_baseline(&c, &topo, Layout::trivial(3, 3), &RouterOptions::deterministic())
+                .unwrap();
+        assert_eq!(routed.swap_count, 0);
+        assert_eq!(routed.circuit.len(), 3);
+        assert!(verify(&c, &routed));
+    }
+
+    #[test]
+    fn distant_pair_gets_swapped_together() {
+        let mut c = Circuit::new(5);
+        c.cx(0, 4);
+        let topo = line(5);
+        let routed =
+            route_baseline(&c, &topo, Layout::trivial(5, 5), &RouterOptions::deterministic())
+                .unwrap();
+        assert_eq!(routed.swap_count, 3);
+        assert!(verify(&c, &routed));
+        // MoveFirst: logical 0 walked to physical 3.
+        assert_eq!(routed.final_layout.physical(0), 3);
+    }
+
+    #[test]
+    fn move_second_policy_moves_target() {
+        let mut c = Circuit::new(5);
+        c.cx(0, 4);
+        let topo = line(5);
+        let opts = RouterOptions {
+            direction: DirectionPolicy::MoveSecond,
+            ..RouterOptions::default()
+        };
+        let routed = route_baseline(&c, &topo, Layout::trivial(5, 5), &opts).unwrap();
+        assert_eq!(routed.swap_count, 3);
+        assert_eq!(routed.final_layout.physical(4), 1);
+        assert!(verify(&c, &routed));
+    }
+
+    #[test]
+    fn meet_in_middle_splits_the_walk() {
+        let mut c = Circuit::new(6);
+        c.cx(0, 5);
+        let topo = line(6);
+        let opts = RouterOptions {
+            direction: DirectionPolicy::MeetInMiddle,
+            ..RouterOptions::default()
+        };
+        let routed = route_baseline(&c, &topo, Layout::trivial(6, 6), &opts).unwrap();
+        assert_eq!(routed.swap_count, 4);
+        assert_eq!(routed.final_layout.physical(0), 2);
+        assert_eq!(routed.final_layout.physical(5), 3);
+        assert!(verify(&c, &routed));
+    }
+
+    #[test]
+    fn stochastic_policy_is_seed_deterministic() {
+        let mut c = Circuit::new(8);
+        c.cx(0, 7).cx(1, 6).cx(2, 5);
+        let topo = line(8);
+        let a = route_baseline(&c, &topo, Layout::trivial(8, 8), &RouterOptions::with_seed(3))
+            .unwrap();
+        let b = route_baseline(&c, &topo, Layout::trivial(8, 8), &RouterOptions::with_seed(3))
+            .unwrap();
+        assert_eq!(a.circuit, b.circuit);
+        assert!(verify(&c, &a));
+    }
+
+    #[test]
+    fn baseline_rejects_toffolis() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        let topo = line(3);
+        let err = route_baseline(
+            &c,
+            &topo,
+            Layout::trivial(3, 3),
+            &RouterOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RouteError::UnsupportedGate { gate: "ccx", .. }));
+    }
+
+    #[test]
+    fn too_wide_circuit_is_rejected() {
+        let topo = line(5);
+        assert!(matches!(
+            route_baseline(
+                &Circuit::new(10),
+                &topo,
+                Layout::trivial(5, 5),
+                &RouterOptions::default()
+            ),
+            Err(RouteError::CircuitTooWide { .. })
+        ));
+        // A layout whose logical width disagrees with the circuit is also
+        // rejected.
+        assert!(matches!(
+            route_baseline(
+                &Circuit::new(3),
+                &topo,
+                Layout::trivial(5, 5),
+                &RouterOptions::default()
+            ),
+            Err(RouteError::InvalidLayout { .. })
+        ));
+    }
+
+    #[test]
+    fn trios_gathers_distant_toffoli_on_a_line() {
+        let mut c = Circuit::new(7);
+        c.ccx(0, 3, 6);
+        let topo = line(7);
+        let opts = RouterOptions {
+            lower_toffoli: false,
+            ..RouterOptions::deterministic()
+        };
+        let routed = route_trios(&c, &topo, Layout::trivial(7, 7), &opts).unwrap();
+        // Destination is the middle operand (logical 1 at phys 3):
+        // movers 0 and 6 each travel 2 SWAPs.
+        assert_eq!(routed.swap_count, 4);
+        let ccx = routed
+            .circuit
+            .iter()
+            .find(|i| i.gate() == Gate::Ccx)
+            .expect("ccx preserved");
+        let (a, m, b) = (
+            ccx.qubit(0).index(),
+            ccx.qubit(1).index(),
+            ccx.qubit(2).index(),
+        );
+        assert_ne!(
+            topo.triple_shape(a, m, b),
+            TripleShape::Disconnected,
+            "trio must be gathered"
+        );
+        assert!(verify(&c, &routed));
+    }
+
+    #[test]
+    fn trios_lowered_output_is_hardware_ready_after_swap_lowering() {
+        let mut c = Circuit::new(7);
+        c.h(0).ccx(0, 3, 6).cx(0, 1).ccx(2, 4, 5);
+        let topo = line(7);
+        let routed = route_trios(
+            &c,
+            &topo,
+            Layout::trivial(7, 7),
+            &RouterOptions::deterministic(),
+        )
+        .unwrap();
+        assert_eq!(routed.circuit.counts().ccx, 0);
+        let lowered = lower_swaps(&routed.circuit);
+        assert!(lowered.is_hardware_lowered());
+        assert!(verify(&c, &routed));
+    }
+
+    #[test]
+    fn trios_connectivity_aware_picks_8cnot_on_triangle_free_devices() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        let topo = johannesburg();
+        let layout = Layout::from_mapping(&[0, 1, 2], 20).unwrap();
+        let routed =
+            route_trios(&c, &topo, layout, &RouterOptions::deterministic()).unwrap();
+        // Adjacent line 0–1–2: no SWAPs, 8 CX (Johannesburg has no triangles).
+        assert_eq!(routed.swap_count, 0);
+        assert_eq!(routed.circuit.counts().cx, 8);
+        assert!(verify(&c, &routed));
+    }
+
+    #[test]
+    fn trios_forced_six_on_a_line_needs_one_extra_swap() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        let topo = line(3);
+        let opts = RouterOptions {
+            toffoli: ToffoliDecomposition::Six,
+            ..RouterOptions::deterministic()
+        };
+        let routed = route_trios(&c, &topo, Layout::trivial(3, 3), &opts).unwrap();
+        // The 6-CNOT decomposition interleaves all three qubit pairs, so on
+        // a line the qubits "compete to be neighbors" (paper §3) and extra
+        // SWAPs appear. The paper's conclusion: 8-CNOT wins on lines.
+        assert_eq!(routed.circuit.counts().cx, 6);
+        assert!(routed.swap_count >= 1);
+        assert_eq!(routed.cx_cost(), 6 + 3 * routed.swap_count);
+        assert!(
+            routed.cx_cost() > 8,
+            "forced 6-CNOT on a line must cost more than the 8-CNOT form"
+        );
+        assert!(verify(&c, &routed));
+    }
+
+    #[test]
+    fn trios_forced_eight_matches_connectivity_aware_on_lines() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        let topo = line(3);
+        let opts = RouterOptions {
+            toffoli: ToffoliDecomposition::Eight,
+            ..RouterOptions::deterministic()
+        };
+        let routed = route_trios(&c, &topo, Layout::trivial(3, 3), &opts).unwrap();
+        assert_eq!(routed.swap_count, 0);
+        assert_eq!(routed.circuit.counts().cx, 8);
+        assert!(verify(&c, &routed));
+    }
+
+    #[test]
+    fn trios_on_triangle_uses_6cnot() {
+        use trios_topology::full;
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        let topo = full(3);
+        let routed = route_trios(
+            &c,
+            &topo,
+            Layout::trivial(3, 3),
+            &RouterOptions::deterministic(),
+        )
+        .unwrap();
+        assert_eq!(routed.swap_count, 0);
+        assert_eq!(routed.circuit.counts().cx, 6);
+        assert!(verify(&c, &routed));
+    }
+
+    #[test]
+    fn fig1_trios_beats_baseline_on_johannesburg() {
+        // The paper's Figure 1 scenario: a single distant Toffoli.
+        let mut toffoli_level = Circuit::new(20);
+        toffoli_level.ccx(0, 1, 2);
+        let decomposed =
+            trios_passes::decompose_toffolis(&toffoli_level, ToffoliDecomposition::Six);
+        let topo = johannesburg();
+        // Qubits placed far apart, like the paper's red trio.
+        let mapping: Vec<usize> = {
+            let mut m: Vec<usize> = (0..20).collect();
+            // logical 0 → 6, logical 1 → 17, logical 2 → 3 (Fig. 6's
+            // hardest triple), displacing the identity assignment.
+            m.swap(0, 6);
+            m.swap(1, 17);
+            m.swap(2, 3);
+            m
+        };
+        let layout = Layout::from_mapping(&mapping, 20).unwrap();
+        let opts = RouterOptions::deterministic();
+        let base = route_baseline(&decomposed, &topo, layout.clone(), &opts).unwrap();
+        let trios = route_trios(&toffoli_level, &topo, layout, &opts).unwrap();
+        assert!(
+            trios.cx_cost() < base.cx_cost(),
+            "trios {} should beat baseline {}",
+            trios.cx_cost(),
+            base.cx_cost()
+        );
+        assert!(verify(&toffoli_level, &trios));
+        assert!(verify(&decomposed, &base));
+    }
+
+    #[test]
+    fn noise_aware_metric_detours_around_bad_edges() {
+        let topo = grid(3, 2); // 0-1-2 / 3-4-5
+        let mut c = Circuit::new(6);
+        c.cx(0, 2);
+        // Make edge (1,2) terrible so the router detours through the back
+        // row. Edges are sorted; build weights aligned with them.
+        let weights: Vec<f64> = topo
+            .edges()
+            .iter()
+            .map(|&e| if e == (1, 2) { 100.0 } else { 1.0 })
+            .collect();
+        let opts = RouterOptions {
+            metric: PathMetric::EdgeWeights(weights),
+            ..RouterOptions::deterministic()
+        };
+        let routed = route_baseline(&c, &topo, Layout::trivial(6, 6), &opts).unwrap();
+        // Detour 0→3→4→5→2 costs 3 swaps instead of 1; the router should
+        // prefer it only because of the weights.
+        assert!(routed
+            .circuit
+            .iter()
+            .all(|i| i.gate() != Gate::Swap
+                || (i.qubit(0).index(), i.qubit(1).index()) != (1, 2)
+                    && (i.qubit(1).index(), i.qubit(0).index()) != (1, 2)));
+        assert!(verify(&c, &routed));
+    }
+
+    fn lookahead_opts() -> RouterOptions {
+        RouterOptions {
+            lookahead: Some(LookaheadConfig::default()),
+            ..RouterOptions::deterministic()
+        }
+    }
+
+    #[test]
+    fn lookahead_single_pair_uses_minimum_swaps() {
+        // One distant gate: lookahead must match the shortest-path walk
+        // exactly (distance − 1 SWAPs).
+        let mut c = Circuit::new(6);
+        c.cx(0, 5);
+        let topo = line(6);
+        let routed =
+            route_baseline(&c, &topo, Layout::trivial(6, 6), &lookahead_opts()).unwrap();
+        assert_eq!(routed.swap_count, 4);
+        assert!(verify(&c, &routed));
+    }
+
+    #[test]
+    fn lookahead_adjacent_pair_is_a_noop() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2);
+        let topo = line(3);
+        let routed =
+            route_baseline(&c, &topo, Layout::trivial(3, 3), &lookahead_opts()).unwrap();
+        assert_eq!(routed.swap_count, 0);
+    }
+
+    #[test]
+    fn lookahead_steers_toward_future_partners() {
+        // Grid 3×3 (0-1-2 / 3-4-5 / 6-7-8). First gate CX(0,8) has many
+        // shortest paths; the follow-up CX(0,2) makes paths through the
+        // top row strictly better. The committed walk cannot see that.
+        let topo = grid(3, 3);
+        let mut c = Circuit::new(9);
+        c.cx(0, 8).cx(0, 2);
+        let look =
+            route_baseline(&c, &topo, Layout::trivial(9, 9), &lookahead_opts()).unwrap();
+        let blind = route_baseline(
+            &c,
+            &topo,
+            Layout::trivial(9, 9),
+            &RouterOptions::deterministic(),
+        )
+        .unwrap();
+        assert!(
+            look.swap_count <= blind.swap_count,
+            "lookahead {} should not lose to committed walk {}",
+            look.swap_count,
+            blind.swap_count
+        );
+        assert!(verify(&c, &look));
+        assert!(verify(&c, &blind));
+    }
+
+    #[test]
+    fn lookahead_is_deterministic() {
+        let mut c = Circuit::new(8);
+        c.cx(0, 7).cx(2, 6).cx(1, 5).cx(0, 4);
+        let topo = grid(4, 2);
+        let a = route_baseline(&c, &topo, Layout::trivial(8, 8), &lookahead_opts()).unwrap();
+        let b = route_baseline(&c, &topo, Layout::trivial(8, 8), &lookahead_opts()).unwrap();
+        assert_eq!(a.circuit, b.circuit);
+        assert!(verify(&c, &a));
+    }
+
+    #[test]
+    fn lookahead_works_under_trios_gather() {
+        // Lookahead handles the 2q traffic while trios gather the ccx.
+        let mut c = Circuit::new(7);
+        c.cx(0, 6).ccx(0, 3, 6).cx(0, 6);
+        let topo = line(7);
+        let routed = route_trios(&c, &topo, Layout::trivial(7, 7), &lookahead_opts()).unwrap();
+        assert_eq!(routed.circuit.counts().three_qubit, 0);
+        assert!(verify(&c, &routed));
+    }
+
+    fn bridge_opts() -> RouterOptions {
+        RouterOptions {
+            bridge: true,
+            ..RouterOptions::deterministic()
+        }
+    }
+
+    #[test]
+    fn bridge_replaces_distance_two_cnot_without_moving_data() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 2);
+        let topo = line(3);
+        let routed = route_baseline(&c, &topo, Layout::trivial(3, 3), &bridge_opts()).unwrap();
+        assert_eq!(routed.swap_count, 0, "bridge must not permute the layout");
+        assert_eq!(routed.circuit.counts().cx, 4);
+        assert_eq!(routed.initial_layout, routed.final_layout);
+        assert!(verify(&c, &routed));
+    }
+
+    #[test]
+    fn bridge_ignores_longer_distances_and_other_gates() {
+        // Distance 3: falls back to SWAP routing.
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        let topo = line(4);
+        let routed = route_baseline(&c, &topo, Layout::trivial(4, 4), &bridge_opts()).unwrap();
+        assert!(routed.swap_count > 0);
+        assert!(verify(&c, &routed));
+        // CZ at distance 2: no bridge identity, SWAP routing.
+        let mut c = Circuit::new(3);
+        c.cz(0, 2);
+        let topo = line(3);
+        let routed = route_baseline(&c, &topo, Layout::trivial(3, 3), &bridge_opts()).unwrap();
+        assert_eq!(routed.swap_count, 1);
+        assert!(verify(&c, &routed));
+    }
+
+    #[test]
+    fn bridge_wins_when_pair_interacts_once_loses_on_reuse() {
+        let topo = line(3);
+        // Single interaction: bridge 4 CX vs swap 3+1 = 4 CX — tie on
+        // gates, but the layout stays home (observable below).
+        let mut once = Circuit::new(3);
+        once.cx(0, 2);
+        // Repeated interaction: swapping once amortizes; bridging pays 4
+        // CX every time.
+        let mut thrice = Circuit::new(3);
+        thrice.cx(0, 2).cx(0, 2).cx(0, 2);
+        let bridged =
+            route_baseline(&thrice, &topo, Layout::trivial(3, 3), &bridge_opts()).unwrap();
+        let swapped = route_baseline(
+            &thrice,
+            &topo,
+            Layout::trivial(3, 3),
+            &RouterOptions::deterministic(),
+        )
+        .unwrap();
+        assert_eq!(bridged.cx_cost(), 12);
+        assert_eq!(swapped.cx_cost(), 3 + 3, "one swap then three local CX");
+        assert!(verify(&thrice, &bridged));
+        assert!(verify(&thrice, &swapped));
+        let _ = once;
+    }
+
+    #[test]
+    fn bridge_composes_with_trios_gather() {
+        let mut c = Circuit::new(5);
+        c.cx(0, 2).ccx(0, 2, 4).cx(2, 4);
+        let topo = line(5);
+        let routed = route_trios(&c, &topo, Layout::trivial(5, 5), &bridge_opts()).unwrap();
+        assert!(verify(&c, &routed));
+    }
+
+    #[test]
+    fn trios_routes_ccz_with_symmetric_decomposition() {
+        // CCZ on a line: 8-CNOT CCZ form, no H gates, no extra SWAPs once
+        // gathered.
+        let mut c = Circuit::new(7);
+        c.ccz(0, 3, 6);
+        let topo = line(7);
+        let routed = route_trios(
+            &c,
+            &topo,
+            Layout::trivial(7, 7),
+            &RouterOptions::deterministic(),
+        )
+        .unwrap();
+        assert_eq!(routed.swap_count, 4, "same gather cost as a Toffoli");
+        assert_eq!(routed.circuit.counts().cx, 8);
+        assert_eq!(
+            routed
+                .circuit
+                .iter()
+                .filter(|i| i.gate() == Gate::H)
+                .count(),
+            0,
+            "CCZ decomposition has no Hadamards"
+        );
+        assert!(verify(&c, &routed));
+    }
+
+    #[test]
+    fn trios_routes_ccz_on_triangle_with_6cnot() {
+        use trios_topology::full;
+        let mut c = Circuit::new(3);
+        c.ccz(0, 1, 2);
+        let topo = full(3);
+        let routed = route_trios(
+            &c,
+            &topo,
+            Layout::trivial(3, 3),
+            &RouterOptions::deterministic(),
+        )
+        .unwrap();
+        assert_eq!(routed.swap_count, 0);
+        assert_eq!(routed.circuit.counts().cx, 6);
+        assert!(verify(&c, &routed));
+    }
+
+    #[test]
+    fn trios_routes_cswap_as_gathered_unit() {
+        let mut c = Circuit::new(7);
+        c.cswap(0, 3, 6);
+        let topo = line(7);
+        let routed = route_trios(
+            &c,
+            &topo,
+            Layout::trivial(7, 7),
+            &RouterOptions::deterministic(),
+        )
+        .unwrap();
+        // Gather cost plus the CX-conjugated 8-CNOT Toffoli; the gather
+        // centers on a swapped operand so the conjugating CXs are adjacent.
+        assert_eq!(routed.circuit.counts().cswap, 0);
+        assert_eq!(routed.circuit.counts().cx, 10);
+        assert!(verify(&c, &routed));
+    }
+
+    #[test]
+    fn trios_cswap_destination_is_a_swapped_operand() {
+        // Control far out on one side: the unrestricted destination rule
+        // would pick the middle operand regardless of role; for Fredkin the
+        // destination must be one of the swapped pair.
+        let mut c = Circuit::new(9);
+        c.cswap(4, 0, 8); // control sits physically between the pair
+        let topo = line(9);
+        let opts = RouterOptions {
+            lower_toffoli: false,
+            ..RouterOptions::deterministic()
+        };
+        let routed = route_trios(&c, &topo, Layout::trivial(9, 9), &opts).unwrap();
+        let kept = routed
+            .circuit
+            .iter()
+            .find(|i| i.gate() == Gate::Cswap)
+            .expect("cswap preserved when lowering is off");
+        // The physical trio must be connected.
+        let (pc, pa, pb) = (
+            kept.qubit(0).index(),
+            kept.qubit(1).index(),
+            kept.qubit(2).index(),
+        );
+        assert_ne!(topo.triple_shape(pc, pa, pb), TripleShape::Disconnected);
+        assert!(verify(&c, &routed));
+    }
+
+    #[test]
+    fn mixed_three_qubit_program_routes_and_verifies() {
+        let mut c = Circuit::new(8);
+        c.h(0)
+            .ccx(0, 3, 6)
+            .ccz(1, 4, 7)
+            .cswap(2, 5, 7)
+            .cx(0, 7)
+            .ccz(0, 1, 2);
+        let topo = grid(4, 2);
+        for seed in [0u64, 1, 2] {
+            let routed = route_trios(
+                &c,
+                &topo,
+                Layout::trivial(8, 8),
+                &RouterOptions::with_seed(seed),
+            )
+            .unwrap();
+            assert_eq!(routed.circuit.counts().three_qubit, 0);
+            assert!(verify(&c, &routed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn trio_events_record_gather_distance_and_shape() {
+        let mut c = Circuit::new(7);
+        c.ccx(0, 3, 6).ccx(0, 3, 6);
+        let topo = line(7);
+        let routed = route_trios(
+            &c,
+            &topo,
+            Layout::trivial(7, 7),
+            &RouterOptions::deterministic(),
+        )
+        .unwrap();
+        assert_eq!(routed.trio_events.len(), 2);
+        let first = routed.trio_events[0];
+        assert_eq!(first.gate, Gate::Ccx);
+        // Trivial layout 0–3–6 on a line: best destination is the middle
+        // operand, summed distance 6, i.e. 4 SWAPs beyond connected.
+        assert_eq!(first.gather_distance, 4);
+        assert_eq!(first.swaps, 4);
+        assert!(matches!(first.shape, TripleShape::Line { .. }));
+        // The second Toffoli reuses the gathered placement.
+        let second = routed.trio_events[1];
+        assert_eq!(second.gather_distance, 0);
+        assert_eq!(second.swaps, 0);
+        assert!((routed.mean_gather_distance().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_routing_records_no_trio_events() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        let topo = line(4);
+        let routed = route_baseline(
+            &c,
+            &topo,
+            Layout::trivial(4, 4),
+            &RouterOptions::deterministic(),
+        )
+        .unwrap();
+        assert!(routed.trio_events.is_empty());
+        assert_eq!(routed.mean_gather_distance(), None);
+    }
+
+    #[test]
+    fn cswap_contributes_two_trio_events() {
+        let mut c = Circuit::new(5);
+        c.cswap(0, 2, 4);
+        let topo = line(5);
+        let routed = route_trios(
+            &c,
+            &topo,
+            Layout::trivial(5, 5),
+            &RouterOptions::deterministic(),
+        )
+        .unwrap();
+        assert_eq!(routed.trio_events.len(), 2);
+        assert_eq!(routed.trio_events[0].gate, Gate::Cswap);
+        assert_eq!(routed.trio_events[1].gate, Gate::Ccx);
+        assert_eq!(routed.trio_events[1].gather_distance, 0, "inner ccx is pre-gathered");
+    }
+
+    #[test]
+    fn measurements_are_mapped_to_physical_homes() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).measure(0).measure(1);
+        let topo = line(4);
+        let layout = Layout::from_mapping(&[2, 3], 4).unwrap();
+        let routed =
+            route_baseline(&c, &topo, layout, &RouterOptions::deterministic()).unwrap();
+        let measured: Vec<usize> = routed
+            .circuit
+            .iter()
+            .filter(|i| i.gate() == Gate::Measure)
+            .map(|i| i.qubit(0).index())
+            .collect();
+        assert_eq!(measured, vec![2, 3]);
+    }
+}

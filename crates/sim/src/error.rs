@@ -1,0 +1,63 @@
+//! Simulator error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Reasons a simulation request can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The register is too large for dense simulation.
+    TooManyQubits {
+        /// Requested register width.
+        requested: usize,
+        /// Hard cap for this simulator.
+        max: usize,
+    },
+    /// A non-unitary instruction (measurement) reached a unitary-only path.
+    NonUnitary {
+        /// Index of the instruction in its circuit.
+        instruction: usize,
+    },
+    /// Circuit widths (or a layout length) disagree.
+    WidthMismatch {
+        /// Expected width.
+        expected: usize,
+        /// Actual width.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TooManyQubits { requested, max } => write!(
+                f,
+                "dense simulation of {requested} qubits exceeds the {max}-qubit cap"
+            ),
+            SimError::NonUnitary { instruction } => write!(
+                f,
+                "instruction {instruction} is a measurement; this operation requires a unitary circuit"
+            ),
+            SimError::WidthMismatch { expected, actual } => {
+                write!(f, "expected width {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::TooManyQubits {
+            requested: 40,
+            max: 26,
+        };
+        assert!(e.to_string().contains("40"));
+        assert!(e.to_string().contains("26"));
+    }
+}

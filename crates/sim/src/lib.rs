@@ -1,0 +1,47 @@
+//! # trios-sim — statevector simulation for compiler verification
+//!
+//! A small, dependency-free dense statevector simulator. Its job in the
+//! Orchestrated Trios reproduction is *verification*: every Toffoli/CnX
+//! decomposition and every routed circuit is checked against the original
+//! program's semantics (see [`circuits_equivalent`] and
+//! [`compiled_equivalent`]), and the Grover example uses it to demonstrate
+//! end-to-end correctness of compiled programs.
+//!
+//! The crate also hosts the 2×2 matrix utilities ([`zyz_decompose`],
+//! [`single_qubit_matrix`]) that the optimizer's single-qubit-merge pass
+//! uses to resynthesize gate runs into one `u3`.
+//!
+//! # Examples
+//!
+//! ```
+//! use trios_ir::Circuit;
+//! use trios_sim::{circuits_equivalent, State};
+//!
+//! // CZ = H(t) CX H(t)
+//! let mut a = Circuit::new(2);
+//! a.cz(0, 1);
+//! let mut b = Circuit::new(2);
+//! b.h(1).cx(0, 1).h(1);
+//! assert!(circuits_equivalent(&a, &b, 1e-9)?);
+//! # Ok::<(), trios_sim::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod complex;
+mod equivalence;
+mod error;
+mod matrix;
+mod state;
+
+pub use complex::C64;
+pub use equivalence::{
+    circuits_equivalent, circuits_equivalent_sampled, compiled_equivalent, embed,
+};
+pub use error::SimError;
+pub use matrix::{
+    mat2_adjoint, mat2_approx_eq, mat2_eq_up_to_phase, mat2_mul, single_qubit_matrix, u3_matrix,
+    xpow_matrix, zyz_decompose, Mat2, ZyzAngles, MAT2_IDENTITY,
+};
+pub use state::{State, MAX_QUBITS};

@@ -1,0 +1,298 @@
+//! 2×2 unitary matrices for single-qubit gates, plus the ZYZ resynthesis
+//! used by the single-qubit-merge optimization pass.
+
+use crate::C64;
+use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_4, PI};
+use trios_ir::Gate;
+
+/// A 2×2 complex matrix in row-major order.
+pub type Mat2 = [[C64; 2]; 2];
+
+/// The 2×2 identity.
+pub const MAT2_IDENTITY: Mat2 = [[C64::ONE, C64::ZERO], [C64::ZERO, C64::ONE]];
+
+/// Matrix product `a · b`.
+pub fn mat2_mul(a: &Mat2, b: &Mat2) -> Mat2 {
+    let mut out = [[C64::ZERO; 2]; 2];
+    for (r, row) in out.iter_mut().enumerate() {
+        for (c, cell) in row.iter_mut().enumerate() {
+            *cell = a[r][0] * b[0][c] + a[r][1] * b[1][c];
+        }
+    }
+    out
+}
+
+/// Conjugate transpose.
+pub fn mat2_adjoint(m: &Mat2) -> Mat2 {
+    [
+        [m[0][0].conj(), m[1][0].conj()],
+        [m[0][1].conj(), m[1][1].conj()],
+    ]
+}
+
+/// `true` if `a` and `b` are entrywise equal within `eps`.
+pub fn mat2_approx_eq(a: &Mat2, b: &Mat2, eps: f64) -> bool {
+    (0..2).all(|r| (0..2).all(|c| a[r][c].approx_eq(b[r][c], eps)))
+}
+
+/// `true` if `a = e^{iα} b` for some phase α, within `eps`.
+pub fn mat2_eq_up_to_phase(a: &Mat2, b: &Mat2, eps: f64) -> bool {
+    // Find the largest entry of b to fix the phase.
+    let (mut br, mut bc) = (0, 0);
+    for r in 0..2 {
+        for c in 0..2 {
+            if b[r][c].abs() > b[br][bc].abs() {
+                (br, bc) = (r, c);
+            }
+        }
+    }
+    if b[br][bc].abs() < eps {
+        return mat2_approx_eq(a, b, eps);
+    }
+    let phase = a[br][bc] / b[br][bc];
+    if (phase.abs() - 1.0).abs() > eps {
+        return false;
+    }
+    (0..2).all(|r| (0..2).all(|c| a[r][c].approx_eq(b[r][c] * phase, eps)))
+}
+
+/// The matrix of the IBM `u3(θ, φ, λ)` gate.
+pub fn u3_matrix(theta: f64, phi: f64, lambda: f64) -> Mat2 {
+    let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    [
+        [C64::real(c), -C64::cis(lambda) * s],
+        [C64::cis(phi) * s, C64::cis(phi + lambda) * c],
+    ]
+}
+
+/// The matrix of `X^t` (eigenvalues 1 and `e^{iπt}`), the convention under
+/// which `Sx = X^{1/2}` and controlled fractional-X ladders compose exactly.
+pub fn xpow_matrix(t: f64) -> Mat2 {
+    let e = C64::cis(PI * t);
+    let p = (C64::ONE + e).scale(0.5);
+    let m = (C64::ONE - e).scale(0.5);
+    [[p, m], [m, p]]
+}
+
+/// The 2×2 unitary of a single-qubit gate, or `None` for multi-qubit gates
+/// and measurement.
+pub fn single_qubit_matrix(gate: Gate) -> Option<Mat2> {
+    let h = C64::real(FRAC_1_SQRT_2);
+    Some(match gate {
+        Gate::I => MAT2_IDENTITY,
+        Gate::H => [[h, h], [h, -h]],
+        Gate::X => [[C64::ZERO, C64::ONE], [C64::ONE, C64::ZERO]],
+        Gate::Y => [[C64::ZERO, -C64::I], [C64::I, C64::ZERO]],
+        Gate::Z => [[C64::ONE, C64::ZERO], [C64::ZERO, -C64::ONE]],
+        Gate::S => [[C64::ONE, C64::ZERO], [C64::ZERO, C64::I]],
+        Gate::Sdg => [[C64::ONE, C64::ZERO], [C64::ZERO, -C64::I]],
+        Gate::T => [[C64::ONE, C64::ZERO], [C64::ZERO, C64::cis(FRAC_PI_4)]],
+        Gate::Tdg => [[C64::ONE, C64::ZERO], [C64::ZERO, C64::cis(-FRAC_PI_4)]],
+        Gate::Sx => xpow_matrix(0.5),
+        Gate::Sxdg => xpow_matrix(-0.5),
+        Gate::Rx(a) => {
+            let (c, s) = ((a / 2.0).cos(), (a / 2.0).sin());
+            [
+                [C64::real(c), C64::new(0.0, -s)],
+                [C64::new(0.0, -s), C64::real(c)],
+            ]
+        }
+        Gate::Ry(a) => {
+            let (c, s) = ((a / 2.0).cos(), (a / 2.0).sin());
+            [[C64::real(c), C64::real(-s)], [C64::real(s), C64::real(c)]]
+        }
+        Gate::Rz(a) => [
+            [C64::cis(-a / 2.0), C64::ZERO],
+            [C64::ZERO, C64::cis(a / 2.0)],
+        ],
+        Gate::U1(l) => [[C64::ONE, C64::ZERO], [C64::ZERO, C64::cis(l)]],
+        Gate::U2(phi, lam) => u3_matrix(PI / 2.0, phi, lam),
+        Gate::U3(t, p, l) => u3_matrix(t, p, l),
+        Gate::Xpow(t) => xpow_matrix(t),
+        _ => return None,
+    })
+}
+
+/// Result of [`zyz_decompose`]: `U = e^{iα}·u3(θ, φ, λ)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZyzAngles {
+    /// Polar rotation angle θ.
+    pub theta: f64,
+    /// First Z angle φ.
+    pub phi: f64,
+    /// Second Z angle λ.
+    pub lambda: f64,
+    /// Global phase α.
+    pub phase: f64,
+}
+
+/// Decomposes any 2×2 unitary into `e^{iα}·u3(θ, φ, λ)`.
+///
+/// Used by the single-qubit-merge pass to resynthesize a run of 1q gates
+/// into one hardware `u3`.
+pub fn zyz_decompose(m: &Mat2) -> ZyzAngles {
+    let det = m[0][0] * m[1][1] - m[0][1] * m[1][0];
+    let det_phase = det.arg() / 2.0;
+    // V = e^{-i det_phase} · m has determinant 1 (SU(2)).
+    let g = C64::cis(-det_phase);
+    let v = [[m[0][0] * g, m[0][1] * g], [m[1][0] * g, m[1][1] * g]];
+
+    let theta = 2.0 * v[1][0].abs().atan2(v[0][0].abs());
+    let half = theta / 2.0;
+    let (a, b) = if half.sin().abs() < 1e-10 {
+        // Diagonal: only φ+λ is determined; put it all in (φ+λ)/2 = arg(v11).
+        (v[1][1].arg(), 0.0)
+    } else if half.cos().abs() < 1e-10 {
+        // Anti-diagonal: only φ−λ is determined.
+        (0.0, v[1][0].arg())
+    } else {
+        (v[1][1].arg(), v[1][0].arg())
+    };
+    let phi = a + b;
+    let lambda = a - b;
+    let phase = det_phase - a;
+    ZyzAngles {
+        theta,
+        phi,
+        lambda,
+        phase,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_unitary(m: &Mat2) {
+        let prod = mat2_mul(&mat2_adjoint(m), m);
+        assert!(
+            mat2_approx_eq(&prod, &MAT2_IDENTITY, 1e-9),
+            "matrix is not unitary: {m:?}"
+        );
+    }
+
+    #[test]
+    fn all_single_qubit_gates_are_unitary() {
+        let gates = [
+            Gate::I,
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Sx,
+            Gate::Sxdg,
+            Gate::Rx(0.7),
+            Gate::Ry(1.3),
+            Gate::Rz(-0.4),
+            Gate::U1(2.0),
+            Gate::U2(0.3, 1.1),
+            Gate::U3(0.9, -0.2, 0.5),
+            Gate::Xpow(0.3),
+        ];
+        for g in gates {
+            assert_unitary(&single_qubit_matrix(g).unwrap());
+        }
+    }
+
+    #[test]
+    fn multi_qubit_gates_have_no_1q_matrix() {
+        assert!(single_qubit_matrix(Gate::Cx).is_none());
+        assert!(single_qubit_matrix(Gate::Ccx).is_none());
+        assert!(single_qubit_matrix(Gate::Measure).is_none());
+    }
+
+    #[test]
+    fn sx_is_sqrt_x() {
+        let sx = single_qubit_matrix(Gate::Sx).unwrap();
+        let x = single_qubit_matrix(Gate::X).unwrap();
+        assert!(mat2_approx_eq(&mat2_mul(&sx, &sx), &x, 1e-12));
+    }
+
+    #[test]
+    fn xpow_composes_additively() {
+        let a = xpow_matrix(0.3);
+        let b = xpow_matrix(0.45);
+        let ab = mat2_mul(&a, &b);
+        assert!(mat2_approx_eq(&ab, &xpow_matrix(0.75), 1e-12));
+    }
+
+    #[test]
+    fn inverse_gates_multiply_to_identity() {
+        for g in [Gate::T, Gate::S, Gate::Sx, Gate::Rx(0.8), Gate::U2(0.2, 0.9)] {
+            let m = single_qubit_matrix(g).unwrap();
+            let mi = single_qubit_matrix(g.inverse().unwrap()).unwrap();
+            assert!(
+                mat2_eq_up_to_phase(&mat2_mul(&m, &mi), &MAT2_IDENTITY, 1e-9),
+                "gate {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hadamard_equals_u2_0_pi() {
+        let h = single_qubit_matrix(Gate::H).unwrap();
+        let u2 = single_qubit_matrix(Gate::U2(0.0, std::f64::consts::PI)).unwrap();
+        assert!(mat2_approx_eq(&h, &u2, 1e-12));
+    }
+
+    #[test]
+    fn zyz_round_trips_named_gates() {
+        for g in [
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::T,
+            Gate::Sx,
+            Gate::Rx(1.234),
+            Gate::Ry(-0.77),
+            Gate::Rz(2.5),
+            Gate::U1(0.4),
+            Gate::U2(0.1, -1.9),
+            Gate::U3(2.2, 0.6, -0.3),
+            Gate::Xpow(0.37),
+        ] {
+            let m = single_qubit_matrix(g).unwrap();
+            let z = zyz_decompose(&m);
+            let rebuilt = u3_matrix(z.theta, z.phi, z.lambda);
+            let phased: Mat2 = [
+                [rebuilt[0][0] * C64::cis(z.phase), rebuilt[0][1] * C64::cis(z.phase)],
+                [rebuilt[1][0] * C64::cis(z.phase), rebuilt[1][1] * C64::cis(z.phase)],
+            ];
+            assert!(
+                mat2_approx_eq(&phased, &m, 1e-9),
+                "zyz round trip failed for {g:?}: {z:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zyz_round_trips_products() {
+        // Deterministic pseudo-random products of gates.
+        let gates = [
+            Gate::H,
+            Gate::T,
+            Gate::Sx,
+            Gate::Rz(0.9),
+            Gate::Ry(1.7),
+            Gate::U3(0.8, 2.0, -1.1),
+        ];
+        let mut m = MAT2_IDENTITY;
+        for (i, g) in gates.iter().cycle().take(25).enumerate() {
+            m = mat2_mul(&single_qubit_matrix(*g).unwrap(), &m);
+            if i % 3 == 0 {
+                let z = zyz_decompose(&m);
+                let rebuilt = u3_matrix(z.theta, z.phi, z.lambda);
+                assert!(
+                    mat2_eq_up_to_phase(&m, &rebuilt, 1e-9),
+                    "step {i}: {z:?}"
+                );
+            }
+        }
+    }
+}

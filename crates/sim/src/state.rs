@@ -1,0 +1,713 @@
+//! Dense statevector simulation.
+
+use crate::{single_qubit_matrix, C64, SimError};
+use trios_ir::{Circuit, Gate, Instruction};
+
+/// Hard cap on dense-simulation width (2²⁴ amplitudes ≈ 268 MB).
+pub const MAX_QUBITS: usize = 24;
+
+/// A dense statevector over `n` qubits.
+///
+/// Qubit `q` corresponds to bit `q` of the basis index, so basis state
+/// `|b_{n-1} … b_1 b_0⟩` lives at index `Σ b_q · 2^q`.
+///
+/// The simulator exists to *verify* the compiler: every decomposition and
+/// every routed circuit in this workspace is checked against the original
+/// program's statevector. It is not meant to compete with production
+/// simulators, but it comfortably handles the paper's 20-qubit benchmarks.
+///
+/// # Examples
+///
+/// ```
+/// use trios_ir::Circuit;
+/// use trios_sim::State;
+///
+/// // A Toffoli flips the target only when both controls are set.
+/// let mut c = Circuit::new(3);
+/// c.x(0).x(1).ccx(0, 1, 2);
+/// let state = State::run(&c).unwrap();
+/// assert!((state.probability(0b111) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct State {
+    num_qubits: usize,
+    amps: Vec<C64>,
+}
+
+impl State {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooManyQubits`] above [`MAX_QUBITS`].
+    pub fn zero(num_qubits: usize) -> Result<Self, SimError> {
+        Self::basis(num_qubits, 0)
+    }
+
+    /// The computational basis state with the given index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooManyQubits`] above [`MAX_QUBITS`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^num_qubits`.
+    pub fn basis(num_qubits: usize, index: usize) -> Result<Self, SimError> {
+        if num_qubits > MAX_QUBITS {
+            return Err(SimError::TooManyQubits {
+                requested: num_qubits,
+                max: MAX_QUBITS,
+            });
+        }
+        let dim = 1usize << num_qubits;
+        assert!(index < dim, "basis index {index} out of range for {num_qubits} qubits");
+        let mut amps = vec![C64::ZERO; dim];
+        amps[index] = C64::ONE;
+        Ok(State { num_qubits, amps })
+    }
+
+    /// A deterministic pseudo-random state (uniform amplitudes, normalized),
+    /// seeded so tests are reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooManyQubits`] above [`MAX_QUBITS`].
+    pub fn random(num_qubits: usize, seed: u64) -> Result<Self, SimError> {
+        if num_qubits > MAX_QUBITS {
+            return Err(SimError::TooManyQubits {
+                requested: num_qubits,
+                max: MAX_QUBITS,
+            });
+        }
+        let dim = 1usize << num_qubits;
+        let mut rng = SplitMix64::new(seed);
+        let mut amps = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            amps.push(C64::new(rng.next_unit() - 0.5, rng.next_unit() - 0.5));
+        }
+        let mut state = State { num_qubits, amps };
+        state.normalize();
+        Ok(state)
+    }
+
+    /// Builds a state from raw amplitudes (length must be a power of two).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WidthMismatch`] if the length is not a power of
+    /// two, or [`SimError::TooManyQubits`] if it is too large.
+    pub fn from_amplitudes(amps: Vec<C64>) -> Result<Self, SimError> {
+        if !amps.len().is_power_of_two() {
+            return Err(SimError::WidthMismatch {
+                expected: amps.len().next_power_of_two(),
+                actual: amps.len(),
+            });
+        }
+        let num_qubits = amps.len().trailing_zeros() as usize;
+        if num_qubits > MAX_QUBITS {
+            return Err(SimError::TooManyQubits {
+                requested: num_qubits,
+                max: MAX_QUBITS,
+            });
+        }
+        Ok(State { num_qubits, amps })
+    }
+
+    /// Runs `circuit` on `|0…0⟩`. Measurements are skipped (the success
+    /// model accounts for readout separately).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooManyQubits`] for circuits above [`MAX_QUBITS`].
+    pub fn run(circuit: &Circuit) -> Result<Self, SimError> {
+        let mut state = State::zero(circuit.num_qubits())?;
+        state.apply_circuit(circuit)?;
+        Ok(state)
+    }
+
+    /// Register width.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The raw amplitudes (little-endian qubit order).
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// The ℓ² norm (1 for any valid quantum state).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Rescales to unit norm.
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        if n > 0.0 {
+            for a in &mut self.amps {
+                *a = a.scale(1.0 / n);
+            }
+        }
+    }
+
+    /// Applies all unitary instructions of `circuit`, skipping measurements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WidthMismatch`] if the circuit is wider than the
+    /// state.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<(), SimError> {
+        if circuit.num_qubits() > self.num_qubits {
+            return Err(SimError::WidthMismatch {
+                expected: self.num_qubits,
+                actual: circuit.num_qubits(),
+            });
+        }
+        for instr in circuit.iter() {
+            if instr.gate().is_measurement() {
+                continue;
+            }
+            self.apply(instr);
+        }
+        Ok(())
+    }
+
+    /// Applies one unitary instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on measurement instructions or out-of-range qubits.
+    pub fn apply(&mut self, instr: &Instruction) {
+        let qs = instr.qubits();
+        debug_assert!(qs.iter().all(|q| q.index() < self.num_qubits));
+        match instr.gate() {
+            Gate::Measure => panic!("cannot apply a measurement as a unitary"),
+            Gate::I => {}
+            Gate::X => self.apply_x(qs[0].index()),
+            Gate::Z => self.apply_phase_1q(qs[0].index(), -C64::ONE),
+            Gate::S => self.apply_phase_1q(qs[0].index(), C64::I),
+            Gate::Sdg => self.apply_phase_1q(qs[0].index(), -C64::I),
+            Gate::T => self.apply_phase_1q(qs[0].index(), C64::cis(std::f64::consts::FRAC_PI_4)),
+            Gate::Tdg => {
+                self.apply_phase_1q(qs[0].index(), C64::cis(-std::f64::consts::FRAC_PI_4))
+            }
+            Gate::U1(l) => self.apply_phase_1q(qs[0].index(), C64::cis(l)),
+            Gate::Cx => self.apply_cx(qs[0].index(), qs[1].index()),
+            Gate::Cz => self.apply_cphase(qs[0].index(), qs[1].index(), -C64::ONE),
+            Gate::Cp(l) => self.apply_cphase(qs[0].index(), qs[1].index(), C64::cis(l)),
+            Gate::Swap => self.apply_swap(qs[0].index(), qs[1].index()),
+            Gate::Ccx => self.apply_ccx(qs[0].index(), qs[1].index(), qs[2].index()),
+            Gate::Ccz => self.apply_ccz(qs[0].index(), qs[1].index(), qs[2].index()),
+            Gate::Cswap => self.apply_cswap(qs[0].index(), qs[1].index(), qs[2].index()),
+            Gate::Cxpow(t) => {
+                let m = crate::xpow_matrix(t);
+                self.apply_controlled_1q(qs[0].index(), qs[1].index(), &m);
+            }
+            g => {
+                let m = single_qubit_matrix(g)
+                    .unwrap_or_else(|| panic!("no matrix for gate {g:?}"));
+                self.apply_1q(qs[0].index(), &m);
+            }
+        }
+    }
+
+    fn apply_1q(&mut self, q: usize, m: &crate::Mat2) {
+        let mask = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & mask == 0 {
+                let j = i | mask;
+                let (a0, a1) = (self.amps[i], self.amps[j]);
+                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    }
+
+    fn apply_x(&mut self, q: usize) {
+        let mask = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & mask == 0 {
+                self.amps.swap(i, i | mask);
+            }
+        }
+    }
+
+    fn apply_phase_1q(&mut self, q: usize, phase: C64) {
+        let mask = 1usize << q;
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if i & mask != 0 {
+                *a *= phase;
+            }
+        }
+    }
+
+    fn apply_cx(&mut self, c: usize, t: usize) {
+        let (cm, tm) = (1usize << c, 1usize << t);
+        for i in 0..self.amps.len() {
+            if i & cm != 0 && i & tm == 0 {
+                self.amps.swap(i, i | tm);
+            }
+        }
+    }
+
+    fn apply_cphase(&mut self, a: usize, b: usize, phase: C64) {
+        let mask = (1usize << a) | (1usize << b);
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            if i & mask == mask {
+                *amp *= phase;
+            }
+        }
+    }
+
+    fn apply_swap(&mut self, a: usize, b: usize) {
+        let (am, bm) = (1usize << a, 1usize << b);
+        for i in 0..self.amps.len() {
+            if i & am != 0 && i & bm == 0 {
+                self.amps.swap(i, i ^ am ^ bm);
+            }
+        }
+    }
+
+    fn apply_ccx(&mut self, c1: usize, c2: usize, t: usize) {
+        let (c1m, c2m, tm) = (1usize << c1, 1usize << c2, 1usize << t);
+        let cm = c1m | c2m;
+        for i in 0..self.amps.len() {
+            if i & cm == cm && i & tm == 0 {
+                self.amps.swap(i, i | tm);
+            }
+        }
+    }
+
+    fn apply_ccz(&mut self, a: usize, b: usize, c: usize) {
+        let mask = (1usize << a) | (1usize << b) | (1usize << c);
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            if i & mask == mask {
+                *amp = -*amp;
+            }
+        }
+    }
+
+    fn apply_cswap(&mut self, c: usize, a: usize, b: usize) {
+        let (cm, am, bm) = (1usize << c, 1usize << a, 1usize << b);
+        for i in 0..self.amps.len() {
+            if i & cm != 0 && i & am != 0 && i & bm == 0 {
+                self.amps.swap(i, i ^ am ^ bm);
+            }
+        }
+    }
+
+    fn apply_controlled_1q(&mut self, c: usize, t: usize, m: &crate::Mat2) {
+        let (cm, tm) = (1usize << c, 1usize << t);
+        for i in 0..self.amps.len() {
+            if i & cm != 0 && i & tm == 0 {
+                let j = i | tm;
+                let (a0, a1) = (self.amps[i], self.amps[j]);
+                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    }
+
+    /// Probability of measuring the full register in basis state `outcome`.
+    pub fn probability(&self, outcome: usize) -> f64 {
+        self.amps[outcome].norm_sqr()
+    }
+
+    /// Probability of observing `value` on the listed `qubits` (bit `k` of
+    /// `value` is the outcome of `qubits[k]`), marginalizing the rest.
+    pub fn marginal_probability(&self, qubits: &[usize], value: usize) -> f64 {
+        let mut total = 0.0;
+        'outer: for (i, amp) in self.amps.iter().enumerate() {
+            for (k, &q) in qubits.iter().enumerate() {
+                if (i >> q) & 1 != (value >> k) & 1 {
+                    continue 'outer;
+                }
+            }
+            total += amp.norm_sqr();
+        }
+        total
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn inner(&self, other: &State) -> C64 {
+        assert_eq!(self.num_qubits, other.num_qubits, "state widths differ");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// Fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &State) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    /// Samples `shots` full-register measurement outcomes, returning
+    /// outcome → count. Deterministic per seed (SplitMix64 inversion
+    /// sampling over the cumulative distribution), so tests and examples
+    /// are reproducible — the statevector is *not* collapsed.
+    ///
+    /// This is the simulator-side analogue of the paper's experimental
+    /// procedure ("each experiment is performed with 8192 trials", §5.1).
+    pub fn sample_counts(&self, shots: usize, seed: u64) -> std::collections::HashMap<usize, usize> {
+        let mut rng = SplitMix64::new(seed);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..shots {
+            let mut r = rng.next_unit() * self.norm().powi(2);
+            let mut outcome = self.amps.len() - 1;
+            for (i, amp) in self.amps.iter().enumerate() {
+                r -= amp.norm_sqr();
+                if r <= 0.0 {
+                    outcome = i;
+                    break;
+                }
+            }
+            *counts.entry(outcome).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Total variation distance between this state's outcome distribution
+    /// and an empirical `counts` histogram over `shots` samples — how far
+    /// sampled results sit from the ideal distribution, in `[0, 1]`.
+    pub fn total_variation_distance(
+        &self,
+        counts: &std::collections::HashMap<usize, usize>,
+        shots: usize,
+    ) -> f64 {
+        let mut tvd = 0.0;
+        for (i, amp) in self.amps.iter().enumerate() {
+            let empirical = counts.get(&i).copied().unwrap_or(0) as f64 / shots as f64;
+            tvd += (amp.norm_sqr() - empirical).abs();
+        }
+        tvd / 2.0
+    }
+
+    /// `true` if the states are equal up to a global phase: every amplitude
+    /// pair satisfies `|a_i − e^{iα} b_i| < eps` for one shared α.
+    pub fn approx_eq_up_to_phase(&self, other: &State, eps: f64) -> bool {
+        if self.num_qubits != other.num_qubits {
+            return false;
+        }
+        // Fix the phase from the largest amplitude of `other`.
+        let (mut k, mut best) = (0usize, 0.0f64);
+        for (i, a) in other.amps.iter().enumerate() {
+            let m = a.norm_sqr();
+            if m > best {
+                best = m;
+                k = i;
+            }
+        }
+        if best == 0.0 {
+            return self.amps.iter().all(|a| a.abs() < eps);
+        }
+        let phase = self.amps[k] / other.amps[k];
+        if (phase.abs() - 1.0).abs() > eps {
+            return false;
+        }
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .all(|(a, b)| a.approx_eq(*b * phase, eps))
+    }
+}
+
+/// SplitMix64: tiny deterministic PRNG for reproducible random states
+/// without an external dependency.
+#[derive(Debug)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_state_is_basis_zero() {
+        let s = State::zero(3).unwrap();
+        assert!((s.probability(0) - 1.0).abs() < 1e-15);
+        assert!((s.norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn too_many_qubits_is_an_error() {
+        assert!(matches!(
+            State::zero(MAX_QUBITS + 1),
+            Err(SimError::TooManyQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn x_flips_basis() {
+        let mut c = Circuit::new(2);
+        c.x(1);
+        let s = State::run(&c).unwrap();
+        assert!((s.probability(0b10) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn h_creates_uniform_superposition() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let s = State::run(&c).unwrap();
+        assert!((s.probability(0) - 0.5).abs() < 1e-12);
+        assert!((s.probability(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let s = State::run(&c).unwrap();
+        assert!((s.probability(0b00) - 0.5).abs() < 1e-12);
+        assert!((s.probability(0b11) - 0.5).abs() < 1e-12);
+        assert!(s.probability(0b01) < 1e-12);
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        for input in 0..8usize {
+            let mut c = Circuit::new(3);
+            for q in 0..3 {
+                if (input >> q) & 1 == 1 {
+                    c.x(q);
+                }
+            }
+            c.ccx(0, 1, 2);
+            let s = State::run(&c).unwrap();
+            let expected = if input & 0b11 == 0b11 { input ^ 0b100 } else { input };
+            assert!(
+                (s.probability(expected) - 1.0).abs() < 1e-12,
+                "input {input:03b} should map to {expected:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn swap_exchanges_amplitudes() {
+        let mut c = Circuit::new(2);
+        c.x(0).swap(0, 1);
+        let s = State::run(&c).unwrap();
+        assert!((s.probability(0b10) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn swap_equals_three_cx() {
+        let mut a = Circuit::new(2);
+        a.h(0).t(1).swap(0, 1);
+        let mut b = Circuit::new(2);
+        b.h(0).t(1).cx(0, 1).cx(1, 0).cx(0, 1);
+        let sa = State::run(&a).unwrap();
+        let sb = State::run(&b).unwrap();
+        assert!(sa.approx_eq_up_to_phase(&sb, 1e-10));
+    }
+
+    #[test]
+    fn cz_is_symmetric() {
+        for (a, b) in [(0usize, 1usize), (1, 0)] {
+            let mut c = Circuit::new(2);
+            c.h(0).h(1);
+            c.cz(a, b);
+            let s = State::run(&c).unwrap();
+            // |11⟩ amplitude should be negated: ⟨ψ| = (1,1,1,-1)/2.
+            assert!(s.amplitudes()[3].approx_eq(C64::real(-0.5), 1e-12));
+        }
+    }
+
+    #[test]
+    fn cp_applies_phase_only_on_11() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).cp(std::f64::consts::FRAC_PI_2, 0, 1);
+        let s = State::run(&c).unwrap();
+        assert!(s.amplitudes()[3].approx_eq(C64::new(0.0, 0.5), 1e-12));
+        assert!(s.amplitudes()[1].approx_eq(C64::real(0.5), 1e-12));
+    }
+
+    #[test]
+    fn cxpow_half_twice_equals_cx() {
+        let mut a = Circuit::new(2);
+        a.h(0).h(1).cxpow(0.5, 0, 1).cxpow(0.5, 0, 1);
+        let mut b = Circuit::new(2);
+        b.h(0).h(1).cx(0, 1);
+        assert!(State::run(&a)
+            .unwrap()
+            .approx_eq_up_to_phase(&State::run(&b).unwrap(), 1e-10));
+    }
+
+    #[test]
+    fn measurement_is_skipped_by_run() {
+        let mut c = Circuit::new(1);
+        c.h(0).measure(0);
+        assert!(State::run(&c).is_ok());
+    }
+
+    #[test]
+    fn marginal_probability_sums_partial_outcomes() {
+        let mut c = Circuit::new(3);
+        c.h(0).x(2);
+        let s = State::run(&c).unwrap();
+        // Qubit 2 is |1⟩ regardless of qubit 0.
+        assert!((s.marginal_probability(&[2], 1) - 1.0).abs() < 1e-12);
+        assert!((s.marginal_probability(&[0], 1) - 0.5).abs() < 1e-12);
+        assert!((s.marginal_probability(&[0, 2], 0b11) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_state_is_normalized_and_deterministic() {
+        let a = State::random(5, 42).unwrap();
+        let b = State::random(5, 42).unwrap();
+        let c = State::random(5, 43).unwrap();
+        assert!((a.norm() - 1.0).abs() < 1e-12);
+        assert_eq!(a, b);
+        assert!(a.fidelity(&c) < 0.99);
+    }
+
+    #[test]
+    fn global_phase_comparison() {
+        let a = State::random(4, 7).unwrap();
+        let mut b = a.clone();
+        for amp in &mut b.amps {
+            *amp *= C64::cis(1.234);
+        }
+        assert!(a.approx_eq_up_to_phase(&b, 1e-10));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rz_vs_u1_differ_by_global_phase_only() {
+        let mut a = Circuit::new(1);
+        a.h(0).rz(0.7, 0);
+        let mut b = Circuit::new(1);
+        b.h(0).u1(0.7, 0);
+        assert!(State::run(&a)
+            .unwrap()
+            .approx_eq_up_to_phase(&State::run(&b).unwrap(), 1e-10));
+    }
+
+    #[test]
+    fn from_amplitudes_validates_length() {
+        assert!(State::from_amplitudes(vec![C64::ONE; 3]).is_err());
+        assert!(State::from_amplitudes(vec![C64::ONE, C64::ZERO]).is_ok());
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        // |+⟩|0⟩: outcomes 0b00 and 0b01 each with probability 1/2.
+        let mut c = Circuit::new(2);
+        c.h(0);
+        let state = State::run(&c).unwrap();
+        let shots = 10_000;
+        let counts = state.sample_counts(shots, 7);
+        let zero = *counts.get(&0b00).unwrap_or(&0) as f64 / shots as f64;
+        let one = *counts.get(&0b01).unwrap_or(&0) as f64 / shots as f64;
+        assert!((zero - 0.5).abs() < 0.02, "P(00) = {zero}");
+        assert!((one - 0.5).abs() < 0.02, "P(01) = {one}");
+        assert_eq!(counts.values().sum::<usize>(), shots);
+        assert!(state.total_variation_distance(&counts, shots) < 0.02);
+    }
+
+    #[test]
+    fn sampling_is_seeded() {
+        let state = State::random(3, 4).unwrap();
+        assert_eq!(state.sample_counts(100, 1), state.sample_counts(100, 1));
+        assert_ne!(state.sample_counts(100, 1), state.sample_counts(100, 2));
+    }
+
+    #[test]
+    fn sampling_basis_state_is_deterministic() {
+        let state = State::basis(3, 0b101).unwrap();
+        let counts = state.sample_counts(50, 9);
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts[&0b101], 50);
+        assert_eq!(state.total_variation_distance(&counts, 50), 0.0);
+    }
+
+    #[test]
+    fn tvd_detects_wrong_histogram() {
+        let state = State::basis(2, 0).unwrap();
+        let mut wrong = std::collections::HashMap::new();
+        wrong.insert(0b11usize, 100usize);
+        assert!((state.total_variation_distance(&wrong, 100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccz_flips_phase_only_on_all_ones() {
+        // CCZ = diag(1,…,1,−1): the |111⟩ amplitude negates, all others
+        // (and all probabilities) are untouched.
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2).ccz(0, 1, 2);
+        let state = State::run(&c).unwrap();
+        let uniform = (1.0f64 / 8.0).sqrt();
+        for k in 0..8 {
+            let expected = if k == 0b111 { -uniform } else { uniform };
+            assert!(
+                (state.amplitudes()[k].re - expected).abs() < 1e-12,
+                "basis {k}"
+            );
+            assert!(state.amplitudes()[k].im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ccz_matches_h_conjugated_ccx() {
+        let mut a = Circuit::new(3);
+        a.h(0).h(1).h(2).ccz(0, 1, 2);
+        let mut b = Circuit::new(3);
+        b.h(0).h(1).h(2).h(2).ccx(0, 1, 2).h(2);
+        assert!(State::run(&a)
+            .unwrap()
+            .approx_eq_up_to_phase(&State::run(&b).unwrap(), 1e-10));
+    }
+
+    #[test]
+    fn cswap_exchanges_targets_when_control_set() {
+        // |1⟩|1⟩|0⟩ → |1⟩|0⟩|1⟩ (control q0, swapped pair q1/q2).
+        let mut c = Circuit::new(3);
+        c.x(0).x(1).cswap(0, 1, 2);
+        let state = State::run(&c).unwrap();
+        assert!((state.probability(0b101) - 1.0).abs() < 1e-12);
+        // Control clear: nothing moves.
+        let mut c = Circuit::new(3);
+        c.x(1).cswap(0, 1, 2);
+        let state = State::run(&c).unwrap();
+        assert!((state.probability(0b010) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cswap_matches_three_toffolis() {
+        // CSWAP(c;a,b) = CCX(c,a,b)·CCX(c,b,a)·CCX(c,a,b).
+        let mut a = Circuit::new(3);
+        a.h(0).h(1).t(2).cswap(0, 1, 2);
+        let mut b = Circuit::new(3);
+        b.h(0).h(1).t(2).ccx(0, 1, 2).ccx(0, 2, 1).ccx(0, 1, 2);
+        assert!(State::run(&a)
+            .unwrap()
+            .approx_eq_up_to_phase(&State::run(&b).unwrap(), 1e-10));
+    }
+}

@@ -1,0 +1,55 @@
+//! Topology construction errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Reasons a coupling graph cannot be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// An edge references a qubit index at or beyond the device size.
+    InvalidQubit {
+        /// The offending index.
+        qubit: usize,
+        /// Device size.
+        num_qubits: usize,
+    },
+    /// An edge connects a qubit to itself.
+    SelfLoop {
+        /// The offending qubit.
+        qubit: usize,
+    },
+    /// The device has zero qubits.
+    Empty,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::InvalidQubit { qubit, num_qubits } => write!(
+                f,
+                "edge references qubit {qubit} but the device has {num_qubits} qubits"
+            ),
+            TopologyError::SelfLoop { qubit } => {
+                write!(f, "edge connects qubit {qubit} to itself")
+            }
+            TopologyError::Empty => write!(f, "a device must have at least one qubit"),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = TopologyError::InvalidQubit {
+            qubit: 25,
+            num_qubits: 20,
+        };
+        assert!(e.to_string().contains("25"));
+        assert!(TopologyError::Empty.to_string().contains("at least one"));
+    }
+}

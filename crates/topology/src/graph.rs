@@ -1,0 +1,506 @@
+//! [`Topology`]: an undirected qubit coupling graph with precomputed
+//! distances.
+
+use crate::TopologyError;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// How three routed qubits sit in the coupling graph — determines which
+/// Toffoli decomposition the mapping-aware pass picks (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TripleShape {
+    /// All three pairs connected: the 6-CNOT decomposition applies directly.
+    Triangle,
+    /// A path `a – middle – b`: the 8-CNOT decomposition applies with
+    /// `middle` as the middle qubit.
+    Line {
+        /// The qubit adjacent to both others.
+        middle: usize,
+    },
+    /// Fewer than two pairs connected: not a valid routed trio.
+    Disconnected,
+}
+
+/// An undirected hardware coupling graph.
+///
+/// Two-qubit gates may only execute across edges of this graph; the routing
+/// passes insert SWAPs to satisfy that constraint. All-pairs shortest-path
+/// distances are precomputed at construction (devices here are ≤ a few
+/// hundred qubits).
+///
+/// # Examples
+///
+/// ```
+/// use trios_topology::line;
+///
+/// let device = line(5);
+/// assert_eq!(device.distance(0, 4), Some(4));
+/// assert!(device.are_adjacent(2, 3));
+/// assert_eq!(device.shortest_path(0, 3), Some(vec![0, 1, 2, 3]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    name: String,
+    num_qubits: usize,
+    adj: Vec<Vec<usize>>,
+    edges: Vec<(usize, usize)>,
+    dist: Vec<Vec<u32>>,
+}
+
+const UNREACHABLE: u32 = u32::MAX;
+
+impl Topology {
+    /// Builds a topology from an undirected edge list.
+    ///
+    /// Edges are deduplicated; `(a, b)` and `(b, a)` are the same edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for zero qubits, out-of-range endpoints, or
+    /// self-loops.
+    pub fn from_edges(
+        name: impl Into<String>,
+        num_qubits: usize,
+        edges: &[(usize, usize)],
+    ) -> Result<Self, TopologyError> {
+        if num_qubits == 0 {
+            return Err(TopologyError::Empty);
+        }
+        let mut adj = vec![Vec::new(); num_qubits];
+        let mut canon: Vec<(usize, usize)> = Vec::new();
+        for &(a, b) in edges {
+            if a == b {
+                return Err(TopologyError::SelfLoop { qubit: a });
+            }
+            for q in [a, b] {
+                if q >= num_qubits {
+                    return Err(TopologyError::InvalidQubit {
+                        qubit: q,
+                        num_qubits,
+                    });
+                }
+            }
+            let e = (a.min(b), a.max(b));
+            if !canon.contains(&e) {
+                canon.push(e);
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        canon.sort_unstable();
+        let dist = all_pairs_bfs(num_qubits, &adj);
+        Ok(Topology {
+            name: name.into(),
+            num_qubits,
+            adj,
+            edges: canon,
+            dist,
+        })
+    }
+
+    /// Human-readable device name (e.g. `"ibmq-johannesburg"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Canonical (a < b) undirected edge list, sorted.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Neighbors of `q`, in ascending order.
+    pub fn neighbors(&self, q: usize) -> &[usize] {
+        &self.adj[q]
+    }
+
+    /// Degree of `q`.
+    pub fn degree(&self, q: usize) -> usize {
+        self.adj[q].len()
+    }
+
+    /// `true` if `a` and `b` share an edge.
+    pub fn are_adjacent(&self, a: usize, b: usize) -> bool {
+        self.adj[a].binary_search(&b).is_ok()
+    }
+
+    /// Hop distance between `a` and `b` (`Some(0)` when equal), or `None`
+    /// if disconnected.
+    pub fn distance(&self, a: usize, b: usize) -> Option<usize> {
+        let d = self.dist[a][b];
+        (d != UNREACHABLE).then_some(d as usize)
+    }
+
+    /// `true` if every qubit can reach every other.
+    pub fn is_connected(&self) -> bool {
+        self.dist[0].iter().all(|&d| d != UNREACHABLE)
+    }
+
+    /// A shortest path from `a` to `b` inclusive, or `None` if disconnected.
+    ///
+    /// Ties are broken toward lower qubit indices, so routing is
+    /// deterministic.
+    pub fn shortest_path(&self, a: usize, b: usize) -> Option<Vec<usize>> {
+        self.distance(a, b)?;
+        // Walk greedily from a toward b along the precomputed distances.
+        let mut path = vec![a];
+        let mut cur = a;
+        while cur != b {
+            let next = *self.adj[cur]
+                .iter()
+                .min_by_key(|&&v| self.dist[v][b])
+                .expect("connected node has neighbors");
+            path.push(next);
+            cur = next;
+        }
+        Some(path)
+    }
+
+    /// Dijkstra shortest path under a per-edge weight function (used by
+    /// noise-aware routing with `w = −log(1 − e2q)`), or `None` if
+    /// disconnected.
+    ///
+    /// Weights must be non-negative; ties break toward lower indices.
+    pub fn shortest_path_weighted(
+        &self,
+        a: usize,
+        b: usize,
+        weight: &dyn Fn(usize, usize) -> f64,
+    ) -> Option<(Vec<usize>, f64)> {
+        let n = self.num_qubits;
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![usize::MAX; n];
+        let mut done = vec![false; n];
+        dist[a] = 0.0;
+        for _ in 0..n {
+            // Linear extraction: devices are small, no heap needed.
+            let mut u = usize::MAX;
+            let mut best = f64::INFINITY;
+            for v in 0..n {
+                if !done[v] && dist[v] < best {
+                    best = dist[v];
+                    u = v;
+                }
+            }
+            if u == usize::MAX {
+                break;
+            }
+            if u == b {
+                break;
+            }
+            done[u] = true;
+            for &v in &self.adj[u] {
+                let w = weight(u, v);
+                debug_assert!(w >= 0.0, "edge weights must be non-negative");
+                let nd = dist[u] + w;
+                if nd < dist[v] - 1e-15 {
+                    dist[v] = nd;
+                    prev[v] = u;
+                }
+            }
+        }
+        if dist[b].is_infinite() {
+            return None;
+        }
+        let mut path = vec![b];
+        let mut cur = b;
+        while cur != a {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Some((path, dist[b]))
+    }
+
+    /// The gather cost of a qubit triple: the minimum, over the choice of a
+    /// destination qubit among the three, of the summed distances from the
+    /// other two to it. This is the paper's "total swap distance" label on
+    /// the Figure 6/7 x-axis and the metric the Trios router minimizes when
+    /// picking the destination.
+    pub fn triple_distance(&self, a: usize, b: usize, c: usize) -> Option<usize> {
+        self.best_gather_destination(a, b, c).map(|(_, d)| d)
+    }
+
+    /// Chooses the destination qubit for gathering a trio: the operand with
+    /// the smallest summed distance to the other two (paper §4). Ties break
+    /// toward the earlier operand, so routing is deterministic.
+    ///
+    /// Returns `(destination, summed distance)` or `None` if any pair is
+    /// disconnected.
+    pub fn best_gather_destination(
+        &self,
+        a: usize,
+        b: usize,
+        c: usize,
+    ) -> Option<(usize, usize)> {
+        let ab = self.distance(a, b)?;
+        let ac = self.distance(a, c)?;
+        let bc = self.distance(b, c)?;
+        let candidates = [(a, ab + ac), (b, ab + bc), (c, ac + bc)];
+        candidates.into_iter().min_by_key(|&(_, d)| d)
+    }
+
+    /// Classifies how a routed triple sits in the graph.
+    pub fn triple_shape(&self, a: usize, b: usize, c: usize) -> TripleShape {
+        let ab = self.are_adjacent(a, b);
+        let ac = self.are_adjacent(a, c);
+        let bc = self.are_adjacent(b, c);
+        match (ab, ac, bc) {
+            (true, true, true) => TripleShape::Triangle,
+            (true, true, false) => TripleShape::Line { middle: a },
+            (true, false, true) => TripleShape::Line { middle: b },
+            (false, true, true) => TripleShape::Line { middle: c },
+            _ => TripleShape::Disconnected,
+        }
+    }
+
+    /// The longest shortest path in the graph, or `None` when disconnected.
+    ///
+    /// The diameter bounds the worst-case SWAP chain any router can be
+    /// forced into; the paper's Figure 6/7 x-axis ("total swap distance")
+    /// tops out near twice this value.
+    pub fn diameter(&self) -> Option<usize> {
+        let mut best = 0usize;
+        for a in 0..self.num_qubits() {
+            for b in (a + 1)..self.num_qubits() {
+                best = best.max(self.distance(a, b)?);
+            }
+        }
+        Some(best)
+    }
+
+    /// Mean pairwise shortest-path distance, or `None` when disconnected
+    /// (or for graphs with fewer than two qubits).
+    ///
+    /// A single-number proxy for expected routing cost: the paper's §6.1
+    /// ordering of topology benefit (line > grid ≳ Johannesburg > clusters)
+    /// tracks this metric.
+    pub fn mean_distance(&self) -> Option<f64> {
+        let n = self.num_qubits();
+        if n < 2 {
+            return None;
+        }
+        let mut sum = 0usize;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                sum += self.distance(a, b)?;
+            }
+        }
+        Some(sum as f64 / (n * (n - 1) / 2) as f64)
+    }
+
+    /// `true` if the graph contains at least one triangle.
+    ///
+    /// On triangle-free devices (Johannesburg, grids, lines) the 6-CNOT
+    /// Toffoli always needs extra SWAPs — the paper's central observation.
+    pub fn has_triangle(&self) -> bool {
+        self.edges.iter().any(|&(a, b)| {
+            self.adj[a]
+                .iter()
+                .any(|&c| c != b && self.are_adjacent(b, c))
+        })
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} qubits, {} edges)",
+            self.name,
+            self.num_qubits,
+            self.edges.len()
+        )
+    }
+}
+
+fn all_pairs_bfs(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<u32>> {
+    let mut dist = vec![vec![UNREACHABLE; n]; n];
+    let mut queue = VecDeque::new();
+    for (src, row) in dist.iter_mut().enumerate() {
+        row[src] = 0;
+        queue.clear();
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                if row[v] == UNREACHABLE {
+                    row[v] = row[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Topology {
+        Topology::from_edges("p4", 4, &[(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn from_edges_dedups_and_sorts() {
+        let t = Topology::from_edges("t", 3, &[(1, 0), (0, 1), (2, 1)]).unwrap();
+        assert_eq!(t.edges(), &[(0, 1), (1, 2)]);
+        assert_eq!(t.neighbors(1), &[0, 2]);
+        assert_eq!(t.degree(1), 2);
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert!(matches!(
+            Topology::from_edges("t", 0, &[]),
+            Err(TopologyError::Empty)
+        ));
+        assert!(matches!(
+            Topology::from_edges("t", 2, &[(0, 2)]),
+            Err(TopologyError::InvalidQubit { qubit: 2, .. })
+        ));
+        assert!(matches!(
+            Topology::from_edges("t", 2, &[(1, 1)]),
+            Err(TopologyError::SelfLoop { qubit: 1 })
+        ));
+    }
+
+    #[test]
+    fn distances_on_a_path() {
+        let t = path4();
+        assert_eq!(t.distance(0, 3), Some(3));
+        assert_eq!(t.distance(2, 2), Some(0));
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let t = Topology::from_edges("t", 4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(t.distance(0, 3), None);
+        assert!(!t.is_connected());
+        assert_eq!(t.shortest_path(0, 2), None);
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_adjacency() {
+        let t = path4();
+        let p = t.shortest_path(0, 3).unwrap();
+        assert_eq!(p, vec![0, 1, 2, 3]);
+        let trivial = t.shortest_path(2, 2).unwrap();
+        assert_eq!(trivial, vec![2]);
+    }
+
+    #[test]
+    fn shortest_path_is_deterministic_on_ties() {
+        // A 4-cycle has two equal paths 0→2; tie-break must pick via qubit 1.
+        let t = Topology::from_edges("c4", 4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(t.shortest_path(0, 2).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn weighted_path_avoids_heavy_edges() {
+        // Square where the 0-1 edge is very noisy: prefer 0-3-2-1.
+        let t = Topology::from_edges("c4", 4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let w = |a: usize, b: usize| {
+            if (a.min(b), a.max(b)) == (0, 1) {
+                10.0
+            } else {
+                1.0
+            }
+        };
+        let (path, cost) = t.shortest_path_weighted(0, 1, &w).unwrap();
+        assert_eq!(path, vec![0, 3, 2, 1]);
+        assert!((cost - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_matches_unweighted_with_unit_weights() {
+        let t = path4();
+        let (path, cost) = t.shortest_path_weighted(0, 3, &|_, _| 1.0).unwrap();
+        assert_eq!(path, vec![0, 1, 2, 3]);
+        assert!((cost - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triple_shape_classification() {
+        let tri = Topology::from_edges("k3", 3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(tri.triple_shape(0, 1, 2), TripleShape::Triangle);
+        assert!(tri.has_triangle());
+
+        let line = path4();
+        assert_eq!(line.triple_shape(0, 1, 2), TripleShape::Line { middle: 1 });
+        assert_eq!(line.triple_shape(1, 0, 2), TripleShape::Line { middle: 1 });
+        assert_eq!(line.triple_shape(2, 0, 1), TripleShape::Line { middle: 1 });
+        assert_eq!(line.triple_shape(0, 1, 3), TripleShape::Disconnected);
+        assert!(!line.has_triangle());
+    }
+
+    #[test]
+    fn triple_distance_is_best_gather_cost() {
+        let t = path4();
+        // Destinations: 0 → 1+3=4, 1 → 1+2=3, 3 → 3+2=5. Best is qubit 1.
+        assert_eq!(t.best_gather_destination(0, 1, 3), Some((1, 3)));
+        assert_eq!(t.triple_distance(0, 1, 3), Some(3));
+    }
+
+    #[test]
+    fn gather_destination_tie_breaks_toward_first_operand() {
+        // Symmetric path: ends tie through the middle.
+        let t = path4();
+        // (0, 2) around middle 1: dests 0→1+1? d(0,2)=2, d(0,1)=1, d(1,2)=1.
+        // 0 → 2+1=3, 2 → 2+1=3, 1 → 1+1=2: middle wins outright.
+        assert_eq!(t.best_gather_destination(0, 2, 1), Some((1, 2)));
+        // True tie: qubits 1 and 2 for trio (1, 2, 3) on a path:
+        // 1 → 1+2=3, 2 → 1+1=2, 3 → 2+1=3.
+        assert_eq!(t.best_gather_destination(1, 2, 3), Some((2, 2)));
+    }
+
+    #[test]
+    fn display_mentions_name_and_size() {
+        let t = path4();
+        assert_eq!(t.to_string(), "p4 (4 qubits, 3 edges)");
+    }
+
+    #[test]
+    fn diameter_of_named_shapes() {
+        use crate::{full, grid, line, ring};
+        assert_eq!(line(20).diameter(), Some(19));
+        assert_eq!(ring(20).diameter(), Some(10));
+        assert_eq!(grid(5, 4).diameter(), Some(7));
+        assert_eq!(full(6).diameter(), Some(1));
+    }
+
+    #[test]
+    fn diameter_of_disconnected_graph_is_none() {
+        let t = Topology::from_edges("two-islands", 4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(t.diameter(), None);
+        assert_eq!(t.mean_distance(), None);
+    }
+
+    #[test]
+    fn mean_distance_orders_paper_topologies() {
+        use crate::{clusters, grid, johannesburg, line};
+        // The paper's benefit ordering (line most, clusters least — §6.1)
+        // tracks mean pairwise distance.
+        let line_d = line(20).mean_distance().unwrap();
+        let grid_d = grid(5, 4).mean_distance().unwrap();
+        let jo_d = johannesburg().mean_distance().unwrap();
+        let cl_d = clusters(4, 5).mean_distance().unwrap();
+        assert!(line_d > jo_d && line_d > grid_d && line_d > cl_d);
+        assert!(cl_d < jo_d && cl_d < grid_d);
+    }
+
+    #[test]
+    fn mean_distance_of_full_graph_is_one() {
+        use crate::full;
+        assert_eq!(full(5).mean_distance(), Some(1.0));
+        assert_eq!(full(1).mean_distance(), None);
+    }
+}

@@ -1,0 +1,353 @@
+//! Constructors for the device topologies used in the paper (Figure 5) and
+//! a few extras for sensitivity studies.
+
+use crate::Topology;
+
+/// The IBM Johannesburg coupling map (Figure 5a): 20 qubits arranged as
+/// four connected rings. This is the device of all the paper's real
+/// experiments.
+///
+/// Edge list taken from the published Qiskit backend configuration.
+pub fn johannesburg() -> Topology {
+    let edges = [
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (0, 5),
+        (4, 9),
+        (5, 6),
+        (6, 7),
+        (7, 8),
+        (8, 9),
+        (5, 10),
+        (7, 12),
+        (9, 14),
+        (10, 11),
+        (11, 12),
+        (12, 13),
+        (13, 14),
+        (10, 15),
+        (14, 19),
+        (15, 16),
+        (16, 17),
+        (17, 18),
+        (18, 19),
+    ];
+    Topology::from_edges("ibmq-johannesburg", 20, &edges).expect("static edge list is valid")
+}
+
+/// A rectangular 2D grid, `cols × rows` qubits (Figure 5b is `grid(5, 4)`),
+/// numbered row-major.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid(cols: usize, rows: usize) -> Topology {
+    assert!(cols > 0 && rows > 0, "grid dimensions must be positive");
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let q = r * cols + c;
+            if c + 1 < cols {
+                edges.push((q, q + 1));
+            }
+            if r + 1 < rows {
+                edges.push((q, q + cols));
+            }
+        }
+    }
+    Topology::from_edges(format!("full-grid-{cols}x{rows}"), cols * rows, &edges)
+        .expect("generated edges are valid")
+}
+
+/// A linear chain of `n` qubits (Figure 5d is `line(20)`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn line(n: usize) -> Topology {
+    assert!(n > 0, "line length must be positive");
+    let edges: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    Topology::from_edges(format!("line-{n}"), n, &edges).expect("generated edges are valid")
+}
+
+/// A ring of `n` qubits.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> Topology {
+    assert!(n >= 3, "a ring needs at least 3 qubits");
+    let mut edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    edges.push((n - 1, 0));
+    Topology::from_edges(format!("ring-{n}"), n, &edges).expect("generated edges are valid")
+}
+
+/// A fully connected device of `n` qubits (routing never needs SWAPs).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn full(n: usize) -> Topology {
+    assert!(n > 0, "device size must be positive");
+    let mut edges = Vec::new();
+    for a in 0..n {
+        for b in a + 1..n {
+            edges.push((a, b));
+        }
+    }
+    Topology::from_edges(format!("full-{n}"), n, &edges).expect("generated edges are valid")
+}
+
+/// The paper's clustered QCCD-style device (Figure 5c): `num_clusters`
+/// fully-connected clusters of `cluster_size` qubits, linked in a ring by
+/// single edges between consecutive clusters (`clusters(4, 5)` is the
+/// paper's 20-qubit instance).
+///
+/// The inter-cluster link connects the last qubit of cluster *i* to the
+/// first qubit of cluster *i+1*.
+///
+/// # Panics
+///
+/// Panics if `num_clusters == 0` or `cluster_size == 0`.
+pub fn clusters(num_clusters: usize, cluster_size: usize) -> Topology {
+    assert!(
+        num_clusters > 0 && cluster_size > 0,
+        "cluster dimensions must be positive"
+    );
+    let mut edges = Vec::new();
+    for k in 0..num_clusters {
+        let base = k * cluster_size;
+        for a in 0..cluster_size {
+            for b in a + 1..cluster_size {
+                edges.push((base + a, base + b));
+            }
+        }
+    }
+    if num_clusters > 1 {
+        for k in 0..num_clusters {
+            let next = (k + 1) % num_clusters;
+            if num_clusters == 2 && k == 1 {
+                break; // avoid a duplicate link between two clusters
+            }
+            edges.push((k * cluster_size + cluster_size - 1, next * cluster_size));
+        }
+    }
+    Topology::from_edges(
+        format!("clusters-{cluster_size}x{num_clusters}"),
+        num_clusters * cluster_size,
+        &edges,
+    )
+    .expect("generated edges are valid")
+}
+
+/// IBM's 27-qubit heavy-hex lattice (Falcon family: Mumbai, Montreal, …),
+/// the topology IBM moved to after the Johannesburg generation.
+///
+/// Heavy-hex is triangle-free with maximum degree 3, so like Johannesburg
+/// every Toffoli needs the 8-CNOT linear decomposition — Trios' placement
+/// reasoning carries over unchanged to IBM's current devices.
+pub fn heavy_hex_falcon27() -> Topology {
+    const EDGES: [(usize, usize); 28] = [
+        (0, 1),
+        (1, 2),
+        (1, 4),
+        (2, 3),
+        (3, 5),
+        (4, 7),
+        (5, 8),
+        (6, 7),
+        (7, 10),
+        (8, 9),
+        (8, 11),
+        (10, 12),
+        (11, 14),
+        (12, 13),
+        (12, 15),
+        (13, 14),
+        (14, 16),
+        (15, 18),
+        (16, 19),
+        (17, 18),
+        (18, 21),
+        (19, 20),
+        (19, 22),
+        (21, 23),
+        (22, 25),
+        (23, 24),
+        (24, 25),
+        (25, 26),
+    ];
+    Topology::from_edges("heavy-hex-27", 27, &EDGES).expect("published map is valid")
+}
+
+/// The four 20-qubit device types of the paper's evaluation (Figure 5),
+/// in the order the figures report them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperDevice {
+    /// IBM Johannesburg (orange bars).
+    Johannesburg,
+    /// 5×4 2D grid (yellow bars).
+    Grid,
+    /// 20-qubit line (green bars).
+    Line,
+    /// Four fully-connected clusters of five (purple bars).
+    Clusters,
+}
+
+impl PaperDevice {
+    /// All four devices, in the paper's reporting order.
+    pub const ALL: [PaperDevice; 4] = [
+        PaperDevice::Johannesburg,
+        PaperDevice::Grid,
+        PaperDevice::Line,
+        PaperDevice::Clusters,
+    ];
+
+    /// Builds the 20-qubit topology for this device type.
+    pub fn build(self) -> Topology {
+        match self {
+            PaperDevice::Johannesburg => johannesburg(),
+            PaperDevice::Grid => grid(5, 4),
+            PaperDevice::Line => line(20),
+            PaperDevice::Clusters => clusters(4, 5),
+        }
+    }
+
+    /// The label the paper's figures use for this device.
+    pub fn label(self) -> &'static str {
+        match self {
+            PaperDevice::Johannesburg => "ibmq-johannesburg",
+            PaperDevice::Grid => "full-grid-5x4",
+            PaperDevice::Line => "line-20",
+            PaperDevice::Clusters => "clusters-5x4",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_hex_matches_published_map() {
+        let t = heavy_hex_falcon27();
+        assert_eq!(t.num_qubits(), 27);
+        assert_eq!(t.edges().len(), 28);
+        assert!(t.is_connected());
+        assert!(!t.has_triangle());
+        // Heavy-hex degree is at most 3.
+        assert!((0..27).all(|q| t.degree(q) <= 3));
+        // Spot-check published couplings.
+        assert!(t.are_adjacent(12, 15));
+        assert!(t.are_adjacent(25, 26));
+        assert!(!t.are_adjacent(0, 2));
+    }
+
+    #[test]
+    fn johannesburg_matches_published_map() {
+        let t = johannesburg();
+        assert_eq!(t.num_qubits(), 20);
+        assert_eq!(t.edges().len(), 23);
+        assert!(t.is_connected());
+        // Spot-check a few published couplings.
+        assert!(t.are_adjacent(0, 5));
+        assert!(t.are_adjacent(7, 12));
+        assert!(t.are_adjacent(14, 19));
+        assert!(!t.are_adjacent(0, 6));
+        // Johannesburg is triangle-free: the 6-CNOT Toffoli never fits
+        // directly (paper §2.2).
+        assert!(!t.has_triangle());
+    }
+
+    #[test]
+    fn johannesburg_fig1_distances() {
+        // The paper's Fig. 6/7 x-labels pair triplets with their total swap
+        // distance; check against the published labels.
+        let t = johannesburg();
+        assert_eq!(t.triple_distance(6, 17, 3), Some(10)); // "(6-17-3) 10"
+        assert_eq!(t.triple_distance(16, 1, 8), Some(10)); // "(16-1-8) 10"
+        assert_eq!(t.triple_distance(3, 1, 2), Some(2)); // "(3-1-2) 2"
+        assert_eq!(t.triple_distance(17, 16, 18), Some(2)); // "(17-16-18) 2"
+        assert_eq!(t.triple_distance(7, 18, 3), Some(9)); // "(7-18-3) 9"
+        assert_eq!(t.triple_distance(0, 12, 15), Some(6)); // "(0-12-15) 6"
+    }
+
+    #[test]
+    fn grid_structure() {
+        let t = grid(5, 4);
+        assert_eq!(t.num_qubits(), 20);
+        // 4 rows × 4 horizontal + 5 cols × 3 vertical = 16 + 15 = 31.
+        assert_eq!(t.edges().len(), 31);
+        assert!(t.are_adjacent(0, 1));
+        assert!(t.are_adjacent(0, 5));
+        assert!(!t.are_adjacent(4, 5)); // row wrap is not an edge
+        assert!(!t.has_triangle());
+        assert_eq!(t.distance(0, 19), Some(7));
+    }
+
+    #[test]
+    fn line_structure() {
+        let t = line(20);
+        assert_eq!(t.edges().len(), 19);
+        assert_eq!(t.distance(0, 19), Some(19));
+        assert_eq!(t.degree(0), 1);
+        assert_eq!(t.degree(10), 2);
+    }
+
+    #[test]
+    fn ring_structure() {
+        let t = ring(6);
+        assert_eq!(t.edges().len(), 6);
+        assert_eq!(t.distance(0, 3), Some(3));
+        assert_eq!(t.distance(0, 5), Some(1));
+    }
+
+    #[test]
+    fn full_needs_no_routing() {
+        let t = full(6);
+        assert_eq!(t.edges().len(), 15);
+        for a in 0..6 {
+            for b in 0..6 {
+                if a != b {
+                    assert_eq!(t.distance(a, b), Some(1));
+                }
+            }
+        }
+        assert!(t.has_triangle());
+    }
+
+    #[test]
+    fn clusters_structure() {
+        let t = clusters(4, 5);
+        assert_eq!(t.num_qubits(), 20);
+        // 4 × C(5,2) intra + 4 ring links = 40 + 4.
+        assert_eq!(t.edges().len(), 44);
+        assert!(t.is_connected());
+        assert!(t.has_triangle()); // clusters contain triangles
+        // Within a cluster: distance 1.
+        assert_eq!(t.distance(0, 4), Some(1));
+        // Across neighboring clusters: through the single link 4–5.
+        assert!(t.are_adjacent(4, 5));
+        assert_eq!(t.distance(0, 9), Some(3));
+    }
+
+    #[test]
+    fn two_clusters_have_single_link() {
+        let t = clusters(2, 3);
+        // 2 × C(3,2) + 1 link = 7.
+        assert_eq!(t.edges().len(), 7);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn paper_devices_build_and_label() {
+        for d in PaperDevice::ALL {
+            let t = d.build();
+            assert_eq!(t.num_qubits(), 20);
+            assert!(t.is_connected());
+            assert_eq!(t.name(), d.label());
+        }
+    }
+}

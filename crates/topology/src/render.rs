@@ -1,0 +1,177 @@
+//! ASCII rendering of grid-embeddable topologies, in the style of the
+//! paper's Figure 1/5 device diagrams.
+//!
+//! Johannesburg, rectangular grids, and lines all embed in a rectangular
+//! lattice with every coupling either horizontal or vertical; the renderer
+//! draws exactly the edges the [`Topology`] contains:
+//!
+//! ```text
+//!   0 --  1 --  2 --  3 --  4
+//!   |                       |
+//!   5 --  6 --  7 --  8 --  9
+//!   |          |            |
+//!  10 -- 11 -- 12 -- 13 -- 14
+//!   |                       |
+//!  15 -- 16 -- 17 -- 18 -- 19
+//! ```
+//!
+//! Qubits can be marked (e.g. a routed trio) and render as `[ 6]`.
+
+use crate::Topology;
+
+/// A rectangular lattice embedding: qubit `q` sits at `pos[q] = (col, row)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridEmbedding {
+    cols: usize,
+    rows: usize,
+    pos: Vec<(usize, usize)>,
+}
+
+impl GridEmbedding {
+    /// Row-major embedding for `cols × rows` qubit lattices — fits
+    /// [`grid`](crate::grid), [`line`](crate::line) (one row), and
+    /// [`johannesburg`](crate::johannesburg) (5×4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn row_major(cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "lattice dimensions must be positive");
+        let pos = (0..cols * rows).map(|q| (q % cols, q / cols)).collect();
+        GridEmbedding { cols, rows, pos }
+    }
+
+    /// The embedding for the paper's Johannesburg figures.
+    pub fn johannesburg() -> Self {
+        GridEmbedding::row_major(5, 4)
+    }
+
+    /// Renders `topology` on this lattice. Qubits listed in `marks` are
+    /// bracketed (`[ 6]`), everything else is plain (` 6 `). Edges that do
+    /// not connect lattice neighbors are listed below the lattice rather
+    /// than drawn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has more qubits than the lattice has cells.
+    pub fn render(&self, topology: &Topology, marks: &[usize]) -> String {
+        assert!(
+            topology.num_qubits() <= self.pos.len(),
+            "{}-qubit topology does not fit a {}x{} lattice",
+            topology.num_qubits(),
+            self.cols,
+            self.rows
+        );
+        let qubit_at = |col: usize, row: usize| -> Option<usize> {
+            self.pos[..topology.num_qubits()]
+                .iter()
+                .position(|&p| p == (col, row))
+        };
+        let mut out = String::new();
+        let mut undrawable = Vec::new();
+        for &(a, b) in topology.edges() {
+            let ((ca, ra), (cb, rb)) = (self.pos[a], self.pos[b]);
+            let aligned = (ra == rb && ca.abs_diff(cb) == 1)
+                || (ca == cb && ra.abs_diff(rb) == 1);
+            if !aligned {
+                undrawable.push((a, b));
+            }
+        }
+
+        for row in 0..self.rows {
+            if topology.num_qubits() <= row * self.cols && qubit_at(0, row).is_none() {
+                break;
+            }
+            // Node row.
+            let mut line = String::new();
+            for col in 0..self.cols {
+                match qubit_at(col, row) {
+                    Some(q) => {
+                        if marks.contains(&q) {
+                            line.push_str(&format!("[{q:>2}]"));
+                        } else {
+                            line.push_str(&format!(" {q:>2} "));
+                        }
+                        let right = qubit_at(col + 1, row);
+                        let joined = right
+                            .is_some_and(|r| topology.are_adjacent(q, r));
+                        line.push_str(if joined { "--" } else { "  " });
+                    }
+                    None => line.push_str("      "),
+                }
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+            // Vertical connector row.
+            if row + 1 < self.rows {
+                let mut vline = String::new();
+                for col in 0..self.cols {
+                    let above = qubit_at(col, row);
+                    let below = qubit_at(col, row + 1);
+                    let joined = matches!((above, below), (Some(a), Some(b))
+                        if topology.are_adjacent(a, b));
+                    vline.push_str(if joined { "  |   " } else { "      " });
+                }
+                let trimmed = vline.trim_end();
+                if !trimmed.is_empty() {
+                    out.push_str(trimmed);
+                    out.push('\n');
+                }
+            }
+        }
+        if !undrawable.is_empty() {
+            out.push_str("non-lattice edges:");
+            for (a, b) in undrawable {
+                out.push_str(&format!(" {a}-{b}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{johannesburg, line, ring};
+
+    #[test]
+    fn johannesburg_renders_its_published_shape() {
+        let text = GridEmbedding::johannesburg().render(&johannesburg(), &[]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "  0 --  1 --  2 --  3 --  4");
+        // Verticals 0–5 and 4–9 exist; 1–6, 2–7, 3–8 do not.
+        assert_eq!(lines[1], "  |                       |");
+        assert_eq!(lines[2], "  5 --  6 --  7 --  8 --  9");
+        // Verticals 5–10, 7–12, 9–14.
+        assert_eq!(lines[3], "  |           |           |");
+        assert!(!text.contains("non-lattice"));
+    }
+
+    #[test]
+    fn marks_bracket_qubits() {
+        let text = GridEmbedding::johannesburg().render(&johannesburg(), &[6, 17, 3]);
+        assert!(text.contains("[ 6]"));
+        assert!(text.contains("[17]"));
+        assert!(text.contains("[ 3]"));
+        assert!(text.contains(" 12 "));
+    }
+
+    #[test]
+    fn line_renders_one_row() {
+        let text = GridEmbedding::row_major(5, 1).render(&line(5), &[]);
+        assert_eq!(text, "  0 --  1 --  2 --  3 --  4\n");
+    }
+
+    #[test]
+    fn ring_wraparound_edge_is_reported_not_drawn() {
+        let text = GridEmbedding::row_major(4, 1).render(&ring(4), &[]);
+        assert!(text.contains("non-lattice edges: 0-3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_topology_panics() {
+        GridEmbedding::row_major(2, 2).render(&line(5), &[]);
+    }
+}

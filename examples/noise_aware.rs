@@ -1,0 +1,72 @@
+//! Noise-aware compilation (paper §4's noise-aware extension).
+//!
+//! Real devices report per-coupler error rates that scatter around the
+//! average; routing data through a flaky coupler can cost more success
+//! probability than a longer detour. This example samples a realistic
+//! per-edge error profile for Johannesburg, then compares:
+//!
+//! 1. hop-based Trios (the paper's main configuration), and
+//! 2. noise-aware Trios — reliability-weighted mapping *and* routing.
+//!
+//! The success model is evaluated with the *same* noisy profile for both,
+//! so the comparison isolates the compiler's noise awareness.
+//!
+//! Run with `cargo run --release --example noise_aware`.
+
+use orchestrated_trios::core::{compile, Calibration, CompileOptions};
+use orchestrated_trios::ir::Circuit;
+use orchestrated_trios::noise::estimate_success_with_edge_errors;
+use orchestrated_trios::route::{InitialMapping, PathMetric};
+use orchestrated_trios::topology::johannesburg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = johannesburg();
+    let calibration = Calibration::johannesburg_2020_08_19();
+
+    // Per-coupler errors: log-uniform within 3× either side of the mean.
+    let edge_errors = calibration.sampled_edge_errors(device.edges().len(), 3.0, 42);
+    let worst = edge_errors.iter().cloned().fold(0.0f64, f64::max);
+    let best = edge_errors.iter().cloned().fold(1.0f64, f64::min);
+    println!("device: {device}");
+    println!(
+        "sampled per-edge 2q errors: min {:.4}, mean {:.4}, max {:.4}\n",
+        best, calibration.two_qubit_error, worst
+    );
+
+    // A Toffoli-heavy program: a 4-bit Cuccaro-style majority chain.
+    let mut program = Circuit::with_name(9, "majority-chain");
+    for i in 0..3 {
+        let (a, b, c) = (3 * i, 3 * i + 1, 3 * i + 2);
+        program.cx(c, b).cx(c, a).ccx(a, b, c);
+    }
+    program.ccx(2, 5, 8);
+    for q in 0..9 {
+        program.measure(q);
+    }
+
+    let hop_based = CompileOptions::with_seed(1);
+    let noise_aware = CompileOptions {
+        mapping: InitialMapping::NoiseAware {
+            edge_errors: edge_errors.clone(),
+        },
+        metric: PathMetric::from_edge_errors(&edge_errors),
+        ..CompileOptions::with_seed(1)
+    };
+
+    for (label, options) in [("hop-based Trios", hop_based), ("noise-aware Trios", noise_aware)] {
+        let compiled = compile(&program, &device, &options)?;
+        let estimate = estimate_success_with_edge_errors(
+            &compiled.circuit,
+            &calibration,
+            device.edges(),
+            &edge_errors,
+        );
+        println!("{label}:");
+        println!("  two-qubit gates: {}", compiled.stats.two_qubit_gates);
+        println!("  est. success:    {:.4}", estimate.probability());
+        println!();
+    }
+    println!("noise-aware placement routes the hot qubits over reliable couplers;");
+    println!("with uniform errors the two configurations coincide (see tests).");
+    Ok(())
+}

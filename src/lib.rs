@@ -1,0 +1,50 @@
+//! # orchestrated-trios — a Rust reproduction of *Orchestrated Trios*
+//! (ASPLOS 2021)
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`ir`] | circuit IR: gates, instructions, circuits |
+//! | [`topology`] | coupling graphs and path algorithms |
+//! | [`passes`] | Toffoli decompositions, lowering, optimizations |
+//! | [`route`] | layouts, the baseline pair router, the Trios trio router |
+//! | [`schedule`] | ASAP scheduling and duration models |
+//! | [`noise`] | Johannesburg calibration and the §2.6 success model |
+//! | [`sim`] | statevector simulator and equivalence checking |
+//! | [`benchmarks`] | the Table 1 benchmark generators (+ extended suite) |
+//! | [`core`] | the end-to-end baseline and Trios pipelines |
+//! | [`qasm`] | OpenQASM 2.0 emitter and parser |
+//!
+//! # Quick start
+//!
+//! ```
+//! use orchestrated_trios::core::{compile, PaperConfig};
+//! use orchestrated_trios::ir::Circuit;
+//! use orchestrated_trios::topology::johannesburg;
+//!
+//! // A program with one Toffoli between distant qubits.
+//! let mut program = Circuit::new(3);
+//! program.ccx(0, 1, 2);
+//!
+//! let device = johannesburg();
+//! let compiled = compile(&program, &device, &PaperConfig::Trios.to_options(0))?;
+//! println!(
+//!     "{} two-qubit gates, {} SWAPs inserted",
+//!     compiled.stats.two_qubit_gates, compiled.stats.swap_count
+//! );
+//! # Ok::<(), orchestrated_trios::core::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use trios_benchmarks as benchmarks;
+pub use trios_core as core;
+pub use trios_ir as ir;
+pub use trios_noise as noise;
+pub use trios_passes as passes;
+pub use trios_qasm as qasm;
+pub use trios_route as route;
+pub use trios_schedule as schedule;
+pub use trios_sim as sim;
+pub use trios_topology as topology;

@@ -1,0 +1,201 @@
+//! Property-based tests: random Toffoli-level programs on random devices
+//! must compile to legal, semantics-preserving circuits under both
+//! pipelines, for every decomposition strategy, with and without the
+//! lookahead router and the commutation-aware optimizer — and their
+//! compiled outputs must survive an OpenQASM round trip.
+
+use proptest::prelude::*;
+use trios_core::{compile, CompileOptions, DirectionPolicy, Pipeline, ToffoliDecomposition};
+use trios_ir::Circuit;
+use trios_route::{check_legal, LookaheadConfig, ToffoliPolicy};
+use trios_sim::compiled_equivalent;
+use trios_topology::{clusters, grid, johannesburg, line, ring, Topology};
+
+/// A random gate on up to `n` qubits, biased toward the gates the paper's
+/// programs use; kinds 5–7 are the three-qubit set (`ccx`, `ccz`, `cswap`).
+fn arb_gate(n: usize) -> impl Strategy<Value = (u8, usize, usize, usize)> {
+    (0u8..8, 0..n, 0..n, 0..n).prop_filter("distinct operands", |(kind, a, b, c)| match kind {
+        0 | 1 => true,              // 1q gates
+        2..=4 => a != b,        // 2q gates
+        _ => a != b && b != c && a != c, // 3q gates
+    })
+}
+
+fn build_circuit(n: usize, gates: &[(u8, usize, usize, usize)]) -> Circuit {
+    let mut circuit = Circuit::new(n);
+    for &(kind, a, b, c) in gates {
+        match kind {
+            0 => {
+                circuit.h(a);
+            }
+            1 => {
+                circuit.t(a);
+            }
+            2 => {
+                circuit.cx(a, b);
+            }
+            3 => {
+                circuit.cz(a, b);
+            }
+            4 => {
+                circuit.cp(0.37, a, b);
+            }
+            5 => {
+                circuit.ccx(a, b, c);
+            }
+            6 => {
+                circuit.ccz(a, b, c);
+            }
+            _ => {
+                circuit.cswap(a, b, c);
+            }
+        }
+    }
+    circuit
+}
+
+fn device(choice: u8) -> Topology {
+    match choice % 5 {
+        0 => line(8),
+        1 => ring(8),
+        2 => grid(4, 2),
+        3 => clusters(2, 4),
+        _ => johannesburg(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compiled_programs_are_legal_and_equivalent(
+        gates in proptest::collection::vec(arb_gate(6), 1..14),
+        device_choice in 0u8..5,
+        seed in 0u64..1000,
+        pipeline_is_trios in any::<bool>(),
+        lookahead in any::<bool>(),
+        optimize_full in any::<bool>(),
+        bridge in any::<bool>(),
+    ) {
+        let circuit = build_circuit(6, &gates);
+        let topo = device(device_choice);
+        let options = CompileOptions {
+            pipeline: if pipeline_is_trios { Pipeline::Trios } else { Pipeline::Baseline },
+            seed,
+            lookahead: lookahead.then(LookaheadConfig::default),
+            bridge,
+            optimize: if optimize_full {
+                trios_passes::OptimizeOptions::full()
+            } else {
+                trios_passes::OptimizeOptions::default()
+            },
+            ..CompileOptions::default()
+        };
+        let compiled = compile(&circuit, &topo, &options).unwrap();
+
+        // Legality: hardware gate set, every 2q gate on a coupling edge.
+        prop_assert!(compiled.circuit.is_hardware_lowered());
+        prop_assert!(check_legal(&compiled.circuit, &topo, ToffoliPolicy::Forbid).is_ok());
+
+        // Layout sanity: bijective mappings of the right shape.
+        let init = compiled.initial_layout.to_mapping();
+        let fin = compiled.final_layout.to_mapping();
+        prop_assert_eq!(init.len(), 6);
+        prop_assert_eq!(fin.len(), 6);
+
+        // Semantics: the physical circuit implements the logical program.
+        let ok = compiled_equivalent(
+            &circuit,
+            &compiled.circuit,
+            &init,
+            &fin,
+            1,
+            seed,
+            1e-7,
+        ).unwrap();
+        prop_assert!(ok, "semantics broken");
+    }
+
+    #[test]
+    fn all_toffoli_strategies_preserve_semantics(
+        placements in proptest::collection::vec(0usize..8, 3..6),
+        strategy_choice in 0u8..3,
+    ) {
+        // A chain of Toffolis over shifting operand windows.
+        let mut circuit = Circuit::new(8);
+        for w in placements.windows(3) {
+            if w[0] != w[1] && w[1] != w[2] && w[0] != w[2] {
+                circuit.ccx(w[0], w[1], w[2]);
+            }
+        }
+        if circuit.is_empty() {
+            circuit.ccx(0, 1, 2);
+        }
+        let strategy = match strategy_choice {
+            0 => ToffoliDecomposition::Six,
+            1 => ToffoliDecomposition::Eight,
+            _ => ToffoliDecomposition::ConnectivityAware,
+        };
+        let topo = johannesburg();
+        let options = CompileOptions {
+            pipeline: Pipeline::Trios,
+            toffoli: strategy,
+            direction: DirectionPolicy::MoveFirst,
+            ..CompileOptions::default()
+        };
+        let compiled = compile(&circuit, &topo, &options).unwrap();
+        prop_assert!(check_legal(&compiled.circuit, &topo, ToffoliPolicy::Forbid).is_ok());
+        let ok = compiled_equivalent(
+            &circuit,
+            &compiled.circuit,
+            &compiled.initial_layout.to_mapping(),
+            &compiled.final_layout.to_mapping(),
+            1,
+            5,
+            1e-7,
+        ).unwrap();
+        prop_assert!(ok, "strategy {:?} broke semantics", strategy);
+    }
+
+    #[test]
+    fn compiled_output_round_trips_through_qasm(
+        gates in proptest::collection::vec(arb_gate(5), 1..10),
+        seed in 0u64..100,
+    ) {
+        let circuit = build_circuit(5, &gates);
+        let topo = grid(3, 2);
+        let compiled = compile(&circuit, &topo, &CompileOptions::with_seed(seed)).unwrap();
+        let text = trios_qasm::emit(&compiled.circuit);
+        let back = trios_qasm::parse(&text).unwrap();
+        prop_assert_eq!(back.num_qubits(), compiled.circuit.num_qubits());
+        prop_assert_eq!(back.instructions(), compiled.circuit.instructions());
+    }
+
+    #[test]
+    fn direction_policies_insert_minimal_swaps_for_single_pair(
+        a in 0usize..20,
+        b in 0usize..20,
+        policy_choice in 0u8..4,
+    ) {
+        prop_assume!(a != b);
+        let mut circuit = Circuit::new(20);
+        circuit.cx(a, b);
+        let topo = johannesburg();
+        let policy = match policy_choice {
+            0 => DirectionPolicy::MoveFirst,
+            1 => DirectionPolicy::MoveSecond,
+            2 => DirectionPolicy::Stochastic,
+            _ => DirectionPolicy::MeetInMiddle,
+        };
+        let options = CompileOptions {
+            pipeline: Pipeline::Baseline,
+            direction: policy,
+            optimize: trios_passes::OptimizeOptions::none(),
+            ..CompileOptions::default()
+        };
+        let compiled = compile(&circuit, &topo, &options).unwrap();
+        // A single CX at distance d needs exactly d−1 SWAPs under every policy.
+        let d = topo.distance(a, b).unwrap();
+        prop_assert_eq!(compiled.stats.swap_count, d - 1);
+    }
+}
