@@ -40,7 +40,10 @@ fn main() {
                     direction: policy,
                     ..CompileOptions::with_seed(0)
                 };
-                compile(&b.build(), &topo, &options).unwrap().stats.two_qubit_gates as f64
+                compile(&b.build(), &topo, &options)
+                    .unwrap()
+                    .stats
+                    .two_qubit_gates as f64
             })
             .collect();
         println!("  {:<16} {:>8.1}", name, geomean(&counts));
@@ -62,7 +65,10 @@ fn main() {
                     direction: DirectionPolicy::MoveFirst,
                     ..CompileOptions::with_seed(0)
                 };
-                compile(&b.build(), &topo, &options).unwrap().stats.two_qubit_gates as f64
+                compile(&b.build(), &topo, &options)
+                    .unwrap()
+                    .stats
+                    .two_qubit_gates as f64
             })
             .collect();
         println!("  {:<18} {:>8.1}", name, geomean(&counts));
@@ -92,7 +98,10 @@ fn main() {
                 direction: DirectionPolicy::MoveFirst,
                 ..CompileOptions::with_seed(0)
             };
-            let gates = compile(&circuit, &topo, &options).unwrap().stats.two_qubit_gates;
+            let gates = compile(&circuit, &topo, &options)
+                .unwrap()
+                .stats
+                .two_qubit_gates;
             per_strategy[i].push(gates as f64);
             row.push(gates);
         }
@@ -149,7 +158,10 @@ fn main() {
         ];
         let mut row = Vec::new();
         for (i, options) in configs.iter().enumerate() {
-            let gates = compile(&circuit, &topo, options).unwrap().stats.two_qubit_gates;
+            let gates = compile(&circuit, &topo, options)
+                .unwrap()
+                .stats
+                .two_qubit_gates;
             cols[i].push(gates as f64);
             row.push(gates);
         }
@@ -197,17 +209,14 @@ fn main() {
                 direction: DirectionPolicy::MoveFirst,
                 ..CompileOptions::with_seed(0)
             };
-            let gates = compile(&circuit, &topo, &options).unwrap().stats.two_qubit_gates;
+            let gates = compile(&circuit, &topo, &options)
+                .unwrap()
+                .stats
+                .two_qubit_gates;
             per_level[i].push(gates as f64);
             row.push(gates);
         }
-        println!(
-            "{:<28} {:>8} {:>8} {:>8}",
-            b.name(),
-            row[0],
-            row[1],
-            row[2]
-        );
+        println!("{:<28} {:>8} {:>8} {:>8}", b.name(), row[0], row[1], row[2]);
     }
     rule(56);
     println!(
@@ -223,7 +232,9 @@ fn main() {
     println!();
 
     // --- Ablation 6: crosstalk policy (paper §2.3 / Murali et al.).
-    println!("Ablation 6: crosstalk policy on Trios-compiled benchmarks (Johannesburg, 20x errors)");
+    println!(
+        "Ablation 6: crosstalk policy on Trios-compiled benchmarks (Johannesburg, 20x errors)"
+    );
     println!(
         "{:<28} {:>9} {:>11} {:>11} {:>11}",
         "benchmark", "conflicts", "p(ignore)", "p(charge)", "p(avoid)"
@@ -247,8 +258,7 @@ fn main() {
             &topo,
         );
         let p = |policy| {
-            estimate_success_with_crosstalk(&compiled.circuit, &cal, &topo, policy)
-                .probability()
+            estimate_success_with_crosstalk(&compiled.circuit, &cal, &topo, policy).probability()
         };
         println!(
             "{:<28} {:>9} {:>11.4} {:>11.4} {:>11.4}",
@@ -280,7 +290,10 @@ fn main() {
                 direction: DirectionPolicy::MoveFirst,
                 ..CompileOptions::with_seed(0)
             };
-            let gates = compile(&circuit, &topo, &options).unwrap().stats.two_qubit_gates;
+            let gates = compile(&circuit, &topo, &options)
+                .unwrap()
+                .stats
+                .two_qubit_gates;
             cols[i].push(gates as f64);
             row.push(gates);
         }

@@ -38,6 +38,8 @@ fn main() {
         println!();
     }
     rule(28 + factors.len() * 12);
-    println!("dotted line: 1x = current Johannesburg errors; dashed line: 20x = Fig. 9 simulation point");
+    println!(
+        "dotted line: 1x = current Johannesburg errors; dashed line: 20x = Fig. 9 simulation point"
+    );
     println!("expected shape: exponential fall-off toward 1.0 as errors improve; never below 1.0");
 }

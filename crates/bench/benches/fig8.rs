@@ -43,7 +43,14 @@ fn main() {
     println!("{:<6} {:<14} {:>12}", "dist", "triplet", "p_trios/p_base");
     rule(36);
     for &(dist, (a, b, t), ratio) in &rows {
-        println!("{:<6} ({:>2}-{:>2}-{:>2})    {:>11.1}%", dist, a, b, t, 100.0 * ratio);
+        println!(
+            "{:<6} ({:>2}-{:>2}-{:>2})    {:>11.1}%",
+            dist,
+            a,
+            b,
+            t,
+            100.0 * ratio
+        );
     }
     rule(36);
 

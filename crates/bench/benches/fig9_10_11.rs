@@ -110,7 +110,9 @@ fn main() {
     }
     println!();
     println!("paper: 37% (johannesburg), 36% (grid), 48% (line), 26% (clusters)");
-    println!("* geomean of base/trios gate ratios over Toffoli benchmarks, expressed as a reduction");
+    println!(
+        "* geomean of base/trios gate ratios over Toffoli benchmarks, expressed as a reduction"
+    );
     println!();
 
     println!("Figure 11: success normalized to baseline (p_trios/p_baseline)");

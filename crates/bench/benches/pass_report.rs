@@ -1,0 +1,28 @@
+//! Per-pass instrumentation dump: compiles every Table 1 benchmark under
+//! both pipelines and prints one JSON line per compilation (pass wall
+//! times, gate-count deltas, final stats) — machine-readable input for
+//! profiling where compile time and gate count are spent.
+//!
+//! Run with `cargo bench -p trios-bench --bench pass_report`.
+
+use trios_bench::{compile_benchmark_with_report, device, report_json};
+use trios_benchmarks::Benchmark;
+use trios_core::Pipeline;
+
+fn main() {
+    let dev = device();
+    for bench in Benchmark::ALL {
+        let circuit = bench.build();
+        if circuit.num_qubits() > dev.num_qubits() {
+            continue;
+        }
+        for pipeline in [Pipeline::Baseline, Pipeline::Trios] {
+            let (_, report) = compile_benchmark_with_report(&circuit, &dev, pipeline, 0);
+            println!(
+                "{{\"benchmark\":\"{}\",\"pipeline\":\"{pipeline:?}\",\"report\":{}}}",
+                bench.name(),
+                report_json(&report)
+            );
+        }
+    }
+}

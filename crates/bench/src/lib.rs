@@ -10,8 +10,8 @@
 #![warn(missing_debug_implementations)]
 
 use trios_core::{
-    compile, with_measurements, Calibration, Circuit, CompiledProgram, InitialMapping,
-    PaperConfig, Pipeline,
+    with_measurements, Calibration, Circuit, CompileReport, CompiledProgram, Compiler,
+    InitialMapping, PaperConfig, Pipeline,
 };
 use trios_topology::{johannesburg, Topology};
 
@@ -75,9 +75,14 @@ pub fn compile_single_toffoli(
     let mut program = Circuit::with_name(3, "single-toffoli");
     program.ccx(0, 1, 2);
     let program = with_measurements(&program, &[0, 1, 2]);
-    let mut options = config.to_options(seed);
-    options.mapping = InitialMapping::Fixed(vec![triplet.0, triplet.1, triplet.2]);
-    compile(&program, device, &options).expect("single-Toffoli experiment compiles")
+    let compiler = Compiler::builder()
+        .seed(seed)
+        .config(config)
+        .mapping(InitialMapping::Fixed(vec![triplet.0, triplet.1, triplet.2]))
+        .build();
+    compiler
+        .compile(&program, device)
+        .expect("single-Toffoli experiment compiles")
 }
 
 /// Compiles one of the paper's NISQ benchmarks on a device, with every
@@ -88,13 +93,34 @@ pub fn compile_benchmark(
     pipeline: Pipeline,
     seed: u64,
 ) -> CompiledProgram {
+    compile_benchmark_with_report(circuit, device, pipeline, seed).0
+}
+
+/// Like [`compile_benchmark`], also returning the per-pass
+/// [`CompileReport`] (wall times, gate-count deltas) for instrumentation
+/// studies.
+pub fn compile_benchmark_with_report(
+    circuit: &Circuit,
+    device: &Topology,
+    pipeline: Pipeline,
+    seed: u64,
+) -> (CompiledProgram, CompileReport) {
     let measured = with_measurements(circuit, &(0..circuit.num_qubits()).collect::<Vec<_>>());
     let config = match pipeline {
         Pipeline::Baseline => PaperConfig::QiskitBaseline,
         Pipeline::Trios => PaperConfig::Trios,
     };
-    let options = config.to_options(seed);
-    compile(&measured, device, &options).expect("benchmark compiles")
+    let compiler = Compiler::builder().seed(seed).config(config).build();
+    compiler
+        .compile_with_report(&measured, device)
+        .expect("benchmark compiles")
+}
+
+/// Serializes a compile report as one JSON line (the report types
+/// implement `serde::Serialize` behind `trios-core`'s `serde` feature, so
+/// nothing here formats fields by hand).
+pub fn report_json(report: &CompileReport) -> String {
+    serde_json::to_string(report).expect("reports contain only finite numbers")
 }
 
 /// The Johannesburg device (all Toffoli experiments run there).
@@ -129,8 +155,8 @@ mod tests {
         // The x-labels pair each triplet with its gather distance; verify
         // the whole published list.
         let expected = [
-            10, 10, 9, 9, 9, 8, 8, 8, 8, 8, 7, 7, 7, 7, 7, 6, 6, 6, 6, 6, 5, 5, 5, 5, 5, 4, 4,
-            4, 4, 4, 3, 3, 3, 2, 2,
+            10, 10, 9, 9, 9, 8, 8, 8, 8, 8, 7, 7, 7, 7, 7, 6, 6, 6, 6, 6, 5, 5, 5, 5, 5, 4, 4, 4,
+            4, 4, 3, 3, 3, 2, 2,
         ];
         let dev = device();
         for (&(a, b, t), &d) in FIG67_TRIPLETS.iter().zip(&expected) {
@@ -156,5 +182,29 @@ mod tests {
             assert!(compiled.stats.two_qubit_gates >= 6, "{config:?}");
             assert_eq!(compiled.stats.measurements, 3);
         }
+    }
+
+    #[test]
+    fn report_json_covers_every_pass() {
+        let dev = device();
+        let circuit = {
+            let mut c = Circuit::new(3);
+            c.ccx(0, 1, 2);
+            c
+        };
+        let (compiled, report) = compile_benchmark_with_report(&circuit, &dev, Pipeline::Trios, 0);
+        assert_eq!(compiled.stats, report.stats);
+        let json = report_json(&report);
+        for pass in [
+            "initial-mapping",
+            "route-trios",
+            "lower",
+            "optimize",
+            "validate",
+            "schedule",
+        ] {
+            assert!(json.contains(pass), "missing {pass} in {json}");
+        }
+        assert!(json.contains("\"two_qubit_gates\""));
     }
 }

@@ -157,7 +157,11 @@ mod tests {
                 (av + bv) % (1 << n),
                 "a={av}, b={bv}: wrong sum"
             );
-            assert_eq!(decode_a(best), av, "a={av}, b={bv}: register a not restored");
+            assert_eq!(
+                decode_a(best),
+                av,
+                "a={av}, b={bv}: register a not restored"
+            );
         }
     }
 

@@ -145,7 +145,10 @@ pub fn hypergraph_state(n: usize, triples: usize, seed: u64) -> Circuit {
 /// Panics if `n < 3` or `n` is even (one control + an even data count).
 pub fn fredkin_network(n: usize) -> Circuit {
     assert!(n >= 3, "need a control and at least one data pair");
-    assert!(n % 2 == 1, "need one control plus an even number of data qubits");
+    assert!(
+        n % 2 == 1,
+        "need one control plus an even number of data qubits"
+    );
     let mut c = Circuit::with_name(n, format!("fredkin_network-{n}"));
     let control = 0;
     // Down-sweep then up-sweep across the data line: a depth-2 butterfly.

@@ -83,10 +83,7 @@ mod tests {
             let c = grovers(3, marked);
             let state = State::run(&c).unwrap();
             let p = state.marginal_probability(&[0, 1, 2], marked);
-            assert!(
-                p > 0.9,
-                "marked {marked} only reached probability {p:.3}"
-            );
+            assert!(p > 0.9, "marked {marked} only reached probability {p:.3}");
         }
     }
 

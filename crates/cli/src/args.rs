@@ -44,6 +44,8 @@ pub struct Options {
     pub improve: f64,
     /// Emit compiled OpenQASM to this path (`-` for inline output).
     pub emit_qasm: Option<String>,
+    /// Print the per-pass compile report (wall times, gate deltas).
+    pub report: bool,
 }
 
 impl Default for Options {
@@ -58,6 +60,7 @@ impl Default for Options {
             bridge: false,
             improve: 1.0,
             emit_qasm: None,
+            report: false,
         }
     }
 }
@@ -128,6 +131,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--lookahead" => options.lookahead = true,
                     "--bridge" => options.bridge = true,
+                    "--report" => options.report = true,
                     "--emit-qasm" => options.emit_qasm = Some(value(&mut i, "--emit-qasm")?),
                     flag if flag.starts_with('-') => {
                         return Err(CliError::Usage(format!("unknown flag '{flag}'")))
@@ -139,11 +143,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             match positional.len() {
                 0 => return Err(CliError::Usage(format!("{cmd} needs an input"))),
                 1 => options.input = positional.remove(0),
-                n => {
-                    return Err(CliError::Usage(format!(
-                        "{cmd} takes one input, got {n}"
-                    )))
-                }
+                n => return Err(CliError::Usage(format!("{cmd} takes one input, got {n}"))),
             }
             match cmd.as_str() {
                 "compile" => Ok(Command::Compile(options)),

@@ -4,7 +4,7 @@ use crate::args::{parse_args, parse_device, Command, Options};
 use crate::CliError;
 use std::fmt::Write as _;
 use trios_benchmarks::{Benchmark, ExtendedBenchmark};
-use trios_core::{compile, Calibration, CompileOptions, CompiledProgram};
+use trios_core::{Calibration, CompiledProgram, Compiler};
 use trios_ir::Circuit;
 use trios_route::LookaheadConfig;
 
@@ -33,6 +33,7 @@ FLAGS (compile / estimate):
     --bridge                     distance-2 CNOTs as 4-CNOT bridges
     --improve <factor>           error-improvement factor for estimate
     --emit-qasm <path|->         write the compiled circuit as OpenQASM 2.0
+    --report                     print the per-pass compile report
 ";
 
 /// Parses `args` (without the program name) and runs the command,
@@ -102,8 +103,7 @@ semantics:       {}",
         }
         Command::Estimate(options) => {
             let (compiled, mut out) = compile_input(&options)?;
-            let calibration =
-                Calibration::johannesburg_2020_08_19().improved(options.improve);
+            let calibration = Calibration::johannesburg_2020_08_19().improved(options.improve);
             let estimate = compiled.estimate_success(&calibration);
             let _ = writeln!(
                 out,
@@ -124,7 +124,10 @@ fn load_input(input: &str) -> Result<Circuit, CliError> {
     if let Some(b) = Benchmark::ALL.into_iter().find(|b| b.name() == input) {
         return Ok(b.build());
     }
-    if let Some(b) = ExtendedBenchmark::ALL.into_iter().find(|b| b.name() == input) {
+    if let Some(b) = ExtendedBenchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == input)
+    {
         return Ok(b.build());
     }
     Err(CliError::Unknown(format!(
@@ -135,17 +138,21 @@ fn load_input(input: &str) -> Result<Circuit, CliError> {
 fn compile_input(options: &Options) -> Result<(CompiledProgram, String), CliError> {
     let circuit = load_input(&options.input)?;
     let device = parse_device(&options.device)?;
-    let compile_options = CompileOptions {
-        pipeline: options.pipeline,
-        toffoli: options.toffoli,
-        seed: options.seed,
-        lookahead: options.lookahead.then(LookaheadConfig::default),
-        bridge: options.bridge,
-        ..CompileOptions::default()
-    };
-    let compiled = compile(&circuit, &device, &compile_options)?;
+    let compiler = Compiler::builder()
+        .pipeline(options.pipeline)
+        .toffoli(options.toffoli)
+        .seed(options.seed)
+        .lookahead(options.lookahead.then(LookaheadConfig::default))
+        .bridge(options.bridge)
+        .build();
+    let (compiled, report) = compiler.compile_with_report(&circuit, &device)?;
     let mut out = String::new();
-    let _ = writeln!(out, "input:           {} ({})", options.input, circuit.counts());
+    let _ = writeln!(
+        out,
+        "input:           {} ({})",
+        options.input,
+        circuit.counts()
+    );
     let _ = writeln!(out, "device:          {device}");
     let _ = writeln!(
         out,
@@ -162,6 +169,9 @@ fn compile_input(options: &Options) -> Result<(CompiledProgram, String), CliErro
     let _ = writeln!(out, "depth:           {}", compiled.stats.depth);
     let _ = writeln!(out, "duration:        {:.3} µs", compiled.stats.duration_us);
     let _ = writeln!(out, "final layout:    {}", compiled.final_layout);
+    if options.report {
+        let _ = writeln!(out, "\n{report}");
+    }
     Ok((compiled, out))
 }
 
@@ -201,7 +211,11 @@ fn render_list() -> String {
 fn render_table1() -> String {
     let mut out = String::new();
     out.push_str("Table 1: benchmark inventory (CNOTs after 8-CNOT Toffoli decomposition)\n");
-    let _ = writeln!(out, "{:<28} {:>7} {:>9} {:>7}", "benchmark", "qubits", "toffolis", "cnots");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>7} {:>9} {:>7}",
+        "benchmark", "qubits", "toffolis", "cnots"
+    );
     let _ = writeln!(out, "{}", "-".repeat(54));
     for b in Benchmark::ALL {
         let (q, t, cx) = b.table1_row();
@@ -399,6 +413,29 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("VERIFIED"));
+    }
+
+    #[test]
+    fn report_flag_prints_per_pass_table() {
+        let out = run(&args(&[
+            "compile",
+            "cnx_inplace-4",
+            "--device",
+            "line:6",
+            "--report",
+        ]))
+        .unwrap();
+        for pass in [
+            "initial-mapping",
+            "route-trios",
+            "lower",
+            "optimize",
+            "validate",
+            "schedule",
+        ] {
+            assert!(out.contains(pass), "missing pass {pass}:\n{out}");
+        }
+        assert!(out.contains("total:"));
     }
 
     #[test]

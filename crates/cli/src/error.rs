@@ -59,6 +59,12 @@ impl From<trios_core::CompileError> for CliError {
     }
 }
 
+impl From<trios_core::Diagnostic> for CliError {
+    fn from(d: trios_core::Diagnostic) -> Self {
+        CliError::Compile(d.into())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,399 @@
+//! [`Compiler`]: the builder-configured entrypoint over the pass-pipeline
+//! API, including batch compilation with shared precomputation.
+
+use crate::context::{CompileContext, ProgramSchedule};
+use crate::manager::PassManager;
+use crate::report::{CompileReport, CompileStats};
+use crate::{CompileOptions, CompiledProgram, Diagnostic, PaperConfig, Pipeline};
+use std::error::Error;
+use std::fmt;
+use trios_ir::Circuit;
+use trios_passes::{OptimizeOptions, ToffoliDecomposition};
+use trios_route::{DirectionPolicy, InitialMapping, LookaheadConfig, PathMetric};
+use trios_topology::Topology;
+
+/// The compiler, configured once and reusable across circuits and
+/// topologies.
+///
+/// Construct with [`Compiler::builder`] (or [`Compiler::new`] from
+/// existing [`CompileOptions`]); compile with [`Compiler::compile`],
+/// [`Compiler::compile_with_report`] (adds per-pass instrumentation), or
+/// [`Compiler::compile_batch`] (many circuits, one device, shared
+/// precomputation).
+///
+/// # Examples
+///
+/// ```
+/// use trios_core::{Compiler, PaperConfig};
+/// use trios_ir::Circuit;
+/// use trios_topology::johannesburg;
+///
+/// let mut program = Circuit::new(3);
+/// program.ccx(0, 1, 2);
+///
+/// let compiler = Compiler::builder().config(PaperConfig::Trios).seed(7).build();
+/// let (compiled, report) = compiler.compile_with_report(&program, &johannesburg())?;
+/// assert!(compiled.circuit.is_hardware_lowered());
+/// assert!(report.pass("route-trios").is_some());
+/// # Ok::<(), trios_core::Diagnostic>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Compiler {
+    options: CompileOptions,
+}
+
+impl Compiler {
+    /// Starts building a compiler from the default (full-Trios) options.
+    pub fn builder() -> CompilerBuilder {
+        CompilerBuilder::default()
+    }
+
+    /// A compiler running exactly `options`.
+    pub fn new(options: CompileOptions) -> Self {
+        Compiler { options }
+    }
+
+    /// The configuration this compiler runs.
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// Compiles one circuit for one device.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing pass's [`Diagnostic`].
+    pub fn compile(
+        &self,
+        circuit: &Circuit,
+        topology: &Topology,
+    ) -> Result<CompiledProgram, Diagnostic> {
+        self.compile_with_report(circuit, topology)
+            .map(|(compiled, _)| compiled)
+    }
+
+    /// Compiles one circuit and additionally returns the per-pass
+    /// [`CompileReport`] (wall times, gate-count deltas).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing pass's [`Diagnostic`].
+    pub fn compile_with_report(
+        &self,
+        circuit: &Circuit,
+        topology: &Topology,
+    ) -> Result<(CompiledProgram, CompileReport), Diagnostic> {
+        let mut manager = PassManager::for_options(&self.options);
+        self.run_pipeline(&mut manager, circuit, topology)
+    }
+
+    /// Compiles many circuits over one device with one reused pass
+    /// pipeline, so per-pipeline setup — in particular the schedule
+    /// pass's gate-duration table, cached inside [`SchedulePass`] after
+    /// its first run — happens once per batch instead of once per
+    /// circuit. (The topology's all-pairs distance matrix is precomputed
+    /// when the [`Topology`] is constructed, so it is shared by every
+    /// compilation, batched or not.)
+    ///
+    /// Output is identical to calling [`Compiler::compile`] on each
+    /// circuit in order (each compilation seeds its own RNG from
+    /// [`CompileOptions::seed`]), so batching is a pure throughput
+    /// optimization — the first step toward serving concurrent traffic.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first circuit that fails, returning its index and
+    /// diagnostic.
+    pub fn compile_batch(
+        &self,
+        circuits: &[Circuit],
+        topology: &Topology,
+    ) -> Result<Vec<CompiledProgram>, BatchDiagnostic> {
+        self.compile_batch_with_reports(circuits, topology)
+            .map(|v| v.into_iter().map(|(program, _)| program).collect())
+    }
+
+    /// Like [`Compiler::compile_batch`] but also returns each circuit's
+    /// [`CompileReport`].
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first circuit that fails, returning its index and
+    /// diagnostic.
+    pub fn compile_batch_with_reports(
+        &self,
+        circuits: &[Circuit],
+        topology: &Topology,
+    ) -> Result<Vec<(CompiledProgram, CompileReport)>, BatchDiagnostic> {
+        let mut manager = PassManager::for_options(&self.options);
+        circuits
+            .iter()
+            .enumerate()
+            .map(|(index, circuit)| {
+                self.run_pipeline(&mut manager, circuit, topology)
+                    .map_err(|diagnostic| BatchDiagnostic { index, diagnostic })
+            })
+            .collect()
+    }
+
+    fn run_pipeline(
+        &self,
+        manager: &mut PassManager,
+        circuit: &Circuit,
+        topology: &Topology,
+    ) -> Result<(CompiledProgram, CompileReport), Diagnostic> {
+        let mut cx = CompileContext::new(circuit.clone(), topology, &self.options);
+        let records = manager.run(&mut cx)?;
+        let duration_us = cx
+            .artifacts
+            .get::<ProgramSchedule>()
+            .map(|s| s.0.total_duration_us())
+            .unwrap_or_default();
+        // The last pass record already carries the final circuit's counts
+        // and depth; rescan only when the pipeline ran no passes.
+        let (counts, depth) = match records.last() {
+            Some(last) => (last.gates_after, last.depth_after),
+            None => (cx.circuit.counts(), cx.circuit.depth()),
+        };
+        let stats = CompileStats::new(cx.swap_count, counts, depth, duration_us);
+        let initial_layout = cx.initial_layout.take().ok_or_else(|| {
+            Diagnostic::validation("compile", "pipeline produced no initial layout")
+        })?;
+        let final_layout = cx.final_layout.take().ok_or_else(|| {
+            Diagnostic::validation("compile", "pipeline produced no final layout")
+        })?;
+        let report = CompileReport::new(records, stats);
+        let compiled = CompiledProgram {
+            circuit: cx.circuit,
+            initial_layout,
+            final_layout,
+            stats,
+        };
+        Ok((compiled, report))
+    }
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Compiler::new(CompileOptions::default())
+    }
+}
+
+/// A failure while compiling one circuit of a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchDiagnostic {
+    /// Index of the failing circuit in the input slice.
+    pub index: usize,
+    /// The failure itself.
+    pub diagnostic: Diagnostic,
+}
+
+impl fmt::Display for BatchDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "circuit {} failed: {}", self.index, self.diagnostic)
+    }
+}
+
+impl Error for BatchDiagnostic {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.diagnostic)
+    }
+}
+
+/// Fluent configuration for a [`Compiler`].
+///
+/// Starts from [`CompileOptions::default`] (the paper's full Trios);
+/// every setter overrides one knob. [`CompilerBuilder::config`] applies a
+/// named [`PaperConfig`] wholesale.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompilerBuilder {
+    options: CompileOptions,
+}
+
+impl CompilerBuilder {
+    /// Applies a named paper configuration — its pipeline, Toffoli
+    /// decomposition, and (stochastic) direction policy — leaving every
+    /// other knob set on this builder untouched.
+    pub fn config(mut self, config: PaperConfig) -> Self {
+        let named = config.to_options(self.options.seed);
+        self.options.pipeline = named.pipeline;
+        self.options.toffoli = named.toffoli;
+        self.options.direction = named.direction;
+        self
+    }
+
+    /// Replaces all options at once.
+    pub fn options(mut self, options: CompileOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Which pass structure to use (paper Fig. 2).
+    pub fn pipeline(mut self, pipeline: Pipeline) -> Self {
+        self.options.pipeline = pipeline;
+        self
+    }
+
+    /// Toffoli decomposition strategy.
+    pub fn toffoli(mut self, toffoli: ToffoliDecomposition) -> Self {
+        self.options.toffoli = toffoli;
+        self
+    }
+
+    /// Initial placement strategy.
+    pub fn mapping(mut self, mapping: InitialMapping) -> Self {
+        self.options.mapping = mapping;
+        self
+    }
+
+    /// Which endpoint moves when routing distant pairs.
+    pub fn direction(mut self, direction: DirectionPolicy) -> Self {
+        self.options.direction = direction;
+        self
+    }
+
+    /// Path metric (hops or noise-aware edge weights).
+    pub fn metric(mut self, metric: PathMetric) -> Self {
+        self.options.metric = metric;
+        self
+    }
+
+    /// Seed for stochastic choices.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.options.seed = seed;
+        self
+    }
+
+    /// Post-routing gate-level optimizations.
+    pub fn optimize(mut self, optimize: OptimizeOptions) -> Self {
+        self.options.optimize = optimize;
+        self
+    }
+
+    /// Windowed-lookahead pair routing (`None` = committed shortest-path
+    /// walks, as in the paper's experiments).
+    pub fn lookahead(mut self, lookahead: Option<LookaheadConfig>) -> Self {
+        self.options.lookahead = lookahead;
+        self
+    }
+
+    /// Implement distance-2 CNOTs as 4-CNOT bridges instead of
+    /// SWAP-then-CNOT.
+    pub fn bridge(mut self, bridge: bool) -> Self {
+        self.options.bridge = bridge;
+        self
+    }
+
+    /// Whether to run the `validate` pass (hardware gate set + coupling
+    /// legality as real, recoverable errors). On by default.
+    pub fn validate(mut self, validate: bool) -> Self {
+        self.options.validate = validate;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Compiler {
+        Compiler::new(self.options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trios_topology::johannesburg;
+
+    #[test]
+    fn builder_defaults_to_full_trios() {
+        let compiler = Compiler::builder().build();
+        assert_eq!(compiler.options().pipeline, Pipeline::Trios);
+        assert_eq!(
+            compiler.options().toffoli,
+            ToffoliDecomposition::ConnectivityAware
+        );
+        assert!(compiler.options().validate);
+    }
+
+    #[test]
+    fn builder_setters_override_knobs() {
+        let compiler = Compiler::builder()
+            .pipeline(Pipeline::Baseline)
+            .toffoli(ToffoliDecomposition::Eight)
+            .direction(DirectionPolicy::MoveFirst)
+            .seed(9)
+            .bridge(true)
+            .validate(false)
+            .build();
+        let o = compiler.options();
+        assert_eq!(o.pipeline, Pipeline::Baseline);
+        assert_eq!(o.toffoli, ToffoliDecomposition::Eight);
+        assert_eq!(o.direction, DirectionPolicy::MoveFirst);
+        assert_eq!(o.seed, 9);
+        assert!(o.bridge);
+        assert!(!o.validate);
+    }
+
+    #[test]
+    fn config_preserves_seed() {
+        let compiler = Compiler::builder()
+            .seed(42)
+            .config(PaperConfig::QiskitEight)
+            .build();
+        assert_eq!(compiler.options().seed, 42);
+        assert_eq!(compiler.options().pipeline, Pipeline::Baseline);
+        assert_eq!(compiler.options().toffoli, ToffoliDecomposition::Eight);
+    }
+
+    #[test]
+    fn config_preserves_other_knobs_regardless_of_order() {
+        let compiler = Compiler::builder()
+            .validate(false)
+            .bridge(true)
+            .mapping(InitialMapping::Fixed(vec![0, 1, 2]))
+            .config(PaperConfig::Trios)
+            .build();
+        let o = compiler.options();
+        assert!(!o.validate, ".config must not reset validate");
+        assert!(o.bridge, ".config must not reset bridge");
+        assert_eq!(o.mapping, InitialMapping::Fixed(vec![0, 1, 2]));
+        assert_eq!(o.pipeline, Pipeline::Trios);
+    }
+
+    #[test]
+    fn report_covers_every_stage_with_timings() {
+        let mut program = Circuit::new(3);
+        program.ccx(0, 1, 2);
+        let compiler = Compiler::builder().seed(1).build();
+        let (compiled, report) = compiler
+            .compile_with_report(&program, &johannesburg())
+            .unwrap();
+        assert_eq!(
+            report.pass_names().collect::<Vec<_>>(),
+            [
+                "initial-mapping",
+                "route-trios",
+                "lower",
+                "optimize",
+                "validate",
+                "schedule"
+            ]
+        );
+        // Routing grows the circuit; optimize never grows it.
+        assert!(report.pass("route-trios").unwrap().total_delta() > 0);
+        assert!(report.pass("optimize").unwrap().total_delta() <= 0);
+        assert_eq!(report.stats, compiled.stats);
+        assert!(report.total_time >= report.passes.iter().map(|p| p.wall_time).max().unwrap());
+    }
+
+    #[test]
+    fn batch_error_reports_failing_index() {
+        let ok = Circuit::new(3);
+        let too_wide = Circuit::new(25);
+        let compiler = Compiler::default();
+        let err = compiler
+            .compile_batch(&[ok, too_wide], &johannesburg())
+            .unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(matches!(err.diagnostic, Diagnostic::Routing { .. }));
+        assert!(err.to_string().contains("circuit 1"));
+    }
+}

@@ -1,0 +1,152 @@
+//! The compiler's error hierarchy: every way a pass can fail, as a
+//! recoverable value instead of a `debug_assert!`.
+//!
+//! The original entrypoint had exactly one error variant (routing) and
+//! trusted the routed-by-construction invariant in release builds. The
+//! pass-pipeline API instead surfaces each failure class as a
+//! [`Diagnostic`] carrying the name of the pass that raised it, so
+//! callers — services batching untrusted circuits included — can react per
+//! class without aborting the process.
+
+use std::error::Error;
+use std::fmt;
+use trios_ir::Gate;
+use trios_route::{LegalityViolation, RouteError};
+
+/// A failure raised by a compilation pass.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Diagnostic {
+    /// Mapping or routing failed: the circuit does not fit the device or
+    /// interacting qubits cannot be joined.
+    Routing {
+        /// The pass that failed.
+        pass: &'static str,
+        /// The underlying routing error.
+        source: RouteError,
+    },
+    /// A compiled circuit violates the coupling graph — the invariant the
+    /// legacy pipeline only `debug_assert!`ed.
+    Legality {
+        /// The pass that found the violation.
+        pass: &'static str,
+        /// The specific violated constraint.
+        violation: LegalityViolation,
+    },
+    /// A gate survived lowering that the hardware gate set does not
+    /// support.
+    Lowering {
+        /// The pass that found the leftover gate.
+        pass: &'static str,
+        /// Index of the offending instruction.
+        instruction: usize,
+        /// The unsupported gate.
+        gate: Gate,
+    },
+    /// A pass-specific internal consistency check failed.
+    Validation {
+        /// The pass whose check failed.
+        pass: &'static str,
+        /// Human-readable description of the inconsistency.
+        message: String,
+    },
+}
+
+impl Diagnostic {
+    /// Shorthand for a [`Diagnostic::Routing`].
+    pub fn routing(pass: &'static str, source: RouteError) -> Self {
+        Diagnostic::Routing { pass, source }
+    }
+
+    /// Shorthand for a [`Diagnostic::Legality`].
+    pub fn legality(pass: &'static str, violation: LegalityViolation) -> Self {
+        Diagnostic::Legality { pass, violation }
+    }
+
+    /// Shorthand for a [`Diagnostic::Lowering`].
+    pub fn lowering(pass: &'static str, instruction: usize, gate: Gate) -> Self {
+        Diagnostic::Lowering {
+            pass,
+            instruction,
+            gate,
+        }
+    }
+
+    /// Shorthand for a [`Diagnostic::Validation`].
+    pub fn validation(pass: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic::Validation {
+            pass,
+            message: message.into(),
+        }
+    }
+
+    /// The name of the pass that raised this diagnostic.
+    pub fn pass(&self) -> &'static str {
+        match self {
+            Diagnostic::Routing { pass, .. }
+            | Diagnostic::Legality { pass, .. }
+            | Diagnostic::Lowering { pass, .. }
+            | Diagnostic::Validation { pass, .. } => pass,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Diagnostic::Routing { pass, source } => {
+                write!(f, "[{pass}] routing failed: {source}")
+            }
+            Diagnostic::Legality { pass, violation } => {
+                write!(f, "[{pass}] illegal output circuit: {violation}")
+            }
+            Diagnostic::Lowering {
+                pass,
+                instruction,
+                gate,
+            } => write!(
+                f,
+                "[{pass}] instruction {instruction} left gate {gate} outside the hardware set"
+            ),
+            Diagnostic::Validation { pass, message } => {
+                write!(f, "[{pass}] validation failed: {message}")
+            }
+        }
+    }
+}
+
+impl Error for Diagnostic {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Diagnostic::Routing { source, .. } => Some(source),
+            Diagnostic::Legality { violation, .. } => Some(violation),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_pass() {
+        let d = Diagnostic::validation("schedule", "negative duration");
+        assert_eq!(d.pass(), "schedule");
+        assert!(d.to_string().contains("[schedule]"));
+        assert!(d.to_string().contains("negative duration"));
+    }
+
+    #[test]
+    fn routing_diagnostics_expose_their_source() {
+        let d = Diagnostic::routing(
+            "route-trios",
+            RouteError::CircuitTooWide {
+                logical: 25,
+                physical: 20,
+            },
+        );
+        assert!(Error::source(&d).is_some());
+        assert!(d.to_string().contains("routing failed"));
+    }
+}

@@ -12,36 +12,64 @@
 //!   decomposition then picks the 6-CNOT form on triangles and the 8-CNOT
 //!   form (with the correct middle qubit) on lines (paper Fig. 2b, §4).
 //!
-//! [`PaperConfig`] names the exact compiler configurations evaluated in
-//! the paper's figures. Every compiled program carries its initial/final
-//! layouts so `trios_sim::compiled_equivalent` can verify semantics, and
-//! [`CompiledProgram::estimate_success`] applies the §2.6 noise model.
+//! # The pass-pipeline API
 //!
-//! # Examples
+//! The compiler is a sequence of named [`Pass`]es over a
+//! [`CompileContext`], assembled by a [`PassManager`] and driven by a
+//! [`Compiler`] built with [`Compiler::builder`]:
 //!
 //! ```
-//! use trios_core::{compile, CompileOptions, PaperConfig};
+//! use trios_core::{Compiler, PaperConfig};
 //! use trios_ir::Circuit;
 //! use trios_topology::johannesburg;
 //!
 //! let mut program = Circuit::new(3);
 //! program.ccx(0, 1, 2);
 //!
-//! let device = johannesburg();
-//! let trios = compile(&program, &device, &PaperConfig::Trios.to_options(0))?;
-//! let baseline = compile(&program, &device, &PaperConfig::QiskitBaseline.to_options(0))?;
-//! assert!(trios.stats.two_qubit_gates <= baseline.stats.two_qubit_gates);
-//! # Ok::<(), trios_core::CompileError>(())
+//! let compiler = Compiler::builder().config(PaperConfig::Trios).build();
+//! let (compiled, report) = compiler.compile_with_report(&program, &johannesburg())?;
+//! println!("{report}"); // per-pass wall times and gate-count deltas
+//! assert!(compiled.circuit.is_hardware_lowered());
+//! # Ok::<(), trios_core::Diagnostic>(())
 //! ```
+//!
+//! Passes publish intermediate results ([`PostRouteCircuit`],
+//! [`SwapTrace`], [`ProgramSchedule`]) into the context's typed artifact
+//! map; failures surface as a structured [`Diagnostic`] naming the pass.
+//! [`Compiler::compile_batch`] compiles many circuits over one device
+//! with shared precomputation. The original [`compile`] function remains
+//! as a thin shim over the same pipeline.
+//!
+//! [`PaperConfig`] names the exact compiler configurations evaluated in
+//! the paper's figures. Every compiled program carries its initial/final
+//! layouts so `trios_sim::compiled_equivalent` can verify semantics, and
+//! [`CompiledProgram::estimate_success`] applies the §2.6 noise model.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod compiler;
+mod context;
+mod diagnostics;
+mod manager;
 mod options;
+mod pass;
 mod pipeline;
+mod report;
 
+pub use compiler::{BatchDiagnostic, Compiler, CompilerBuilder};
+pub use context::{
+    Artifact, ArtifactMap, CompileContext, PostRouteCircuit, ProgramSchedule, SwapTrace,
+};
+pub use diagnostics::Diagnostic;
+pub use manager::PassManager;
 pub use options::{CompileOptions, PaperConfig, Pipeline};
-pub use pipeline::{compile, with_measurements, CompileError, CompileStats, CompiledProgram};
+pub use pass::{
+    DecomposeToffolisPass, InitialMappingPass, LowerPass, OptimizePass, Pass, RoutePass,
+    SchedulePass, ValidatePass,
+};
+pub use pipeline::{compile, with_measurements, CompileError, CompiledProgram};
+pub use report::{CompileReport, CompileStats, PassRecord};
 
 // Re-export the pieces callers need alongside `compile`, so downstream
 // users can depend on `trios-core` alone for common workflows.

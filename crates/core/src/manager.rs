@@ -1,0 +1,165 @@
+//! [`PassManager`]: an ordered, instrumented sequence of passes.
+
+use crate::context::CompileContext;
+use crate::pass::{
+    DecomposeToffolisPass, InitialMappingPass, LowerPass, OptimizePass, Pass, RoutePass,
+    SchedulePass, ValidatePass,
+};
+use crate::report::PassRecord;
+use crate::{CompileOptions, Diagnostic, Pipeline};
+use std::fmt;
+use std::time::Instant;
+
+/// An ordered pipeline of [`Pass`]es with per-pass instrumentation.
+///
+/// The standard pipelines of the paper's Figure 2 come from
+/// [`PassManager::for_options`]; custom pipelines (ablations, new stage
+/// orders) are assembled with [`PassManager::push`].
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassManager {
+    /// An empty pipeline.
+    pub fn new() -> Self {
+        PassManager::default()
+    }
+
+    /// The standard pipeline for `options` (paper Fig. 2):
+    ///
+    /// * *Baseline*: initial-mapping → decompose-toffolis → route-pairs →
+    ///   lower → optimize → \[validate\] → schedule
+    /// * *Trios*: initial-mapping → route-trios (with inline mapping-aware
+    ///   decomposition) → lower → optimize → \[validate\] → schedule
+    ///
+    /// The `validate` pass is included iff [`CompileOptions::validate`] is
+    /// set (it is by default).
+    pub fn for_options(options: &CompileOptions) -> Self {
+        let mut manager = PassManager::new();
+        manager.push(InitialMappingPass);
+        if options.pipeline == Pipeline::Baseline {
+            manager.push(DecomposeToffolisPass);
+        }
+        manager.push(RoutePass::new(options.pipeline));
+        manager.push(LowerPass);
+        manager.push(OptimizePass);
+        if options.validate {
+            manager.push(ValidatePass);
+        }
+        manager.push(SchedulePass::new());
+        manager
+    }
+
+    /// Appends a pass.
+    pub fn push(&mut self, pass: impl Pass + 'static) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Number of passes.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// `true` when the pipeline has no passes.
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// The pass names, in execution order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs every pass over `cx` in order, recording wall time and
+    /// gate-count deltas for each.
+    ///
+    /// # Errors
+    ///
+    /// Stops at, and returns, the first failing pass's [`Diagnostic`].
+    pub fn run(&mut self, cx: &mut CompileContext<'_>) -> Result<Vec<PassRecord>, Diagnostic> {
+        let mut records = Vec::with_capacity(self.passes.len());
+        // Each pass's exit counts are the next pass's entry counts, so
+        // the circuit is scanned once per pass boundary, not twice.
+        let mut gates = cx.circuit.counts();
+        let mut depth = cx.circuit.depth();
+        for pass in &mut self.passes {
+            let (gates_before, depth_before) = (gates, depth);
+            let start = Instant::now();
+            pass.run(cx)?;
+            let wall_time = start.elapsed();
+            gates = cx.circuit.counts();
+            depth = cx.circuit.depth();
+            records.push(PassRecord {
+                pass: pass.name(),
+                wall_time,
+                gates_before,
+                gates_after: gates,
+                depth_before,
+                depth_after: depth,
+            });
+        }
+        Ok(records)
+    }
+}
+
+impl fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassManager")
+            .field("passes", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_trios_pipeline_has_expected_stages() {
+        let manager = PassManager::for_options(&CompileOptions::default());
+        assert_eq!(
+            manager.names(),
+            [
+                "initial-mapping",
+                "route-trios",
+                "lower",
+                "optimize",
+                "validate",
+                "schedule"
+            ]
+        );
+    }
+
+    #[test]
+    fn baseline_pipeline_decomposes_up_front() {
+        let options = CompileOptions {
+            pipeline: Pipeline::Baseline,
+            ..CompileOptions::default()
+        };
+        let names = PassManager::for_options(&options).names();
+        assert_eq!(names[1], "decompose-toffolis");
+        assert_eq!(names[2], "route-pairs");
+    }
+
+    #[test]
+    fn validate_pass_is_optional() {
+        let options = CompileOptions {
+            validate: false,
+            ..CompileOptions::default()
+        };
+        let names = PassManager::for_options(&options).names();
+        assert!(!names.contains(&"validate"));
+    }
+
+    #[test]
+    fn custom_pipelines_compose() {
+        let mut manager = PassManager::new();
+        assert!(manager.is_empty());
+        manager.push(InitialMappingPass).push(LowerPass);
+        assert_eq!(manager.len(), 2);
+        assert_eq!(manager.names(), ["initial-mapping", "lower"]);
+        assert!(format!("{manager:?}").contains("initial-mapping"));
+    }
+}

@@ -40,6 +40,11 @@ pub struct CompileOptions {
     /// Implement distance-2 CNOTs as 4-CNOT bridges (layout unchanged)
     /// instead of SWAP-then-CNOT. Off in the paper's experiments.
     pub bridge: bool,
+    /// Run the `validate` pass: check the hardware gate set and coupling
+    /// legality of the output as real, recoverable errors (the original
+    /// implementation only `debug_assert!`ed these, so release builds
+    /// silently trusted routed-by-construction). On by default.
+    pub validate: bool,
 }
 
 impl Default for CompileOptions {
@@ -54,6 +59,7 @@ impl Default for CompileOptions {
             optimize: OptimizeOptions::default(),
             lookahead: None,
             bridge: false,
+            validate: true,
         }
     }
 }

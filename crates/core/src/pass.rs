@@ -1,0 +1,223 @@
+//! The [`Pass`] trait and the named passes wrapping each compilation
+//! stage of the paper's Figure 2, so pipelines can be assembled, reordered
+//! and ablated instead of hardcoded.
+
+use crate::context::{CompileContext, PostRouteCircuit, ProgramSchedule, SwapTrace};
+use crate::{Diagnostic, Pipeline};
+use trios_passes::{decompose_toffolis, lower_to_hardware_gates, optimize};
+use trios_route::{
+    check_legal, initial_layout, route_baseline, route_trios, RouterOptions, ToffoliPolicy,
+};
+use trios_schedule::{schedule_asap, GateDurations};
+
+/// One compilation stage: a named transformation of a [`CompileContext`].
+pub trait Pass {
+    /// Stable, human-readable pass name (used in reports and diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Transforms the context.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] describing the failure; the pass manager
+    /// stops at the first failing pass.
+    fn run(&mut self, cx: &mut CompileContext<'_>) -> Result<(), Diagnostic>;
+}
+
+/// Chooses the initial logical→physical placement (the paper fixes it for
+/// the single-Toffoli experiments, and maps greedily otherwise).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct InitialMappingPass;
+
+impl Pass for InitialMappingPass {
+    fn name(&self) -> &'static str {
+        "initial-mapping"
+    }
+
+    fn run(&mut self, cx: &mut CompileContext<'_>) -> Result<(), Diagnostic> {
+        let layout = initial_layout(&cx.circuit, cx.topology, &cx.options.mapping)
+            .map_err(|e| Diagnostic::routing(self.name(), e))?;
+        cx.layout = Some(layout);
+        Ok(())
+    }
+}
+
+/// Decomposes every Toffoli up-front with canonical qubit roles — the
+/// *baseline* pipeline's first stage (paper Fig. 2a). The Trios pipeline
+/// omits this pass; its router decomposes placement-aware instead.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DecomposeToffolisPass;
+
+impl Pass for DecomposeToffolisPass {
+    fn name(&self) -> &'static str {
+        "decompose-toffolis"
+    }
+
+    fn run(&mut self, cx: &mut CompileContext<'_>) -> Result<(), Diagnostic> {
+        cx.circuit = decompose_toffolis(&cx.circuit, cx.options.toffoli);
+        Ok(())
+    }
+}
+
+/// Routes the circuit: the conventional per-pair strategy
+/// ([`Pipeline::Baseline`]) or the paper's trio gathering with inline
+/// mapping-aware decomposition ([`Pipeline::Trios`]).
+///
+/// Publishes [`PostRouteCircuit`] and [`SwapTrace`] artifacts.
+#[derive(Debug, Clone, Copy)]
+pub struct RoutePass {
+    pipeline: Pipeline,
+}
+
+impl RoutePass {
+    /// A routing pass using `pipeline`'s strategy.
+    pub fn new(pipeline: Pipeline) -> Self {
+        RoutePass { pipeline }
+    }
+}
+
+impl Pass for RoutePass {
+    fn name(&self) -> &'static str {
+        match self.pipeline {
+            Pipeline::Baseline => "route-pairs",
+            Pipeline::Trios => "route-trios",
+        }
+    }
+
+    fn run(&mut self, cx: &mut CompileContext<'_>) -> Result<(), Diagnostic> {
+        let layout = cx.layout.take().ok_or_else(|| {
+            Diagnostic::validation(self.name(), "no initial layout: run initial-mapping first")
+        })?;
+        let options = cx.options;
+        let router_options = RouterOptions {
+            toffoli: options.toffoli,
+            direction: options.direction,
+            metric: options.metric.clone(),
+            seed: options.seed,
+            lower_toffoli: true,
+            lookahead: options.lookahead,
+            bridge: options.bridge,
+        };
+        let routed = match self.pipeline {
+            Pipeline::Baseline => route_baseline(&cx.circuit, cx.topology, layout, &router_options),
+            Pipeline::Trios => route_trios(&cx.circuit, cx.topology, layout, &router_options),
+        }
+        .map_err(|e| Diagnostic::routing(self.name(), e))?;
+        cx.circuit = routed.circuit.clone();
+        cx.initial_layout = Some(routed.initial_layout);
+        cx.final_layout = Some(routed.final_layout);
+        cx.swap_count = routed.swap_count;
+        cx.artifacts.insert(PostRouteCircuit(routed.circuit));
+        cx.artifacts.insert(SwapTrace(routed.trio_events));
+        Ok(())
+    }
+}
+
+/// Lowers SWAPs, CZ/CP/controlled roots, and any remaining Toffolis into
+/// the hardware set `{1q, cx, measure}`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LowerPass;
+
+impl Pass for LowerPass {
+    fn name(&self) -> &'static str {
+        "lower"
+    }
+
+    fn run(&mut self, cx: &mut CompileContext<'_>) -> Result<(), Diagnostic> {
+        cx.circuit = lower_to_hardware_gates(&cx.circuit, cx.options.toffoli);
+        Ok(())
+    }
+}
+
+/// Gate-level cleanup: inverse-pair cancellation and single-qubit-run
+/// merging, mirroring the light optimization of the paper's baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OptimizePass;
+
+impl Pass for OptimizePass {
+    fn name(&self) -> &'static str {
+        "optimize"
+    }
+
+    fn run(&mut self, cx: &mut CompileContext<'_>) -> Result<(), Diagnostic> {
+        cx.circuit = optimize(&cx.circuit, cx.options.optimize);
+        Ok(())
+    }
+}
+
+/// Checks the routed-by-construction invariants for real: every gate in
+/// the hardware set, every multi-qubit gate on a coupling edge.
+///
+/// The legacy pipeline only `debug_assert!`ed these, so release builds
+/// silently trusted them; as a pass, a violation is a recoverable
+/// [`Diagnostic`] in every build profile.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ValidatePass;
+
+impl Pass for ValidatePass {
+    fn name(&self) -> &'static str {
+        "validate"
+    }
+
+    fn run(&mut self, cx: &mut CompileContext<'_>) -> Result<(), Diagnostic> {
+        if let Some(offender) = cx
+            .circuit
+            .iter()
+            .enumerate()
+            .find(|(_, i)| !i.gate().is_hardware_supported())
+        {
+            return Err(Diagnostic::lowering(
+                self.name(),
+                offender.0,
+                offender.1.gate(),
+            ));
+        }
+        check_legal(&cx.circuit, cx.topology, ToffoliPolicy::Forbid)
+            .map_err(|v| Diagnostic::legality(self.name(), v))?;
+        Ok(())
+    }
+}
+
+/// ASAP-schedules the final circuit under Johannesburg gate times and
+/// publishes the [`ProgramSchedule`] artifact (the paper's duration
+/// metric Δ).
+#[derive(Debug, Default, Clone)]
+pub struct SchedulePass {
+    durations: Option<GateDurations>,
+}
+
+impl SchedulePass {
+    /// Schedules with the paper's Johannesburg gate times.
+    pub fn new() -> Self {
+        SchedulePass::default()
+    }
+
+    /// Schedules with a shared, precomputed duration table — used by
+    /// batch compilation to build the table once per batch.
+    pub fn with_durations(durations: GateDurations) -> Self {
+        SchedulePass {
+            durations: Some(durations),
+        }
+    }
+}
+
+impl Pass for SchedulePass {
+    fn name(&self) -> &'static str {
+        "schedule"
+    }
+
+    fn run(&mut self, cx: &mut CompileContext<'_>) -> Result<(), Diagnostic> {
+        let durations = self
+            .durations
+            .get_or_insert_with(GateDurations::johannesburg);
+        let schedule = schedule_asap(&cx.circuit, durations);
+        if schedule.total_duration_us() < 0.0 {
+            return Err(Diagnostic::validation(
+                self.name(),
+                format!("negative total duration {}", schedule.total_duration_us()),
+            ));
+        }
+        cx.artifacts.insert(ProgramSchedule(schedule));
+        Ok(())
+    }
+}

@@ -1,29 +1,33 @@
-//! The end-to-end compilation pipelines (paper Figure 2).
+//! The legacy single-call entrypoint, now a thin shim over the
+//! [`Compiler`] pass-pipeline API (paper Figure 2).
 
-use crate::{CompileOptions, Pipeline};
+use crate::{CompileOptions, CompileStats, Compiler, Diagnostic};
 use std::error::Error;
 use std::fmt;
 use trios_ir::Circuit;
 use trios_noise::{estimate_success, Calibration, SuccessEstimate};
-use trios_passes::{decompose_toffolis, lower_to_hardware_gates, optimize};
-use trios_route::{
-    check_legal, initial_layout, route_baseline, route_trios, Layout, RouteError, RouterOptions,
-    ToffoliPolicy,
-};
-use trios_schedule::{schedule_asap, GateDurations};
+use trios_route::{Layout, RouteError};
 use trios_topology::Topology;
 
 /// Errors from the end-to-end compiler.
+///
+/// Kept for compatibility with the original single-call API; the pass
+/// pipeline itself reports the richer [`Diagnostic`] hierarchy, which
+/// this type wraps.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CompileError {
     /// Mapping/routing failed.
     Route(RouteError),
+    /// Any other pass failure (legality, lowering, validation).
+    Diagnostic(Diagnostic),
 }
 
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::Route(e) => write!(f, "routing failed: {e}"),
+            CompileError::Diagnostic(d) => write!(f, "compilation failed: {d}"),
         }
     }
 }
@@ -32,6 +36,7 @@ impl Error for CompileError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CompileError::Route(e) => Some(e),
+            CompileError::Diagnostic(d) => Some(d),
         }
     }
 }
@@ -42,21 +47,13 @@ impl From<RouteError> for CompileError {
     }
 }
 
-/// Static metrics of a compiled program.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct CompileStats {
-    /// SWAPs inserted by routing (before lowering to CNOTs).
-    pub swap_count: usize,
-    /// Two-qubit gates in the final circuit — the paper's primary metric.
-    pub two_qubit_gates: usize,
-    /// Single-qubit gates in the final circuit.
-    pub one_qubit_gates: usize,
-    /// Measurements in the final circuit.
-    pub measurements: usize,
-    /// Gate-layer depth of the final circuit.
-    pub depth: usize,
-    /// ASAP-scheduled duration Δ (µs) under Johannesburg gate times.
-    pub duration_us: f64,
+impl From<Diagnostic> for CompileError {
+    fn from(d: Diagnostic) -> Self {
+        match d {
+            Diagnostic::Routing { source, .. } => CompileError::Route(source),
+            other => CompileError::Diagnostic(other),
+        }
+    }
 }
 
 /// A fully compiled program: hardware gate set, coupling-legal, scheduled.
@@ -83,70 +80,26 @@ impl CompiledProgram {
 /// Compiles `circuit` (a Toffoli-level program: 1q, 2q, and `ccx` gates)
 /// for `topology` under `options`.
 ///
-/// Pipeline stages (paper Fig. 2):
-///
-/// 1. *Baseline*: decompose Toffolis up-front (canonical roles) — or, for
-///    *Trios*, keep them.
-/// 2. Initial mapping.
-/// 3. Routing (pair router / trio router with inline mapping-aware
-///    decomposition).
-/// 4. Lowering to hardware gates (SWAP → 3 CX and friends).
-/// 5. Gate-level optimization (inverse cancellation, 1q-run merging).
-/// 6. ASAP scheduling for the duration metric.
-///
-/// The output is checked against the coupling graph before returning
-/// (debug builds assert; release builds rely on the routed-by-construction
-/// invariant, which the test suite exercises heavily).
+/// This is the original one-shot entrypoint, kept as a compatibility shim
+/// over [`Compiler`]: it builds the standard pipeline for `options`
+/// (paper Fig. 2) and runs it. Use [`Compiler::builder`] directly for
+/// per-pass reports, custom pipelines, or batch compilation.
 ///
 /// # Errors
 ///
 /// Returns [`CompileError::Route`] when the circuit does not fit the
-/// device or interacting qubits are disconnected.
+/// device or interacting qubits are disconnected, and
+/// [`CompileError::Diagnostic`] for any other pass failure (with
+/// validation on — the default — that includes legality and lowering
+/// violations that the original implementation only `debug_assert!`ed).
 pub fn compile(
     circuit: &Circuit,
     topology: &Topology,
     options: &CompileOptions,
 ) -> Result<CompiledProgram, CompileError> {
-    let layout = initial_layout(circuit, topology, &options.mapping)?;
-    let router_options = RouterOptions {
-        toffoli: options.toffoli,
-        direction: options.direction,
-        metric: options.metric.clone(),
-        seed: options.seed,
-        lower_toffoli: true,
-        lookahead: options.lookahead,
-        bridge: options.bridge,
-    };
-
-    let routed = match options.pipeline {
-        Pipeline::Baseline => {
-            let decomposed = decompose_toffolis(circuit, options.toffoli);
-            route_baseline(&decomposed, topology, layout, &router_options)?
-        }
-        Pipeline::Trios => route_trios(circuit, topology, layout, &router_options)?,
-    };
-
-    let lowered = lower_to_hardware_gates(&routed.circuit, options.toffoli);
-    let optimized = optimize(&lowered, options.optimize);
-    debug_assert!(optimized.is_hardware_lowered());
-    debug_assert!(check_legal(&optimized, topology, ToffoliPolicy::Forbid).is_ok());
-
-    let schedule = schedule_asap(&optimized, &GateDurations::johannesburg());
-    let counts = optimized.counts();
-    let stats = CompileStats {
-        swap_count: routed.swap_count,
-        two_qubit_gates: counts.two_qubit,
-        one_qubit_gates: counts.one_qubit,
-        measurements: counts.measure,
-        depth: optimized.depth(),
-        duration_us: schedule.total_duration_us(),
-    };
-    Ok(CompiledProgram {
-        circuit: optimized,
-        initial_layout: routed.initial_layout,
-        final_layout: routed.final_layout,
-        stats,
-    })
+    Compiler::new(options.clone())
+        .compile(circuit, topology)
+        .map_err(CompileError::from)
 }
 
 /// Appends measurements of the listed logical qubits to a copy of
@@ -164,7 +117,8 @@ pub fn with_measurements(circuit: &Circuit, qubits: &[usize]) -> Circuit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::PaperConfig;
+    use crate::{PaperConfig, Pipeline};
+    use trios_route::{check_legal, ToffoliPolicy};
     use trios_sim::compiled_equivalent;
     use trios_topology::{johannesburg, line, PaperDevice};
 
@@ -355,5 +309,30 @@ mod tests {
         let err = compile(&program, &topo, &CompileOptions::default()).unwrap_err();
         assert!(matches!(err, CompileError::Route(_)));
         assert!(err.to_string().contains("routing failed"));
+    }
+
+    #[test]
+    fn shim_matches_builder_api_exactly() {
+        // Golden: the compatibility shim and the builder produce identical
+        // programs for every paper configuration.
+        let mut program = Circuit::new(4);
+        program.h(0).ccx(0, 1, 2).cx(2, 3).ccz(1, 2, 3);
+        let topo = johannesburg();
+        for config in [
+            PaperConfig::QiskitBaseline,
+            PaperConfig::QiskitEight,
+            PaperConfig::TriosSix,
+            PaperConfig::TriosEight,
+            PaperConfig::Trios,
+        ] {
+            let options = config.to_options(5);
+            let legacy = compile(&program, &topo, &options).unwrap();
+            let builder = Compiler::builder()
+                .options(options)
+                .build()
+                .compile(&program, &topo)
+                .unwrap();
+            assert_eq!(legacy, builder, "{config:?}");
+        }
     }
 }

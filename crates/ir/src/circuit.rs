@@ -489,7 +489,10 @@ mod tests {
         let err = c
             .try_push(Instruction::new(Gate::Cx, &[Qubit::new(0), Qubit::new(1)]))
             .unwrap_err();
-        assert!(matches!(err, CircuitError::QubitOutOfRange { qubit: 1, .. }));
+        assert!(matches!(
+            err,
+            CircuitError::QubitOutOfRange { qubit: 1, .. }
+        ));
     }
 
     #[test]

@@ -68,7 +68,13 @@ impl fmt::Display for GateCounts {
         write!(
             f,
             "{} gates ({} 1q, {} 2q [{} cx, {} swap], {} 3q, {} measure)",
-            self.total, self.one_qubit, self.two_qubit, self.cx, self.swap, self.three_qubit, self.measure
+            self.total,
+            self.one_qubit,
+            self.two_qubit,
+            self.cx,
+            self.swap,
+            self.three_qubit,
+            self.measure
         )
     }
 }

@@ -146,14 +146,8 @@ fn symbol_set(gate: Gate, qubits: &[usize]) -> Vec<(usize, String)> {
     match gate {
         Gate::Cx => vec![(qubits[0], "*".into()), (qubits[1], "X".into())],
         Gate::Cz => vec![(qubits[0], "*".into()), (qubits[1], "*".into())],
-        Gate::Cp(l) => vec![
-            (qubits[0], "*".into()),
-            (qubits[1], format!("P({l:.2})")),
-        ],
-        Gate::Cxpow(t) => vec![
-            (qubits[0], "*".into()),
-            (qubits[1], format!("X^{t:.2}")),
-        ],
+        Gate::Cp(l) => vec![(qubits[0], "*".into()), (qubits[1], format!("P({l:.2})"))],
+        Gate::Cxpow(t) => vec![(qubits[0], "*".into()), (qubits[1], format!("X^{t:.2}"))],
         Gate::Swap => vec![(qubits[0], "x".into()), (qubits[1], "x".into())],
         Gate::Ccx => vec![
             (qubits[0], "*".into()),

@@ -238,11 +238,7 @@ impl Gate {
             Gate::Ry(a) => Gate::Ry(-a),
             Gate::Rz(a) => Gate::Rz(-a),
             Gate::U1(a) => Gate::U1(-a),
-            Gate::U2(phi, lam) => Gate::U3(
-                -std::f64::consts::FRAC_PI_2,
-                -lam,
-                -phi,
-            ),
+            Gate::U2(phi, lam) => Gate::U3(-std::f64::consts::FRAC_PI_2, -lam, -phi),
             Gate::U3(theta, phi, lam) => Gate::U3(-theta, -lam, -phi),
             Gate::Cp(a) => Gate::Cp(-a),
             Gate::Xpow(t) => Gate::Xpow(-t),

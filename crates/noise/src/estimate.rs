@@ -161,8 +161,7 @@ pub fn estimate_success_with_crosstalk(
             let schedule = schedule_crosstalk_aware(circuit, &calibration.durations, topology);
             let delta = schedule.total_duration_us();
             estimate.duration_us = delta;
-            estimate.p_coherence =
-                (-delta / calibration.t1_us - delta / calibration.t2_us).exp();
+            estimate.p_coherence = (-delta / calibration.t1_us - delta / calibration.t2_us).exp();
             estimate
         }
     }
@@ -353,12 +352,8 @@ mod tests {
         c.cx(0, 1).cx(2, 3);
         let topo = line(4);
         let calibration = cal();
-        let ignore = estimate_success_with_crosstalk(
-            &c,
-            &calibration,
-            &topo,
-            CrosstalkPolicy::Ignore,
-        );
+        let ignore =
+            estimate_success_with_crosstalk(&c, &calibration, &topo, CrosstalkPolicy::Ignore);
         let charge = estimate_success_with_crosstalk(
             &c,
             &calibration,
@@ -387,12 +382,7 @@ mod tests {
         let mut c = Circuit::new(3);
         c.h(0).cx(0, 1).cx(1, 2).measure(2);
         let a = estimate_success(&c, &cal());
-        let b = estimate_success_with_crosstalk(
-            &c,
-            &cal(),
-            &line(3),
-            CrosstalkPolicy::Ignore,
-        );
+        let b = estimate_success_with_crosstalk(&c, &cal(), &line(3), CrosstalkPolicy::Ignore);
         assert_eq!(a, b);
     }
 
@@ -418,8 +408,7 @@ mod tests {
         let calibration = cal();
         let edges = [(0usize, 1usize), (1, 2)];
         let errors = [calibration.two_qubit_error; 2];
-        let per_edge =
-            estimate_success_with_edge_errors(&c, &calibration, &edges, &errors);
+        let per_edge = estimate_success_with_edge_errors(&c, &calibration, &edges, &errors);
         let uniform = estimate_success(&c, &calibration);
         assert!((per_edge.probability() - uniform.probability()).abs() < 1e-12);
     }

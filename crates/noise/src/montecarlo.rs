@@ -119,13 +119,7 @@ pub fn monte_carlo_fidelity(
                 for q in instr.qubits() {
                     let dt = op.end_us() - qubit_clock[q.index()];
                     qubit_clock[q.index()] = op.end_us();
-                    erred |= inject_decoherence(
-                        &mut state,
-                        &mut rng,
-                        q.index(),
-                        dt,
-                        calibration,
-                    );
+                    erred |= inject_decoherence(&mut state, &mut rng, q.index(), dt, calibration);
                 }
             }
             state.apply(instr);
@@ -241,8 +235,7 @@ mod tests {
             gate_errors: false,
             decoherence: false,
         };
-        let r =
-            monte_carlo_fidelity(&toffoli_program(), &Calibration::default(), opts).unwrap();
+        let r = monte_carlo_fidelity(&toffoli_program(), &Calibration::default(), opts).unwrap();
         assert!((r.mean_fidelity - 1.0).abs() < 1e-12);
         assert_eq!(r.error_free_shots, 10);
         assert_eq!(r.std_error, 0.0);
@@ -352,12 +345,10 @@ mod tests {
     #[test]
     fn rejects_oversized_circuits() {
         let c = Circuit::new(30);
-        assert!(monte_carlo_fidelity(
-            &c,
-            &Calibration::default(),
-            MonteCarloOptions::default()
-        )
-        .is_err());
+        assert!(
+            monte_carlo_fidelity(&c, &Calibration::default(), MonteCarloOptions::default())
+                .is_err()
+        );
     }
 
     #[test]

@@ -289,7 +289,10 @@ mod tests {
     #[test]
     fn diagonal_gates_always_commute() {
         assert!(commutes(&i(Gate::Cz, &[0, 1]), &i(Gate::Ccz, &[0, 1, 2])));
-        assert!(commutes(&i(Gate::Rz(0.3), &[0]), &i(Gate::Cp(0.5), &[0, 1])));
+        assert!(commutes(
+            &i(Gate::Rz(0.3), &[0]),
+            &i(Gate::Cp(0.5), &[0, 1])
+        ));
     }
 
     #[test]

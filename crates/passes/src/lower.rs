@@ -199,7 +199,12 @@ mod tests {
     #[test]
     fn hardware_lowering_preserves_semantics() {
         let mut c = Circuit::new(4);
-        c.h(0).swap(0, 1).cz(1, 2).cp(0.8, 2, 3).cxpow(0.5, 0, 3).ccx(0, 1, 2);
+        c.h(0)
+            .swap(0, 1)
+            .cz(1, 2)
+            .cp(0.8, 2, 3)
+            .cxpow(0.5, 0, 3)
+            .ccx(0, 1, 2);
         for strategy in [ToffoliDecomposition::Six, ToffoliDecomposition::Eight] {
             let lowered = lower_to_hardware_gates(&c, strategy);
             assert!(

@@ -145,10 +145,7 @@ fn cancel_pass(num_qubits: usize, instrs: &[Instruction]) -> (Vec<Instruction>, 
         // that was the last to touch *all* of this instruction's qubits.
         let candidate = {
             let first = last_touch[qubits[0].index()];
-            if qubits
-                .iter()
-                .all(|q| last_touch[q.index()] == first)
-            {
+            if qubits.iter().all(|q| last_touch[q.index()] == first) {
                 first
             } else {
                 None
@@ -192,7 +189,9 @@ pub(crate) fn operands_cancel(prev: &Instruction, next: &Instruction) -> bool {
             (p[0] == n[0] && p[1] == n[1]) || (p[0] == n[1] && p[1] == n[0])
         }
         // Toffoli: controls commute, target must match.
-        Gate::Ccx => p[2] == n[2] && ((p[0] == n[0] && p[1] == n[1]) || (p[0] == n[1] && p[1] == n[0])),
+        Gate::Ccx => {
+            p[2] == n[2] && ((p[0] == n[0] && p[1] == n[1]) || (p[0] == n[1] && p[1] == n[0]))
+        }
         // CCZ: fully symmetric — same qubit set in any order.
         Gate::Ccz => {
             let mut ps = [p[0].index(), p[1].index(), p[2].index()];

@@ -68,10 +68,7 @@ pub fn cswap_via_ccx(c: Qubit, a: Qubit, b: Qubit) -> Vec<Instruction> {
 /// For [`ToffoliDecomposition::ConnectivityAware`] this falls back to the
 /// 6-CNOT forms: connectivity awareness only exists *after* routing, which
 /// is precisely the paper's point.
-pub fn decompose_three_qubit_gates(
-    circuit: &Circuit,
-    strategy: ToffoliDecomposition,
-) -> Circuit {
+pub fn decompose_three_qubit_gates(circuit: &Circuit, strategy: ToffoliDecomposition) -> Circuit {
     let mut out = Circuit::with_name(circuit.num_qubits(), circuit.name().to_string());
     for instr in circuit.iter() {
         match instr.gate() {

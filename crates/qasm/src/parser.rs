@@ -109,9 +109,7 @@ fn tokenize(source: &str) -> Result<Vec<(usize, Tok)>, QasmError> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
                     i += 1;
                 }
                 toks.push((line, Tok::Ident(bytes[start..i].iter().collect())));
@@ -332,14 +330,14 @@ impl Parser {
         // Classical target: validate the reference, then discard (the IR
         // keeps measurement results implicitly aligned with qubits).
         let cname = self.expect_ident()?;
-        let creg = self
-            .cregs
-            .iter()
-            .find(|r| r.name == cname)
-            .ok_or_else(|| QasmError::BadReference {
-                line: self.line(),
-                reference: format!("classical register '{cname}'"),
-            })?;
+        let creg =
+            self.cregs
+                .iter()
+                .find(|r| r.name == cname)
+                .ok_or_else(|| QasmError::BadReference {
+                    line: self.line(),
+                    reference: format!("classical register '{cname}'"),
+                })?;
         let creg_size = creg.size;
         if let Some(Tok::Punct('[')) = self.peek() {
             self.pos += 1;
@@ -430,14 +428,14 @@ impl Parser {
 
     fn qubit_arg(&mut self) -> Result<QubitArg, QasmError> {
         let name = self.expect_ident()?;
-        let reg = self
-            .qregs
-            .iter()
-            .find(|r| r.name == name)
-            .ok_or_else(|| QasmError::BadReference {
-                line: self.line(),
-                reference: format!("quantum register '{name}'"),
-            })?;
+        let reg =
+            self.qregs
+                .iter()
+                .find(|r| r.name == name)
+                .ok_or_else(|| QasmError::BadReference {
+                    line: self.line(),
+                    reference: format!("quantum register '{name}'"),
+                })?;
         let (offset, size) = (reg.offset, reg.size);
         if let Some(Tok::Punct('[')) = self.peek() {
             self.pos += 1;

@@ -112,11 +112,8 @@ pub fn check_legal(
                         return Err(LegalityViolation::ToffoliPresent { instruction: idx })
                     }
                     ToffoliPolicy::AllowGathered => {
-                        let shape = topology.triple_shape(
-                            qs[0].index(),
-                            qs[1].index(),
-                            qs[2].index(),
-                        );
+                        let shape =
+                            topology.triple_shape(qs[0].index(), qs[1].index(), qs[2].index());
                         if shape == TripleShape::Disconnected {
                             return Err(LegalityViolation::ScatteredTrio { instruction: idx });
                         }

@@ -82,8 +82,7 @@ pub fn initial_layout(
             Layout::from_mapping(&slots, n_phys)
         }
         InitialMapping::GreedyInteraction => {
-            let dist =
-                |a: usize, b: usize| topology.distance(a, b).unwrap_or(n_phys) as f64;
+            let dist = |a: usize, b: usize| topology.distance(a, b).unwrap_or(n_phys) as f64;
             Ok(greedy_layout(circuit, topology, &dist))
         }
         InitialMapping::NoiseAware { edge_errors } => {

@@ -218,8 +218,10 @@ impl<'a> Router<'a> {
 
     fn emit_swap(&mut self, p1: usize, p2: usize) {
         debug_assert!(self.topo.are_adjacent(p1, p2), "swap on non-edge {p1}-{p2}");
-        self.out
-            .push(Instruction::new(Gate::Swap, &[Qubit::new(p1), Qubit::new(p2)]));
+        self.out.push(Instruction::new(
+            Gate::Swap,
+            &[Qubit::new(p1), Qubit::new(p2)],
+        ));
         self.layout.swap_physical(p1, p2);
         self.swap_count += 1;
     }
@@ -230,9 +232,7 @@ impl<'a> Router<'a> {
             None => self.topo.shortest_path(a, b),
             Some(w) => self
                 .topo
-                .shortest_path_weighted(a, b, &|x, y| {
-                    *w.get(&(x.min(y), x.max(y))).unwrap_or(&1.0)
-                })
+                .shortest_path_weighted(a, b, &|x, y| *w.get(&(x.min(y), x.max(y))).unwrap_or(&1.0))
                 .map(|(p, _)| p),
         };
         path.ok_or(RouteError::Disconnected { a, b })
@@ -344,8 +344,8 @@ impl<'a> Router<'a> {
                     }
                     let mut hypothetical = self.layout.clone();
                     hypothetical.swap_physical(end, n);
-                    let cost = d1 as f64
-                        + cfg.weight * self.window_cost(&hypothetical, upcoming, cfg);
+                    let cost =
+                        d1 as f64 + cfg.weight * self.window_cost(&hypothetical, upcoming, cfg);
                     let edge = (end.min(n), end.max(n));
                     let better = match best {
                         None => true,
@@ -512,12 +512,7 @@ impl<'a> Router<'a> {
                                 .copied()
                                 .filter(|&l| l != middle_logical)
                                 .collect();
-                            toffoli_8cnot_linear(
-                                q(ends[0]),
-                                q(middle_logical),
-                                q(ends[1]),
-                                q(t),
-                            )
+                            toffoli_8cnot_linear(q(ends[0]), q(middle_logical), q(ends[1]), q(t))
                         }
                         TripleShape::Disconnected => unreachable!("checked above"),
                     },
@@ -530,9 +525,7 @@ impl<'a> Router<'a> {
                 let use_six = match self.opts.toffoli {
                     ToffoliDecomposition::Six => true,
                     ToffoliDecomposition::Eight => false,
-                    ToffoliDecomposition::ConnectivityAware => {
-                        shape == TripleShape::Triangle
-                    }
+                    ToffoliDecomposition::ConnectivityAware => shape == TripleShape::Triangle,
                 };
                 if use_six {
                     ccz_6cnot(q(logical[0]), q(logical[1]), q(logical[2]))
@@ -622,9 +615,13 @@ mod tests {
         let mut c = Circuit::new(3);
         c.h(0).cx(0, 1).cx(1, 2);
         let topo = line(3);
-        let routed =
-            route_baseline(&c, &topo, Layout::trivial(3, 3), &RouterOptions::deterministic())
-                .unwrap();
+        let routed = route_baseline(
+            &c,
+            &topo,
+            Layout::trivial(3, 3),
+            &RouterOptions::deterministic(),
+        )
+        .unwrap();
         assert_eq!(routed.swap_count, 0);
         assert_eq!(routed.circuit.len(), 3);
         assert!(verify(&c, &routed));
@@ -635,9 +632,13 @@ mod tests {
         let mut c = Circuit::new(5);
         c.cx(0, 4);
         let topo = line(5);
-        let routed =
-            route_baseline(&c, &topo, Layout::trivial(5, 5), &RouterOptions::deterministic())
-                .unwrap();
+        let routed = route_baseline(
+            &c,
+            &topo,
+            Layout::trivial(5, 5),
+            &RouterOptions::deterministic(),
+        )
+        .unwrap();
         assert_eq!(routed.swap_count, 3);
         assert!(verify(&c, &routed));
         // MoveFirst: logical 0 walked to physical 3.
@@ -680,10 +681,20 @@ mod tests {
         let mut c = Circuit::new(8);
         c.cx(0, 7).cx(1, 6).cx(2, 5);
         let topo = line(8);
-        let a = route_baseline(&c, &topo, Layout::trivial(8, 8), &RouterOptions::with_seed(3))
-            .unwrap();
-        let b = route_baseline(&c, &topo, Layout::trivial(8, 8), &RouterOptions::with_seed(3))
-            .unwrap();
+        let a = route_baseline(
+            &c,
+            &topo,
+            Layout::trivial(8, 8),
+            &RouterOptions::with_seed(3),
+        )
+        .unwrap();
+        let b = route_baseline(
+            &c,
+            &topo,
+            Layout::trivial(8, 8),
+            &RouterOptions::with_seed(3),
+        )
+        .unwrap();
         assert_eq!(a.circuit, b.circuit);
         assert!(verify(&c, &a));
     }
@@ -693,14 +704,12 @@ mod tests {
         let mut c = Circuit::new(3);
         c.ccx(0, 1, 2);
         let topo = line(3);
-        let err = route_baseline(
-            &c,
-            &topo,
-            Layout::trivial(3, 3),
-            &RouterOptions::default(),
-        )
-        .unwrap_err();
-        assert!(matches!(err, RouteError::UnsupportedGate { gate: "ccx", .. }));
+        let err = route_baseline(&c, &topo, Layout::trivial(3, 3), &RouterOptions::default())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RouteError::UnsupportedGate { gate: "ccx", .. }
+        ));
     }
 
     #[test]
@@ -783,8 +792,7 @@ mod tests {
         c.ccx(0, 1, 2);
         let topo = johannesburg();
         let layout = Layout::from_mapping(&[0, 1, 2], 20).unwrap();
-        let routed =
-            route_trios(&c, &topo, layout, &RouterOptions::deterministic()).unwrap();
+        let routed = route_trios(&c, &topo, layout, &RouterOptions::deterministic()).unwrap();
         // Adjacent line 0–1–2: no SWAPs, 8 CX (Johannesburg has no triangles).
         assert_eq!(routed.swap_count, 0);
         assert_eq!(routed.circuit.counts().cx, 8);
@@ -898,12 +906,9 @@ mod tests {
         let routed = route_baseline(&c, &topo, Layout::trivial(6, 6), &opts).unwrap();
         // Detour 0→3→4→5→2 costs 3 swaps instead of 1; the router should
         // prefer it only because of the weights.
-        assert!(routed
-            .circuit
-            .iter()
-            .all(|i| i.gate() != Gate::Swap
-                || (i.qubit(0).index(), i.qubit(1).index()) != (1, 2)
-                    && (i.qubit(1).index(), i.qubit(0).index()) != (1, 2)));
+        assert!(routed.circuit.iter().all(|i| i.gate() != Gate::Swap
+            || (i.qubit(0).index(), i.qubit(1).index()) != (1, 2)
+                && (i.qubit(1).index(), i.qubit(0).index()) != (1, 2)));
         assert!(verify(&c, &routed));
     }
 
@@ -921,8 +926,7 @@ mod tests {
         let mut c = Circuit::new(6);
         c.cx(0, 5);
         let topo = line(6);
-        let routed =
-            route_baseline(&c, &topo, Layout::trivial(6, 6), &lookahead_opts()).unwrap();
+        let routed = route_baseline(&c, &topo, Layout::trivial(6, 6), &lookahead_opts()).unwrap();
         assert_eq!(routed.swap_count, 4);
         assert!(verify(&c, &routed));
     }
@@ -932,8 +936,7 @@ mod tests {
         let mut c = Circuit::new(3);
         c.cx(0, 1).cx(1, 2);
         let topo = line(3);
-        let routed =
-            route_baseline(&c, &topo, Layout::trivial(3, 3), &lookahead_opts()).unwrap();
+        let routed = route_baseline(&c, &topo, Layout::trivial(3, 3), &lookahead_opts()).unwrap();
         assert_eq!(routed.swap_count, 0);
     }
 
@@ -945,8 +948,7 @@ mod tests {
         let topo = grid(3, 3);
         let mut c = Circuit::new(9);
         c.cx(0, 8).cx(0, 2);
-        let look =
-            route_baseline(&c, &topo, Layout::trivial(9, 9), &lookahead_opts()).unwrap();
+        let look = route_baseline(&c, &topo, Layout::trivial(9, 9), &lookahead_opts()).unwrap();
         let blind = route_baseline(
             &c,
             &topo,
@@ -1233,7 +1235,10 @@ mod tests {
         assert_eq!(routed.trio_events.len(), 2);
         assert_eq!(routed.trio_events[0].gate, Gate::Cswap);
         assert_eq!(routed.trio_events[1].gate, Gate::Ccx);
-        assert_eq!(routed.trio_events[1].gather_distance, 0, "inner ccx is pre-gathered");
+        assert_eq!(
+            routed.trio_events[1].gather_distance, 0,
+            "inner ccx is pre-gathered"
+        );
     }
 
     #[test]
@@ -1242,8 +1247,7 @@ mod tests {
         c.cx(0, 1).measure(0).measure(1);
         let topo = line(4);
         let layout = Layout::from_mapping(&[2, 3], 4).unwrap();
-        let routed =
-            route_baseline(&c, &topo, layout, &RouterOptions::deterministic()).unwrap();
+        let routed = route_baseline(&c, &topo, layout, &RouterOptions::deterministic()).unwrap();
         let measured: Vec<usize> = routed
             .circuit
             .iter()

@@ -43,8 +43,7 @@ pub fn crosstalk_conflicts(schedule: &Schedule, topology: &Topology) -> usize {
     let mut conflicts = 0usize;
     for (i, a) in two_qubit.iter().enumerate() {
         for b in &two_qubit[i + 1..] {
-            let overlap =
-                a.start_us < b.end_us() - 1e-12 && b.start_us < a.end_us() - 1e-12;
+            let overlap = a.start_us < b.end_us() - 1e-12 && b.start_us < a.end_us() - 1e-12;
             if !overlap {
                 continue;
             }
@@ -79,10 +78,7 @@ pub fn schedule_crosstalk_aware(
     let mut total = 0.0f64;
     for instr in circuit.iter() {
         let qubits: Vec<usize> = instr.qubits().iter().map(|q| q.index()).collect();
-        let mut start = qubits
-            .iter()
-            .map(|&q| qubit_free[q])
-            .fold(0.0f64, f64::max);
+        let mut start = qubits.iter().map(|&q| qubit_free[q]).fold(0.0f64, f64::max);
         let duration = durations.of(instr.gate());
         if instr.gate().arity() == 2 {
             // Push the start past every coupled two-qubit gate that would
@@ -97,9 +93,7 @@ pub fn schedule_crosstalk_aware(
                             && edges_coupled(topology, qs, &qubits)
                     })
                     .map(|(_, e, _)| *e)
-                    .fold(None::<f64>, |acc, e| {
-                        Some(acc.map_or(e, |a: f64| a.max(e)))
-                    });
+                    .fold(None::<f64>, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))));
                 match conflict {
                     Some(next_free) => start = next_free,
                     None => break,

@@ -32,6 +32,6 @@ mod crosstalk;
 mod durations;
 
 pub use alap::{alap_idle_us, asap_idle_us, idle_report, schedule_alap, IdleReport};
-pub use crosstalk::{crosstalk_conflicts, schedule_crosstalk_aware};
 pub use asap::{schedule_asap, Schedule, ScheduledOp};
+pub use crosstalk::{crosstalk_conflicts, schedule_crosstalk_aware};
 pub use durations::GateDurations;

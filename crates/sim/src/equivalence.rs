@@ -9,7 +9,7 @@
 //!   logical circuit, given the initial and final layouts. Random-state
 //!   based, so it scales to the paper's 20-qubit benchmarks.
 
-use crate::{C64, SimError, State};
+use crate::{SimError, State, C64};
 use trios_ir::Circuit;
 
 /// Exact equivalence check: applies both circuits to every computational
@@ -258,16 +258,7 @@ mod tests {
         // phys 2. Route: swap(2,1), cx(0,1); final layout: l0→0, l1→1.
         let mut compiled = Circuit::new(3);
         compiled.swap(2, 1).cx(0, 1);
-        assert!(compiled_equivalent(
-            &original,
-            &compiled,
-            &[0, 2],
-            &[0, 1],
-            3,
-            5,
-            EPS
-        )
-        .unwrap());
+        assert!(compiled_equivalent(&original, &compiled, &[0, 2], &[0, 1], 3, 5, EPS).unwrap());
     }
 
     #[test]
@@ -277,16 +268,7 @@ mod tests {
         let mut compiled = Circuit::new(3);
         compiled.swap(2, 1).cx(0, 1);
         // Claiming data did NOT move must fail.
-        assert!(!compiled_equivalent(
-            &original,
-            &compiled,
-            &[0, 2],
-            &[0, 2],
-            3,
-            5,
-            EPS
-        )
-        .unwrap());
+        assert!(!compiled_equivalent(&original, &compiled, &[0, 2], &[0, 2], 3, 5, EPS).unwrap());
     }
 
     #[test]

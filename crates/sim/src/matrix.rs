@@ -222,7 +222,13 @@ mod tests {
 
     #[test]
     fn inverse_gates_multiply_to_identity() {
-        for g in [Gate::T, Gate::S, Gate::Sx, Gate::Rx(0.8), Gate::U2(0.2, 0.9)] {
+        for g in [
+            Gate::T,
+            Gate::S,
+            Gate::Sx,
+            Gate::Rx(0.8),
+            Gate::U2(0.2, 0.9),
+        ] {
             let m = single_qubit_matrix(g).unwrap();
             let mi = single_qubit_matrix(g.inverse().unwrap()).unwrap();
             assert!(
@@ -261,8 +267,14 @@ mod tests {
             let z = zyz_decompose(&m);
             let rebuilt = u3_matrix(z.theta, z.phi, z.lambda);
             let phased: Mat2 = [
-                [rebuilt[0][0] * C64::cis(z.phase), rebuilt[0][1] * C64::cis(z.phase)],
-                [rebuilt[1][0] * C64::cis(z.phase), rebuilt[1][1] * C64::cis(z.phase)],
+                [
+                    rebuilt[0][0] * C64::cis(z.phase),
+                    rebuilt[0][1] * C64::cis(z.phase),
+                ],
+                [
+                    rebuilt[1][0] * C64::cis(z.phase),
+                    rebuilt[1][1] * C64::cis(z.phase),
+                ],
             ];
             assert!(
                 mat2_approx_eq(&phased, &m, 1e-9),
@@ -288,10 +300,7 @@ mod tests {
             if i % 3 == 0 {
                 let z = zyz_decompose(&m);
                 let rebuilt = u3_matrix(z.theta, z.phi, z.lambda);
-                assert!(
-                    mat2_eq_up_to_phase(&m, &rebuilt, 1e-9),
-                    "step {i}: {z:?}"
-                );
+                assert!(mat2_eq_up_to_phase(&m, &rebuilt, 1e-9), "step {i}: {z:?}");
             }
         }
     }

@@ -1,6 +1,6 @@
 //! Dense statevector simulation.
 
-use crate::{single_qubit_matrix, C64, SimError};
+use crate::{single_qubit_matrix, SimError, C64};
 use trios_ir::{Circuit, Gate, Instruction};
 
 /// Hard cap on dense-simulation width (2²⁴ amplitudes ≈ 268 MB).
@@ -61,7 +61,10 @@ impl State {
             });
         }
         let dim = 1usize << num_qubits;
-        assert!(index < dim, "basis index {index} out of range for {num_qubits} qubits");
+        assert!(
+            index < dim,
+            "basis index {index} out of range for {num_qubits} qubits"
+        );
         let mut amps = vec![C64::ZERO; dim];
         amps[index] = C64::ONE;
         Ok(State { num_qubits, amps })
@@ -189,9 +192,7 @@ impl State {
             Gate::S => self.apply_phase_1q(qs[0].index(), C64::I),
             Gate::Sdg => self.apply_phase_1q(qs[0].index(), -C64::I),
             Gate::T => self.apply_phase_1q(qs[0].index(), C64::cis(std::f64::consts::FRAC_PI_4)),
-            Gate::Tdg => {
-                self.apply_phase_1q(qs[0].index(), C64::cis(-std::f64::consts::FRAC_PI_4))
-            }
+            Gate::Tdg => self.apply_phase_1q(qs[0].index(), C64::cis(-std::f64::consts::FRAC_PI_4)),
             Gate::U1(l) => self.apply_phase_1q(qs[0].index(), C64::cis(l)),
             Gate::Cx => self.apply_cx(qs[0].index(), qs[1].index()),
             Gate::Cz => self.apply_cphase(qs[0].index(), qs[1].index(), -C64::ONE),
@@ -205,8 +206,8 @@ impl State {
                 self.apply_controlled_1q(qs[0].index(), qs[1].index(), &m);
             }
             g => {
-                let m = single_qubit_matrix(g)
-                    .unwrap_or_else(|| panic!("no matrix for gate {g:?}"));
+                let m =
+                    single_qubit_matrix(g).unwrap_or_else(|| panic!("no matrix for gate {g:?}"));
                 self.apply_1q(qs[0].index(), &m);
             }
         }
@@ -355,7 +356,11 @@ impl State {
     ///
     /// This is the simulator-side analogue of the paper's experimental
     /// procedure ("each experiment is performed with 8192 trials", §5.1).
-    pub fn sample_counts(&self, shots: usize, seed: u64) -> std::collections::HashMap<usize, usize> {
+    pub fn sample_counts(
+        &self,
+        shots: usize,
+        seed: u64,
+    ) -> std::collections::HashMap<usize, usize> {
         let mut rng = SplitMix64::new(seed);
         let mut counts = std::collections::HashMap::new();
         for _ in 0..shots {
@@ -501,7 +506,11 @@ mod tests {
             }
             c.ccx(0, 1, 2);
             let s = State::run(&c).unwrap();
-            let expected = if input & 0b11 == 0b11 { input ^ 0b100 } else { input };
+            let expected = if input & 0b11 == 0b11 {
+                input ^ 0b100
+            } else {
+                input
+            };
             assert!(
                 (s.probability(expected) - 1.0).abs() < 1e-12,
                 "input {input:03b} should map to {expected:03b}"

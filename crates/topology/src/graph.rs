@@ -234,12 +234,7 @@ impl Topology {
     ///
     /// Returns `(destination, summed distance)` or `None` if any pair is
     /// disconnected.
-    pub fn best_gather_destination(
-        &self,
-        a: usize,
-        b: usize,
-        c: usize,
-    ) -> Option<(usize, usize)> {
+    pub fn best_gather_destination(&self, a: usize, b: usize, c: usize) -> Option<(usize, usize)> {
         let ab = self.distance(a, b)?;
         let ac = self.distance(a, c)?;
         let bc = self.distance(b, c)?;

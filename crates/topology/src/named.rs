@@ -326,7 +326,7 @@ mod tests {
         assert_eq!(t.edges().len(), 44);
         assert!(t.is_connected());
         assert!(t.has_triangle()); // clusters contain triangles
-        // Within a cluster: distance 1.
+                                   // Within a cluster: distance 1.
         assert_eq!(t.distance(0, 4), Some(1));
         // Across neighboring clusters: through the single link 4–5.
         assert!(t.are_adjacent(4, 5));

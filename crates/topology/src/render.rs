@@ -71,8 +71,7 @@ impl GridEmbedding {
         let mut undrawable = Vec::new();
         for &(a, b) in topology.edges() {
             let ((ca, ra), (cb, rb)) = (self.pos[a], self.pos[b]);
-            let aligned = (ra == rb && ca.abs_diff(cb) == 1)
-                || (ca == cb && ra.abs_diff(rb) == 1);
+            let aligned = (ra == rb && ca.abs_diff(cb) == 1) || (ca == cb && ra.abs_diff(rb) == 1);
             if !aligned {
                 undrawable.push((a, b));
             }
@@ -93,8 +92,7 @@ impl GridEmbedding {
                             line.push_str(&format!(" {q:>2} "));
                         }
                         let right = qubit_at(col + 1, row);
-                        let joined = right
-                            .is_some_and(|r| topology.are_adjacent(q, r));
+                        let joined = right.is_some_and(|r| topology.are_adjacent(q, r));
                         line.push_str(if joined { "--" } else { "  " });
                     }
                     None => line.push_str("      "),

@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let cal = Calibration::near_future();
         println!("\n{}:", config.label());
-        println!("  two-qubit gates:       {}", compiled.stats.two_qubit_gates);
+        println!(
+            "  two-qubit gates:       {}",
+            compiled.stats.two_qubit_gates
+        );
         println!("  ideal P(marked):       {:.1}%", 100.0 * p_marked);
         println!(
             "  sampled (8192 shots):  {:.1}%",

@@ -53,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..CompileOptions::with_seed(1)
     };
 
-    for (label, options) in [("hop-based Trios", hop_based), ("noise-aware Trios", noise_aware)] {
+    for (label, options) in [
+        ("hop-based Trios", hop_based),
+        ("noise-aware Trios", noise_aware),
+    ] {
         let compiled = compile(&program, &device, &options)?;
         let estimate = estimate_success_with_edge_errors(
             &compiled.circuit,

@@ -18,8 +18,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut program = Circuit::with_name(3, "fig1-toffoli");
     program.ccx(0, 1, 2);
 
-    println!("Toffoli on Johannesburg qubits {triple:?} (gather distance {})",
-        device.triple_distance(triple[0], triple[1], triple[2]).unwrap());
+    println!(
+        "Toffoli on Johannesburg qubits {triple:?} (gather distance {})",
+        device
+            .triple_distance(triple[0], triple[1], triple[2])
+            .unwrap()
+    );
     println!();
     println!("{}", GridEmbedding::johannesburg().render(&device, &triple));
 
@@ -73,7 +77,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         3 * trios.swap_count + 8,
         base.cx_cost()
     );
-    println!("paper's Figure 1 reports 16 SWAPs (48 CNOTs) for Qiskit vs 7 SWAPs (21 CNOTs) for Trios");
+    println!(
+        "paper's Figure 1 reports 16 SWAPs (48 CNOTs) for Qiskit vs 7 SWAPs (21 CNOTs) for Trios"
+    );
     Ok(())
 }
 

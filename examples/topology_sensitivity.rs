@@ -27,8 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for topo in &devices {
         let base = compile(&program, topo, &PaperConfig::QiskitBaseline.to_options(0))?;
         let trios = compile(&program, topo, &PaperConfig::Trios.to_options(0))?;
-        let reduction = 100.0
-            * (1.0 - trios.stats.two_qubit_gates as f64 / base.stats.two_qubit_gates as f64);
+        let reduction =
+            100.0 * (1.0 - trios.stats.two_qubit_gates as f64 / base.stats.two_qubit_gates as f64);
         println!(
             "{:<22} {:>7} {:>10} {:>8} {:>9.1}%",
             topo.name(),

@@ -19,7 +19,7 @@
 //! # Quick start
 //!
 //! ```
-//! use orchestrated_trios::core::{compile, PaperConfig};
+//! use orchestrated_trios::core::{Compiler, PaperConfig};
 //! use orchestrated_trios::ir::Circuit;
 //! use orchestrated_trios::topology::johannesburg;
 //!
@@ -28,12 +28,14 @@
 //! program.ccx(0, 1, 2);
 //!
 //! let device = johannesburg();
-//! let compiled = compile(&program, &device, &PaperConfig::Trios.to_options(0))?;
+//! let compiler = Compiler::builder().config(PaperConfig::Trios).build();
+//! let (compiled, report) = compiler.compile_with_report(&program, &device)?;
 //! println!(
 //!     "{} two-qubit gates, {} SWAPs inserted",
 //!     compiled.stats.two_qubit_gates, compiled.stats.swap_count
 //! );
-//! # Ok::<(), orchestrated_trios::core::CompileError>(())
+//! println!("{report}"); // per-pass wall times and gate-count deltas
+//! # Ok::<(), orchestrated_trios::core::Diagnostic>(())
 //! ```
 
 #![warn(missing_docs)]

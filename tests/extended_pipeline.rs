@@ -4,7 +4,7 @@
 //! lookahead router, and the commutation-aware optimizer.
 
 use orchestrated_trios::benchmarks::ExtendedBenchmark;
-use orchestrated_trios::core::{compile, CompileOptions, PaperConfig, Pipeline};
+use orchestrated_trios::core::{CompileOptions, Compiler, PaperConfig, Pipeline};
 use orchestrated_trios::passes::OptimizeOptions;
 use orchestrated_trios::route::{check_legal, LookaheadConfig, ToffoliPolicy};
 use orchestrated_trios::sim::compiled_equivalent;
@@ -24,15 +24,12 @@ fn extended_suite_compiles_legally_everywhere() {
         let circuit = b.build();
         for topo in all_devices() {
             for pipeline in [Pipeline::Baseline, Pipeline::Trios] {
-                let compiled = compile(
-                    &circuit,
-                    &topo,
-                    &CompileOptions {
-                        pipeline,
-                        ..CompileOptions::with_seed(11)
-                    },
-                )
-                .unwrap_or_else(|e| panic!("{b} on {}: {e}", topo.name()));
+                let compiled = Compiler::builder()
+                    .pipeline(pipeline)
+                    .seed(11)
+                    .build()
+                    .compile(&circuit, &topo)
+                    .unwrap_or_else(|e| panic!("{b} on {}: {e}", topo.name()));
                 assert!(compiled.circuit.is_hardware_lowered(), "{b}");
                 check_legal(&compiled.circuit, &topo, ToffoliPolicy::Forbid)
                     .unwrap_or_else(|v| panic!("{b} on {}: {v}", topo.name()));
@@ -54,7 +51,12 @@ fn small_extended_benchmarks_are_semantically_preserved() {
         let circuit = b.build();
         for topo in [line(circuit.num_qubits()), grid(4, 3)] {
             for config in [PaperConfig::QiskitBaseline, PaperConfig::Trios] {
-                let compiled = compile(&circuit, &topo, &config.to_options(5)).unwrap();
+                let compiled = Compiler::builder()
+                    .seed(5)
+                    .config(config)
+                    .build()
+                    .compile(&circuit, &topo)
+                    .unwrap();
                 let ok = compiled_equivalent(
                     &circuit,
                     &compiled.circuit,
@@ -84,11 +86,17 @@ fn trios_wins_on_three_qubit_extended_benchmarks() {
                 continue;
             }
             let circuit = b.build();
-            let base =
-                compile(&circuit, &topo, &PaperConfig::QiskitBaseline.to_options(0)).unwrap();
-            let trios = compile(&circuit, &topo, &PaperConfig::Trios.to_options(0)).unwrap();
-            ratios
-                .push(base.stats.two_qubit_gates as f64 / trios.stats.two_qubit_gates as f64);
+            let base = Compiler::builder()
+                .config(PaperConfig::QiskitBaseline)
+                .build()
+                .compile(&circuit, &topo)
+                .unwrap();
+            let trios = Compiler::builder()
+                .config(PaperConfig::Trios)
+                .build()
+                .compile(&circuit, &topo)
+                .unwrap();
+            ratios.push(base.stats.two_qubit_gates as f64 / trios.stats.two_qubit_gates as f64);
         }
         assert!(
             geo(&ratios) > 1.0,
@@ -105,9 +113,18 @@ fn qft_sees_no_change_from_trios() {
     // paper's no-overhead property).
     let circuit = ExtendedBenchmark::Qft16.build();
     for topo in all_devices() {
-        let base =
-            compile(&circuit, &topo, &PaperConfig::QiskitBaseline.to_options(3)).unwrap();
-        let trios = compile(&circuit, &topo, &PaperConfig::Trios.to_options(3)).unwrap();
+        let base = Compiler::builder()
+            .seed(3)
+            .config(PaperConfig::QiskitBaseline)
+            .build()
+            .compile(&circuit, &topo)
+            .unwrap();
+        let trios = Compiler::builder()
+            .seed(3)
+            .config(PaperConfig::Trios)
+            .build()
+            .compile(&circuit, &topo)
+            .unwrap();
         assert_eq!(
             base.stats.two_qubit_gates,
             trios.stats.two_qubit_gates,
@@ -122,12 +139,13 @@ fn lookahead_and_full_optimization_compose_with_trios() {
     // Every extension can be stacked; the result stays legal and correct.
     let circuit = ExtendedBenchmark::FredkinNetwork11.build();
     let topo = PaperDevice::Grid.build();
-    let options = CompileOptions {
-        lookahead: Some(LookaheadConfig::default()),
-        optimize: OptimizeOptions::full(),
-        ..CompileOptions::with_seed(2)
-    };
-    let compiled = compile(&circuit, &topo, &options).unwrap();
+    let compiled = Compiler::builder()
+        .seed(2)
+        .lookahead(Some(LookaheadConfig::default()))
+        .optimize(OptimizeOptions::full())
+        .build()
+        .compile(&circuit, &topo)
+        .unwrap();
     check_legal(&compiled.circuit, &topo, ToffoliPolicy::Forbid).unwrap();
     let ok = compiled_equivalent(
         &circuit,
@@ -147,19 +165,16 @@ fn full_optimization_never_increases_gate_counts() {
     for b in ExtendedBenchmark::ALL {
         let circuit = b.build();
         let topo = PaperDevice::Johannesburg.build();
-        let light = compile(&circuit, &topo, &CompileOptions::with_seed(0)).unwrap();
-        let full = compile(
-            &circuit,
-            &topo,
-            &CompileOptions {
-                optimize: OptimizeOptions::full(),
-                ..CompileOptions::with_seed(0)
-            },
-        )
-        .unwrap();
-        let total = |s: &orchestrated_trios::core::CompileStats| {
-            s.one_qubit_gates + s.two_qubit_gates
-        };
+        let light = Compiler::new(CompileOptions::with_seed(0))
+            .compile(&circuit, &topo)
+            .unwrap();
+        let full = Compiler::builder()
+            .optimize(OptimizeOptions::full())
+            .build()
+            .compile(&circuit, &topo)
+            .unwrap();
+        let total =
+            |s: &orchestrated_trios::core::CompileStats| s.one_qubit_gates + s.two_qubit_gates;
         assert!(
             total(&full.stats) <= total(&light.stats),
             "{b}: full {} > light {}",

@@ -4,7 +4,7 @@
 //! against the original program with the statevector simulator.
 
 use orchestrated_trios::benchmarks::Benchmark;
-use orchestrated_trios::core::{compile, PaperConfig, Pipeline};
+use orchestrated_trios::core::{Compiler, PaperConfig, Pipeline};
 use orchestrated_trios::route::{check_legal, ToffoliPolicy};
 use orchestrated_trios::sim::compiled_equivalent;
 use orchestrated_trios::topology::PaperDevice;
@@ -16,6 +16,12 @@ fn configs() -> [(Pipeline, PaperConfig); 2] {
     ]
 }
 
+/// One configured compiler per paper config — built once, reused across
+/// every circuit and device in these tests.
+fn compiler(config: PaperConfig, seed: u64) -> Compiler {
+    Compiler::builder().seed(seed).config(config).build()
+}
+
 #[test]
 fn every_benchmark_compiles_legally_on_every_device() {
     for b in Benchmark::ALL {
@@ -23,15 +29,16 @@ fn every_benchmark_compiles_legally_on_every_device() {
         for device in PaperDevice::ALL {
             let topo = device.build();
             for (_, config) in configs() {
-                let compiled = compile(&circuit, &topo, &config.to_options(7))
+                let compiled = compiler(config, 7)
+                    .compile(&circuit, &topo)
                     .unwrap_or_else(|e| panic!("{b} on {device:?} ({config:?}): {e}"));
                 assert!(
                     compiled.circuit.is_hardware_lowered(),
                     "{b} on {device:?} ({config:?}): not lowered"
                 );
-                check_legal(&compiled.circuit, &topo, ToffoliPolicy::Forbid).unwrap_or_else(
-                    |v| panic!("{b} on {device:?} ({config:?}): illegal output: {v}"),
-                );
+                check_legal(&compiled.circuit, &topo, ToffoliPolicy::Forbid).unwrap_or_else(|v| {
+                    panic!("{b} on {device:?} ({config:?}): illegal output: {v}")
+                });
             }
         }
     }
@@ -56,7 +63,7 @@ fn small_benchmarks_are_semantically_preserved() {
         for device in [PaperDevice::Line, PaperDevice::Johannesburg] {
             let topo = device.build();
             for (_, config) in configs() {
-                let compiled = compile(&circuit, &topo, &config.to_options(13)).unwrap();
+                let compiled = compiler(config, 13).compile(&circuit, &topo).unwrap();
                 let ok = compiled_equivalent(
                     &circuit,
                     &compiled.circuit,
@@ -90,11 +97,12 @@ fn trios_never_loses_on_toffoli_benchmarks() {
             let mut base_counts = Vec::new();
             let mut trios_counts = Vec::new();
             for &seed in &seeds {
-                let base =
-                    compile(&circuit, &topo, &PaperConfig::QiskitBaseline.to_options(seed))
-                        .unwrap();
-                let trios =
-                    compile(&circuit, &topo, &PaperConfig::Trios.to_options(seed)).unwrap();
+                let base = compiler(PaperConfig::QiskitBaseline, seed)
+                    .compile(&circuit, &topo)
+                    .unwrap();
+                let trios = compiler(PaperConfig::Trios, seed)
+                    .compile(&circuit, &topo)
+                    .unwrap();
                 base_counts.push(base.stats.two_qubit_gates as f64);
                 trios_counts.push(trios.stats.two_qubit_gates as f64);
             }
@@ -116,13 +124,20 @@ fn trios_never_loses_on_toffoli_benchmarks() {
 fn toffoli_free_benchmarks_see_no_change() {
     // "On programs containing no Toffoli gates, Trios has no effect"
     // (paper §6.2) — with identical options the pipelines coincide.
-    for b in [Benchmark::QftAdder16, Benchmark::Bv20, Benchmark::QaoaComplete10] {
+    for b in [
+        Benchmark::QftAdder16,
+        Benchmark::Bv20,
+        Benchmark::QaoaComplete10,
+    ] {
         let circuit = b.build();
         for device in PaperDevice::ALL {
             let topo = device.build();
-            let base = compile(&circuit, &topo, &PaperConfig::QiskitBaseline.to_options(7))
+            let base = compiler(PaperConfig::QiskitBaseline, 7)
+                .compile(&circuit, &topo)
                 .unwrap();
-            let trios = compile(&circuit, &topo, &PaperConfig::Trios.to_options(7)).unwrap();
+            let trios = compiler(PaperConfig::Trios, 7)
+                .compile(&circuit, &topo)
+                .unwrap();
             assert_eq!(
                 base.stats.two_qubit_gates, trios.stats.two_qubit_gates,
                 "{b} on {device:?}"
@@ -140,13 +155,15 @@ fn line_topology_shows_largest_reduction() {
         let mut ratios = Vec::new();
         for b in Benchmark::toffoli_suite() {
             let circuit = b.build();
-            let base = compile(&circuit, &topo, &PaperConfig::QiskitBaseline.to_options(7))
+            let base = compiler(PaperConfig::QiskitBaseline, 7)
+                .compile(&circuit, &topo)
                 .unwrap();
-            let trios = compile(&circuit, &topo, &PaperConfig::Trios.to_options(7)).unwrap();
+            let trios = compiler(PaperConfig::Trios, 7)
+                .compile(&circuit, &topo)
+                .unwrap();
             ratios.push(base.stats.two_qubit_gates as f64 / trios.stats.two_qubit_gates as f64);
         }
-        let geo: f64 =
-            (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+        let geo: f64 = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
         reductions.insert(device, geo);
     }
     let line = reductions[&PaperDevice::Line];
@@ -172,8 +189,9 @@ fn line_topology_shows_largest_reduction() {
 fn compilation_is_deterministic_per_seed() {
     let circuit = Benchmark::CuccaroAdder20.build();
     let topo = PaperDevice::Johannesburg.build();
-    let a = compile(&circuit, &topo, &PaperConfig::Trios.to_options(42)).unwrap();
-    let b = compile(&circuit, &topo, &PaperConfig::Trios.to_options(42)).unwrap();
+    let trios = compiler(PaperConfig::Trios, 42);
+    let a = trios.compile(&circuit, &topo).unwrap();
+    let b = trios.compile(&circuit, &topo).unwrap();
     assert_eq!(a.circuit, b.circuit);
     assert_eq!(a.final_layout, b.final_layout);
 }

@@ -5,7 +5,7 @@
 //! compiled outputs must survive an OpenQASM round trip.
 
 use proptest::prelude::*;
-use trios_core::{compile, CompileOptions, DirectionPolicy, Pipeline, ToffoliDecomposition};
+use trios_core::{CompileOptions, Compiler, DirectionPolicy, Pipeline, ToffoliDecomposition};
 use trios_ir::Circuit;
 use trios_route::{check_legal, LookaheadConfig, ToffoliPolicy};
 use trios_sim::compiled_equivalent;
@@ -15,8 +15,8 @@ use trios_topology::{clusters, grid, johannesburg, line, ring, Topology};
 /// programs use; kinds 5–7 are the three-qubit set (`ccx`, `ccz`, `cswap`).
 fn arb_gate(n: usize) -> impl Strategy<Value = (u8, usize, usize, usize)> {
     (0u8..8, 0..n, 0..n, 0..n).prop_filter("distinct operands", |(kind, a, b, c)| match kind {
-        0 | 1 => true,              // 1q gates
-        2..=4 => a != b,        // 2q gates
+        0 | 1 => true,                   // 1q gates
+        2..=4 => a != b,                 // 2q gates
         _ => a != b && b != c && a != c, // 3q gates
     })
 }
@@ -91,7 +91,7 @@ proptest! {
             },
             ..CompileOptions::default()
         };
-        let compiled = compile(&circuit, &topo, &options).unwrap();
+        let compiled = Compiler::new(options).compile(&circuit, &topo).unwrap();
 
         // Legality: hardware gate set, every 2q gate on a coupling edge.
         prop_assert!(compiled.circuit.is_hardware_lowered());
@@ -143,7 +143,7 @@ proptest! {
             direction: DirectionPolicy::MoveFirst,
             ..CompileOptions::default()
         };
-        let compiled = compile(&circuit, &topo, &options).unwrap();
+        let compiled = Compiler::new(options).compile(&circuit, &topo).unwrap();
         prop_assert!(check_legal(&compiled.circuit, &topo, ToffoliPolicy::Forbid).is_ok());
         let ok = compiled_equivalent(
             &circuit,
@@ -164,7 +164,7 @@ proptest! {
     ) {
         let circuit = build_circuit(5, &gates);
         let topo = grid(3, 2);
-        let compiled = compile(&circuit, &topo, &CompileOptions::with_seed(seed)).unwrap();
+        let compiled = Compiler::builder().seed(seed).build().compile(&circuit, &topo).unwrap();
         let text = trios_qasm::emit(&compiled.circuit);
         let back = trios_qasm::parse(&text).unwrap();
         prop_assert_eq!(back.num_qubits(), compiled.circuit.num_qubits());
@@ -193,7 +193,7 @@ proptest! {
             optimize: trios_passes::OptimizeOptions::none(),
             ..CompileOptions::default()
         };
-        let compiled = compile(&circuit, &topo, &options).unwrap();
+        let compiled = Compiler::new(options).compile(&circuit, &topo).unwrap();
         // A single CX at distance d needs exactly d−1 SWAPs under every policy.
         let d = topo.distance(a, b).unwrap();
         prop_assert_eq!(compiled.stats.swap_count, d - 1);

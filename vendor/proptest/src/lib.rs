@@ -1,0 +1,454 @@
+//! A minimal, dependency-free stand-in for `proptest`, used because this
+//! build environment has no network access to crates.io. It implements the
+//! subset of the API the workspace's property tests use — the `proptest!`
+//! macro, range/tuple/vec/sample strategies, `prop_filter`, `prop_map`,
+//! `any`, and the `prop_assert*` macros — as straightforward randomized
+//! testing **without shrinking**: a failing case panics with the values
+//! that produced it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Test-runner configuration and errors.
+pub mod test_runner {
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of cases to execute.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// A failure carrying `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError(message.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Keeps only values satisfying `pred` (resampling; panics after a
+    /// large number of consecutive rejections).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 10000 consecutive values: {}",
+            self.reason
+        );
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// String patterns act as crude generators of printable strings: the only
+/// regex feature honored is a trailing `{lo,hi}` length range (the real
+/// proptest compiles the full regex — far more than the tests here need).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (lo, hi) = parse_length_suffix(self).unwrap_or((0, 32));
+        let len = rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| {
+                // Mostly ASCII printable, occasionally multibyte.
+                if rng.gen_bool(0.9) {
+                    char::from(rng.gen_range(0x20u8..0x7F))
+                } else {
+                    char::from_u32(rng.gen_range(0xA1u32..0x2FFF)).unwrap_or('§')
+                }
+            })
+            .collect()
+    }
+}
+
+fn parse_length_suffix(pattern: &str) -> Option<(usize, usize)> {
+    let open = pattern.rfind('{')?;
+    let inner = pattern[open + 1..].strip_suffix('}')?;
+    let (lo, hi) = inner.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The canonical strategy for any [`Arbitrary`] type.
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// See [`vec`].
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` of `len` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies that sample from explicit value lists.
+pub mod sample {
+    use super::{StdRng, Strategy};
+    use rand::seq::SliceRandom;
+    use std::fmt;
+
+    /// See [`select`].
+    #[derive(Debug)]
+    pub struct Select<T>(Vec<T>);
+
+    /// One uniformly chosen element of `values`.
+    pub fn select<T: Clone + fmt::Debug>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select from an empty list");
+        Select(values)
+    }
+
+    impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0.choose(rng).unwrap().clone()
+        }
+    }
+
+    /// See [`subsequence`].
+    #[derive(Debug)]
+    pub struct Subsequence<T> {
+        values: Vec<T>,
+        amount: usize,
+    }
+
+    /// `amount` distinct elements of `values`, in their original order.
+    pub fn subsequence<T: Clone + fmt::Debug>(values: Vec<T>, amount: usize) -> Subsequence<T> {
+        assert!(
+            amount <= values.len(),
+            "subsequence of {amount} from {} values",
+            values.len()
+        );
+        Subsequence { values, amount }
+    }
+
+    impl<T: Clone + fmt::Debug> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<T> {
+            let mut indices: Vec<usize> = (0..self.values.len()).collect();
+            indices.shuffle(rng);
+            let mut picked = indices[..self.amount].to_vec();
+            picked.sort_unstable();
+            picked.into_iter().map(|i| self.values[i].clone()).collect()
+        }
+    }
+}
+
+/// Seeds each property's RNG from its name, so runs are reproducible.
+pub fn rng_for(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random cases (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = ($strat).generate(&mut rng);)*
+                let inputs = format!(
+                    concat!($("\n    ", stringify!($arg), " = {:?}",)*),
+                    $(&$arg),*
+                );
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                if let Err(e) = result {
+                    panic!("proptest case {case} failed: {e}\n  inputs:{inputs}");
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {l:?}\n right: {r:?}",
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+/// The usual glob import for property tests.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn filter_and_ranges_compose() {
+        let s = (0u8..10, 0usize..5).prop_filter("distinct", |(a, b)| *a as usize != *b);
+        let mut rng = crate::rng_for("filter_and_ranges_compose");
+        for _ in 0..200 {
+            let (a, b) = s.generate(&mut rng);
+            assert!(a < 10 && b < 5 && a as usize != b);
+        }
+    }
+
+    #[test]
+    fn subsequence_preserves_order() {
+        let s = crate::sample::subsequence((0..10).collect::<Vec<_>>(), 4);
+        let mut rng = crate::rng_for("subsequence_preserves_order");
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert_eq!(v.len(), 4);
+            assert!(v.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn string_pattern_respects_length_range() {
+        let s = "\\PC{0,200}";
+        let mut rng = crate::rng_for("string_pattern_respects_length_range");
+        for _ in 0..50 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v.chars().count() <= 200);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_runs_cases(x in 0u32..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            prop_assume!(flip);
+            prop_assert_eq!(x, x);
+        }
+    }
+}

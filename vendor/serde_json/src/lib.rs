@@ -1,0 +1,321 @@
+//! A minimal stand-in for `serde_json` built on the local `serde`
+//! stand-in: serializes any `serde::Serialize` value to a JSON string
+//! (compact or pretty). Deserialization is not provided.
+
+use serde::{Serialize, SerializeSeq, SerializeStruct, Serializer};
+use std::fmt;
+
+/// Serialization failure.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Returns an error for non-finite floats (JSON has no representation for
+/// them).
+pub fn to_string<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(JsonSerializer {
+        out: &mut out,
+        indent: None,
+        level: 0,
+    })?;
+    Ok(out)
+}
+
+/// Serializes `value` to an indented JSON string.
+///
+/// # Errors
+///
+/// Same conditions as [`to_string`].
+pub fn to_string_pretty<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(JsonSerializer {
+        out: &mut out,
+        indent: Some("  "),
+        level: 0,
+    })?;
+    Ok(out)
+}
+
+struct JsonSerializer<'a> {
+    out: &'a mut String,
+    indent: Option<&'static str>,
+    level: usize,
+}
+
+impl JsonSerializer<'_> {
+    fn newline(&mut self, level: usize) {
+        if let Some(indent) = self.indent {
+            self.out.push('\n');
+            for _ in 0..level {
+                self.out.push_str(indent);
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl<'a> Serializer for JsonSerializer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeStruct = JsonStruct<'a>;
+    type SerializeSeq = JsonSeq<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        if !v.is_finite() {
+            return Err(Error(format!("non-finite float {v}")));
+        }
+        // `{}` on f64 prints the shortest digits that round-trip.
+        let text = v.to_string();
+        self.out.push_str(&text);
+        // Keep JSON numbers recognizable as floats.
+        if !text.contains('.') && !text.contains('e') && !text.contains('E') {
+            self.out.push_str(".0");
+        }
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        write_escaped(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        write_escaped(self.out, variant);
+        Ok(())
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<JsonStruct<'a>, Error> {
+        self.out.push('{');
+        Ok(JsonStruct {
+            out: self.out,
+            indent: self.indent,
+            level: self.level,
+            first: true,
+        })
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<JsonSeq<'a>, Error> {
+        self.out.push('[');
+        Ok(JsonSeq {
+            out: self.out,
+            indent: self.indent,
+            level: self.level,
+            first: true,
+        })
+    }
+}
+
+/// In-progress JSON object.
+pub struct JsonStruct<'a> {
+    out: &'a mut String,
+    indent: Option<&'static str>,
+    level: usize,
+    first: bool,
+}
+
+impl SerializeStruct for JsonStruct<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        JsonSerializer {
+            out: self.out,
+            indent: self.indent,
+            level: self.level + 1,
+        }
+        .newline(self.level + 1);
+        write_escaped(self.out, key);
+        self.out.push(':');
+        if self.indent.is_some() {
+            self.out.push(' ');
+        }
+        value.serialize(JsonSerializer {
+            out: self.out,
+            indent: self.indent,
+            level: self.level + 1,
+        })
+    }
+
+    fn end(self) -> Result<(), Error> {
+        if !self.first {
+            JsonSerializer {
+                out: self.out,
+                indent: self.indent,
+                level: self.level,
+            }
+            .newline(self.level);
+        }
+        self.out.push('}');
+        Ok(())
+    }
+}
+
+/// In-progress JSON array.
+pub struct JsonSeq<'a> {
+    out: &'a mut String,
+    indent: Option<&'static str>,
+    level: usize,
+    first: bool,
+}
+
+impl SerializeSeq for JsonSeq<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        JsonSerializer {
+            out: self.out,
+            indent: self.indent,
+            level: self.level + 1,
+        }
+        .newline(self.level + 1);
+        value.serialize(JsonSerializer {
+            out: self.out,
+            indent: self.indent,
+            level: self.level + 1,
+        })
+    }
+
+    fn end(self) -> Result<(), Error> {
+        if !self.first {
+            JsonSerializer {
+                out: self.out,
+                indent: self.indent,
+                level: self.level,
+            }
+            .newline(self.level);
+        }
+        self.out.push(']');
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Point {
+        x: usize,
+        y: f64,
+        label: String,
+        tags: Vec<&'static str>,
+        parent: Option<u32>,
+    }
+
+    impl Serialize for Point {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let mut s = serializer.serialize_struct("Point", 5)?;
+            s.serialize_field("x", &self.x)?;
+            s.serialize_field("y", &self.y)?;
+            s.serialize_field("label", &self.label)?;
+            s.serialize_field("tags", &self.tags)?;
+            s.serialize_field("parent", &self.parent)?;
+            s.end()
+        }
+    }
+
+    fn point() -> Point {
+        Point {
+            x: 3,
+            y: 1.5,
+            label: "a \"quoted\"\nname".into(),
+            tags: vec!["p", "q"],
+            parent: None,
+        }
+    }
+
+    #[test]
+    fn compact_output() {
+        assert_eq!(
+            to_string(&point()).unwrap(),
+            r#"{"x":3,"y":1.5,"label":"a \"quoted\"\nname","tags":["p","q"],"parent":null}"#
+        );
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let text = to_string_pretty(&point()).unwrap();
+        assert!(text.starts_with("{\n  \"x\": 3,"));
+        assert!(text.ends_with("\n}"));
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+    }
+
+    #[test]
+    fn non_finite_floats_error() {
+        assert!(to_string(&f64::NAN).is_err());
+    }
+}
