@@ -1,0 +1,104 @@
+//! Batch-compilation throughput: sequential vs. parallel vs. warm-cache.
+//!
+//! The paper's evaluation compiles the whole Table 1 suite against many
+//! device topologies; this bench measures what the batching layer buys at
+//! that workload shape. Three modes over the full paper suite on
+//! Johannesburg:
+//!
+//! * `sequential` — `Compiler::compile_batch` (one pipeline, one thread);
+//! * `parallel-N` — `Compiler::compile_batch_parallel` on N workers;
+//! * `warm-cache` — a pre-filled [`CompilationCache`], as hit by repeated
+//!   ablation sweeps: every job is answered without running a pass.
+//!
+//! Run with `cargo bench -p trios-bench --bench batch_throughput`.
+//!
+//! Interpretation note: on a single-core machine the worker pool cannot
+//! beat sequential (it only adds scheduling overhead); `parallel-N` is
+//! interesting on multicore hardware, while `warm-cache` — which skips
+//! compilation entirely — wins everywhere.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trios_benchmarks::Benchmark;
+use trios_core::{CompilationCache, Compiler};
+use trios_topology::johannesburg;
+
+fn suite() -> Vec<trios_ir::Circuit> {
+    Benchmark::ALL.into_iter().map(|b| b.build()).collect()
+}
+
+/// The paper suite repeated `times` over — the shape of an ablation sweep
+/// (many topologies × many configs), large enough that worker startup is
+/// noise rather than the signal.
+fn sweep(times: usize) -> Vec<trios_ir::Circuit> {
+    let one = suite();
+    (0..times).flat_map(|_| one.clone()).collect()
+}
+
+fn batch_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch-throughput");
+    group.sample_size(10);
+    let circuits = sweep(8);
+    let topo = johannesburg();
+    let compiler = Compiler::builder().seed(0).build();
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| compiler.compile_batch(&circuits, &topo).unwrap());
+    });
+
+    for jobs in [2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("parallel", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                compiler
+                    .compile_batch_parallel(&circuits, &topo, jobs)
+                    .unwrap()
+            });
+        });
+    }
+
+    // Warm cache: fill once, then measure pure replay throughput.
+    let cache = CompilationCache::new(64);
+    compiler
+        .compile_batch_parallel_with_cache(&circuits, &topo, 4, Some(&cache))
+        .unwrap();
+    group.bench_function("warm-cache", |b| {
+        b.iter(|| {
+            let outcome = compiler
+                .compile_batch_parallel_with_cache(&circuits, &topo, 4, Some(&cache))
+                .unwrap();
+            assert_eq!(outcome.report.cache_misses, 0, "warm run must be all hits");
+            outcome
+        });
+    });
+    group.finish();
+}
+
+fn cache_cold_vs_disabled(c: &mut Criterion) {
+    // The cache's own overhead: compiling distinct circuits with caching
+    // off (capacity 0) vs. a cold cache that stores but never hits. The
+    // two should be nearly identical — hashing and insertion are noise
+    // next to a compile.
+    let mut group = c.benchmark_group("cache-overhead");
+    group.sample_size(10);
+    let circuits = suite();
+    let topo = johannesburg();
+    let compiler = Compiler::builder().seed(0).build();
+    for (label, capacity) in [("disabled", 0usize), ("cold", 64)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &capacity,
+            |b, &capacity| {
+                b.iter(|| {
+                    // A fresh cache per iteration keeps every lookup a miss.
+                    let cache = CompilationCache::new(capacity);
+                    compiler
+                        .compile_batch_parallel_with_cache(&circuits, &topo, 4, Some(&cache))
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, batch_modes, cache_cold_vs_disabled);
+criterion_main!(benches);

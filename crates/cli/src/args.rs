@@ -15,6 +15,8 @@ pub enum Command {
     Table1,
     /// `trios compile <input> [flags]`.
     Compile(Options),
+    /// `trios compile-batch <dir> [flags]`.
+    CompileBatch(BatchOptions),
     /// `trios estimate <input> [flags]`.
     Estimate(Options),
     /// `trios verify <input> [flags]`.
@@ -65,6 +67,42 @@ impl Default for Options {
     }
 }
 
+/// Flags of `compile-batch`: the shared compile [`Options`] (whose
+/// `input` is a directory of `.qasm` files) plus the batch knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOptions {
+    /// The shared compile flags; `options.input` is the directory.
+    pub options: Options,
+    /// Worker threads (`0` = one per available core).
+    pub jobs: usize,
+    /// Compilation-cache capacity in entries (`0` disables caching).
+    pub cache_size: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            options: Options::default(),
+            jobs: 0,
+            cache_size: 256,
+        }
+    }
+}
+
+impl BatchOptions {
+    /// The worker count to actually use: `--jobs` if given, otherwise one
+    /// worker per available core.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
 /// Parses a full argument list (without the program name).
 ///
 /// # Errors
@@ -80,8 +118,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "list" => Ok(Command::List),
         "table1" => Ok(Command::Table1),
         "help" | "-h" | "--help" => Ok(Command::Help),
-        "compile" | "estimate" | "verify" => {
+        "compile" | "compile-batch" | "estimate" | "verify" => {
             let mut options = Options::default();
+            let mut batch = BatchOptions::default();
             let mut positional = Vec::new();
             let rest: Vec<&String> = it.collect();
             let mut i = 0usize;
@@ -123,7 +162,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             CliError::Usage(format!("--seed must be an integer, got '{v}'"))
                         })?;
                     }
-                    "--improve" => {
+                    // compile-batch falls through to the unknown-flag error
+                    // for the per-circuit-output flags it cannot honor,
+                    // instead of swallowing them silently.
+                    "--improve" if cmd != "compile-batch" => {
                         let v = value(&mut i, "--improve")?;
                         options.improve = v.parse().map_err(|_| {
                             CliError::Usage(format!("--improve must be a number, got '{v}'"))
@@ -132,7 +174,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--lookahead" => options.lookahead = true,
                     "--bridge" => options.bridge = true,
                     "--report" => options.report = true,
-                    "--emit-qasm" => options.emit_qasm = Some(value(&mut i, "--emit-qasm")?),
+                    "--emit-qasm" if cmd != "compile-batch" => {
+                        options.emit_qasm = Some(value(&mut i, "--emit-qasm")?)
+                    }
+                    "--jobs" | "-j" if cmd == "compile-batch" => {
+                        let v = value(&mut i, "--jobs")?;
+                        batch.jobs = v.parse().map_err(|_| {
+                            CliError::Usage(format!("--jobs must be an integer, got '{v}'"))
+                        })?;
+                    }
+                    "--cache-size" if cmd == "compile-batch" => {
+                        let v = value(&mut i, "--cache-size")?;
+                        batch.cache_size = v.parse().map_err(|_| {
+                            CliError::Usage(format!("--cache-size must be an integer, got '{v}'"))
+                        })?;
+                    }
                     flag if flag.starts_with('-') => {
                         return Err(CliError::Usage(format!("unknown flag '{flag}'")))
                     }
@@ -147,6 +203,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             match cmd.as_str() {
                 "compile" => Ok(Command::Compile(options)),
+                "compile-batch" => {
+                    batch.options = options;
+                    Ok(Command::CompileBatch(batch))
+                }
                 "estimate" => Ok(Command::Estimate(options)),
                 _ => Ok(Command::Verify(options)),
             }
@@ -225,6 +285,52 @@ mod tests {
         assert_eq!(o.pipeline, Pipeline::Baseline);
         assert_eq!(o.seed, 7);
         assert!(o.lookahead);
+    }
+
+    #[test]
+    fn parses_compile_batch_with_batch_flags() {
+        let cmd = parse_args(&args(&[
+            "compile-batch",
+            "examples/qasm",
+            "--jobs",
+            "4",
+            "--cache-size",
+            "32",
+            "--device",
+            "grid:3x3",
+            "--report",
+        ]))
+        .unwrap();
+        let Command::CompileBatch(batch) = cmd else {
+            panic!("expected compile-batch");
+        };
+        assert_eq!(batch.options.input, "examples/qasm");
+        assert_eq!(batch.options.device, "grid:3x3");
+        assert!(batch.options.report);
+        assert_eq!(batch.jobs, 4);
+        assert_eq!(batch.effective_jobs(), 4);
+        assert_eq!(batch.cache_size, 32);
+    }
+
+    #[test]
+    fn compile_batch_defaults_and_flag_scoping() {
+        let Command::CompileBatch(batch) = parse_args(&args(&["compile-batch", "d"])).unwrap()
+        else {
+            panic!("expected compile-batch");
+        };
+        assert_eq!(batch.jobs, 0, "--jobs defaults to auto");
+        assert!(batch.effective_jobs() >= 1);
+        assert_eq!(batch.cache_size, 256);
+        // The batch flags belong to compile-batch only.
+        assert!(parse_args(&args(&["compile", "a", "--jobs", "4"])).is_err());
+        assert!(parse_args(&args(&["compile", "a", "--cache-size", "8"])).is_err());
+        // And compile-batch rejects the per-circuit-output flags it cannot
+        // honor instead of swallowing them.
+        assert!(parse_args(&args(&["compile-batch", "d", "--emit-qasm", "o.qasm"])).is_err());
+        assert!(parse_args(&args(&["compile-batch", "d", "--improve", "20"])).is_err());
+        assert!(parse_args(&args(&["compile-batch", "d", "--jobs", "x"])).is_err());
+        assert!(parse_args(&args(&["compile-batch", "d", "--cache-size", "-1"])).is_err());
+        assert!(parse_args(&args(&["compile-batch"])).is_err());
     }
 
     #[test]

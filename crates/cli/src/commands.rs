@@ -1,10 +1,11 @@
 //! Command execution.
 
-use crate::args::{parse_args, parse_device, Command, Options};
+use crate::args::{parse_args, parse_device, BatchOptions, Command, Options};
 use crate::CliError;
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 use trios_benchmarks::{Benchmark, ExtendedBenchmark};
-use trios_core::{Calibration, CompiledProgram, Compiler};
+use trios_core::{Calibration, CompilationCache, CompiledProgram, Compiler};
 use trios_ir::Circuit;
 use trios_route::LookaheadConfig;
 
@@ -18,6 +19,8 @@ COMMANDS:
     list                         benchmarks and devices
     table1                       regenerate the paper's Table 1
     compile <input> [flags]      compile a benchmark or .qasm file
+    compile-batch <dir> [flags]  compile every .qasm under a directory, in
+                                 parallel with a compilation cache
     estimate <input> [flags]     compile, then estimate success probability
     verify <input> [flags]       compile, then statevector-check semantics
     help                         this text
@@ -34,6 +37,10 @@ FLAGS (compile / estimate):
     --improve <factor>           error-improvement factor for estimate
     --emit-qasm <path|->         write the compiled circuit as OpenQASM 2.0
     --report                     print the per-pass compile report
+
+FLAGS (compile-batch only):
+    --jobs, -j <n>               worker threads        (default: one per core)
+    --cache-size <n>             cache capacity, 0 = off      (default 256)
 ";
 
 /// Parses `args` (without the program name) and runs the command,
@@ -63,6 +70,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        Command::CompileBatch(batch) => run_compile_batch(&batch),
         Command::Verify(options) => {
             let circuit = load_input(&options.input)?;
             let device = parse_device(&options.device)?;
@@ -116,6 +124,122 @@ semantics:       {}",
     }
 }
 
+/// Every `.qasm` file under `dir` (recursively), sorted by path so batch
+/// order — and therefore output and failure reporting — is deterministic.
+/// Symlinks are not followed: a symlink cycle must not hang the walk, and
+/// a linked directory would compile the same files twice.
+fn collect_qasm_files(dir: &Path) -> Result<Vec<PathBuf>, CliError> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        for entry in std::fs::read_dir(&current)? {
+            let entry = entry?;
+            let file_type = entry.file_type()?;
+            let path = entry.path();
+            if file_type.is_dir() {
+                stack.push(path);
+            } else if file_type.is_file() && path.extension().is_some_and(|e| e == "qasm") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn run_compile_batch(batch: &BatchOptions) -> Result<String, CliError> {
+    let options = &batch.options;
+    let dir = Path::new(&options.input);
+    if !dir.is_dir() {
+        return Err(CliError::Usage(format!(
+            "compile-batch takes a directory of .qasm files, and '{}' is not one",
+            dir.display()
+        )));
+    }
+    let files = collect_qasm_files(dir)?;
+    if files.is_empty() {
+        return Err(CliError::Unknown(format!(
+            ".qasm files under '{}' (none found)",
+            dir.display()
+        )));
+    }
+    let mut circuits = Vec::with_capacity(files.len());
+    for path in &files {
+        // Name the file in read/parse failures: in a 50-file batch, a bare
+        // "qasm error" would leave the user hunting for the offender.
+        let batch_file = |message: String| CliError::BatchFile {
+            file: path.display().to_string(),
+            message,
+        };
+        let source = std::fs::read_to_string(path).map_err(|e| batch_file(e.to_string()))?;
+        let mut circuit =
+            trios_qasm::parse(&source).map_err(|e| batch_file(format!("qasm error: {e}")))?;
+        circuit.set_name(path.display().to_string());
+        circuits.push(circuit);
+    }
+    let device = parse_device(&options.device)?;
+    let compiler = compiler_for(options);
+    let cache = CompilationCache::new(batch.cache_size);
+    let jobs = batch.effective_jobs();
+    let outcome = compiler
+        .compile_batch_parallel_with_cache(&circuits, &device, jobs, Some(&cache))
+        .map_err(|e| CliError::Batch {
+            file: files[e.index].display().to_string(),
+            source: e,
+        })?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "batch input:     {} ({} .qasm files)",
+        dir.display(),
+        files.len()
+    );
+    let _ = writeln!(out, "device:          {device}");
+    let _ = writeln!(
+        out,
+        "pipeline:        {:?} (toffoli {:?}, seed {})",
+        options.pipeline, options.toffoli, options.seed
+    );
+    // Report the clamped worker count the engine actually used (a batch
+    // never spawns more workers than it has circuits), so this line and
+    // the batch summary below agree.
+    let _ = writeln!(
+        out,
+        "workers:         {} jobs, cache capacity {}",
+        outcome.report.jobs, batch.cache_size
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<40} {:>6} {:>6} {:>6} {:>10}",
+        "file", "2q", "1q", "depth", "µs"
+    );
+    for (path, (program, _)) in files.iter().zip(&outcome.results) {
+        let _ = writeln!(
+            out,
+            "{:<40} {:>6} {:>6} {:>6} {:>10.3}",
+            path.display(),
+            program.stats.two_qubit_gates,
+            program.stats.one_qubit_gates,
+            program.stats.depth,
+            program.stats.duration_us,
+        );
+    }
+    let _ = writeln!(out);
+    if options.report {
+        let _ = writeln!(out, "{}", outcome.report);
+    } else {
+        let report = &outcome.report;
+        let _ = writeln!(
+            out,
+            "batch: {} circuits on {} jobs in {:.1?}, cache {} hits / {} misses",
+            report.circuits, report.jobs, report.wall_time, report.cache_hits, report.cache_misses
+        );
+    }
+    Ok(out)
+}
+
 fn load_input(input: &str) -> Result<Circuit, CliError> {
     if input.ends_with(".qasm") {
         let source = std::fs::read_to_string(input)?;
@@ -135,16 +259,23 @@ fn load_input(input: &str) -> Result<Circuit, CliError> {
     )))
 }
 
-fn compile_input(options: &Options) -> Result<(CompiledProgram, String), CliError> {
-    let circuit = load_input(&options.input)?;
-    let device = parse_device(&options.device)?;
-    let compiler = Compiler::builder()
+/// The one translation from CLI [`Options`] to a configured [`Compiler`],
+/// shared by `compile` and `compile-batch` so their outputs cannot diverge
+/// flag by flag.
+fn compiler_for(options: &Options) -> Compiler {
+    Compiler::builder()
         .pipeline(options.pipeline)
         .toffoli(options.toffoli)
         .seed(options.seed)
         .lookahead(options.lookahead.then(LookaheadConfig::default))
         .bridge(options.bridge)
-        .build();
+        .build()
+}
+
+fn compile_input(options: &Options) -> Result<(CompiledProgram, String), CliError> {
+    let circuit = load_input(&options.input)?;
+    let device = parse_device(&options.device)?;
+    let compiler = compiler_for(options);
     let (compiled, report) = compiler.compile_with_report(&circuit, &device)?;
     let mut out = String::new();
     let _ = writeln!(
@@ -337,6 +468,178 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("two-qubit gates: 1"));
+    }
+
+    fn batch_dir(name: &str, files: &[(&str, &str)]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("trios-cli-test").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("nested")).unwrap();
+        for (file, source) in files {
+            std::fs::write(dir.join(file), source).unwrap();
+        }
+        dir
+    }
+
+    const BELL: &str = "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0], q[1];\n";
+    const TOFF: &str = "OPENQASM 2.0;\nqreg q[3];\nccx q[0], q[1], q[2];\n";
+
+    #[test]
+    fn compile_batch_compiles_a_directory() {
+        let dir = batch_dir(
+            "batch-ok",
+            &[
+                ("bell.qasm", BELL),
+                ("toffoli.qasm", TOFF),
+                ("toffoli_again.qasm", TOFF),
+                ("nested/deep.qasm", BELL),
+                ("ignored.txt", "not qasm"),
+            ],
+        );
+        let out = run(&args(&[
+            "compile-batch",
+            dir.to_str().unwrap(),
+            "--device",
+            "line:5",
+            "--jobs",
+            "1",
+            "--cache-size",
+            "16",
+        ]))
+        .unwrap();
+        assert!(out.contains("4 .qasm files"), "{out}");
+        assert!(out.contains("bell.qasm"));
+        assert!(
+            out.contains("deep.qasm"),
+            "recursion must find nested files"
+        );
+        assert!(!out.contains("ignored.txt"));
+        // bell/deep and toffoli/toffoli_again are structurally identical
+        // pairs: with one worker, each pair is one miss then one hit.
+        assert!(out.contains("cache 2 hits / 2 misses"), "{out}");
+    }
+
+    #[test]
+    fn compile_batch_report_flag_prints_aggregate_passes() {
+        let dir = batch_dir("batch-report", &[("toffoli.qasm", TOFF)]);
+        let out = run(&args(&[
+            "compile-batch",
+            dir.to_str().unwrap(),
+            "--device",
+            "line:4",
+            "--report",
+        ]))
+        .unwrap();
+        assert!(out.contains("route-trios"), "{out}");
+        assert!(out.contains("throughput:"), "{out}");
+        assert!(out.contains("hit rate"), "{out}");
+    }
+
+    #[test]
+    fn compile_batch_matches_single_compiles() {
+        let dir = batch_dir(
+            "batch-equiv",
+            &[("a_bell.qasm", BELL), ("b_toffoli.qasm", TOFF)],
+        );
+        let batch_out = run(&args(&[
+            "compile-batch",
+            dir.to_str().unwrap(),
+            "-d",
+            "grid:3x2",
+            "-s",
+            "5",
+            "-j",
+            "3",
+        ]))
+        .unwrap();
+        // Per-file stats in the batch table match a single `compile` run.
+        for file in ["a_bell.qasm", "b_toffoli.qasm"] {
+            let single = run(&args(&[
+                "compile",
+                dir.join(file).to_str().unwrap(),
+                "-d",
+                "grid:3x2",
+                "-s",
+                "5",
+            ]))
+            .unwrap();
+            let single_2q: usize = single
+                .lines()
+                .find(|l| l.starts_with("two-qubit gates:"))
+                .and_then(|l| l.split_whitespace().last())
+                .and_then(|n| n.parse().ok())
+                .unwrap();
+            let batch_line = batch_out.lines().find(|l| l.contains(file)).unwrap();
+            let batch_2q: usize = batch_line
+                .split_whitespace()
+                .nth(1)
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert_eq!(batch_2q, single_2q, "{file}: {batch_line}");
+        }
+    }
+
+    #[test]
+    fn compile_batch_rejects_non_directories_and_empty_dirs() {
+        let err = run(&args(&["compile-batch", "/no/such/dir"])).unwrap_err();
+        assert!(err.to_string().contains("not one"), "{err}");
+        let dir = batch_dir("batch-empty", &[("readme.txt", "no circuits here")]);
+        let err = run(&args(&["compile-batch", dir.to_str().unwrap()])).unwrap_err();
+        assert!(err.to_string().contains("none found"), "{err}");
+    }
+
+    #[test]
+    fn compile_batch_names_unparseable_files() {
+        let dir = batch_dir(
+            "batch-badqasm",
+            &[
+                ("good.qasm", BELL),
+                ("mangled.qasm", "OPENQASM 2.0;\nqreg q[2;\n"),
+            ],
+        );
+        let err = run(&args(&[
+            "compile-batch",
+            dir.to_str().unwrap(),
+            "-d",
+            "line:4",
+        ]))
+        .unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("mangled.qasm"), "{text}");
+        assert!(text.contains("qasm"), "{text}");
+    }
+
+    #[test]
+    fn compile_batch_worker_count_is_consistent() {
+        // 1 file, --jobs 8: both printed worker counts must be the clamped
+        // value, not the requested one.
+        let dir = batch_dir("batch-clamp", &[("bell.qasm", BELL)]);
+        let out = run(&args(&[
+            "compile-batch",
+            dir.to_str().unwrap(),
+            "-d",
+            "line:4",
+            "-j",
+            "8",
+        ]))
+        .unwrap();
+        assert!(out.contains("workers:         1 jobs"), "{out}");
+        assert!(out.contains("on 1 jobs"), "{out}");
+    }
+
+    #[test]
+    fn compile_batch_names_the_failing_file() {
+        // line:4 cannot fit a 9-qubit circuit: the second file fails.
+        let wide = "OPENQASM 2.0;\nqreg q[9];\ncx q[0], q[8];\n";
+        let dir = batch_dir("batch-fail", &[("a_ok.qasm", BELL), ("b_wide.qasm", wide)]);
+        let err = run(&args(&[
+            "compile-batch",
+            dir.to_str().unwrap(),
+            "--device",
+            "line:4",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("b_wide.qasm"), "{err}");
     }
 
     #[test]

@@ -16,6 +16,20 @@ pub enum CliError {
     Qasm(trios_qasm::QasmError),
     /// Compilation failed.
     Compile(trios_core::CompileError),
+    /// One batch input file could not be read or parsed.
+    BatchFile {
+        /// The offending file.
+        file: String,
+        /// The underlying read or parse failure.
+        message: String,
+    },
+    /// One circuit of a batch compilation failed.
+    Batch {
+        /// The input file that failed to compile.
+        file: String,
+        /// The failure, including the batch index.
+        source: trios_core::BatchDiagnostic,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -26,6 +40,12 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Qasm(e) => write!(f, "qasm error: {e}"),
             CliError::Compile(e) => write!(f, "compile error: {e}"),
+            CliError::BatchFile { file, message } => {
+                write!(f, "batch input {file}: {message}")
+            }
+            CliError::Batch { file, source } => {
+                write!(f, "batch compile error in {file}: {}", source.diagnostic)
+            }
         }
     }
 }
@@ -36,6 +56,7 @@ impl Error for CliError {
             CliError::Io(e) => Some(e),
             CliError::Qasm(e) => Some(e),
             CliError::Compile(e) => Some(e),
+            CliError::Batch { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -1,0 +1,456 @@
+//! [`CompilationCache`]: a thread-safe LRU over finished compilations,
+//! keyed by the structural hash of `(circuit, device, options)`.
+//!
+//! Compilation here is deterministic — every stochastic choice is seeded
+//! from [`CompileOptions::seed`] and routing tie-breaks are by lowest
+//! qubit index — so two jobs with equal structural keys produce
+//! byte-identical output, and returning a cached result is
+//! indistinguishable from recompiling (timings in the cached
+//! [`CompileReport`] aside, which record the original compile).
+
+use crate::report::CompileReport;
+use crate::{CompileOptions, CompiledProgram, Pipeline};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+use trios_ir::{hash, Circuit};
+use trios_passes::{OptimizeOptions, ToffoliDecomposition};
+use trios_route::{DirectionPolicy, InitialMapping, LookaheadConfig, PathMetric};
+use trios_topology::Topology;
+
+/// What the cache stores per key: the compiled program plus the report of
+/// the compile that produced it.
+pub type CachedCompilation = (CompiledProgram, CompileReport);
+
+/// A bounded, least-recently-used cache of finished compilations.
+///
+/// Interior-mutable and `Sync`: one cache can be shared by the worker
+/// threads of [`Compiler::compile_batch_parallel`](crate::Compiler), and
+/// kept across batches so repeated workload sweeps (the paper's ablation
+/// studies recompile the same benchmarks under many configurations) pay
+/// for each distinct job once.
+///
+/// A capacity of `0` disables storage entirely: every lookup misses and
+/// every insert is dropped, so `CompilationCache::new(0)` is a convenient
+/// "caching off" switch that still keeps exact miss counters.
+///
+/// # Examples
+///
+/// ```
+/// use trios_core::{CompilationCache, Compiler};
+/// use trios_ir::Circuit;
+/// use trios_topology::line;
+///
+/// let mut program = Circuit::new(3);
+/// program.ccx(0, 1, 2);
+/// let device = line(4);
+/// let compiler = Compiler::builder().seed(1).build();
+/// let cache = CompilationCache::new(64);
+///
+/// let cold = compiler
+///     .compile_batch_parallel_with_cache(&[program.clone()], &device, 2, Some(&cache))?;
+/// let warm = compiler
+///     .compile_batch_parallel_with_cache(&[program], &device, 2, Some(&cache))?;
+/// assert_eq!(cold.results[0].0, warm.results[0].0);
+/// assert_eq!(warm.report.cache_hits, 1);
+/// # Ok::<(), trios_core::BatchDiagnostic>(())
+/// ```
+pub struct CompilationCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<u64, Entry>,
+    /// Monotone recency clock; larger = more recently used.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+struct Entry {
+    value: CachedCompilation,
+    last_used: u64,
+}
+
+impl CompilationCache {
+    /// A cache holding at most `capacity` compilations (`0` disables
+    /// caching).
+    pub fn new(capacity: usize) -> Self {
+        CompilationCache {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The structural key of one compilation job.
+    ///
+    /// Combines [`Circuit::structural_hash`], [`Topology::structural_hash`]
+    /// and a stable hash of every [`CompileOptions`] knob, so a key
+    /// collision requires a 64-bit hash collision, not merely "similar"
+    /// jobs. Circuit and device *names* do not participate.
+    pub fn key(circuit: &Circuit, topology: &Topology, options: &CompileOptions) -> u64 {
+        let mut h = hash::OFFSET;
+        h = hash::write_u64(h, circuit.structural_hash());
+        h = hash::write_u64(h, topology.structural_hash());
+        h = hash::write_u64(h, options_hash(options));
+        h
+    }
+
+    /// The cached compilation for `key`, if present; refreshes its recency
+    /// and counts a hit (or a miss).
+    pub fn get(&self, key: u64) -> Option<CachedCompilation> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let value = entry.value.clone();
+                inner.hits += 1;
+                Some(value)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `value` under `key`, evicting the least-recently-used entry
+    /// when the cache is full. A no-op at capacity 0.
+    pub fn insert(&self, key: u64, value: CachedCompilation) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.entries.get_mut(&key) {
+            entry.value = value;
+            entry.last_used = tick;
+            return;
+        }
+        if inner.entries.len() >= self.capacity {
+            // O(n) scan: capacities are small (hundreds) next to the cost
+            // of a single compilation, and this keeps the structure a plain
+            // HashMap instead of an intrusive list.
+            if let Some(&lru) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                inner.entries.remove(&lru);
+            }
+        }
+        inner.entries.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Maximum number of entries (0 = caching disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of cached compilations.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("cache lock poisoned")
+            .entries
+            .len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total lookups that found an entry, since construction (or the last
+    /// [`clear`](CompilationCache::clear)).
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().expect("cache lock poisoned").hits
+    }
+
+    /// Total lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.inner.lock().expect("cache lock poisoned").misses
+    }
+
+    /// Fraction of lookups that hit, or `None` before any lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        let total = inner.hits + inner.misses;
+        (total > 0).then(|| inner.hits as f64 / total as f64)
+    }
+
+    /// Drops every entry and resets the hit/miss counters.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.entries.clear();
+        inner.hits = 0;
+        inner.misses = 0;
+    }
+}
+
+impl fmt::Debug for CompilationCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        f.debug_struct("CompilationCache")
+            .field("capacity", &self.capacity)
+            .field("len", &inner.entries.len())
+            .field("hits", &inner.hits)
+            .field("misses", &inner.misses)
+            .finish()
+    }
+}
+
+fn write_f64(h: u64, value: f64) -> u64 {
+    hash::write_u64(h, value.to_bits())
+}
+
+fn write_bool(h: u64, value: bool) -> u64 {
+    hash::write_u64(h, value as u64)
+}
+
+/// Stable hash of every compilation knob. The exhaustive destructuring is
+/// deliberate: adding a field to [`CompileOptions`] (or the nested option
+/// structs) fails compilation here, forcing the new knob into the key
+/// instead of silently aliasing cache entries across configurations.
+fn options_hash(options: &CompileOptions) -> u64 {
+    let CompileOptions {
+        pipeline,
+        toffoli,
+        mapping,
+        direction,
+        metric,
+        seed,
+        optimize,
+        lookahead,
+        bridge,
+        validate,
+    } = options;
+    let mut h = hash::OFFSET;
+    h = hash::write_u64(
+        h,
+        match pipeline {
+            Pipeline::Baseline => 0,
+            Pipeline::Trios => 1,
+        },
+    );
+    h = hash::write_u64(
+        h,
+        match toffoli {
+            ToffoliDecomposition::Six => 0,
+            ToffoliDecomposition::Eight => 1,
+            ToffoliDecomposition::ConnectivityAware => 2,
+        },
+    );
+    match mapping {
+        InitialMapping::Trivial => h = hash::write_u64(h, 0),
+        InitialMapping::Fixed(assignment) => {
+            h = hash::write_u64(h, 1);
+            h = hash::write_u64(h, assignment.len() as u64);
+            for &p in assignment {
+                h = hash::write_u64(h, p as u64);
+            }
+        }
+        InitialMapping::Random { seed } => {
+            h = hash::write_u64(h, 2);
+            h = hash::write_u64(h, *seed);
+        }
+        InitialMapping::GreedyInteraction => h = hash::write_u64(h, 3),
+        InitialMapping::NoiseAware { edge_errors } => {
+            h = hash::write_u64(h, 4);
+            h = hash::write_u64(h, edge_errors.len() as u64);
+            for &e in edge_errors {
+                h = write_f64(h, e);
+            }
+        }
+    }
+    h = hash::write_u64(
+        h,
+        match direction {
+            DirectionPolicy::MoveFirst => 0,
+            DirectionPolicy::MoveSecond => 1,
+            DirectionPolicy::Stochastic => 2,
+            DirectionPolicy::MeetInMiddle => 3,
+        },
+    );
+    match metric {
+        PathMetric::Hops => h = hash::write_u64(h, 0),
+        PathMetric::EdgeWeights(weights) => {
+            h = hash::write_u64(h, 1);
+            h = hash::write_u64(h, weights.len() as u64);
+            for &w in weights {
+                h = write_f64(h, w);
+            }
+        }
+    }
+    h = hash::write_u64(h, *seed);
+    let OptimizeOptions {
+        cancel_inverses,
+        merge_single_qubit,
+        remove_trivial,
+        cancel_commuting,
+        merge_rotations,
+    } = optimize;
+    h = write_bool(h, *cancel_inverses);
+    h = write_bool(h, *merge_single_qubit);
+    h = write_bool(h, *remove_trivial);
+    h = write_bool(h, *cancel_commuting);
+    h = write_bool(h, *merge_rotations);
+    match lookahead {
+        None => h = hash::write_u64(h, 0),
+        Some(LookaheadConfig {
+            window,
+            weight,
+            decay,
+        }) => {
+            h = hash::write_u64(h, 1);
+            h = hash::write_u64(h, *window as u64);
+            h = write_f64(h, *weight);
+            h = write_f64(h, *decay);
+        }
+    }
+    h = write_bool(h, *bridge);
+    h = write_bool(h, *validate);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::CompileStats;
+    use crate::PaperConfig;
+    use trios_route::Layout;
+    use trios_topology::{line, ring};
+
+    fn dummy(tag: usize) -> CachedCompilation {
+        let mut circuit = Circuit::new(2);
+        for _ in 0..tag {
+            circuit.h(0);
+        }
+        let program = CompiledProgram {
+            circuit,
+            initial_layout: Layout::trivial(2, 2),
+            final_layout: Layout::trivial(2, 2),
+            stats: CompileStats::default(),
+        };
+        (
+            program,
+            CompileReport::new(Vec::new(), CompileStats::default()),
+        )
+    }
+
+    #[test]
+    fn keys_separate_circuits_devices_and_options() {
+        let mut a = Circuit::new(3);
+        a.ccx(0, 1, 2);
+        let mut b = Circuit::new(3);
+        b.ccx(0, 2, 1);
+        let dev = line(4);
+        let opts = CompileOptions::default();
+        let base = CompilationCache::key(&a, &dev, &opts);
+        assert_ne!(base, CompilationCache::key(&b, &dev, &opts));
+        assert_ne!(base, CompilationCache::key(&a, &ring(4), &opts));
+        assert_ne!(
+            base,
+            CompilationCache::key(&a, &dev, &CompileOptions::with_seed(9))
+        );
+        assert_ne!(
+            base,
+            CompilationCache::key(&a, &dev, &PaperConfig::QiskitEight.to_options(0))
+        );
+        // Same structure again: identical key.
+        let mut a2 = Circuit::with_name(3, "renamed");
+        a2.ccx(0, 1, 2);
+        assert_eq!(base, CompilationCache::key(&a2, &dev, &opts));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = CompilationCache::new(2);
+        cache.insert(1, dummy(1));
+        cache.insert(2, dummy(2));
+        // Touch key 1 so key 2 becomes the LRU entry.
+        assert!(cache.get(1).is_some());
+        cache.insert(3, dummy(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(2).is_none(), "LRU entry must be the one evicted");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+    }
+
+    #[test]
+    fn eviction_follows_insertion_order_without_touches() {
+        let cache = CompilationCache::new(3);
+        for k in 1..=3 {
+            cache.insert(k, dummy(k as usize));
+        }
+        cache.insert(4, dummy(4));
+        cache.insert(5, dummy(5));
+        // 1 then 2 were the oldest; 3, 4, 5 remain.
+        assert!(cache.get(1).is_none());
+        assert!(cache.get(2).is_none());
+        for k in 3..=5 {
+            assert!(cache.get(k).is_some(), "key {k} should survive");
+        }
+    }
+
+    #[test]
+    fn reinserting_refreshes_instead_of_duplicating() {
+        let cache = CompilationCache::new(2);
+        cache.insert(1, dummy(1));
+        cache.insert(2, dummy(2));
+        cache.insert(1, dummy(7)); // refresh: 2 is now LRU
+        cache.insert(3, dummy(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(2).is_none());
+        let (program, _) = cache.get(1).unwrap();
+        assert_eq!(program.circuit.len(), 7, "refresh must replace the value");
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let cache = CompilationCache::new(0);
+        cache.insert(1, dummy(1));
+        assert_eq!(cache.len(), 0);
+        assert!(cache.get(1).is_none());
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn counters_are_exact() {
+        let cache = CompilationCache::new(4);
+        assert_eq!(cache.hit_rate(), None);
+        cache.insert(1, dummy(1));
+        assert!(cache.get(1).is_some()); // hit
+        assert!(cache.get(1).is_some()); // hit
+        assert!(cache.get(2).is_none()); // miss
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_rate().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        cache.clear();
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 0, 0));
+        assert_eq!(cache.hit_rate(), None);
+    }
+
+    #[test]
+    fn debug_shows_occupancy() {
+        let cache = CompilationCache::new(2);
+        cache.insert(1, dummy(1));
+        let text = format!("{cache:?}");
+        assert!(text.contains("capacity: 2"));
+        assert!(text.contains("len: 1"));
+    }
+}

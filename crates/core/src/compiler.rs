@@ -1,12 +1,17 @@
 //! [`Compiler`]: the builder-configured entrypoint over the pass-pipeline
 //! API, including batch compilation with shared precomputation.
 
+use crate::batch::{BatchOutcome, BatchReport};
+use crate::cache::CompilationCache;
 use crate::context::{CompileContext, ProgramSchedule};
 use crate::manager::PassManager;
 use crate::report::{CompileReport, CompileStats};
 use crate::{CompileOptions, CompiledProgram, Diagnostic, PaperConfig, Pipeline};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 use trios_ir::Circuit;
 use trios_passes::{OptimizeOptions, ToffoliDecomposition};
 use trios_route::{DirectionPolicy, InitialMapping, LookaheadConfig, PathMetric};
@@ -134,6 +139,136 @@ impl Compiler {
                     .map_err(|diagnostic| BatchDiagnostic { index, diagnostic })
             })
             .collect()
+    }
+
+    /// Compiles many circuits concurrently on a [`std::thread::scope`]
+    /// worker pool of up to `jobs` threads, returning results in **input
+    /// order**.
+    ///
+    /// Output is byte-identical to [`Compiler::compile_batch`] (and thus
+    /// to per-circuit [`Compiler::compile`]): compilation is deterministic
+    /// per job — stochastic choices are seeded from
+    /// [`CompileOptions::seed`], routing tie-breaks are by lowest qubit
+    /// index — and each result lands in the slot of its input index, so
+    /// worker scheduling cannot reorder or perturb anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-index failing circuit's [`BatchDiagnostic`],
+    /// exactly as the sequential batch would.
+    pub fn compile_batch_parallel(
+        &self,
+        circuits: &[Circuit],
+        topology: &Topology,
+        jobs: usize,
+    ) -> Result<Vec<CompiledProgram>, BatchDiagnostic> {
+        self.compile_batch_parallel_with_cache(circuits, topology, jobs, None)
+            .map(|outcome| {
+                outcome
+                    .results
+                    .into_iter()
+                    .map(|(program, _)| program)
+                    .collect()
+            })
+    }
+
+    /// Like [`Compiler::compile_batch_parallel`], but returns per-circuit
+    /// [`CompileReport`]s plus an aggregate [`BatchReport`], and optionally
+    /// consults (and fills) a shared [`CompilationCache`].
+    ///
+    /// A cache hit replays the stored program and report without running
+    /// any pass; because compilation is deterministic, hits are
+    /// indistinguishable from recompiling apart from the recorded
+    /// wall times. Keep one cache across repeated batches (workload
+    /// sweeps, ablations) to skip every previously-seen job.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-index failing circuit's [`BatchDiagnostic`].
+    /// Workers stop picking up new circuits once any failure is observed;
+    /// circuits before the failing index are still compiled (they were
+    /// claimed earlier), so the reported failure matches sequential order.
+    pub fn compile_batch_parallel_with_cache(
+        &self,
+        circuits: &[Circuit],
+        topology: &Topology,
+        jobs: usize,
+        cache: Option<&CompilationCache>,
+    ) -> Result<BatchOutcome, BatchDiagnostic> {
+        type Slot = Option<Result<(CompiledProgram, CompileReport, bool), Diagnostic>>;
+        let started = Instant::now();
+        let jobs = jobs.max(1).min(circuits.len().max(1));
+        let slots: Vec<Mutex<Slot>> = circuits.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| {
+                    // One pipeline per worker, reused across its circuits,
+                    // so per-pipeline setup (the schedule pass's duration
+                    // table) happens once per worker, not once per circuit.
+                    let mut manager = PassManager::for_options(&self.options);
+                    loop {
+                        if failed.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= circuits.len() {
+                            break;
+                        }
+                        let outcome = self.compile_one_cached(
+                            &mut manager,
+                            &circuits[index],
+                            topology,
+                            cache,
+                        );
+                        if outcome.is_err() {
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                        *slots[index].lock().expect("batch slot lock poisoned") = Some(outcome);
+                    }
+                });
+            }
+        });
+        // Indices are claimed in order and every claimed circuit completes,
+        // so the filled slots form a prefix and the first error found in
+        // index order is the same failure sequential compilation reports.
+        let mut results = Vec::with_capacity(circuits.len());
+        let mut fresh = Vec::with_capacity(circuits.len());
+        for (index, slot) in slots.into_iter().enumerate() {
+            match slot.into_inner().expect("batch slot lock poisoned") {
+                Some(Ok((program, report, was_hit))) => {
+                    results.push((program, report));
+                    fresh.push(!was_hit);
+                }
+                Some(Err(diagnostic)) => return Err(BatchDiagnostic { index, diagnostic }),
+                None => {
+                    unreachable!("unfilled batch slot {index} without a recorded failure")
+                }
+            }
+        }
+        let report = BatchReport::aggregate(&results, &fresh, jobs, started.elapsed());
+        Ok(BatchOutcome { results, report })
+    }
+
+    fn compile_one_cached(
+        &self,
+        manager: &mut PassManager,
+        circuit: &Circuit,
+        topology: &Topology,
+        cache: Option<&CompilationCache>,
+    ) -> Result<(CompiledProgram, CompileReport, bool), Diagnostic> {
+        let key = cache.map(|_| CompilationCache::key(circuit, topology, &self.options));
+        if let (Some(cache), Some(key)) = (cache, key) {
+            if let Some((program, report)) = cache.get(key) {
+                return Ok((program, report, true));
+            }
+        }
+        let (program, report) = self.run_pipeline(manager, circuit, topology)?;
+        if let (Some(cache), Some(key)) = (cache, key) {
+            cache.insert(key, (program.clone(), report.clone()));
+        }
+        Ok((program, report, false))
     }
 
     fn run_pipeline(
@@ -382,6 +517,87 @@ mod tests {
         assert!(report.pass("optimize").unwrap().total_delta() <= 0);
         assert_eq!(report.stats, compiled.stats);
         assert!(report.total_time >= report.passes.iter().map(|p| p.wall_time).max().unwrap());
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_batch() {
+        let mut circuits = Vec::new();
+        for width in [3, 4, 5, 6] {
+            let mut c = Circuit::new(width);
+            c.h(0).ccx(0, 1, 2).cx(width - 1, 0);
+            circuits.push(c);
+        }
+        let topo = johannesburg();
+        let compiler = Compiler::builder().seed(11).build();
+        let sequential = compiler.compile_batch(&circuits, &topo).unwrap();
+        for jobs in [1, 2, 4, 16] {
+            let parallel = compiler
+                .compile_batch_parallel(&circuits, &topo, jobs)
+                .unwrap();
+            assert_eq!(parallel, sequential, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_batch_reports_and_caches() {
+        let mut circuits = Vec::new();
+        for _ in 0..3 {
+            let mut c = Circuit::new(3);
+            c.ccx(0, 1, 2);
+            circuits.push(c); // 3 identical jobs: 1 miss + 2 hits
+        }
+        let topo = johannesburg();
+        let compiler = Compiler::builder().seed(2).build();
+        let cache = CompilationCache::new(16);
+        let outcome = compiler
+            .compile_batch_parallel_with_cache(&circuits, &topo, 1, Some(&cache))
+            .unwrap();
+        assert_eq!(outcome.results.len(), 3);
+        assert_eq!(outcome.report.circuits, 3);
+        assert_eq!(outcome.report.cache_hits, 2);
+        assert_eq!(outcome.report.cache_misses, 1);
+        assert_eq!(outcome.report.pass("route-trios").unwrap().runs, 1);
+        // Hits replay the exact same result.
+        assert_eq!(outcome.results[0], outcome.results[1]);
+        assert_eq!(outcome.results[0], outcome.results[2]);
+        // A second, warm batch over the same jobs is all hits.
+        let warm = compiler
+            .compile_batch_parallel_with_cache(&circuits, &topo, 2, Some(&cache))
+            .unwrap();
+        assert_eq!(warm.report.cache_hits, 3);
+        assert_eq!(warm.report.cache_misses, 0);
+        assert_eq!(warm.results, outcome.results);
+    }
+
+    #[test]
+    fn parallel_batch_error_is_lowest_failing_index() {
+        let ok = Circuit::new(3);
+        let too_wide = Circuit::new(25);
+        let batch = vec![ok.clone(), too_wide.clone(), ok, too_wide];
+        let compiler = Compiler::default();
+        for jobs in [1, 2, 4] {
+            let err = compiler
+                .compile_batch_parallel(&batch, &johannesburg(), jobs)
+                .unwrap_err();
+            assert_eq!(err.index, 1, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_batch_handles_empty_and_zero_jobs() {
+        let compiler = Compiler::default();
+        let topo = johannesburg();
+        assert!(compiler
+            .compile_batch_parallel(&[], &topo, 4)
+            .unwrap()
+            .is_empty());
+        // jobs = 0 is clamped to one worker rather than hanging.
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        let out = compiler
+            .compile_batch_parallel(std::slice::from_ref(&c), &topo, 0)
+            .unwrap();
+        assert_eq!(out[0], compiler.compile(&c, &topo).unwrap());
     }
 
     #[test]

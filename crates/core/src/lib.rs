@@ -40,6 +40,18 @@
 //! with shared precomputation. The original [`compile`] function remains
 //! as a thin shim over the same pipeline.
 //!
+//! # Batch throughput
+//!
+//! Whole-suite sweeps (the paper's evaluation compiles every benchmark
+//! against many topologies) go through
+//! [`Compiler::compile_batch_parallel`]: a scoped worker pool that keeps
+//! results in input order and is byte-identical to sequential
+//! compilation. [`Compiler::compile_batch_parallel_with_cache`] adds a
+//! shared [`CompilationCache`] — an LRU keyed by the structural hash of
+//! `(circuit, device, options)` with exact hit/miss counters — and
+//! returns a [`BatchReport`] aggregating per-pass wall times and
+//! gate-count deltas across the batch.
+//!
 //! [`PaperConfig`] names the exact compiler configurations evaluated in
 //! the paper's figures. Every compiled program carries its initial/final
 //! layouts so `trios_sim::compiled_equivalent` can verify semantics, and
@@ -48,6 +60,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
+mod cache;
 mod compiler;
 mod context;
 mod diagnostics;
@@ -57,6 +71,8 @@ mod pass;
 mod pipeline;
 mod report;
 
+pub use batch::{BatchOutcome, BatchPassStat, BatchReport};
+pub use cache::{CachedCompilation, CompilationCache};
 pub use compiler::{BatchDiagnostic, Compiler, CompilerBuilder};
 pub use context::{
     Artifact, ArtifactMap, CompileContext, PostRouteCircuit, ProgramSchedule, SwapTrace,

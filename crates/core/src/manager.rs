@@ -154,6 +154,21 @@ mod tests {
     }
 
     #[test]
+    fn pass_manager_crosses_thread_boundaries() {
+        // `Pass: Send + Sync` must make whole pipelines shareable with the
+        // batch worker threads; this is a compile-time guarantee.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PassManager>();
+        assert_send_sync::<Box<dyn Pass>>();
+
+        // And it must hold dynamically: run a pipeline on another thread.
+        let options = CompileOptions::default();
+        let manager = PassManager::for_options(&options);
+        let names = std::thread::spawn(move || manager.names()).join().unwrap();
+        assert_eq!(names.first(), Some(&"initial-mapping"));
+    }
+
+    #[test]
     fn custom_pipelines_compose() {
         let mut manager = PassManager::new();
         assert!(manager.is_empty());

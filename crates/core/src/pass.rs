@@ -11,7 +11,14 @@ use trios_route::{
 use trios_schedule::{schedule_asap, GateDurations};
 
 /// One compilation stage: a named transformation of a [`CompileContext`].
-pub trait Pass {
+///
+/// Passes are `Send + Sync` so a [`PassManager`](crate::PassManager) —
+/// and any pipeline assembled from custom passes — can be moved into, or
+/// shared with, the worker threads of
+/// [`Compiler::compile_batch_parallel`](crate::Compiler::compile_batch_parallel).
+/// Pass state must therefore be self-contained (all the built-in passes
+/// are plain data plus lazily-built tables).
+pub trait Pass: Send + Sync {
     /// Stable, human-readable pass name (used in reports and diagnostics).
     fn name(&self) -> &'static str;
 

@@ -1,6 +1,6 @@
 //! [`Circuit`]: an ordered list of instructions over a fixed set of qubits.
 
-use crate::{CircuitError, Gate, GateCounts, Instruction, Qubit};
+use crate::{hash as fnv, CircuitError, Gate, GateCounts, Instruction, Qubit};
 use std::fmt;
 
 /// A quantum circuit: `num_qubits` qubit lines and an ordered instruction
@@ -416,6 +416,33 @@ impl Circuit {
             .collect()
     }
 
+    /// A 64-bit FNV-1a hash of the circuit's structure: its width and the
+    /// exact instruction sequence (gate mnemonic, exact parameter bits,
+    /// operand order).
+    ///
+    /// The circuit *name* is deliberately excluded — two identically-built
+    /// circuits hash equal however they are labelled — and the hash is a
+    /// pure function of the structure (no pointer or random state), so it
+    /// is stable across runs, processes, and platforms. This makes it
+    /// usable as a compilation-cache key: equal hashes mean "same program
+    /// to every compiler pass" (up to the negligible 64-bit collision
+    /// probability).
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = fnv::OFFSET;
+        h = fnv::write_u64(h, self.num_qubits as u64);
+        h = fnv::write_u64(h, self.instructions.len() as u64);
+        for instr in &self.instructions {
+            h = fnv::write_bytes(h, instr.gate().name().as_bytes());
+            for p in instr.gate().params() {
+                h = fnv::write_u64(h, p.to_bits());
+            }
+            for q in instr.qubits() {
+                h = fnv::write_u64(h, q.index() as u64);
+            }
+        }
+        h
+    }
+
     /// Validates every instruction against the circuit width.
     ///
     /// Circuits built through the public API are valid by construction; this
@@ -604,6 +631,49 @@ mod tests {
         let instrs = vec![Instruction::new(Gate::H, &[Qubit::new(4)])];
         assert!(Circuit::from_instructions(3, instrs.clone()).is_err());
         assert!(Circuit::from_instructions(5, instrs).is_ok());
+    }
+
+    #[test]
+    fn structural_hash_ignores_name_but_not_structure() {
+        let mut a = Circuit::with_name(3, "alpha");
+        a.h(0).cx(0, 1).ccx(0, 1, 2);
+        let mut b = Circuit::with_name(3, "beta");
+        b.h(0).cx(0, 1).ccx(0, 1, 2);
+        assert_eq!(a.structural_hash(), b.structural_hash());
+
+        // Operand order matters.
+        let mut c = Circuit::new(3);
+        c.h(0).cx(1, 0).ccx(0, 1, 2);
+        assert_ne!(a.structural_hash(), c.structural_hash());
+
+        // Width matters even with identical instructions.
+        let mut d = Circuit::new(4);
+        d.h(0).cx(0, 1).ccx(0, 1, 2);
+        assert_ne!(a.structural_hash(), d.structural_hash());
+    }
+
+    #[test]
+    fn structural_hash_covers_parameter_bits() {
+        let mut a = Circuit::new(1);
+        a.rz(0.25, 0);
+        let mut b = Circuit::new(1);
+        b.rz(0.25 + f64::EPSILON, 0);
+        assert_ne!(a.structural_hash(), b.structural_hash());
+        // Same angle on a different rotation axis differs too.
+        let mut c = Circuit::new(1);
+        c.rx(0.25, 0);
+        assert_ne!(a.structural_hash(), c.structural_hash());
+    }
+
+    #[test]
+    fn structural_hash_distinguishes_prefixes() {
+        // An empty circuit and a one-gate circuit must not collide by
+        // accident of length omission.
+        let empty = Circuit::new(2);
+        let mut one = Circuit::new(2);
+        one.h(0);
+        assert_ne!(empty.structural_hash(), one.structural_hash());
+        assert_eq!(empty.structural_hash(), Circuit::new(2).structural_hash());
     }
 
     #[test]

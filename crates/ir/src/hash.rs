@@ -1,0 +1,54 @@
+//! Minimal FNV-1a hashing, kept in-tree so every structural hash (and
+//! therefore every compilation-cache key derived from one) is a pure,
+//! platform-stable function of its input — `std`'s hashers are explicitly
+//! unstable across releases and randomly seeded per process.
+//!
+//! State is a plain `u64` threaded through the `write_*` functions:
+//!
+//! ```
+//! use trios_ir::hash;
+//!
+//! let h = hash::write_u64(hash::OFFSET, 42);
+//! assert_eq!(h, hash::write_u64(hash::OFFSET, 42));
+//! assert_ne!(h, hash::write_u64(hash::OFFSET, 43));
+//! ```
+
+/// The FNV-1a 64-bit offset basis: the initial hash state.
+pub const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into hash state `h`, returning the new state.
+pub fn write_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Folds one little-endian `u64` into hash state `h`.
+pub fn write_u64(h: u64, word: u64) -> u64 {
+    write_bytes(h, &word.to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv1a_vectors() {
+        // Reference values for the standard 64-bit FNV-1a parameters.
+        assert_eq!(write_bytes(OFFSET, b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(write_bytes(OFFSET, b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(write_bytes(OFFSET, b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn u64_matches_le_bytes() {
+        let word = 0x0123_4567_89ab_cdefu64;
+        assert_eq!(
+            write_u64(OFFSET, word),
+            write_bytes(OFFSET, &word.to_le_bytes())
+        );
+    }
+}

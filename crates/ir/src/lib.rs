@@ -37,6 +37,7 @@ mod counts;
 mod diagram;
 mod error;
 mod gate;
+pub mod hash;
 mod instruction;
 mod operands;
 mod qubit;

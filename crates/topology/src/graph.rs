@@ -145,17 +145,22 @@ impl Topology {
 
     /// A shortest path from `a` to `b` inclusive, or `None` if disconnected.
     ///
-    /// Ties are broken toward lower qubit indices, so routing is
-    /// deterministic.
+    /// Ties are broken toward lower qubit indices, so routing — and
+    /// anything keyed on routed output, like compilation caches — is
+    /// reproducible regardless of how the adjacency lists happen to be
+    /// ordered.
     pub fn shortest_path(&self, a: usize, b: usize) -> Option<Vec<usize>> {
         self.distance(a, b)?;
         // Walk greedily from a toward b along the precomputed distances.
+        // The qubit index is part of the key: `min_by_key` alone would
+        // resolve equal-distance neighbors by iteration order, which is an
+        // accident of adjacency-list construction, not a guarantee.
         let mut path = vec![a];
         let mut cur = a;
         while cur != b {
             let next = *self.adj[cur]
                 .iter()
-                .min_by_key(|&&v| self.dist[v][b])
+                .min_by_key(|&&v| (self.dist[v][b], v))
                 .expect("connected node has neighbors");
             path.push(next);
             cur = next;
@@ -291,6 +296,32 @@ impl Topology {
         Some(sum as f64 / (n * (n - 1) / 2) as f64)
     }
 
+    /// A 64-bit FNV-1a hash of the coupling structure: the qubit count and
+    /// the canonical (deduplicated, `a < b`, sorted) edge list.
+    ///
+    /// The device *name* is excluded — two devices with the same coupling
+    /// graph compile every circuit identically, so they must key the same
+    /// compilation-cache entries. The hash is a pure function of the
+    /// structure, stable across runs and platforms.
+    pub fn structural_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let write_u64 = |mut h: u64, word: u64| {
+            for b in word.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(PRIME);
+            }
+            h
+        };
+        let mut h = OFFSET;
+        h = write_u64(h, self.num_qubits as u64);
+        h = write_u64(h, self.edges.len() as u64);
+        for &(a, b) in &self.edges {
+            h = write_u64(h, a as u64);
+            h = write_u64(h, b as u64);
+        }
+        h
+    }
+
     /// `true` if the graph contains at least one triangle.
     ///
     /// On triangle-free devices (Johannesburg, grids, lines) the 6-CNOT
@@ -397,6 +428,41 @@ mod tests {
         // A 4-cycle has two equal paths 0→2; tie-break must pick via qubit 1.
         let t = Topology::from_edges("c4", 4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
         assert_eq!(t.shortest_path(0, 2).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn shortest_path_ties_break_by_lowest_index_everywhere() {
+        // Regression: tie-breaking must be by qubit index, not by whatever
+        // order neighbors were inserted. Declare the edges highest-first so
+        // any accidental dependence on input order would surface.
+        let t = Topology::from_edges("c4", 4, &[(3, 0), (2, 3), (1, 2), (0, 1)]).unwrap();
+        // Both neighbors of 1 (0 and 2) are at distance 1 from 3: pick 0.
+        assert_eq!(t.shortest_path(1, 3).unwrap(), vec![1, 0, 3]);
+        // Symmetric query from the other end: neighbors of 3 are 0 and 2,
+        // both at distance 1 from 1: pick 0 again.
+        assert_eq!(t.shortest_path(3, 1).unwrap(), vec![3, 0, 1]);
+        // A larger even ring: the two arcs tie, and every hop of the chosen
+        // path must still prefer the lower index.
+        let ring6 =
+            Topology::from_edges("r6", 6, &[(5, 0), (4, 5), (3, 4), (2, 3), (1, 2), (0, 1)])
+                .unwrap();
+        assert_eq!(ring6.shortest_path(0, 3).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(ring6.shortest_path(3, 0).unwrap(), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn structural_hash_ignores_name_and_edge_order() {
+        let a = Topology::from_edges("a", 4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let b = Topology::from_edges("b", 4, &[(2, 3), (1, 0), (1, 2), (0, 1)]).unwrap();
+        assert_eq!(a.structural_hash(), b.structural_hash());
+
+        // Extra qubit (even if isolated) changes the structure.
+        let wider = Topology::from_edges("a", 5, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_ne!(a.structural_hash(), wider.structural_hash());
+
+        // Different coupling changes the structure.
+        let ring = Topology::from_edges("a", 4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_ne!(a.structural_hash(), ring.structural_hash());
     }
 
     #[test]

@@ -1,0 +1,6 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// Controlled-SWAP: routed as a trio like the Toffoli (paper section 4).
+qreg q[3];
+h q[0];
+cswap q[0], q[1], q[2];

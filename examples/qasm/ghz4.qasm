@@ -1,0 +1,8 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// 4-qubit GHZ state via a CNOT ladder.
+qreg q[4];
+h q[0];
+cx q[0], q[1];
+cx q[1], q[2];
+cx q[2], q[3];

@@ -1,0 +1,7 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// MAJ block of the Cuccaro ripple-carry adder (paper Table 1 family).
+qreg q[3];
+cx q[2], q[1];
+cx q[2], q[0];
+ccx q[0], q[1], q[2];

@@ -1,0 +1,8 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// Two overlapping Toffolis: exercises the trio router's gather step.
+qreg q[5];
+h q[0];
+h q[1];
+ccx q[0], q[1], q[2];
+ccx q[2], q[3], q[4];
