@@ -1,0 +1,107 @@
+//! Router ablation: every strategy registered in the standard
+//! [`StrategyRegistry`], compiled over the paper's Toffoli suite on
+//! Johannesburg, compared on the paper's static metrics (2-qubit gates,
+//! SWAPs, duration Δ).
+//!
+//! Run with `cargo bench -p trios-bench --bench router_ablation`.
+//! Pass `-- --test` (as CI does) to run a fast, measurement-free smoke
+//! mode that only checks every registered strategy compiles the suite
+//! deterministically.
+
+use trios_bench::{geomean, rule};
+use trios_benchmarks::Benchmark;
+use trios_core::{Compiler, DirectionPolicy, StrategyRegistry};
+use trios_topology::johannesburg;
+
+fn compiler_for(router: &str, seed: u64) -> Compiler {
+    Compiler::builder()
+        .router(router)
+        .direction(DirectionPolicy::MoveFirst)
+        .seed(seed)
+        .build()
+}
+
+/// Smoke mode for CI: compile a reduced suite under every registered
+/// strategy, twice, and require byte-identical results. No measurement,
+/// no tables.
+fn run_test_mode() {
+    let topo = johannesburg();
+    let suite = [Benchmark::CnxInplace4, Benchmark::IncrementerBorrowedbit5];
+    for router in StrategyRegistry::standard().names() {
+        for b in suite {
+            let circuit = b.build();
+            let first = compiler_for(router, 0)
+                .compile(&circuit, &topo)
+                .unwrap_or_else(|e| panic!("{router} failed on {b}: {e}"));
+            let second = compiler_for(router, 0).compile(&circuit, &topo).unwrap();
+            assert_eq!(first, second, "{router} must be deterministic on {b}");
+        }
+        println!(
+            "router {router:<18} ok (deterministic on {} circuits)",
+            suite.len()
+        );
+    }
+    println!("router_ablation --test: all registered strategies pass");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--test") {
+        run_test_mode();
+        return;
+    }
+
+    let topo = johannesburg();
+    let suite: Vec<Benchmark> = Benchmark::toffoli_suite().collect();
+    let registry = StrategyRegistry::standard();
+    let routers: Vec<&str> = registry.names().collect();
+
+    println!("Router ablation: registered strategies on the paper suite (Johannesburg, seed 0)");
+    println!();
+    println!(
+        "{:<28} {:>12} {:>8} {:>10}",
+        "router", "2q gates", "swaps", "Δ (µs)"
+    );
+    rule(62);
+    let mut per_router_2q: Vec<Vec<f64>> = vec![Vec::new(); routers.len()];
+    for (i, router) in routers.iter().enumerate() {
+        let compiler = compiler_for(router, 0);
+        let mut swaps = 0usize;
+        let mut durations = Vec::new();
+        for b in &suite {
+            let compiled = compiler
+                .compile(&b.build(), &topo)
+                .unwrap_or_else(|e| panic!("{router} failed on {b}: {e}"));
+            per_router_2q[i].push(compiled.stats.two_qubit_gates as f64);
+            swaps += compiled.stats.swap_count;
+            durations.push(compiled.stats.duration_us);
+        }
+        println!(
+            "{:<28} {:>12.1} {:>8} {:>10.2}",
+            router,
+            geomean(&per_router_2q[i]),
+            swaps,
+            geomean(&durations)
+        );
+    }
+    rule(62);
+    println!();
+    println!("per-benchmark 2q gates:");
+    print!("{:<28}", "benchmark");
+    for router in &routers {
+        print!(" {router:>16}");
+    }
+    println!();
+    rule(28 + 17 * routers.len());
+    for (j, b) in suite.iter().enumerate() {
+        print!("{:<28}", b.name());
+        for counts in &per_router_2q {
+            print!(" {:>16}", counts[j] as usize);
+        }
+        println!();
+    }
+    rule(28 + 17 * routers.len());
+    println!();
+    println!("expected: trios < baseline (the paper's headline); trios-lookahead tracks");
+    println!("trios on pair-heavy workloads; trios-noise trades a few extra hops for");
+    println!("reliable couplers, so its gate counts sit at or above plain trios");
+}

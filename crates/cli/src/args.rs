@@ -1,7 +1,7 @@
 //! Argument parsing (hand-rolled; the CLI's surface is small).
 
 use crate::CliError;
-use trios_core::{Pipeline, ToffoliDecomposition};
+use trios_core::{Pipeline, StrategyRegistry, ToffoliDecomposition};
 use trios_topology::{
     clusters, full, grid, heavy_hex_falcon27, johannesburg, line, ring, Topology,
 };
@@ -13,6 +13,8 @@ pub enum Command {
     List,
     /// `trios table1` — regenerate the paper's Table 1.
     Table1,
+    /// `trios routers` — the registered routing strategies.
+    Routers,
     /// `trios compile <input> [flags]`.
     Compile(Options),
     /// `trios compile-batch <dir> [flags]`.
@@ -34,6 +36,8 @@ pub struct Options {
     pub device: String,
     /// Pass structure (default: Trios).
     pub pipeline: Pipeline,
+    /// Routing strategy by registry name (default: the pipeline's choice).
+    pub router: Option<String>,
     /// Second-pass Toffoli strategy (default: connectivity-aware).
     pub toffoli: ToffoliDecomposition,
     /// Seed for stochastic routing (default 0).
@@ -56,6 +60,7 @@ impl Default for Options {
             input: String::new(),
             device: "johannesburg".into(),
             pipeline: Pipeline::Trios,
+            router: None,
             toffoli: ToffoliDecomposition::ConnectivityAware,
             seed: 0,
             lookahead: false,
@@ -117,6 +122,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     match cmd.as_str() {
         "list" => Ok(Command::List),
         "table1" => Ok(Command::Table1),
+        "routers" => Ok(Command::Routers),
         "help" | "-h" | "--help" => Ok(Command::Help),
         "compile" | "compile-batch" | "estimate" | "verify" => {
             let mut options = Options::default();
@@ -143,6 +149,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                                 )))
                             }
                         }
+                    }
+                    "--router" | "-r" => {
+                        let name = value(&mut i, "--router")?;
+                        // Validate at parse time so typos fail before any
+                        // file IO or compilation starts.
+                        let registry = StrategyRegistry::standard();
+                        if !registry.contains(&name) {
+                            return Err(CliError::Usage(format!(
+                                "--router must be one of {}, got '{name}'",
+                                registry.names().collect::<Vec<_>>().join(", ")
+                            )));
+                        }
+                        options.router = Some(name);
                     }
                     "--toffoli" => {
                         options.toffoli = match value(&mut i, "--toffoli")?.as_str() {
@@ -331,6 +350,33 @@ mod tests {
         assert!(parse_args(&args(&["compile-batch", "d", "--jobs", "x"])).is_err());
         assert!(parse_args(&args(&["compile-batch", "d", "--cache-size", "-1"])).is_err());
         assert!(parse_args(&args(&["compile-batch"])).is_err());
+    }
+
+    #[test]
+    fn parses_router_flag_and_routers_command() {
+        assert_eq!(parse_args(&args(&["routers"])).unwrap(), Command::Routers);
+        let Command::Compile(o) = parse_args(&args(&[
+            "compile",
+            "grovers-9",
+            "--router",
+            "trios-lookahead",
+        ]))
+        .unwrap() else {
+            panic!("expected compile");
+        };
+        assert_eq!(o.router.as_deref(), Some("trios-lookahead"));
+        let Command::CompileBatch(batch) =
+            parse_args(&args(&["compile-batch", "d", "-r", "trios-noise"])).unwrap()
+        else {
+            panic!("expected compile-batch");
+        };
+        assert_eq!(batch.options.router.as_deref(), Some("trios-noise"));
+        // Unknown names fail at parse time, naming the registry.
+        let err = parse_args(&args(&["compile", "a", "--router", "sabre"])).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("sabre"), "{text}");
+        assert!(text.contains("baseline"), "{text}");
+        assert!(parse_args(&args(&["compile", "a", "--router"])).is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::CliError;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use trios_benchmarks::{Benchmark, ExtendedBenchmark};
-use trios_core::{Calibration, CompilationCache, CompiledProgram, Compiler};
+use trios_core::{Calibration, CompilationCache, CompiledProgram, Compiler, StrategyRegistry};
 use trios_ir::Circuit;
 use trios_route::LookaheadConfig;
 
@@ -17,6 +17,7 @@ USAGE:
 
 COMMANDS:
     list                         benchmarks and devices
+    routers                      the registered routing strategies
     table1                       regenerate the paper's Table 1
     compile <input> [flags]      compile a benchmark or .qasm file
     compile-batch <dir> [flags]  compile every .qasm under a directory, in
@@ -30,6 +31,8 @@ FLAGS (compile / estimate):
                                  clusters | line:N | ring:N | full:N |
                                  grid:CxR | clusters:KxS   (default johannesburg)
     --pipeline, -p <which>       baseline | trios          (default trios)
+    --router, -r <name>          routing strategy by name (see 'trios routers');
+                                 overrides the pipeline's default
     --toffoli <which>            6 | 8 | aware             (default aware)
     --seed, -s <n>               routing seed              (default 0)
     --lookahead                  windowed-lookahead pair routing
@@ -54,6 +57,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     match parse_args(args)? {
         Command::Help => Ok(HELP.to_string()),
         Command::List => Ok(render_list()),
+        Command::Routers => Ok(render_routers()),
         Command::Table1 => Ok(render_table1()),
         Command::Compile(options) => {
             let (compiled, out) = compile_input(&options)?;
@@ -198,8 +202,11 @@ fn run_compile_batch(batch: &BatchOptions) -> Result<String, CliError> {
     let _ = writeln!(out, "device:          {device}");
     let _ = writeln!(
         out,
-        "pipeline:        {:?} (toffoli {:?}, seed {})",
-        options.pipeline, options.toffoli, options.seed
+        "pipeline:        {:?} (router {}, toffoli {:?}, seed {})",
+        options.pipeline,
+        compiler.options().router_name(),
+        options.toffoli,
+        options.seed
     );
     // Report the clamped worker count the engine actually used (a batch
     // never spawns more workers than it has circuits), so this line and
@@ -263,13 +270,16 @@ fn load_input(input: &str) -> Result<Circuit, CliError> {
 /// shared by `compile` and `compile-batch` so their outputs cannot diverge
 /// flag by flag.
 fn compiler_for(options: &Options) -> Compiler {
-    Compiler::builder()
+    let mut builder = Compiler::builder()
         .pipeline(options.pipeline)
         .toffoli(options.toffoli)
         .seed(options.seed)
         .lookahead(options.lookahead.then(LookaheadConfig::default))
-        .bridge(options.bridge)
-        .build()
+        .bridge(options.bridge);
+    if let Some(router) = &options.router {
+        builder = builder.router(router.clone());
+    }
+    builder.build()
 }
 
 fn compile_input(options: &Options) -> Result<(CompiledProgram, String), CliError> {
@@ -287,8 +297,9 @@ fn compile_input(options: &Options) -> Result<(CompiledProgram, String), CliErro
     let _ = writeln!(out, "device:          {device}");
     let _ = writeln!(
         out,
-        "pipeline:        {:?} (toffoli {:?}, seed {}{}{})",
+        "pipeline:        {:?} (router {}, toffoli {:?}, seed {}{}{})",
         options.pipeline,
+        compiler.options().router_name(),
         options.toffoli,
         options.seed,
         if options.lookahead { ", lookahead" } else { "" },
@@ -335,6 +346,24 @@ fn render_list() -> String {
     out.push_str(
         "\ndevices: johannesburg, heavy-hex, grid, line, clusters,\n         \
          line:N, ring:N, full:N, grid:CxR, clusters:KxS\n",
+    );
+    out
+}
+
+fn render_routers() -> String {
+    let registry = StrategyRegistry::standard();
+    let mut out = String::new();
+    out.push_str("registered routing strategies (select with --router <name>):\n");
+    for name in registry.names() {
+        let strategy = registry.get(name).expect("listed name resolves");
+        let _ = writeln!(out, "  {:<18} {}", name, strategy.description());
+        if !strategy.handles_three_qubit_gates() {
+            let _ = writeln!(out, "  {:<18} (Toffolis are decomposed before routing)", "");
+        }
+    }
+    out.push_str(
+        "\ncustom strategies: implement trios_route::RoutingStrategy and register it\n\
+         in a StrategyRegistry (see README \"Choosing a router\")\n",
     );
     out
 }
@@ -395,6 +424,90 @@ mod tests {
         }
         for b in ExtendedBenchmark::ALL {
             assert!(out.contains(b.name()), "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn routers_lists_every_registered_strategy() {
+        let out = run(&args(&["routers"])).unwrap();
+        for name in StrategyRegistry::standard().names() {
+            assert!(out.contains(name), "missing {name}:\n{out}");
+        }
+        assert!(out.contains("--router"));
+        assert!(out.contains("RoutingStrategy"));
+    }
+
+    #[test]
+    fn router_flag_selects_the_strategy() {
+        let base = run(&args(&[
+            "compile",
+            "cnx_inplace-4",
+            "-d",
+            "line:6",
+            "-s",
+            "1",
+        ]))
+        .unwrap();
+        assert!(base.contains("router trios"), "{base}");
+        for router in ["baseline", "trios-lookahead", "trios-noise"] {
+            let out = run(&args(&[
+                "compile",
+                "cnx_inplace-4",
+                "-d",
+                "line:6",
+                "-s",
+                "1",
+                "--router",
+                router,
+            ]))
+            .unwrap();
+            assert!(out.contains(&format!("router {router}")), "{out}");
+        }
+        // The explicit name equals the pipeline spelling of the same
+        // strategy.
+        let named = run(&args(&[
+            "compile",
+            "cnx_inplace-4",
+            "-d",
+            "line:6",
+            "-s",
+            "1",
+            "-r",
+            "baseline",
+        ]))
+        .unwrap();
+        let via_pipeline = run(&args(&[
+            "compile",
+            "cnx_inplace-4",
+            "-d",
+            "line:6",
+            "-s",
+            "1",
+            "-p",
+            "baseline",
+        ]))
+        .unwrap();
+        let gates = |s: &str| -> String {
+            s.lines()
+                .filter(|l| l.starts_with("two-qubit") | l.starts_with("depth"))
+                .collect()
+        };
+        assert_eq!(gates(&named), gates(&via_pipeline));
+    }
+
+    #[test]
+    fn verify_passes_for_every_registered_router() {
+        for router in StrategyRegistry::standard().names() {
+            let out = run(&args(&[
+                "verify",
+                "cnx_inplace-4",
+                "--device",
+                "line:6",
+                "--router",
+                router,
+            ]))
+            .unwrap();
+            assert!(out.contains("VERIFIED"), "{router}:\n{out}");
         }
     }
 

@@ -9,7 +9,7 @@
 //! [`CompileReport`] aside, which record the original compile).
 
 use crate::report::CompileReport;
-use crate::{CompileOptions, CompiledProgram, Pipeline};
+use crate::{CompileOptions, CompiledProgram};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Mutex;
@@ -220,6 +220,11 @@ fn write_bool(h: u64, value: bool) -> u64 {
     hash::write_u64(h, value as u64)
 }
 
+fn write_str(h: u64, value: &str) -> u64 {
+    let h = hash::write_u64(h, value.len() as u64);
+    hash::write_bytes(h, value.as_bytes())
+}
+
 /// Stable hash of every compilation knob. The exhaustive destructuring is
 /// deliberate: adding a field to [`CompileOptions`] (or the nested option
 /// structs) fails compilation here, forcing the new knob into the key
@@ -227,6 +232,7 @@ fn write_bool(h: u64, value: bool) -> u64 {
 fn options_hash(options: &CompileOptions) -> u64 {
     let CompileOptions {
         pipeline,
+        router,
         toffoli,
         mapping,
         direction,
@@ -238,13 +244,16 @@ fn options_hash(options: &CompileOptions) -> u64 {
         validate,
     } = options;
     let mut h = hash::OFFSET;
-    h = hash::write_u64(
-        h,
-        match pipeline {
-            Pipeline::Baseline => 0,
-            Pipeline::Trios => 1,
-        },
-    );
+    // The *resolved* strategy name is what routing actually runs, so it —
+    // not just the raw Option — must separate cache entries: a warm cache
+    // may never serve one strategy's result for another. The pipeline
+    // discriminant is deliberately NOT hashed on its own: for every
+    // cacheable compilation it is fully subsumed by the resolved name
+    // (`-p baseline` and `-r baseline` compile byte-identically and share
+    // an entry), and unknown names fail before producing anything to
+    // cache.
+    h = write_str(h, options.router_name());
+    let (_, _) = (pipeline, router);
     h = hash::write_u64(
         h,
         match toffoli {
@@ -373,6 +382,41 @@ mod tests {
         let mut a2 = Circuit::with_name(3, "renamed");
         a2.ccx(0, 1, 2);
         assert_eq!(base, CompilationCache::key(&a2, &dev, &opts));
+    }
+
+    #[test]
+    fn keys_separate_routing_strategies() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        let dev = line(4);
+        let keys: Vec<u64> = ["baseline", "trios", "trios-lookahead", "trios-noise"]
+            .into_iter()
+            .map(|name| {
+                let options = CompileOptions {
+                    router: Some(name.to_string()),
+                    ..CompileOptions::default()
+                };
+                CompilationCache::key(&c, &dev, &options)
+            })
+            .collect();
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b, "strategies must never share a cache key");
+            }
+        }
+        // `router: None` with the Trios pipeline resolves to "trios" and
+        // may share that entry — they compile identically.
+        assert_eq!(
+            keys[1],
+            CompilationCache::key(&c, &dev, &CompileOptions::default())
+        );
+        // Likewise `-p baseline` and `-r baseline` are the same
+        // compilation spelled two ways, so they share a key.
+        let by_pipeline = CompileOptions {
+            pipeline: crate::Pipeline::Baseline,
+            ..CompileOptions::default()
+        };
+        assert_eq!(keys[0], CompilationCache::key(&c, &dev, &by_pipeline));
     }
 
     #[test]

@@ -369,6 +369,14 @@ impl CompilerBuilder {
         self
     }
 
+    /// Routing strategy by registry name (`"baseline"`, `"trios"`,
+    /// `"trios-lookahead"`, `"trios-noise"`), overriding the pipeline's
+    /// default choice.
+    pub fn router(mut self, router: impl Into<String>) -> Self {
+        self.options.router = Some(router.into());
+        self
+    }
+
     /// Toffoli decomposition strategy.
     pub fn toffoli(mut self, toffoli: ToffoliDecomposition) -> Self {
         self.options.toffoli = toffoli;
@@ -491,6 +499,53 @@ mod tests {
         assert!(o.bridge, ".config must not reset bridge");
         assert_eq!(o.mapping, InitialMapping::Fixed(vec![0, 1, 2]));
         assert_eq!(o.pipeline, Pipeline::Trios);
+    }
+
+    #[test]
+    fn named_routers_compile_and_match_pipeline_defaults() {
+        let mut program = Circuit::new(4);
+        program.h(0).ccx(0, 1, 2).cx(2, 3);
+        let topo = johannesburg();
+        // Named "trios"/"baseline" are byte-identical to the pipeline
+        // defaults they alias.
+        let trios_default = Compiler::builder().seed(3).build();
+        let trios_named = Compiler::builder().seed(3).router("trios").build();
+        assert_eq!(
+            trios_default.compile(&program, &topo).unwrap(),
+            trios_named.compile(&program, &topo).unwrap()
+        );
+        let base_default = Compiler::builder()
+            .seed(3)
+            .pipeline(Pipeline::Baseline)
+            .build();
+        let base_named = Compiler::builder().seed(3).router("baseline").build();
+        assert_eq!(
+            base_default.compile(&program, &topo).unwrap(),
+            base_named.compile(&program, &topo).unwrap()
+        );
+        // The new strategies compile end to end and report their own pass
+        // names.
+        for (router, pass) in [
+            ("trios-lookahead", "route-trios-lookahead"),
+            ("trios-noise", "route-trios-noise"),
+        ] {
+            let compiler = Compiler::builder().seed(3).router(router).build();
+            let (compiled, report) = compiler.compile_with_report(&program, &topo).unwrap();
+            assert!(compiled.circuit.is_hardware_lowered(), "{router}");
+            assert!(report.pass(pass).is_some(), "{router}");
+        }
+    }
+
+    #[test]
+    fn unknown_router_is_a_clean_diagnostic() {
+        let mut program = Circuit::new(3);
+        program.ccx(0, 1, 2);
+        let compiler = Compiler::builder().router("sabre").build();
+        let err = compiler.compile(&program, &johannesburg()).unwrap_err();
+        assert!(matches!(err, Diagnostic::Validation { .. }));
+        let text = err.to_string();
+        assert!(text.contains("sabre"), "{text}");
+        assert!(text.contains("trios-lookahead"), "{text}");
     }
 
     #[test]

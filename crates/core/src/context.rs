@@ -33,6 +33,13 @@ pub struct SwapTrace(pub Vec<trios_route::TrioEvent>);
 
 impl Artifact for SwapTrace {}
 
+/// The routing strategy's full [`trios_route::RoutingTrace`]: which
+/// strategy ran plus its SWAP/bridge/lookahead counters and trio events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterTrace(pub trios_route::RoutingTrace);
+
+impl Artifact for RouterTrace {}
+
 /// The ASAP schedule of the final circuit.
 #[derive(Debug, Clone)]
 pub struct ProgramSchedule(pub Schedule);

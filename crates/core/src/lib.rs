@@ -75,7 +75,8 @@ pub use batch::{BatchOutcome, BatchPassStat, BatchReport};
 pub use cache::{CachedCompilation, CompilationCache};
 pub use compiler::{BatchDiagnostic, Compiler, CompilerBuilder};
 pub use context::{
-    Artifact, ArtifactMap, CompileContext, PostRouteCircuit, ProgramSchedule, SwapTrace,
+    Artifact, ArtifactMap, CompileContext, PostRouteCircuit, ProgramSchedule, RouterTrace,
+    SwapTrace,
 };
 pub use diagnostics::Diagnostic;
 pub use manager::PassManager;
@@ -92,5 +93,8 @@ pub use report::{CompileReport, CompileStats, PassRecord};
 pub use trios_ir::{Circuit, Gate, GateCounts, Instruction, Qubit};
 pub use trios_noise::{Calibration, SuccessEstimate};
 pub use trios_passes::{OptimizeOptions, ToffoliDecomposition};
-pub use trios_route::{DirectionPolicy, InitialMapping, Layout, PathMetric};
+pub use trios_route::{
+    DirectionPolicy, InitialMapping, Layout, PathMetric, RoutingStrategy, RoutingTrace,
+    StrategyRegistry,
+};
 pub use trios_topology::{PaperDevice, Topology};

@@ -9,6 +9,7 @@ use crate::report::PassRecord;
 use crate::{CompileOptions, Diagnostic, Pipeline};
 use std::fmt;
 use std::time::Instant;
+use trios_route::StrategyRegistry;
 
 /// An ordered pipeline of [`Pass`]es with per-pass instrumentation.
 ///
@@ -33,15 +34,29 @@ impl PassManager {
     /// * *Trios*: initial-mapping → route-trios (with inline mapping-aware
     ///   decomposition) → lower → optimize → \[validate\] → schedule
     ///
-    /// The `validate` pass is included iff [`CompileOptions::validate`] is
-    /// set (it is by default).
+    /// The routing stage is the strategy [`CompileOptions::router_name`]
+    /// resolves to in the standard [`StrategyRegistry`]; the up-front
+    /// `decompose-toffolis` pass is inserted exactly when that strategy
+    /// cannot route three-qubit gates itself (only `"baseline"` among the
+    /// built-ins). The `validate` pass is included iff
+    /// [`CompileOptions::validate`] is set (it is by default).
+    ///
+    /// [`StrategyRegistry`]: trios_route::StrategyRegistry
     pub fn for_options(options: &CompileOptions) -> Self {
+        let router = options.router_name();
+        let registry = StrategyRegistry::standard();
+        // Unknown names fall back to the pipeline's ordering here; the
+        // route pass itself reports them as a proper diagnostic.
+        let decompose_first = match registry.get(router) {
+            Some(strategy) => !strategy.handles_three_qubit_gates(),
+            None => options.pipeline == Pipeline::Baseline,
+        };
         let mut manager = PassManager::new();
         manager.push(InitialMappingPass);
-        if options.pipeline == Pipeline::Baseline {
+        if decompose_first {
             manager.push(DecomposeToffolisPass);
         }
-        manager.push(RoutePass::new(options.pipeline));
+        manager.push(RoutePass::with_registry(router, registry));
         manager.push(LowerPass);
         manager.push(OptimizePass);
         if options.validate {
@@ -144,6 +159,40 @@ mod tests {
     }
 
     #[test]
+    fn named_routers_select_their_stage() {
+        // A trios-family router keeps Toffolis for the router even when
+        // the pipeline field says Baseline: the explicit name wins.
+        let options = CompileOptions {
+            pipeline: Pipeline::Baseline,
+            router: Some("trios-lookahead".into()),
+            ..CompileOptions::default()
+        };
+        let names = PassManager::for_options(&options).names();
+        assert!(!names.contains(&"decompose-toffolis"), "{names:?}");
+        assert_eq!(names[1], "route-trios-lookahead");
+
+        // And the baseline strategy forces up-front decomposition even
+        // under the Trios pipeline.
+        let options = CompileOptions {
+            pipeline: Pipeline::Trios,
+            router: Some("baseline".into()),
+            ..CompileOptions::default()
+        };
+        let names = PassManager::for_options(&options).names();
+        assert_eq!(names[1], "decompose-toffolis");
+        assert_eq!(names[2], "route-pairs");
+
+        let options = CompileOptions {
+            router: Some("trios-noise".into()),
+            ..CompileOptions::default()
+        };
+        assert_eq!(
+            PassManager::for_options(&options).names()[1],
+            "route-trios-noise"
+        );
+    }
+
+    #[test]
     fn validate_pass_is_optional() {
         let options = CompileOptions {
             validate: false,
@@ -166,6 +215,60 @@ mod tests {
         let manager = PassManager::for_options(&options);
         let names = std::thread::spawn(move || manager.names()).join().unwrap();
         assert_eq!(names.first(), Some(&"initial-mapping"));
+    }
+
+    #[test]
+    fn custom_strategy_routes_through_a_custom_registry() {
+        use crate::CompileContext;
+        use trios_route::{
+            Layout, RouteError, RoutedCircuit, RouterOptions, RoutingEngine, RoutingStrategy,
+            RoutingTrace,
+        };
+        use trios_topology::{johannesburg, Topology};
+
+        // A custom strategy, registered under its own name and selected
+        // through RoutePass::with_registry — the documented injection
+        // point for strategies outside the standard registry.
+        struct ReverseTrios;
+        impl RoutingStrategy for ReverseTrios {
+            fn name(&self) -> &str {
+                "reverse-trios"
+            }
+            fn route(
+                &self,
+                circuit: &trios_ir::Circuit,
+                topology: &Topology,
+                layout: Layout,
+                options: &RouterOptions,
+                trace: &mut RoutingTrace,
+            ) -> Result<RoutedCircuit, RouteError> {
+                trace.strategy = Some(self.name().to_string());
+                // Drive the shared engine directly, as the README's
+                // custom-strategy example does.
+                RoutingEngine::new(topology, layout, options, circuit, trace)?.run(circuit, true)
+            }
+        }
+
+        let mut registry = StrategyRegistry::standard();
+        registry.register("reverse-trios", || Box::new(ReverseTrios));
+
+        let mut manager = PassManager::new();
+        manager
+            .push(InitialMappingPass)
+            .push(RoutePass::with_registry("reverse-trios", registry))
+            .push(LowerPass)
+            .push(ValidatePass);
+
+        let mut circuit = trios_ir::Circuit::new(3);
+        circuit.ccx(0, 1, 2);
+        let topo = johannesburg();
+        let options = CompileOptions::default();
+        let mut cx = CompileContext::new(circuit, &topo, &options);
+        let records = manager.run(&mut cx).unwrap();
+        assert_eq!(records[1].pass, "route");
+        assert!(cx.circuit.is_hardware_lowered());
+        let trace = cx.artifacts.get::<crate::RouterTrace>().unwrap();
+        assert_eq!(trace.0.strategy.as_deref(), Some("reverse-trios"));
     }
 
     #[test]

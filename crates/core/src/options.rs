@@ -20,6 +20,12 @@ pub enum Pipeline {
 pub struct CompileOptions {
     /// Pass structure.
     pub pipeline: Pipeline,
+    /// Routing strategy, by registry name (`"baseline"`, `"trios"`,
+    /// `"trios-lookahead"`, `"trios-noise"`, or a custom registration).
+    /// `None` derives the strategy from [`CompileOptions::pipeline`]
+    /// (`Baseline` → `"baseline"`, `Trios` → `"trios"`); an explicit name
+    /// overrides the pipeline's choice.
+    pub router: Option<String>,
     /// Toffoli decomposition. For [`Pipeline::Baseline`] this is applied
     /// up-front with canonical qubit roles; for [`Pipeline::Trios`] it is
     /// the second-pass strategy (`ConnectivityAware` is the paper's Trios).
@@ -51,6 +57,7 @@ impl Default for CompileOptions {
     fn default() -> Self {
         CompileOptions {
             pipeline: Pipeline::Trios,
+            router: None,
             toffoli: ToffoliDecomposition::ConnectivityAware,
             mapping: InitialMapping::Trivial,
             direction: DirectionPolicy::Stochastic,
@@ -70,6 +77,19 @@ impl CompileOptions {
         CompileOptions {
             seed,
             ..CompileOptions::default()
+        }
+    }
+
+    /// The routing-strategy registry name this compilation uses: the
+    /// explicit [`CompileOptions::router`] when set, otherwise the name
+    /// the [`Pipeline`] implies.
+    pub fn router_name(&self) -> &str {
+        match &self.router {
+            Some(name) => name,
+            None => match self.pipeline {
+                Pipeline::Baseline => "baseline",
+                Pipeline::Trios => "trios",
+            },
         }
     }
 }
@@ -154,6 +174,19 @@ mod tests {
         assert_eq!(o.pipeline, Pipeline::Trios);
         assert_eq!(o.toffoli, ToffoliDecomposition::Eight);
         assert_eq!(PaperConfig::FIG6.len(), 4);
+    }
+
+    #[test]
+    fn router_name_follows_pipeline_unless_overridden() {
+        let mut o = CompileOptions::default();
+        assert_eq!(o.router_name(), "trios");
+        o.pipeline = Pipeline::Baseline;
+        assert_eq!(o.router_name(), "baseline");
+        o.router = Some("trios-noise".into());
+        assert_eq!(o.router_name(), "trios-noise", "explicit name wins");
+        for config in PaperConfig::FIG6 {
+            assert!(config.to_options(0).router.is_none());
+        }
     }
 
     #[test]

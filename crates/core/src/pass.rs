@@ -2,11 +2,11 @@
 //! stage of the paper's Figure 2, so pipelines can be assembled, reordered
 //! and ablated instead of hardcoded.
 
-use crate::context::{CompileContext, PostRouteCircuit, ProgramSchedule, SwapTrace};
+use crate::context::{CompileContext, PostRouteCircuit, ProgramSchedule, RouterTrace, SwapTrace};
 use crate::{Diagnostic, Pipeline};
 use trios_passes::{decompose_toffolis, lower_to_hardware_gates, optimize};
 use trios_route::{
-    check_legal, initial_layout, route_baseline, route_trios, RouterOptions, ToffoliPolicy,
+    check_legal, initial_layout, RouterOptions, RoutingTrace, StrategyRegistry, ToffoliPolicy,
 };
 use trios_schedule::{schedule_asap, GateDurations};
 
@@ -66,32 +66,87 @@ impl Pass for DecomposeToffolisPass {
     }
 }
 
-/// Routes the circuit: the conventional per-pair strategy
-/// ([`Pipeline::Baseline`]) or the paper's trio gathering with inline
-/// mapping-aware decomposition ([`Pipeline::Trios`]).
+/// Routes the circuit through a named [`RoutingStrategy`] from a
+/// [`StrategyRegistry`] (the standard one unless
+/// [`RoutePass::with_registry`] supplies another): the conventional
+/// per-pair strategy (`"baseline"`, [`Pipeline::Baseline`]'s choice), the
+/// paper's trio gathering with inline mapping-aware decomposition
+/// (`"trios"`, [`Pipeline::Trios`]'s choice), or any other registered
+/// strategy (`"trios-lookahead"`, `"trios-noise"`, custom registrations).
 ///
-/// Publishes [`PostRouteCircuit`] and [`SwapTrace`] artifacts.
-#[derive(Debug, Clone, Copy)]
+/// Publishes [`PostRouteCircuit`], [`SwapTrace`], and [`RouterTrace`]
+/// artifacts.
+///
+/// [`RoutingStrategy`]: trios_route::RoutingStrategy
+#[derive(Debug, Clone)]
 pub struct RoutePass {
-    pipeline: Pipeline,
+    router: String,
+    registry: StrategyRegistry,
 }
 
 impl RoutePass {
-    /// A routing pass using `pipeline`'s strategy.
+    /// A routing pass using `pipeline`'s default strategy.
     pub fn new(pipeline: Pipeline) -> Self {
-        RoutePass { pipeline }
+        RoutePass::named(match pipeline {
+            Pipeline::Baseline => "baseline",
+            Pipeline::Trios => "trios",
+        })
+    }
+
+    /// A routing pass using the strategy registered under `router` in the
+    /// standard registry. Unknown names surface as a validation
+    /// [`Diagnostic`] when the pass runs.
+    pub fn named(router: impl Into<String>) -> Self {
+        RoutePass::with_registry(router, StrategyRegistry::standard())
+    }
+
+    /// A routing pass resolving `router` in a caller-supplied `registry` —
+    /// the injection point for custom [`RoutingStrategy`] implementations:
+    /// register the constructor, then assemble a pipeline around this pass
+    /// with [`PassManager::push`](crate::PassManager::push).
+    ///
+    /// Note on reporting: [`Pass::name`] returns `&'static str`, so only
+    /// the built-in registry names get strategy-specific pass names
+    /// (`route-trios-noise`, …); any other strategy reports under the
+    /// generic pass name `"route"`. The strategy that actually ran is
+    /// always recorded in the published [`RouterTrace`] artifact.
+    ///
+    /// [`RoutingStrategy`]: trios_route::RoutingStrategy
+    pub fn with_registry(router: impl Into<String>, registry: StrategyRegistry) -> Self {
+        RoutePass {
+            router: router.into(),
+            registry,
+        }
+    }
+
+    /// The registry name this pass routes with.
+    pub fn router(&self) -> &str {
+        &self.router
     }
 }
 
 impl Pass for RoutePass {
     fn name(&self) -> &'static str {
-        match self.pipeline {
-            Pipeline::Baseline => "route-pairs",
-            Pipeline::Trios => "route-trios",
+        match self.router.as_str() {
+            "baseline" => "route-pairs",
+            "trios" => "route-trios",
+            "trios-lookahead" => "route-trios-lookahead",
+            "trios-noise" => "route-trios-noise",
+            _ => "route",
         }
     }
 
     fn run(&mut self, cx: &mut CompileContext<'_>) -> Result<(), Diagnostic> {
+        let strategy = self.registry.get(&self.router).ok_or_else(|| {
+            Diagnostic::validation(
+                self.name(),
+                format!(
+                    "unknown router '{}' (registered: {})",
+                    self.router,
+                    self.registry.names().collect::<Vec<_>>().join(", ")
+                ),
+            )
+        })?;
         let layout = cx.layout.take().ok_or_else(|| {
             Diagnostic::validation(self.name(), "no initial layout: run initial-mapping first")
         })?;
@@ -105,17 +160,27 @@ impl Pass for RoutePass {
             lookahead: options.lookahead,
             bridge: options.bridge,
         };
-        let routed = match self.pipeline {
-            Pipeline::Baseline => route_baseline(&cx.circuit, cx.topology, layout, &router_options),
-            Pipeline::Trios => route_trios(&cx.circuit, cx.topology, layout, &router_options),
-        }
-        .map_err(|e| Diagnostic::routing(self.name(), e))?;
+        let mut trace = RoutingTrace::new();
+        let routed = strategy
+            .route(
+                &cx.circuit,
+                cx.topology,
+                layout,
+                &router_options,
+                &mut trace,
+            )
+            .map_err(|e| Diagnostic::routing(self.name(), e))?;
         cx.circuit = routed.circuit.clone();
         cx.initial_layout = Some(routed.initial_layout);
         cx.final_layout = Some(routed.final_layout);
         cx.swap_count = routed.swap_count;
         cx.artifacts.insert(PostRouteCircuit(routed.circuit));
+        // SwapTrace predates RouterTrace and is kept for compatibility;
+        // both carry the (small, Copy) trio events — one per routed
+        // three-qubit gate — by the engine's contract that the trace
+        // accumulates while each RoutedCircuit owns its own run's events.
         cx.artifacts.insert(SwapTrace(routed.trio_events));
+        cx.artifacts.insert(RouterTrace(trace));
         Ok(())
     }
 }

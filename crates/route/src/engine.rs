@@ -1,0 +1,608 @@
+//! [`RoutingEngine`]: the shared routing core every
+//! [`RoutingStrategy`](crate::RoutingStrategy) builds on.
+//!
+//! The engine owns the machinery that used to live inside the two
+//! hard-coded routers: layout bookkeeping, SWAP emission, direction
+//! fixing, bridge rewriting, windowed-lookahead stepping, trio gathering
+//! with gather-distance accounting, and trio-event recording. Strategies
+//! decide *policy* (which gates to allow, which metric and lookahead to
+//! use); the engine supplies the *mechanism* and keeps the
+//! [`RoutingTrace`] honest.
+
+use crate::strategy::RoutingTrace;
+use crate::{
+    DirectionPolicy, Layout, LookaheadConfig, PathMetric, RouteError, RoutedCircuit, RouterOptions,
+    TrioEvent,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+use trios_ir::{Circuit, Gate, Instruction, Qubit};
+use trios_passes::{
+    ccz_6cnot, ccz_8cnot_linear, cswap_via_ccx, toffoli_6cnot, toffoli_8cnot_linear,
+    ToffoliDecomposition,
+};
+use trios_topology::{Topology, TripleShape};
+
+/// The shared routing core: a live layout, an output circuit under
+/// construction, and every primitive a routing strategy needs (SWAP
+/// emission, shortest paths under the configured metric, adjacency
+/// fixing, bridging, trio gathering).
+///
+/// Custom strategies drive it directly:
+///
+/// ```
+/// use trios_ir::Circuit;
+/// use trios_route::{Layout, RouterOptions, RoutingEngine, RoutingTrace};
+/// use trios_topology::line;
+///
+/// let mut program = Circuit::new(3);
+/// program.cx(0, 2);
+/// let device = line(3);
+/// let options = RouterOptions::deterministic();
+/// let mut trace = RoutingTrace::new();
+/// let engine = RoutingEngine::new(&device, Layout::trivial(3, 3), &options, &program, &mut trace)?;
+/// let routed = engine.run(&program, false)?;
+/// assert_eq!(routed.swap_count, 1);
+/// # Ok::<(), trios_route::RouteError>(())
+/// ```
+pub struct RoutingEngine<'a> {
+    topo: &'a Topology,
+    opts: &'a RouterOptions,
+    trace: &'a mut RoutingTrace,
+    layout: Layout,
+    out: Circuit,
+    swap_count: usize,
+    rng: StdRng,
+    weights: Option<HashMap<(usize, usize), f64>>,
+    trio_events: Vec<TrioEvent>,
+}
+
+impl std::fmt::Debug for RoutingEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoutingEngine")
+            .field("layout", &self.layout)
+            .field("swap_count", &self.swap_count)
+            .field("emitted", &self.out.len())
+            .finish()
+    }
+}
+
+impl<'a> RoutingEngine<'a> {
+    /// Validates the job and builds an engine over `topo` starting from
+    /// `initial`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::CircuitTooWide`] if the circuit does not fit
+    /// the device, or [`RouteError::InvalidLayout`] if the layout's shape
+    /// disagrees with the circuit/device.
+    pub fn new(
+        topo: &'a Topology,
+        initial: Layout,
+        opts: &'a RouterOptions,
+        circuit: &Circuit,
+        trace: &'a mut RoutingTrace,
+    ) -> Result<Self, RouteError> {
+        if circuit.num_qubits() > topo.num_qubits() {
+            return Err(RouteError::CircuitTooWide {
+                logical: circuit.num_qubits(),
+                physical: topo.num_qubits(),
+            });
+        }
+        if initial.num_logical() != circuit.num_qubits()
+            || initial.num_physical() != topo.num_qubits()
+        {
+            return Err(RouteError::InvalidLayout {
+                reason: format!(
+                    "layout is {}→{} but circuit/device are {}→{}",
+                    initial.num_logical(),
+                    initial.num_physical(),
+                    circuit.num_qubits(),
+                    topo.num_qubits()
+                ),
+            });
+        }
+        let weights = match &opts.metric {
+            PathMetric::Hops => None,
+            PathMetric::EdgeWeights(w) => {
+                let mut map = HashMap::new();
+                for (edge, weight) in topo.edges().iter().zip(w) {
+                    map.insert(*edge, *weight);
+                }
+                Some(map)
+            }
+        };
+        Ok(RoutingEngine {
+            topo,
+            opts,
+            trace,
+            layout: initial,
+            out: Circuit::with_name(topo.num_qubits(), circuit.name().to_string()),
+            swap_count: 0,
+            rng: StdRng::seed_from_u64(opts.seed),
+            weights,
+            trio_events: Vec::new(),
+        })
+    }
+
+    /// The current logical→physical layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The device being routed onto.
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+
+    /// The options this engine was built with.
+    pub fn options(&self) -> &RouterOptions {
+        self.opts
+    }
+
+    /// SWAPs emitted so far.
+    pub fn swap_count(&self) -> usize {
+        self.swap_count
+    }
+
+    /// Drives the standard routing loop over `circuit`: 1-qubit gates are
+    /// re-mapped and emitted, 2-qubit gates are bridged or made adjacent
+    /// (with lookahead when configured), and 3-qubit gates are gathered as
+    /// trios when `allow_ccx` is set (rejected otherwise — the
+    /// decompose-first contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::UnsupportedGate`] for a 3-qubit gate when
+    /// `allow_ccx` is `false`, or [`RouteError::Disconnected`] if
+    /// interacting qubits cannot be joined.
+    pub fn run(mut self, circuit: &Circuit, allow_ccx: bool) -> Result<RoutedCircuit, RouteError> {
+        let initial_layout = self.layout.clone();
+        let mut queue: VecDeque<Instruction> = circuit.iter().copied().collect();
+        let mut index = 0usize;
+        while let Some(instr) = queue.pop_front() {
+            match instr.qubits().len() {
+                1 => self.emit_mapped(&instr),
+                2 => {
+                    let (la, lb) = (instr.qubit(0).index(), instr.qubit(1).index());
+                    if self.try_bridge(&instr, la, lb) {
+                        index += 1;
+                        continue;
+                    }
+                    match self.opts.lookahead {
+                        Some(cfg) => self.make_adjacent_lookahead(la, lb, &queue, cfg)?,
+                        None => self.make_adjacent(la, lb)?,
+                    }
+                    self.emit_mapped(&instr);
+                }
+                3 => {
+                    if !allow_ccx {
+                        return Err(RouteError::UnsupportedGate {
+                            gate: instr.gate().name(),
+                            instruction: index,
+                        });
+                    }
+                    let expansion = self.gather_trio(&instr)?;
+                    for sub in expansion.into_iter().rev() {
+                        queue.push_front(sub);
+                    }
+                }
+                _ => unreachable!("IR gates have arity 1..=3"),
+            }
+            index += 1;
+        }
+        self.trace
+            .trio_events
+            .extend(self.trio_events.iter().copied());
+        Ok(RoutedCircuit {
+            circuit: self.out,
+            initial_layout,
+            final_layout: self.layout,
+            swap_count: self.swap_count,
+            trio_events: self.trio_events,
+        })
+    }
+
+    /// Emits an instruction with its logical operands mapped to their
+    /// current physical homes.
+    pub fn emit_mapped(&mut self, instr: &Instruction) {
+        let mapped = instr.map_qubits(|q| Qubit::new(self.layout.physical(q.index())));
+        self.out.push(mapped);
+    }
+
+    /// Emits a SWAP on the coupling edge `p1`–`p2` and updates the layout
+    /// and trace accordingly.
+    pub fn emit_swap(&mut self, p1: usize, p2: usize) {
+        debug_assert!(self.topo.are_adjacent(p1, p2), "swap on non-edge {p1}-{p2}");
+        self.out.push(Instruction::new(
+            Gate::Swap,
+            &[Qubit::new(p1), Qubit::new(p2)],
+        ));
+        self.layout.swap_physical(p1, p2);
+        self.swap_count += 1;
+        self.trace.swaps += 1;
+    }
+
+    /// Shortest physical path under the configured metric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::Disconnected`] if no path exists.
+    pub fn path(&self, a: usize, b: usize) -> Result<Vec<usize>, RouteError> {
+        let path = match &self.weights {
+            None => self.topo.shortest_path(a, b),
+            Some(w) => self
+                .topo
+                .shortest_path_weighted(a, b, &|x, y| *w.get(&(x.min(y), x.max(y))).unwrap_or(&1.0))
+                .map(|(p, _)| p),
+        };
+        path.ok_or(RouteError::Disconnected { a, b })
+    }
+
+    /// Inserts SWAPs until logical qubits `la` and `lb` are physically
+    /// adjacent, following the configured direction policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::Disconnected`] if the pair cannot be joined.
+    pub fn make_adjacent(&mut self, la: usize, lb: usize) -> Result<(), RouteError> {
+        let pa = self.layout.physical(la);
+        let pb = self.layout.physical(lb);
+        if self.topo.are_adjacent(pa, pb) {
+            return Ok(());
+        }
+        let path = self.path(pa, pb)?;
+        let hops = path.len() - 2; // SWAPs needed
+        let first_moves = match self.opts.direction {
+            DirectionPolicy::MoveFirst => hops,
+            DirectionPolicy::MoveSecond => 0,
+            DirectionPolicy::Stochastic => {
+                if self.rng.gen_bool(0.5) {
+                    hops
+                } else {
+                    0
+                }
+            }
+            DirectionPolicy::MeetInMiddle => hops / 2,
+        };
+        // First operand walks forward to path[first_moves] …
+        for i in 0..first_moves {
+            self.emit_swap(path[i], path[i + 1]);
+        }
+        // … second operand walks backward to path[first_moves + 1].
+        for i in ((first_moves + 2)..path.len()).rev() {
+            self.emit_swap(path[i], path[i - 1]);
+        }
+        debug_assert!(self
+            .topo
+            .are_adjacent(self.layout.physical(la), self.layout.physical(lb)));
+        Ok(())
+    }
+
+    /// Bridge shortcut: a CNOT whose operands sit at distance exactly 2 is
+    /// emitted as the 4-CNOT bridge
+    /// `CX(a,m)·CX(m,b)·CX(a,m)·CX(m,b) = CX(a,b)` over the middle qubit
+    /// `m`, leaving the layout untouched. Returns `true` if it applied.
+    ///
+    /// Only plain CNOTs bridge; other two-qubit gates fall through to SWAP
+    /// routing.
+    pub fn try_bridge(&mut self, instr: &Instruction, la: usize, lb: usize) -> bool {
+        if !self.opts.bridge || instr.gate() != Gate::Cx {
+            return false;
+        }
+        let pa = self.layout.physical(la);
+        let pb = self.layout.physical(lb);
+        if self.topo.distance(pa, pb) != Some(2) {
+            return false;
+        }
+        // The middle must come from the *hop*-shortest path: a weighted
+        // metric can prefer a longer detour whose second node is not a
+        // common neighbor, and a bridge over such an "m" would emit CNOTs
+        // on non-edges. (The hop path at distance 2 always has length 3.)
+        let m = match self.topo.shortest_path(pa, pb) {
+            Some(path) if path.len() == 3 => path[1],
+            _ => return false,
+        };
+        debug_assert!(self.topo.are_adjacent(pa, m) && self.topo.are_adjacent(m, pb));
+        let q = Qubit::new;
+        for _ in 0..2 {
+            self.out.push(Instruction::new(Gate::Cx, &[q(pa), q(m)]));
+            self.out.push(Instruction::new(Gate::Cx, &[q(m), q(pb)]));
+        }
+        self.trace.bridges += 1;
+        true
+    }
+
+    /// Lookahead variant of [`RoutingEngine::make_adjacent`]: one SWAP at
+    /// a time, each chosen among the moves that strictly shrink the front
+    /// gate's distance, scored by a decayed sum of upcoming gate distances
+    /// (the look-ahead schemes the paper cites as prior work in §3).
+    ///
+    /// Lookahead scoring is hop-based even under a noise-aware
+    /// [`PathMetric`]; the metric still governs committed shortest-path
+    /// walks elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::Disconnected`] if the pair cannot be joined.
+    pub fn make_adjacent_lookahead(
+        &mut self,
+        la: usize,
+        lb: usize,
+        upcoming: &VecDeque<Instruction>,
+        cfg: LookaheadConfig,
+    ) -> Result<(), RouteError> {
+        loop {
+            let pa = self.layout.physical(la);
+            let pb = self.layout.physical(lb);
+            if self.topo.are_adjacent(pa, pb) {
+                return Ok(());
+            }
+            let d0 = self
+                .topo
+                .distance(pa, pb)
+                .ok_or(RouteError::Disconnected { a: pa, b: pb })?;
+
+            // Candidates: swaps on edges incident to either endpoint that
+            // bring the pair strictly closer. Moving one endpoint along any
+            // shortest path qualifies, so the set is never empty.
+            let mut best: Option<(f64, (usize, usize))> = None;
+            for (end, other) in [(pa, pb), (pb, pa)] {
+                for &n in self.topo.neighbors(end) {
+                    let d1 = match self.topo.distance(n, other) {
+                        Some(d) => d,
+                        None => continue,
+                    };
+                    if d1 + 1 != d0 {
+                        continue;
+                    }
+                    let mut hypothetical = self.layout.clone();
+                    hypothetical.swap_physical(end, n);
+                    let cost =
+                        d1 as f64 + cfg.weight * self.window_cost(&hypothetical, upcoming, cfg);
+                    let edge = (end.min(n), end.max(n));
+                    let better = match best {
+                        None => true,
+                        Some((bc, be)) => {
+                            cost < bc - 1e-9 || ((cost - bc).abs() <= 1e-9 && edge < be)
+                        }
+                    };
+                    if better {
+                        best = Some((cost, edge));
+                    }
+                }
+            }
+            let (_, (p1, p2)) = best.expect("a distance-decreasing swap always exists");
+            self.emit_swap(p1, p2);
+            self.trace.lookahead_swaps += 1;
+        }
+    }
+
+    /// Decayed sum of the physical distances of the next `cfg.window`
+    /// multi-qubit gates under `layout` (trios cost their gather distance).
+    pub fn window_cost(
+        &self,
+        layout: &Layout,
+        upcoming: &VecDeque<Instruction>,
+        cfg: LookaheadConfig,
+    ) -> f64 {
+        let mut cost = 0.0;
+        let mut weight = 1.0;
+        let mut counted = 0usize;
+        for instr in upcoming {
+            let qs = instr.qubits();
+            let d = match qs.len() {
+                2 => {
+                    let a = layout.physical(qs[0].index());
+                    let b = layout.physical(qs[1].index());
+                    self.topo.distance(a, b).unwrap_or(0).saturating_sub(1)
+                }
+                3 => {
+                    let a = layout.physical(qs[0].index());
+                    let b = layout.physical(qs[1].index());
+                    let c = layout.physical(qs[2].index());
+                    self.topo
+                        .triple_distance(a, b, c)
+                        .unwrap_or(0)
+                        .saturating_sub(2)
+                }
+                _ => continue,
+            };
+            cost += weight * d as f64;
+            weight *= cfg.decay;
+            counted += 1;
+            if counted >= cfg.window {
+                break;
+            }
+        }
+        cost
+    }
+
+    /// The Trios gather step (paper §4): pick the operand with the minimal
+    /// summed distance as the destination, route the other two to be
+    /// adjacent to it (with the overlap refinement), then hand back the
+    /// placement-appropriate decomposition — or leave the three-qubit gate
+    /// intact when `lower_toffoli` is off.
+    ///
+    /// Handles the full three-qubit gate set (the paper's §4 extension):
+    /// `ccx` and `ccz` decompose in place; `cswap` expands into its
+    /// CX-conjugated Toffoli, whose inner `ccx` re-enters this gather (by
+    /// then a no-op, the trio being connected).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::Disconnected`] if the trio cannot be joined.
+    pub fn gather_trio(&mut self, instr: &Instruction) -> Result<Vec<Instruction>, RouteError> {
+        let logical: Vec<usize> = instr.qubits().iter().map(|q| q.index()).collect();
+        let phys: Vec<usize> = logical.iter().map(|&l| self.layout.physical(l)).collect();
+        let gather_distance = self
+            .topo
+            .triple_distance(phys[0], phys[1], phys[2])
+            .map(|d| d.saturating_sub(2)) // 2 = already connected
+            .unwrap_or(0);
+        let swaps_before = self.swap_count;
+
+        if self.topo.triple_shape(phys[0], phys[1], phys[2]) == TripleShape::Disconnected {
+            let dest_phys = match instr.gate() {
+                // Fredkin: gather around one of the *swapped* operands so
+                // the conjugating CNOT pair lands on a coupling edge.
+                Gate::Cswap => self.gather_destination(&phys[1..], &phys)?,
+                _ => self.gather_destination(&phys, &phys)?,
+            };
+            let dest_logical = self
+                .layout
+                .logical(dest_phys)
+                .expect("destination holds one of the trio");
+            let movers: Vec<usize> = logical
+                .iter()
+                .copied()
+                .filter(|&l| l != dest_logical)
+                .collect();
+
+            // First mover: stop on the neighbor of the destination.
+            let m1 = movers[0];
+            let path1 = self.path(self.layout.physical(m1), dest_phys)?;
+            for i in 0..path1.len().saturating_sub(2) {
+                self.emit_swap(path1[i], path1[i + 1]);
+            }
+
+            // Second mover: recompute from the updated layout. If its
+            // stopping point is where the first mover now sits, stop one
+            // step earlier — the first mover becomes the middle qubit
+            // (saves one SWAP; paper §4).
+            let m2 = movers[1];
+            let path2 = self.path(self.layout.physical(m2), dest_phys)?;
+            let mut swaps = path2.len().saturating_sub(2);
+            if swaps > 0 && path2[path2.len() - 2] == self.layout.physical(m1) {
+                swaps -= 1;
+            }
+            for i in 0..swaps {
+                self.emit_swap(path2[i], path2[i + 1]);
+            }
+        }
+
+        let shape = self.topo.triple_shape(
+            self.layout.physical(logical[0]),
+            self.layout.physical(logical[1]),
+            self.layout.physical(logical[2]),
+        );
+        debug_assert_ne!(
+            shape,
+            TripleShape::Disconnected,
+            "gather must produce a line or triangle"
+        );
+        self.trio_events.push(TrioEvent {
+            gate: instr.gate(),
+            gather_distance,
+            swaps: self.swap_count - swaps_before,
+            shape,
+        });
+
+        if !self.opts.lower_toffoli {
+            self.emit_mapped(instr);
+            return Ok(Vec::new());
+        }
+
+        // Second decomposition pass, now placement-aware. The decomposition
+        // is expressed over *logical* qubits and re-mapped at emission, so
+        // any SWAPs inserted for a forced-6-CNOT non-adjacent pair keep the
+        // bookkeeping consistent.
+        let q = Qubit::new;
+        Ok(match instr.gate() {
+            Gate::Ccx => {
+                let (c1, c2, t) = (logical[0], logical[1], logical[2]);
+                match self.opts.toffoli {
+                    ToffoliDecomposition::Six => toffoli_6cnot(q(c1), q(c2), q(t)),
+                    ToffoliDecomposition::Eight => {
+                        let middle = self.middle_logical(shape, &logical, c2);
+                        let ends: Vec<usize> =
+                            logical.iter().copied().filter(|&l| l != middle).collect();
+                        toffoli_8cnot_linear(q(ends[0]), q(middle), q(ends[1]), q(t))
+                    }
+                    ToffoliDecomposition::ConnectivityAware => match shape {
+                        TripleShape::Triangle => toffoli_6cnot(q(c1), q(c2), q(t)),
+                        TripleShape::Line { middle } => {
+                            let middle_logical = self
+                                .layout
+                                .logical(middle)
+                                .expect("middle of the trio holds data");
+                            let ends: Vec<usize> = logical
+                                .iter()
+                                .copied()
+                                .filter(|&l| l != middle_logical)
+                                .collect();
+                            toffoli_8cnot_linear(q(ends[0]), q(middle_logical), q(ends[1]), q(t))
+                        }
+                        TripleShape::Disconnected => unreachable!("checked above"),
+                    },
+                }
+            }
+            Gate::Ccz => {
+                // CCZ is symmetric, so the placement constraint is the only
+                // constraint: 6-CNOT wants a triangle, 8-CNOT wants a line
+                // with the physically-middle operand in the middle role.
+                let use_six = match self.opts.toffoli {
+                    ToffoliDecomposition::Six => true,
+                    ToffoliDecomposition::Eight => false,
+                    ToffoliDecomposition::ConnectivityAware => shape == TripleShape::Triangle,
+                };
+                if use_six {
+                    ccz_6cnot(q(logical[0]), q(logical[1]), q(logical[2]))
+                } else {
+                    let middle = self.middle_logical(shape, &logical, logical[1]);
+                    let ends: Vec<usize> =
+                        logical.iter().copied().filter(|&l| l != middle).collect();
+                    ccz_8cnot_linear(q(ends[0]), q(middle), q(ends[1]))
+                }
+            }
+            Gate::Cswap => {
+                // Expand to the CX-conjugated Toffoli over logical qubits;
+                // the inner ccx re-enters the gather (a no-op now) and
+                // picks the placement-appropriate decomposition there.
+                cswap_via_ccx(q(logical[0]), q(logical[1]), q(logical[2]))
+            }
+            g => unreachable!("gather_trio only sees 3-qubit gates, got {g:?}"),
+        })
+    }
+
+    /// The gather destination: the candidate with the smallest summed hop
+    /// distance to the other trio members (paper §4), ties toward the
+    /// earlier operand.
+    fn gather_destination(
+        &self,
+        candidates: &[usize],
+        trio: &[usize],
+    ) -> Result<usize, RouteError> {
+        let mut best: Option<(usize, usize)> = None;
+        for &cand in candidates {
+            let mut sum = 0usize;
+            for &other in trio.iter().filter(|&&p| p != cand) {
+                sum += self
+                    .topo
+                    .distance(cand, other)
+                    .ok_or(RouteError::Disconnected { a: cand, b: other })?;
+            }
+            if best.is_none_or(|(_, d)| sum < d) {
+                best = Some((cand, sum));
+            }
+        }
+        Ok(best.expect("candidate list is non-empty").0)
+    }
+
+    /// Picks the logical middle qubit for a forced 8-CNOT decomposition.
+    fn middle_logical(&self, shape: TripleShape, logical: &[usize], fallback: usize) -> usize {
+        match shape {
+            TripleShape::Line { middle } => self
+                .layout
+                .logical(middle)
+                .expect("middle of the trio holds data"),
+            // On a triangle every qubit touches the other two; the second
+            // control is as good a middle as any.
+            _ => {
+                let _ = logical;
+                fallback
+            }
+        }
+    }
+}

@@ -34,6 +34,12 @@ pub enum RouteError {
         /// Explanation of the problem.
         reason: String,
     },
+    /// A routing strategy's configuration is inconsistent with the device
+    /// (e.g. an edge-error vector of the wrong length).
+    InvalidOptions {
+        /// Explanation of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RouteError {
@@ -52,6 +58,9 @@ impl fmt::Display for RouteError {
                 "physical qubits {a} and {b} are in disconnected components"
             ),
             RouteError::InvalidLayout { reason } => write!(f, "invalid layout: {reason}"),
+            RouteError::InvalidOptions { reason } => {
+                write!(f, "invalid router options: {reason}")
+            }
         }
     }
 }

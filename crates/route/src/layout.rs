@@ -47,10 +47,12 @@ impl Layout {
         for (l, &p) in log_to_phys.iter().enumerate() {
             phys_to_log[p] = Some(l);
         }
-        Layout {
+        let layout = Layout {
             log_to_phys,
             phys_to_log,
-        }
+        };
+        layout.debug_check_bijective();
+        layout
     }
 
     /// Builds a layout from an explicit assignment `mapping[l] = p`.
@@ -83,10 +85,38 @@ impl Layout {
             }
             phys_to_log[p] = Some(l);
         }
-        Ok(Layout {
+        let layout = Layout {
             log_to_phys: mapping.to_vec(),
             phys_to_log,
-        })
+        };
+        layout.debug_check_bijective();
+        Ok(layout)
+    }
+
+    /// Debug-build invariant: the two direction tables are exact inverses
+    /// of each other (an injection `logical → physical` and its partial
+    /// inverse). Release builds skip this entirely.
+    fn debug_check_bijective(&self) {
+        #[cfg(debug_assertions)]
+        {
+            for (l, &p) in self.log_to_phys.iter().enumerate() {
+                debug_assert!(
+                    p < self.phys_to_log.len(),
+                    "logical {l} maps to out-of-bounds physical {p}"
+                );
+                debug_assert_eq!(
+                    self.phys_to_log[p],
+                    Some(l),
+                    "physical {p} does not map back to logical {l}"
+                );
+            }
+            let occupied = self.phys_to_log.iter().flatten().count();
+            debug_assert_eq!(
+                occupied,
+                self.log_to_phys.len(),
+                "occupied physical slots must equal the logical qubit count"
+            );
+        }
     }
 
     /// Number of logical qubits.
@@ -125,6 +155,11 @@ impl Layout {
     ///
     /// Panics if either slot is out of range.
     pub fn swap_physical(&mut self, p1: usize, p2: usize) {
+        debug_assert!(
+            p1 < self.phys_to_log.len() && p2 < self.phys_to_log.len(),
+            "swap {p1}-{p2} out of bounds for {} physical slots",
+            self.phys_to_log.len()
+        );
         let l1 = self.phys_to_log[p1];
         let l2 = self.phys_to_log[p2];
         self.phys_to_log[p1] = l2;
@@ -135,6 +170,7 @@ impl Layout {
         if let Some(l) = l2 {
             self.log_to_phys[l] = p1;
         }
+        self.debug_check_bijective();
     }
 
     /// The logical→physical assignment as a vector (`result[l] = p`), the

@@ -5,17 +5,23 @@
 //! * [`Layout`] — the live logical→physical assignment that SWAPs permute.
 //! * [`initial_layout`] — placement strategies (trivial / fixed / random /
 //!   greedy interaction-aware).
+//! * [`RoutingStrategy`] — the pluggable routing seam: one policy over the
+//!   shared [`RoutingEngine`] core. [`StrategyRegistry::standard`] names
+//!   the built-ins (`baseline`, `trios`, `trios-lookahead`, `trios-noise`)
+//!   so the core pipeline, CLI, and benches all select routers the same
+//!   way.
 //! * [`route_baseline`] — the conventional pair router: requires a fully
 //!   decomposed circuit and routes each distant CNOT individually. This is
 //!   the paper's baseline and exhibits exactly the pathology of its
-//!   Figure 1a.
+//!   Figure 1a. (A thin shim over [`DecomposeFirst`].)
 //! * [`route_trios`] — the paper's contribution: Toffolis survive to the
 //!   router, which gathers each operand trio to a connected neighborhood
 //!   (minimum summed-distance destination, overlap-aware), then applies the
 //!   placement-appropriate decomposition (6-CNOT on triangles, 8-CNOT with
-//!   the correct middle on lines).
-//! * [`check_legal`] — the hardware-legality invariant both routers must
-//!   (and are tested to) satisfy.
+//!   the correct middle on lines). (A thin shim over
+//!   [`OrchestratedTrios`].)
+//! * [`check_legal`] — the hardware-legality invariant every strategy must
+//!   (and is tested to) satisfy.
 //!
 //! # Examples
 //!
@@ -41,16 +47,23 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod engine;
 mod error;
 mod layout;
 mod legality;
 mod mapper;
 mod options;
 mod router;
+mod strategy;
 
+pub use engine::RoutingEngine;
 pub use error::RouteError;
 pub use layout::Layout;
 pub use legality::{check_legal, LegalityViolation, ToffoliPolicy};
 pub use mapper::{initial_layout, InitialMapping};
 pub use options::{DirectionPolicy, LookaheadConfig, PathMetric, RouterOptions};
 pub use router::{route_baseline, route_trios, RoutedCircuit, TrioEvent};
+pub use strategy::{
+    DecomposeFirst, LookaheadTrios, NoiseAwareTrios, OrchestratedTrios, RoutingStrategy,
+    RoutingTrace, StrategyConstructor, StrategyRegistry, NOISE_AWARE_DEFAULT_SPREAD,
+};

@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 use trios_core::{CompileOptions, Compiler, DirectionPolicy, Pipeline, ToffoliDecomposition};
 use trios_ir::Circuit;
-use trios_route::{check_legal, LookaheadConfig, ToffoliPolicy};
+use trios_route::{check_legal, Layout, LookaheadConfig, ToffoliPolicy};
 use trios_sim::compiled_equivalent;
 use trios_topology::{clusters, grid, johannesburg, line, ring, Topology};
 
@@ -169,6 +169,61 @@ proptest! {
         let back = trios_qasm::parse(&text).unwrap();
         prop_assert_eq!(back.num_qubits(), compiled.circuit.num_qubits());
         prop_assert_eq!(back.instructions(), compiled.circuit.instructions());
+    }
+
+    #[test]
+    fn layout_round_trips_through_mapping(
+        slots in proptest::collection::vec(0usize..16, 1..12),
+    ) {
+        // Dedup to an injective assignment of however many qubits survive.
+        let mut mapping = Vec::new();
+        for p in slots {
+            if !mapping.contains(&p) {
+                mapping.push(p);
+            }
+        }
+        let layout = Layout::from_mapping(&mapping, 16).unwrap();
+        // to_mapping is the exact inverse of from_mapping …
+        prop_assert_eq!(layout.to_mapping(), mapping.clone());
+        // … and re-importing the exported mapping reproduces the layout.
+        let again = Layout::from_mapping(&layout.to_mapping(), 16).unwrap();
+        prop_assert_eq!(again, layout.clone());
+        // Accessors agree with the mapping in both directions.
+        for (l, &p) in mapping.iter().enumerate() {
+            prop_assert_eq!(layout.physical(l), p);
+            prop_assert_eq!(layout.logical(p), Some(l));
+        }
+    }
+
+    #[test]
+    fn layout_stays_bijective_under_random_swaps(
+        slots in proptest::collection::vec(0usize..10, 1..8),
+        swaps in proptest::collection::vec((0usize..10, 0usize..10), 0..40),
+    ) {
+        let mut mapping = Vec::new();
+        for p in slots {
+            if !mapping.contains(&p) {
+                mapping.push(p);
+            }
+        }
+        let n_logical = mapping.len();
+        let mut layout = Layout::from_mapping(&mapping, 10).unwrap();
+        for (a, b) in swaps {
+            layout.swap_physical(a, b);
+            // Bijectivity survives every swap (this also exercises the
+            // debug_assert invariants inside swap_physical): each logical
+            // qubit has a unique home and the inverse map agrees.
+            let mut seen = [false; 10];
+            for l in 0..n_logical {
+                let p = layout.physical(l);
+                prop_assert!(!seen[p], "physical {} assigned twice", p);
+                seen[p] = true;
+                prop_assert_eq!(layout.logical(p), Some(l));
+            }
+            // And the export/import round trip still holds mid-walk.
+            let again = Layout::from_mapping(&layout.to_mapping(), 10).unwrap();
+            prop_assert_eq!(again, layout.clone());
+        }
     }
 
     #[test]
