@@ -23,6 +23,8 @@ pub enum Command {
     Estimate(Options),
     /// `trios verify <input> [flags]`.
     Verify(Options),
+    /// `trios sweep [flags]` — the evaluation grid.
+    Sweep(SweepOptions),
     /// `trios help` (also `-h` / `--help` / no arguments).
     Help,
 }
@@ -108,6 +110,111 @@ impl BatchOptions {
     }
 }
 
+/// Flags of `trios sweep`: the evaluation grid to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOptions {
+    /// Benchmark selection: `paper` (the full Table 1 suite), `toffoli`
+    /// (its Toffoli-bearing members), or a comma-separated name list.
+    pub benchmarks: String,
+    /// Comma-separated device specs (see [`parse_device`]).
+    pub devices: String,
+    /// Comma-separated router registry names.
+    pub routers: String,
+    /// Comma-separated calibrations: `now`, `future`, or `improve:<f>`.
+    pub calibrations: String,
+    /// Crosstalk policy: `ignore`, `charge:<p>`, or `avoid`.
+    pub crosstalk: String,
+    /// Monte Carlo shots per eligible (≤ 8-qubit) cell.
+    pub shots: Option<usize>,
+    /// Worker threads (`0` = one per available core).
+    pub jobs: usize,
+    /// Routing seed.
+    pub seed: u64,
+    /// Compilation-cache capacity in entries (`0` disables).
+    pub cache_size: usize,
+    /// Write the JSON report here (`-` appends it to stdout).
+    pub report: Option<String>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            benchmarks: "paper".into(),
+            devices: "johannesburg".into(),
+            routers: "baseline,trios".into(),
+            calibrations: "future".into(),
+            crosstalk: "ignore".into(),
+            shots: None,
+            jobs: 0,
+            seed: 0,
+            cache_size: 256,
+            report: None,
+        }
+    }
+}
+
+fn parse_sweep_args(rest: &[&String]) -> Result<SweepOptions, CliError> {
+    let mut options = SweepOptions::default();
+    let mut i = 0usize;
+    let value = |i: &mut usize, flag: &str| -> Result<String, CliError> {
+        *i += 1;
+        rest.get(*i)
+            .map(|s| s.to_string())
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+    };
+    let parse_usize = |flag: &str, v: String| -> Result<usize, CliError> {
+        v.parse()
+            .map_err(|_| CliError::Usage(format!("{flag} must be an integer, got '{v}'")))
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--benchmarks" | "-b" => options.benchmarks = value(&mut i, "--benchmarks")?,
+            "--devices" | "-d" => options.devices = value(&mut i, "--devices")?,
+            "--routers" | "-r" => {
+                let names = value(&mut i, "--routers")?;
+                let registry = StrategyRegistry::standard();
+                for name in names.split(',') {
+                    if !registry.contains(name.trim()) {
+                        return Err(CliError::Usage(format!(
+                            "--routers must name registered strategies ({}), got '{name}'",
+                            registry.names().collect::<Vec<_>>().join(", ")
+                        )));
+                    }
+                }
+                options.routers = names;
+            }
+            "--calibrations" | "-c" => options.calibrations = value(&mut i, "--calibrations")?,
+            "--crosstalk" => options.crosstalk = value(&mut i, "--crosstalk")?,
+            "--shots" => {
+                let v = value(&mut i, "--shots")?;
+                options.shots = Some(parse_usize("--shots", v)?);
+            }
+            "--jobs" | "-j" => {
+                let v = value(&mut i, "--jobs")?;
+                options.jobs = parse_usize("--jobs", v)?;
+            }
+            "--seed" | "-s" => {
+                let v = value(&mut i, "--seed")?;
+                options.seed = v.parse().map_err(|_| {
+                    CliError::Usage(format!("--seed must be an integer, got '{v}'"))
+                })?;
+            }
+            "--cache-size" => {
+                let v = value(&mut i, "--cache-size")?;
+                options.cache_size = parse_usize("--cache-size", v)?;
+            }
+            "--report" => options.report = Some(value(&mut i, "--report")?),
+            flag => {
+                return Err(CliError::Usage(format!(
+                    "unknown sweep flag or argument '{flag}'"
+                )))
+            }
+        }
+        i += 1;
+    }
+    Ok(options)
+}
+
 /// Parses a full argument list (without the program name).
 ///
 /// # Errors
@@ -123,6 +230,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "list" => Ok(Command::List),
         "table1" => Ok(Command::Table1),
         "routers" => Ok(Command::Routers),
+        "sweep" => {
+            let rest: Vec<&String> = it.collect();
+            parse_sweep_args(&rest).map(Command::Sweep)
+        }
         "help" | "-h" | "--help" => Ok(Command::Help),
         "compile" | "compile-batch" | "estimate" | "verify" => {
             let mut options = Options::default();
@@ -377,6 +488,66 @@ mod tests {
         assert!(text.contains("sabre"), "{text}");
         assert!(text.contains("baseline"), "{text}");
         assert!(parse_args(&args(&["compile", "a", "--router"])).is_err());
+    }
+
+    #[test]
+    fn parses_sweep_with_defaults_and_flags() {
+        let Command::Sweep(o) = parse_args(&args(&["sweep"])).unwrap() else {
+            panic!("expected sweep");
+        };
+        assert_eq!(o, SweepOptions::default());
+        assert_eq!(o.benchmarks, "paper");
+        assert_eq!(o.routers, "baseline,trios");
+        assert_eq!(o.calibrations, "future");
+
+        let Command::Sweep(o) = parse_args(&args(&[
+            "sweep",
+            "--benchmarks",
+            "cnx_inplace-4,grovers-9",
+            "--devices",
+            "line:8,johannesburg",
+            "--routers",
+            "baseline,trios-lookahead",
+            "--calibrations",
+            "now,improve:10",
+            "--crosstalk",
+            "charge:0.02",
+            "--shots",
+            "50",
+            "--jobs",
+            "2",
+            "--seed",
+            "7",
+            "--cache-size",
+            "64",
+            "--report",
+            "out.json",
+        ]))
+        .unwrap() else {
+            panic!("expected sweep");
+        };
+        assert_eq!(o.benchmarks, "cnx_inplace-4,grovers-9");
+        assert_eq!(o.devices, "line:8,johannesburg");
+        assert_eq!(o.routers, "baseline,trios-lookahead");
+        assert_eq!(o.calibrations, "now,improve:10");
+        assert_eq!(o.crosstalk, "charge:0.02");
+        assert_eq!(o.shots, Some(50));
+        assert_eq!(o.jobs, 2);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.cache_size, 64);
+        assert_eq!(o.report.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_routers_and_flags_at_parse_time() {
+        let err = parse_args(&args(&["sweep", "--routers", "baseline,sabre"])).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("sabre"), "{text}");
+        assert!(text.contains("trios"), "{text}");
+        assert!(parse_args(&args(&["sweep", "--wat"])).is_err());
+        assert!(parse_args(&args(&["sweep", "positional"])).is_err());
+        assert!(parse_args(&args(&["sweep", "--shots", "x"])).is_err());
+        assert!(parse_args(&args(&["sweep", "--shots"])).is_err());
     }
 
     #[test]

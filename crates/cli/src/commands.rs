@@ -1,11 +1,14 @@
 //! Command execution.
 
-use crate::args::{parse_args, parse_device, BatchOptions, Command, Options};
+use crate::args::{parse_args, parse_device, BatchOptions, Command, Options, SweepOptions};
 use crate::CliError;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use trios_benchmarks::{Benchmark, ExtendedBenchmark};
-use trios_core::{Calibration, CompilationCache, CompiledProgram, Compiler, StrategyRegistry};
+use trios_core::{
+    run_sweep, Calibration, CompilationCache, CompiledProgram, Compiler, CrosstalkPolicy,
+    StrategyRegistry, SweepBenchmark, SweepSpec,
+};
 use trios_ir::Circuit;
 use trios_route::LookaheadConfig;
 
@@ -24,6 +27,9 @@ COMMANDS:
                                  parallel with a compilation cache
     estimate <input> [flags]     compile, then estimate success probability
     verify <input> [flags]       compile, then statevector-check semantics
+    sweep [flags]                run a benchmark × device × router ×
+                                 calibration evaluation grid (the paper's
+                                 Figure 6/8/9/11 comparison)
     help                         this text
 
 FLAGS (compile / estimate):
@@ -44,6 +50,20 @@ FLAGS (compile / estimate):
 FLAGS (compile-batch only):
     --jobs, -j <n>               worker threads        (default: one per core)
     --cache-size <n>             cache capacity, 0 = off      (default 256)
+
+FLAGS (sweep):
+    --benchmarks, -b <list>      'paper' | 'toffoli' | comma-separated
+                                 benchmark names or .qasm paths (default paper)
+    --devices, -d <list>         comma-separated device specs (default johannesburg)
+    --routers, -r <list>         comma-separated registry names
+                                 (default baseline,trios)
+    --calibrations, -c <list>    now | future | improve:<f>, comma-separated
+                                 (default future = errors improved 20x)
+    --crosstalk <policy>         ignore | charge:<p> | avoid  (default ignore)
+    --shots <n>                  Monte Carlo cross-check on cells with <= 8
+                                 compiled qubits
+    --jobs, -j / --seed, -s / --cache-size    as for compile-batch
+    --report <path|->            write the SweepReport JSON
 ";
 
 /// Parses `args` (without the program name) and runs the command,
@@ -75,6 +95,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             Ok(out)
         }
         Command::CompileBatch(batch) => run_compile_batch(&batch),
+        Command::Sweep(options) => run_sweep_command(&options),
         Command::Verify(options) => {
             let circuit = load_input(&options.input)?;
             let device = parse_device(&options.device)?;
@@ -243,6 +264,125 @@ fn run_compile_batch(batch: &BatchOptions) -> Result<String, CliError> {
             "batch: {} circuits on {} jobs in {:.1?}, cache {} hits / {} misses",
             report.circuits, report.jobs, report.wall_time, report.cache_hits, report.cache_misses
         );
+    }
+    Ok(out)
+}
+
+/// Resolves the `--benchmarks` selector into measured sweep benchmarks.
+fn sweep_benchmarks(selector: &str) -> Result<Vec<SweepBenchmark>, CliError> {
+    let named = |benchmarks: Vec<Benchmark>| {
+        benchmarks
+            .into_iter()
+            .map(|b| SweepBenchmark::measured(b.name(), b.build()))
+            .collect()
+    };
+    Ok(match selector {
+        "paper" => named(Benchmark::ALL.to_vec()),
+        "toffoli" => named(Benchmark::toffoli_suite().collect()),
+        list => list
+            .split(',')
+            .map(str::trim)
+            .filter(|name| !name.is_empty())
+            .map(|name| {
+                let circuit = load_input(name)?;
+                // .qasm inputs may already measure; don't double up.
+                Ok(if circuit.counts().measure > 0 {
+                    SweepBenchmark::new(name, circuit)
+                } else {
+                    SweepBenchmark::measured(name, circuit)
+                })
+            })
+            .collect::<Result<Vec<_>, CliError>>()?,
+    })
+}
+
+/// Resolves one `--calibrations` entry.
+fn parse_calibration(spec: &str) -> Result<Calibration, CliError> {
+    match spec {
+        "now" => Ok(Calibration::johannesburg_2020_08_19()),
+        "future" => Ok(Calibration::near_future()),
+        other => match other.strip_prefix("improve:") {
+            Some(factor) => {
+                let factor: f64 = factor.parse().map_err(|_| {
+                    CliError::Usage(format!("improve:<f> needs a number, got '{other}'"))
+                })?;
+                if factor <= 0.0 {
+                    return Err(CliError::Usage(format!(
+                        "improve:<f> needs a positive factor, got '{other}'"
+                    )));
+                }
+                Ok(Calibration::johannesburg_2020_08_19().improved(factor))
+            }
+            None => Err(CliError::Usage(format!(
+                "--calibrations entries are 'now', 'future', or 'improve:<f>', got '{other}'"
+            ))),
+        },
+    }
+}
+
+/// Resolves the `--crosstalk` policy.
+fn parse_crosstalk(spec: &str) -> Result<CrosstalkPolicy, CliError> {
+    match spec {
+        "ignore" => Ok(CrosstalkPolicy::Ignore),
+        "avoid" => Ok(CrosstalkPolicy::Avoid),
+        other => match other.strip_prefix("charge:") {
+            Some(rate) => {
+                let error_per_conflict: f64 = rate.parse().map_err(|_| {
+                    CliError::Usage(format!("charge:<p> needs a number, got '{other}'"))
+                })?;
+                if !(0.0..=1.0).contains(&error_per_conflict) {
+                    return Err(CliError::Usage(format!(
+                        "charge:<p> needs a probability, got '{other}'"
+                    )));
+                }
+                Ok(CrosstalkPolicy::Charge { error_per_conflict })
+            }
+            None => Err(CliError::Usage(format!(
+                "--crosstalk is 'ignore', 'charge:<p>', or 'avoid', got '{other}'"
+            ))),
+        },
+    }
+}
+
+fn run_sweep_command(options: &SweepOptions) -> Result<String, CliError> {
+    let comma = |list: &str| -> Vec<String> {
+        list.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()
+    };
+    let mut devices = Vec::new();
+    for spec in comma(&options.devices) {
+        devices.push((spec.clone(), parse_device(&spec)?));
+    }
+    let mut calibrations = Vec::new();
+    for spec in comma(&options.calibrations) {
+        calibrations.push((spec.clone(), parse_calibration(&spec)?));
+    }
+    let spec = SweepSpec {
+        benchmarks: sweep_benchmarks(&options.benchmarks)?,
+        devices,
+        routers: comma(&options.routers),
+        calibrations,
+        crosstalk: parse_crosstalk(&options.crosstalk)?,
+        seed: options.seed,
+        jobs: options.jobs,
+        cache_size: options.cache_size,
+        monte_carlo_shots: options.shots,
+    };
+    let report = run_sweep(&spec)?;
+    let mut out = report.summary_table();
+    if let Some(path) = &options.report {
+        let json = report.to_json_pretty();
+        if path == "-" {
+            out.push('\n');
+            out.push_str(&json);
+            out.push('\n');
+        } else {
+            std::fs::write(path, json)?;
+            let _ = writeln!(out, "\nwrote SweepReport JSON to {path}");
+        }
     }
     Ok(out)
 }
@@ -753,6 +893,97 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("b_wide.qasm"), "{err}");
+    }
+
+    #[test]
+    fn sweep_reports_ratio_table_and_geomean() {
+        let out = run(&args(&[
+            "sweep",
+            "--benchmarks",
+            "cnx_inplace-4,incrementer_borrowedbit-5",
+            "--devices",
+            "line:6",
+            "--routers",
+            "baseline,trios",
+            "--calibrations",
+            "now,future",
+            "--jobs",
+            "2",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("2 benchmarks x 1 devices x 2 routers x 2 calibrations"),
+            "{out}"
+        );
+        assert!(out.contains("cnx_inplace-4"), "{out}");
+        assert!(
+            out.contains("success-probability ratios vs baseline:"),
+            "{out}"
+        );
+        assert!(out.contains("geomean(trios / baseline)"), "{out}");
+    }
+
+    #[test]
+    fn sweep_writes_a_json_report_that_parses_back() {
+        use trios_core::SweepReport;
+        let dir = std::env::temp_dir().join("trios-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.json");
+        let out = run(&args(&[
+            "sweep",
+            "-b",
+            "cnx_inplace-4",
+            "-d",
+            "line:6",
+            "-r",
+            "baseline,trios",
+            "-c",
+            "now",
+            "--shots",
+            "30",
+            "--report",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote SweepReport JSON"), "{out}");
+        assert!(out.contains("monte carlo:"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        let report = SweepReport::from_json(&json).unwrap();
+        assert_eq!(report.benchmarks, ["cnx_inplace-4"]);
+        assert_eq!(report.routers, ["baseline", "trios"]);
+        assert_eq!(report.shots, Some(30));
+        assert_eq!(report.cells.len(), 2);
+        for cell in &report.cells {
+            let mc = cell.monte_carlo.expect("line:6 cells are simulable");
+            assert!(mc.bound_ok, "{cell:?}");
+        }
+        assert!(report.geomean_for("trios").is_some());
+    }
+
+    #[test]
+    fn sweep_inline_report_and_bad_specs() {
+        let out = run(&args(&[
+            "sweep",
+            "-b",
+            "cnx_inplace-4",
+            "-d",
+            "line:6",
+            "-c",
+            "improve:5",
+            "--report",
+            "-",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"benchmarks\""), "{out}");
+        assert!(out.contains("\"improve:5\""), "{out}");
+        // Unknown benchmark, device, calibration, and crosstalk specs all
+        // surface as clean usage errors.
+        assert!(run(&args(&["sweep", "-b", "nope"])).is_err());
+        assert!(run(&args(&["sweep", "-d", "torus:3x3"])).is_err());
+        assert!(run(&args(&["sweep", "-c", "later"])).is_err());
+        assert!(run(&args(&["sweep", "--crosstalk", "maybe"])).is_err());
+        assert!(run(&args(&["sweep", "--crosstalk", "charge:2.0"])).is_err());
+        assert!(run(&args(&["sweep", "-c", "improve:-3"])).is_err());
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub enum CliError {
         /// The failure, including the batch index.
         source: trios_core::BatchDiagnostic,
     },
+    /// An evaluation sweep failed (malformed grid or a cell that would
+    /// not compile).
+    Sweep(trios_core::SweepError),
 }
 
 impl fmt::Display for CliError {
@@ -46,6 +49,7 @@ impl fmt::Display for CliError {
             CliError::Batch { file, source } => {
                 write!(f, "batch compile error in {file}: {}", source.diagnostic)
             }
+            CliError::Sweep(e) => write!(f, "sweep error: {e}"),
         }
     }
 }
@@ -57,8 +61,15 @@ impl Error for CliError {
             CliError::Qasm(e) => Some(e),
             CliError::Compile(e) => Some(e),
             CliError::Batch { source, .. } => Some(source),
+            CliError::Sweep(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<trios_core::SweepError> for CliError {
+    fn from(e: trios_core::SweepError) -> Self {
+        CliError::Sweep(e)
     }
 }
 

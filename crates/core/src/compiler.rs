@@ -3,7 +3,7 @@
 
 use crate::batch::{BatchOutcome, BatchReport};
 use crate::cache::CompilationCache;
-use crate::context::{CompileContext, ProgramSchedule};
+use crate::context::{CompileContext, ProgramSchedule, RouterTrace};
 use crate::manager::PassManager;
 use crate::report::{CompileReport, CompileStats};
 use crate::{CompileOptions, CompiledProgram, Diagnostic, PaperConfig, Pipeline};
@@ -290,7 +290,11 @@ impl Compiler {
             Some(last) => (last.gates_after, last.depth_after),
             None => (cx.circuit.counts(), cx.circuit.depth()),
         };
-        let stats = CompileStats::new(cx.swap_count, counts, depth, duration_us);
+        let mut stats = CompileStats::new(cx.swap_count, counts, depth, duration_us);
+        stats.mean_gather_distance = cx
+            .artifacts
+            .get::<RouterTrace>()
+            .and_then(|trace| trace.0.mean_gather_distance());
         let initial_layout = cx.initial_layout.take().ok_or_else(|| {
             Diagnostic::validation("compile", "pipeline produced no initial layout")
         })?;
@@ -572,6 +576,31 @@ mod tests {
         assert!(report.pass("optimize").unwrap().total_delta() <= 0);
         assert_eq!(report.stats, compiled.stats);
         assert!(report.total_time >= report.passes.iter().map(|p| p.wall_time).max().unwrap());
+    }
+
+    #[test]
+    fn stats_carry_mean_gather_distance_for_trio_routing_only() {
+        let mut program = Circuit::new(5);
+        program.ccx(0, 2, 4);
+        let topo = johannesburg();
+        // Trio routing records gather events; the (6-17-3)-style distant
+        // trivial placement guarantees a positive gather distance.
+        let trios = Compiler::builder().seed(1).build();
+        let compiled = trios.compile(&program, &topo).unwrap();
+        let gather = compiled.stats.mean_gather_distance.unwrap();
+        assert!(gather > 0.0, "distant trio must report a gather distance");
+        // The decompose-first baseline records no trio events.
+        let baseline = Compiler::builder()
+            .seed(1)
+            .pipeline(Pipeline::Baseline)
+            .build();
+        let compiled = baseline.compile(&program, &topo).unwrap();
+        assert_eq!(compiled.stats.mean_gather_distance, None);
+        // A Toffoli-free program reports None even under trio routing.
+        let mut pairs_only = Circuit::new(3);
+        pairs_only.h(0).cx(0, 2);
+        let compiled = trios.compile(&pairs_only, &topo).unwrap();
+        assert_eq!(compiled.stats.mean_gather_distance, None);
     }
 
     #[test]

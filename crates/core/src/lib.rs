@@ -56,6 +56,16 @@
 //! the paper's figures. Every compiled program carries its initial/final
 //! layouts so `trios_sim::compiled_equivalent` can verify semantics, and
 //! [`CompiledProgram::estimate_success`] applies the §2.6 noise model.
+//!
+//! # Evaluation sweeps
+//!
+//! The [`sweep`] module turns those pieces into the paper's actual
+//! deliverable: [`run_sweep`] expands a [`SweepSpec`] — benchmarks ×
+//! devices × routers × calibrations — through the cached parallel batch
+//! compiler and the analytic success estimator (optionally cross-checked
+//! by Monte Carlo trajectory simulation) into a [`SweepReport`] of
+//! per-cell breakdowns, trios/baseline success ratios, and per-router
+//! geomeans, serializable to JSON behind the `serde` feature.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -70,6 +80,7 @@ mod options;
 mod pass;
 mod pipeline;
 mod report;
+pub mod sweep;
 
 pub use batch::{BatchOutcome, BatchPassStat, BatchReport};
 pub use cache::{CachedCompilation, CompilationCache};
@@ -87,11 +98,15 @@ pub use pass::{
 };
 pub use pipeline::{compile, with_measurements, CompileError, CompiledProgram};
 pub use report::{CompileReport, CompileStats, PassRecord};
+pub use sweep::{
+    run_sweep, RatioRow, RouterGeomean, SweepBenchmark, SweepCell, SweepError, SweepMonteCarlo,
+    SweepReport, SweepSpec,
+};
 
 // Re-export the pieces callers need alongside `compile`, so downstream
 // users can depend on `trios-core` alone for common workflows.
 pub use trios_ir::{Circuit, Gate, GateCounts, Instruction, Qubit};
-pub use trios_noise::{Calibration, SuccessEstimate};
+pub use trios_noise::{Calibration, CrosstalkPolicy, SuccessEstimate};
 pub use trios_passes::{OptimizeOptions, ToffoliDecomposition};
 pub use trios_route::{
     DirectionPolicy, InitialMapping, Layout, PathMetric, RoutingStrategy, RoutingTrace,

@@ -22,11 +22,18 @@ pub struct CompileStats {
     pub depth: usize,
     /// ASAP-scheduled duration Δ (µs) under Johannesburg gate times.
     pub duration_us: f64,
+    /// Mean gather distance over the trios the router gathered — the
+    /// paper's per-Toffoli communication metric, averaged. `None` when the
+    /// routing strategy recorded no trio events (no three-qubit gates, or
+    /// a decompose-first router).
+    pub mean_gather_distance: Option<f64>,
 }
 
 impl CompileStats {
     /// Assembles stats from their components (the struct is
     /// `#[non_exhaustive]`, so downstream crates construct it here).
+    /// `mean_gather_distance` starts as `None`; the pipeline fills it from
+    /// the router trace.
     pub fn new(swap_count: usize, counts: GateCounts, depth: usize, duration_us: f64) -> Self {
         CompileStats {
             swap_count,
@@ -35,6 +42,7 @@ impl CompileStats {
             measurements: counts.measure,
             depth,
             duration_us,
+            mean_gather_distance: None,
         }
     }
 }
@@ -163,13 +171,14 @@ mod serde_impls {
 
     impl Serialize for CompileStats {
         fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-            let mut s = serializer.serialize_struct("CompileStats", 6)?;
+            let mut s = serializer.serialize_struct("CompileStats", 7)?;
             s.serialize_field("swap_count", &self.swap_count)?;
             s.serialize_field("two_qubit_gates", &self.two_qubit_gates)?;
             s.serialize_field("one_qubit_gates", &self.one_qubit_gates)?;
             s.serialize_field("measurements", &self.measurements)?;
             s.serialize_field("depth", &self.depth)?;
             s.serialize_field("duration_us", &self.duration_us)?;
+            s.serialize_field("mean_gather_distance", &self.mean_gather_distance)?;
             s.end()
         }
     }

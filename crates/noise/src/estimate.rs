@@ -73,7 +73,12 @@ pub fn estimate_success(circuit: &Circuit, calibration: &Calibration) -> Success
                 n2 += 6;
                 n1 += 2;
             }
-            Gate::Ccz => n2 += 6,
+            Gate::Ccz => {
+                // CCZ lowers to a CCX conjugated by Hadamards on the
+                // target, so its cost is the Toffoli's plus two 1q gates.
+                n2 += 6;
+                n1 += 4;
+            }
             Gate::Cswap => {
                 n2 += 8;
                 n1 += 2;
@@ -294,6 +299,28 @@ mod tests {
         let b = estimate_success(&three, &cal());
         assert_eq!(a.two_qubit_gates, b.two_qubit_gates);
         assert!((a.probability() - b.probability()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccz_costs_at_least_as_many_one_qubit_gates_as_ccx() {
+        // Regression: CCZ used to count 6 two-qubit gates but *zero*
+        // one-qubit gates, making it look cheaper than the CCX it lowers
+        // to (CCZ = H·CCX·H on the target).
+        let mut ccx = Circuit::new(3);
+        ccx.ccx(0, 1, 2);
+        let mut ccz = Circuit::new(3);
+        ccz.ccz(0, 1, 2);
+        let ex = estimate_success(&ccx, &cal());
+        let ez = estimate_success(&ccz, &cal());
+        assert_eq!(ez.two_qubit_gates, ex.two_qubit_gates);
+        assert!(
+            ez.one_qubit_gates >= ex.one_qubit_gates,
+            "CCZ 1q cost {} must be >= CCX 1q cost {}",
+            ez.one_qubit_gates,
+            ex.one_qubit_gates
+        );
+        assert_eq!(ez.one_qubit_gates, ex.one_qubit_gates + 2);
+        assert!(ez.p_gates <= ex.p_gates);
     }
 
     #[test]

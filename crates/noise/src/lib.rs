@@ -33,4 +33,7 @@ pub use estimate::{
     estimate_success, estimate_success_with_crosstalk, estimate_success_with_edge_errors,
     CrosstalkPolicy, SuccessEstimate,
 };
-pub use montecarlo::{monte_carlo_fidelity, MonteCarloOptions, MonteCarloResult};
+pub use montecarlo::{
+    analytic_error_free_probability, monte_carlo_fidelity, MonteCarloError, MonteCarloOptions,
+    MonteCarloResult,
+};

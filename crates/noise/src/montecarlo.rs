@@ -25,9 +25,47 @@
 use crate::Calibration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::error::Error;
+use std::fmt;
 use trios_ir::{Circuit, Gate, Instruction, Qubit};
 use trios_schedule::schedule_asap;
 use trios_sim::{SimError, State};
+
+/// Why a Monte Carlo run could not be performed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonteCarloError {
+    /// `shots == 0` was requested: the estimator would be a 0/0 and every
+    /// statistic NaN, so the configuration is rejected up front.
+    ZeroShots,
+    /// The statevector simulator refused the circuit.
+    Sim(SimError),
+}
+
+impl fmt::Display for MonteCarloError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonteCarloError::ZeroShots => {
+                write!(f, "monte carlo needs at least one shot (got 0)")
+            }
+            MonteCarloError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl Error for MonteCarloError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MonteCarloError::ZeroShots => None,
+            MonteCarloError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for MonteCarloError {
+    fn from(e: SimError) -> Self {
+        MonteCarloError::Sim(e)
+    }
+}
 
 /// Configuration of a Monte Carlo run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,7 +107,14 @@ pub struct MonteCarloResult {
 impl MonteCarloResult {
     /// Fraction of trajectories with no injected error — the Monte Carlo
     /// estimate of the analytic model's "nothing went wrong" probability.
+    ///
+    /// Returns `0.0` (never NaN) for a hand-built result with
+    /// `shots == 0`; [`monte_carlo_fidelity`] itself rejects that
+    /// configuration with [`MonteCarloError::ZeroShots`].
     pub fn error_free_fraction(&self) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
         self.error_free_shots as f64 / self.shots as f64
     }
 }
@@ -84,18 +129,18 @@ impl MonteCarloResult {
 ///
 /// # Errors
 ///
-/// Returns [`SimError::TooManyQubits`] if the circuit is too wide to
-/// simulate densely.
-///
-/// # Panics
-///
-/// Panics if `options.shots == 0`.
+/// Returns [`MonteCarloError::ZeroShots`] when `options.shots == 0` (the
+/// statistics would all be NaN), or [`MonteCarloError::Sim`] wrapping
+/// [`SimError::TooManyQubits`] if the circuit is too wide to simulate
+/// densely.
 pub fn monte_carlo_fidelity(
     circuit: &Circuit,
     calibration: &Calibration,
     options: MonteCarloOptions,
-) -> Result<MonteCarloResult, SimError> {
-    assert!(options.shots > 0, "need at least one shot");
+) -> Result<MonteCarloResult, MonteCarloError> {
+    if options.shots == 0 {
+        return Err(MonteCarloError::ZeroShots);
+    }
     let ideal = State::run(circuit)?;
     let schedule = schedule_asap(circuit, &calibration.durations);
     let n = circuit.num_qubits();
@@ -162,6 +207,73 @@ pub fn monte_carlo_fidelity(
         error_free_shots: error_free,
         shots: options.shots,
     })
+}
+
+/// The exact probability that a [`monte_carlo_fidelity`] trajectory under
+/// `options` injects **no error at all** — the analytic product the
+/// sampler's [`MonteCarloResult::error_free_fraction`] estimates without
+/// bias, and therefore a guaranteed (within binomial sampling error)
+/// lower bound on its mean fidelity: error-free trajectories replay the
+/// ideal circuit, so each contributes fidelity exactly 1.
+///
+/// The computation walks the same ASAP schedule as the sampler and
+/// multiplies, per the enabled channels,
+///
+/// * `1 − e_gate` per non-measurement gate, and
+/// * `(1 − p_relax(dt)) · (1 − p_dephase(dt))` per qubit and scheduled
+///   interval (busy and idle alike, including the trailing idle to
+///   circuit end), with the Pauli-twirled rates
+///   `p = (1 − e^{−dt/T})/2`.
+///
+/// Note the decoherence factor is **per qubit**, which on wide or
+/// idle-heavy circuits is strictly more pessimistic than the paper's
+/// whole-program `exp(−Δ/T1 − Δ/T2)` term
+/// ([`estimate_success`](crate::estimate_success)); the gap between the
+/// two is exactly what the Monte Carlo cross-check measures.
+pub fn analytic_error_free_probability(
+    circuit: &Circuit,
+    calibration: &Calibration,
+    options: MonteCarloOptions,
+) -> f64 {
+    let schedule = schedule_asap(circuit, &calibration.durations);
+    let n = circuit.num_qubits();
+    let mut p = 1.0f64;
+    let mut qubit_clock = vec![0.0f64; n];
+    let no_decoherence = |qubit_clock: &mut [f64], q: usize, until: f64| {
+        let dt = until - qubit_clock[q];
+        qubit_clock[q] = until;
+        if dt <= 0.0 {
+            return 1.0;
+        }
+        let p_relax = 0.5 * (1.0 - (-dt / calibration.t1_us).exp());
+        let p_dephase = 0.5 * (1.0 - (-dt / calibration.t2_us).exp());
+        (1.0 - p_relax.clamp(0.0, 1.0)) * (1.0 - p_dephase.clamp(0.0, 1.0))
+    };
+    for op in schedule.ops() {
+        let instr = &op.instruction;
+        if instr.gate().is_measurement() {
+            continue;
+        }
+        if options.decoherence {
+            for q in instr.qubits() {
+                p *= no_decoherence(&mut qubit_clock, q.index(), op.end_us());
+            }
+        }
+        if options.gate_errors {
+            let rate = match instr.gate().arity() {
+                1 => calibration.one_qubit_error,
+                _ => calibration.two_qubit_error,
+            };
+            p *= 1.0 - rate;
+        }
+    }
+    if options.decoherence {
+        let total = schedule.total_duration_us();
+        for q in 0..n {
+            p *= no_decoherence(&mut qubit_clock, q, total);
+        }
+    }
+    p
 }
 
 /// Applies a uniformly random non-identity Pauli over `qubits`.
@@ -343,21 +455,81 @@ mod tests {
     }
 
     #[test]
-    fn rejects_oversized_circuits() {
-        let c = Circuit::new(30);
-        assert!(
-            monte_carlo_fidelity(&c, &Calibration::default(), MonteCarloOptions::default())
-                .is_err()
-        );
+    fn analytic_error_free_matches_gate_model_without_decoherence() {
+        // With decoherence off the product is exactly the per-gate term of
+        // the §2.6 model on a lowered circuit.
+        let mut c = Circuit::new(3);
+        for _ in 0..7 {
+            c.cx(0, 1).h(2).cx(1, 2);
+        }
+        let cal = Calibration::default();
+        let p = analytic_error_free_probability(&c, &cal, gate_errors_only(1, 0));
+        assert!((p - estimate_success(&c, &cal).p_gates).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "at least one shot")]
-    fn rejects_zero_shots() {
+    fn error_free_fraction_is_an_unbiased_estimator_of_the_analytic_product() {
+        // The full-channel validation: gate errors AND per-qubit
+        // decoherence, fraction within 4σ binomial of the exact product,
+        // and mean fidelity above it (error-free shots have fidelity 1).
+        let mut c = Circuit::new(3);
+        for _ in 0..6 {
+            c.cx(0, 1).cx(1, 2).h(0).t(2);
+        }
+        let cal = Calibration::default();
+        let options = MonteCarloOptions {
+            shots: 4000,
+            seed: 11,
+            gate_errors: true,
+            decoherence: true,
+        };
+        let p = analytic_error_free_probability(&c, &cal, options);
+        assert!(p > 0.0 && p < 1.0);
+        let mc = monte_carlo_fidelity(&c, &cal, options).unwrap();
+        let sigma = (p * (1.0 - p) / options.shots as f64).sqrt();
+        assert!(
+            (mc.error_free_fraction() - p).abs() < 4.0 * sigma,
+            "fraction {} vs analytic {} (4σ = {})",
+            mc.error_free_fraction(),
+            p,
+            4.0 * sigma
+        );
+        assert!(mc.mean_fidelity >= mc.error_free_fraction());
+        assert!(mc.mean_fidelity + 4.0 * sigma >= p);
+    }
+
+    #[test]
+    fn rejects_oversized_circuits() {
+        let c = Circuit::new(30);
+        let err = monte_carlo_fidelity(&c, &Calibration::default(), MonteCarloOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, MonteCarloError::Sim(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_zero_shots_with_an_error_not_nan() {
+        // Regression: shots == 0 used to panic (and a hand-built result
+        // divided 0/0 into NaN); it is now a proper, matchable error.
         let opts = MonteCarloOptions {
             shots: 0,
             ..MonteCarloOptions::default()
         };
-        let _ = monte_carlo_fidelity(&Circuit::new(1), &Calibration::default(), opts);
+        let err =
+            monte_carlo_fidelity(&Circuit::new(1), &Calibration::default(), opts).unwrap_err();
+        assert_eq!(err, MonteCarloError::ZeroShots);
+        assert!(err.to_string().contains("at least one shot"));
+    }
+
+    #[test]
+    fn error_free_fraction_of_empty_result_is_zero_not_nan() {
+        let empty = MonteCarloResult {
+            mean_fidelity: 0.0,
+            std_error: 0.0,
+            error_free_shots: 0,
+            shots: 0,
+        };
+        let fraction = empty.error_free_fraction();
+        assert!(!fraction.is_nan());
+        assert_eq!(fraction, 0.0);
     }
 }

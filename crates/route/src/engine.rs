@@ -381,12 +381,21 @@ impl<'a> RoutingEngine<'a> {
 
     /// Decayed sum of the physical distances of the next `cfg.window`
     /// multi-qubit gates under `layout` (trios cost their gather distance).
+    ///
+    /// A disconnected pair or trio scores a large finite penalty — twice
+    /// the device qubit count, which strictly exceeds any achievable
+    /// per-gate cost (pair distances cap at `n − 1`; a trio's gather
+    /// distance sums two of them, capping at `2n − 4` after the
+    /// already-connected discount) — so unreachable placements can never
+    /// look *cheaper* than reachable ones to lookahead scoring. (They
+    /// used to score 0, i.e. free, via `unwrap_or(0)`.)
     pub fn window_cost(
         &self,
         layout: &Layout,
         upcoming: &VecDeque<Instruction>,
         cfg: LookaheadConfig,
     ) -> f64 {
+        let disconnected = 2 * self.topo.num_qubits();
         let mut cost = 0.0;
         let mut weight = 1.0;
         let mut counted = 0usize;
@@ -396,16 +405,19 @@ impl<'a> RoutingEngine<'a> {
                 2 => {
                     let a = layout.physical(qs[0].index());
                     let b = layout.physical(qs[1].index());
-                    self.topo.distance(a, b).unwrap_or(0).saturating_sub(1)
+                    match self.topo.distance(a, b) {
+                        Some(d) => d.saturating_sub(1),
+                        None => disconnected,
+                    }
                 }
                 3 => {
                     let a = layout.physical(qs[0].index());
                     let b = layout.physical(qs[1].index());
                     let c = layout.physical(qs[2].index());
-                    self.topo
-                        .triple_distance(a, b, c)
-                        .unwrap_or(0)
-                        .saturating_sub(2)
+                    match self.topo.triple_distance(a, b, c) {
+                        Some(d) => d.saturating_sub(2),
+                        None => disconnected,
+                    }
                 }
                 _ => continue,
             };
@@ -604,5 +616,84 @@ impl<'a> RoutingEngine<'a> {
                 fallback
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoutingTrace;
+
+    /// Two disjoint 2-qubit components: 0–1 and 2–3.
+    fn split_topology() -> Topology {
+        Topology::from_edges("split-2x2", 4, &[(0, 1), (2, 3)]).unwrap()
+    }
+
+    fn window_cost_of(topo: &Topology, upcoming: &VecDeque<Instruction>) -> f64 {
+        let circuit = Circuit::new(topo.num_qubits());
+        let options = RouterOptions::deterministic();
+        let mut trace = RoutingTrace::new();
+        let layout = Layout::trivial(topo.num_qubits(), topo.num_qubits());
+        let engine =
+            RoutingEngine::new(topo, layout.clone(), &options, &circuit, &mut trace).unwrap();
+        engine.window_cost(&layout, upcoming, LookaheadConfig::default())
+    }
+
+    #[test]
+    fn window_cost_penalizes_disconnected_pairs() {
+        // Regression: a gate across the two components used to score 0
+        // (free) via unwrap_or(0); it must score a large finite penalty,
+        // strictly above any connected gate's cost.
+        let topo = split_topology();
+        let disconnected: VecDeque<Instruction> =
+            [Instruction::new(Gate::Cx, &[Qubit::new(1), Qubit::new(2)])]
+                .into_iter()
+                .collect();
+        let adjacent: VecDeque<Instruction> =
+            [Instruction::new(Gate::Cx, &[Qubit::new(0), Qubit::new(1)])]
+                .into_iter()
+                .collect();
+        let bad = window_cost_of(&topo, &disconnected);
+        let good = window_cost_of(&topo, &adjacent);
+        assert!(bad.is_finite());
+        assert!(
+            bad >= 2.0 * topo.num_qubits() as f64,
+            "disconnected pair must outcost any reachable placement, got {bad}"
+        );
+        assert_eq!(good, 0.0, "an adjacent pair costs nothing");
+        assert!(bad > good);
+    }
+
+    #[test]
+    fn window_cost_penalizes_disconnected_trios() {
+        let topo = split_topology();
+        let trio: VecDeque<Instruction> = [Instruction::new(
+            Gate::Ccx,
+            &[Qubit::new(0), Qubit::new(1), Qubit::new(2)],
+        )]
+        .into_iter()
+        .collect();
+        let bad = window_cost_of(&topo, &trio);
+        assert!(bad.is_finite());
+        // 2n strictly exceeds the worst reachable trio gather cost
+        // (2n − 4), so even a maximally spread *connected* trio can never
+        // outcost a disconnected one.
+        assert!(bad >= 2.0 * topo.num_qubits() as f64, "got {bad}");
+    }
+
+    #[test]
+    fn window_cost_still_prefers_closer_reachable_placements() {
+        // On a connected line, the penalty path is never taken and nearer
+        // placements stay cheaper.
+        let topo = trios_topology::line(5);
+        let far: VecDeque<Instruction> =
+            [Instruction::new(Gate::Cx, &[Qubit::new(0), Qubit::new(4)])]
+                .into_iter()
+                .collect();
+        let near: VecDeque<Instruction> =
+            [Instruction::new(Gate::Cx, &[Qubit::new(0), Qubit::new(2)])]
+                .into_iter()
+                .collect();
+        assert!(window_cost_of(&topo, &far) > window_cost_of(&topo, &near));
     }
 }

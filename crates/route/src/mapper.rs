@@ -102,8 +102,13 @@ pub fn initial_layout(
     }
 }
 
-/// All-pairs `−log(1 − e)` distances (Dijkstra per source) — the reliability
-/// metric of the paper's noise-aware extension.
+/// All-pairs `−log(1 − e)` distances — the reliability metric of the
+/// paper's noise-aware extension.
+///
+/// One single-source Dijkstra per row
+/// ([`Topology::weighted_distances_from`]): the previous implementation
+/// ran a full Dijkstra per *pair* (`O(n²)` runs for an `O(n)` job), which
+/// dominated noise-aware mapping setup on larger devices.
 fn noise_distances(topology: &Topology, edge_errors: &[f64]) -> Vec<Vec<f64>> {
     let weight_of: std::collections::HashMap<(usize, usize), f64> = topology
         .edges()
@@ -116,19 +121,9 @@ fn noise_distances(topology: &Topology, edge_errors: &[f64]) -> Vec<Vec<f64>> {
             .get(&(a.min(b), a.max(b)))
             .expect("edge is in the topology")
     };
-    let n = topology.num_qubits();
-    let mut d = vec![vec![f64::INFINITY; n]; n];
-    for (a, row) in d.iter_mut().enumerate() {
-        row[a] = 0.0;
-        for (b, slot) in row.iter_mut().enumerate() {
-            if a != b {
-                if let Some((_, w)) = topology.shortest_path_weighted(a, b, &cost) {
-                    *slot = w;
-                }
-            }
-        }
-    }
-    d
+    (0..topology.num_qubits())
+        .map(|a| topology.weighted_distances_from(a, &cost))
+        .collect()
 }
 
 /// Pairwise interaction weights of a Toffoli-level circuit. Each 2-qubit
@@ -349,6 +344,38 @@ mod tests {
         // Uniform errors make the reliability metric a scaled hop count, so
         // both mappers make the same choices.
         assert_eq!(greedy, noise);
+    }
+
+    #[test]
+    fn noise_distances_match_old_per_pair_dijkstra_on_johannesburg() {
+        // Regression for the O(n²)-Dijkstra rewrite: the single-source
+        // restructure must reproduce the per-pair values exactly.
+        let topo = johannesburg();
+        let errors: Vec<f64> = topo
+            .edges()
+            .iter()
+            .map(|&(a, b)| 0.001 + 0.002 * ((a * 13 + b * 5) % 7) as f64)
+            .collect();
+        let fast = noise_distances(&topo, &errors);
+
+        // The old implementation, verbatim: Dijkstra per pair.
+        let weight_of: std::collections::HashMap<(usize, usize), f64> = topo
+            .edges()
+            .iter()
+            .zip(&errors)
+            .map(|(&e, &err)| (e, -(1.0 - err.clamp(0.0, 0.999_999)).ln()))
+            .collect();
+        let cost = |a: usize, b: usize| -> f64 { weight_of[&(a.min(b), a.max(b))] };
+        for (a, row) in fast.iter().enumerate() {
+            assert_eq!(row[a], 0.0);
+            for (b, &value) in row.iter().enumerate() {
+                if a == b {
+                    continue;
+                }
+                let (_, slow) = topo.shortest_path_weighted(a, b, &cost).unwrap();
+                assert_eq!(value, slow, "mismatch at ({a}, {b})");
+            }
+        }
     }
 
     #[test]

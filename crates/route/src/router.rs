@@ -57,17 +57,19 @@ impl RoutedCircuit {
     /// events were recorded: the program had no three-qubit gates, or it
     /// was routed by a pair strategy that records none.
     pub fn mean_gather_distance(&self) -> Option<f64> {
-        if self.trio_events.is_empty() {
-            return None;
-        }
-        Some(
-            self.trio_events
-                .iter()
-                .map(|e| e.gather_distance as f64)
-                .sum::<f64>()
-                / self.trio_events.len() as f64,
-        )
+        mean_gather_distance(&self.trio_events)
     }
+}
+
+/// The one definition of the mean-gather-distance statistic, shared by
+/// [`RoutedCircuit::mean_gather_distance`] and
+/// [`RoutingTrace::mean_gather_distance`](crate::RoutingTrace::mean_gather_distance):
+/// the average [`TrioEvent::gather_distance`], `None` over no events.
+pub(crate) fn mean_gather_distance(events: &[TrioEvent]) -> Option<f64> {
+    if events.is_empty() {
+        return None;
+    }
+    Some(events.iter().map(|e| e.gather_distance as f64).sum::<f64>() / events.len() as f64)
 }
 
 /// Routes a fully decomposed circuit (1- and 2-qubit gates only) with the

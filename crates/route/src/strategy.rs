@@ -47,6 +47,14 @@ impl RoutingTrace {
     pub fn new() -> Self {
         RoutingTrace::default()
     }
+
+    /// Mean gather distance over the recorded trio events, or `None` when
+    /// none were recorded — the same statistic as
+    /// [`RoutedCircuit::mean_gather_distance`], over whatever this trace
+    /// has accumulated.
+    pub fn mean_gather_distance(&self) -> Option<f64> {
+        crate::router::mean_gather_distance(&self.trio_events)
+    }
 }
 
 /// One routing policy: turns a logical circuit plus an initial placement

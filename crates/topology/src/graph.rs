@@ -224,6 +224,51 @@ impl Topology {
         Some((path, dist[b]))
     }
 
+    /// Single-source Dijkstra distances under a per-edge weight function:
+    /// `result[b]` is the weighted distance from `source` to `b`
+    /// (`f64::INFINITY` when unreachable, `0.0` at the source).
+    ///
+    /// One call computes what `num_qubits` calls of
+    /// [`Topology::shortest_path_weighted`] from the same source would —
+    /// the all-pairs reliability matrix of the noise-aware mapper costs
+    /// `O(n)` Dijkstra runs instead of `O(n²)`.
+    ///
+    /// Weights must be non-negative.
+    pub fn weighted_distances_from(
+        &self,
+        source: usize,
+        weight: &dyn Fn(usize, usize) -> f64,
+    ) -> Vec<f64> {
+        let n = self.num_qubits;
+        let mut dist = vec![f64::INFINITY; n];
+        let mut done = vec![false; n];
+        dist[source] = 0.0;
+        for _ in 0..n {
+            // Linear extraction: devices are small, no heap needed.
+            let mut u = usize::MAX;
+            let mut best = f64::INFINITY;
+            for v in 0..n {
+                if !done[v] && dist[v] < best {
+                    best = dist[v];
+                    u = v;
+                }
+            }
+            if u == usize::MAX {
+                break;
+            }
+            done[u] = true;
+            for &v in &self.adj[u] {
+                let w = weight(u, v);
+                debug_assert!(w >= 0.0, "edge weights must be non-negative");
+                let nd = dist[u] + w;
+                if nd < dist[v] - 1e-15 {
+                    dist[v] = nd;
+                }
+            }
+        }
+        dist
+    }
+
     /// The gather cost of a qubit triple: the minimum, over the choice of a
     /// destination qubit among the three, of the summed distances from the
     /// other two to it. This is the paper's "total swap distance" label on
@@ -563,5 +608,38 @@ mod tests {
         use crate::full;
         assert_eq!(full(5).mean_distance(), Some(1.0));
         assert_eq!(full(1).mean_distance(), None);
+    }
+
+    #[test]
+    fn weighted_distances_from_matches_per_pair_dijkstra() {
+        use crate::johannesburg;
+        let topo = johannesburg();
+        // Deterministic non-uniform weights keyed off the edge endpoints.
+        let weight =
+            |a: usize, b: usize| 1.0 + 0.13 * ((a * 7 + b * 3) % 5) as f64 + 0.01 * a.min(b) as f64;
+        for a in 0..topo.num_qubits() {
+            let row = topo.weighted_distances_from(a, &weight);
+            assert_eq!(row[a], 0.0);
+            for (b, &value) in row.iter().enumerate() {
+                if a == b {
+                    continue;
+                }
+                let (_, pairwise) = topo.shortest_path_weighted(a, b, &weight).unwrap();
+                assert_eq!(
+                    value, pairwise,
+                    "single-source and per-pair Dijkstra disagree on {a}->{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_distances_from_marks_unreachable_as_infinite() {
+        let t = Topology::from_edges("two-islands", 4, &[(0, 1), (2, 3)]).unwrap();
+        let row = t.weighted_distances_from(0, &|_, _| 1.0);
+        assert_eq!(row[0], 0.0);
+        assert_eq!(row[1], 1.0);
+        assert!(row[2].is_infinite());
+        assert!(row[3].is_infinite());
     }
 }

@@ -1,6 +1,8 @@
 //! A minimal stand-in for `serde_json` built on the local `serde`
 //! stand-in: serializes any `serde::Serialize` value to a JSON string
-//! (compact or pretty). Deserialization is not provided.
+//! (compact or pretty), and parses JSON text into a dynamically typed
+//! [`Value`] tree via [`from_str`] (derive-based deserialization is not
+//! provided — callers walk the tree by hand).
 
 use serde::{Serialize, SerializeSeq, SerializeStruct, Serializer};
 use std::fmt;
@@ -260,6 +262,328 @@ impl SerializeSeq for JsonSeq<'_> {
     }
 }
 
+/// A dynamically typed JSON value, as produced by [`from_str`].
+///
+/// Objects keep their fields in source order (a `Vec`, not a map), so a
+/// serialize → parse → inspect round trip observes exactly the layout the
+/// serializer emitted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number. Integers up to 2⁵³ round-trip exactly through the
+    /// `f64` representation.
+    Number(f64),
+    /// A string (escapes already decoded).
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, fields in source order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object by key; `None` for other variants or
+    /// missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integral number that
+    /// the `f64` representation holds exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integral number that the `f64`
+    /// representation holds exactly.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// `true` for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Parses a JSON document into a [`Value`].
+///
+/// # Errors
+///
+/// Returns an error describing the first syntax problem (unexpected
+/// character, unterminated string, bad escape, trailing garbage, …).
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", parser.pos)));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected '{}' at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn expect_literal(&mut self, literal: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(())
+        } else {
+            Err(Error(format!("expected '{literal}' at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.expect_literal("null").map(|()| Value::Null),
+            Some(b't') => self.expect_literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(Error(format!(
+                "unexpected character '{}' at byte {}",
+                c as char, self.pos
+            ))),
+            None => Err(Error("unexpected end of input".into())),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        // Track a run of plain UTF-8 bytes and append it wholesale, so
+        // multibyte characters pass through untouched.
+        let mut run_start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    out.push_str(self.run_since(run_start)?);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(self.run_since(run_start)?);
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error(format!("bad \\u escape '{hex}'")))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not emitted by the
+                            // serializer half; reject them plainly.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| Error(format!("\\u{hex} is not a scalar value")))?;
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(Error(format!("unknown escape '\\{}'", other as char)))
+                        }
+                    }
+                    run_start = self.pos;
+                }
+                Some(c) if c < 0x20 => return Err(Error("raw control character in string".into())),
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn run_since(&self, start: usize) -> Result<&str, Error> {
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid UTF-8 in string".into()))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        let value: f64 = text
+            .parse()
+            .map_err(|_| Error(format!("invalid number '{text}'")))?;
+        // Integer tokens (no fraction/exponent) must survive the f64
+        // representation exactly; silently rounding 2⁵³ + 1 to 2⁵³ would
+        // corrupt counters that serialized exactly. Reject them loudly.
+        if !text.contains(['.', 'e', 'E']) {
+            let exact = text
+                .parse::<i128>()
+                .is_ok_and(|int| int as f64 == value && value as i128 == int);
+            if !exact {
+                return Err(Error(format!(
+                    "integer '{text}' exceeds the exactly-representable f64 range (2^53)"
+                )));
+            }
+        }
+        Ok(Value::Number(value))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,5 +641,91 @@ mod tests {
     #[test]
     fn non_finite_floats_error() {
         assert!(to_string(&f64::NAN).is_err());
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("3.25").unwrap(), Value::Number(3.25));
+        assert_eq!(from_str("-12").unwrap().as_i64(), Some(-12));
+        assert_eq!(from_str("1e3").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(
+            from_str("\"a \\\"b\\\"\\n\"").unwrap().as_str(),
+            Some("a \"b\"\n")
+        );
+        assert_eq!(from_str("\"\\u00e9\"").unwrap().as_str(), Some("é"));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = from_str(r#"{"xs":[1,2.5,null],"ok":true,"name":"n"}"#).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        let xs = v.get("xs").and_then(Value::as_array).unwrap();
+        assert_eq!(xs.len(), 3);
+        assert_eq!(xs[0].as_u64(), Some(1));
+        assert!(xs[2].is_null());
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("n"));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn serializer_output_parses_back() {
+        for text in [
+            to_string(&point()).unwrap(),
+            to_string_pretty(&point()).unwrap(),
+        ] {
+            let v = from_str(&text).unwrap();
+            assert_eq!(v.get("x").and_then(Value::as_u64), Some(3));
+            assert_eq!(v.get("y").and_then(Value::as_f64), Some(1.5));
+            assert_eq!(
+                v.get("label").and_then(Value::as_str),
+                Some("a \"quoted\"\nname")
+            );
+            assert!(v.get("parent").unwrap().is_null());
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "{\"a\" 1}",
+        ] {
+            assert!(from_str(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn integers_round_trip_exactly_up_to_2_53() {
+        let n = (1u64 << 53) - 1;
+        let v = from_str(&n.to_string()).unwrap();
+        assert_eq!(v.as_u64(), Some(n));
+        assert_eq!(from_str("1.5").unwrap().as_u64(), None);
+        assert_eq!(from_str("-1").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn integers_beyond_2_53_are_rejected_not_rounded() {
+        // 2^53 + 1 rounds to 2^53 under f64; a silent round-trip would
+        // corrupt exact counters, so parsing must fail instead.
+        let above = (1u64 << 53) + 1;
+        let err = from_str(&above.to_string()).unwrap_err();
+        assert!(err.to_string().contains("2^53"), "{err}");
+        assert!(from_str(&format!("-{above}")).is_err());
+        // The boundary itself is exact and accepted.
+        assert_eq!(
+            from_str(&(1u64 << 53).to_string()).unwrap().as_u64(),
+            Some(1u64 << 53)
+        );
+        // Floats keep their usual rounding semantics.
+        assert!(from_str("9007199254740993.0").is_ok());
     }
 }
