@@ -1,0 +1,104 @@
+//! Generated-workload suite: every `trios_gen` family compiled through
+//! every registered routing strategy — the open-ended counterpart of the
+//! fixed paper suite, comparing routers on workloads nobody hand-picked.
+//!
+//! Run with `cargo bench -p trios-bench --bench generated_suite`.
+//! Pass `-- --test` (as CI does) for a fast smoke mode: a small
+//! fixed-seed slab of cases per family, compiled under every strategy,
+//! legality-checked, and required to be deterministic.
+
+use trios_bench::{geomean, rule};
+use trios_core::{Compiler, StrategyRegistry};
+use trios_gen::{Family, GeneratedCircuit};
+use trios_route::verify_legal;
+use trios_topology::line;
+
+const SEED: u64 = 0;
+
+fn cases_per_family(count: usize) -> Vec<GeneratedCircuit> {
+    Family::ALL
+        .into_iter()
+        .flat_map(|family| (0..count as u64).map(move |i| family.generate_case(SEED + i)))
+        .collect()
+}
+
+fn compiler_for(router: &str) -> Compiler {
+    Compiler::builder().router(router).seed(SEED).build()
+}
+
+/// Smoke mode for CI: 2 cases per family through every strategy, with
+/// legality and determinism required.
+fn run_test_mode() {
+    let topo = line(8);
+    let suite = cases_per_family(2);
+    for router in StrategyRegistry::standard().names() {
+        for case in &suite {
+            let first = compiler_for(router)
+                .compile(&case.circuit, &topo)
+                .unwrap_or_else(|e| panic!("{router} failed on {}: {e}", case.name));
+            verify_legal(&first.circuit, &topo)
+                .unwrap_or_else(|v| panic!("{router} illegal on {}: {v}", case.name));
+            let second = compiler_for(router).compile(&case.circuit, &topo).unwrap();
+            assert_eq!(
+                first, second,
+                "{router} must be deterministic on {}",
+                case.name
+            );
+        }
+        println!(
+            "router {router:<18} ok ({} generated circuits, legal + deterministic)",
+            suite.len()
+        );
+    }
+    println!("generated_suite --test: all registered strategies pass");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--test") {
+        run_test_mode();
+        return;
+    }
+
+    let topo = line(8);
+    let suite = cases_per_family(6);
+    let registry = StrategyRegistry::standard();
+    let routers: Vec<&str> = registry.names().collect();
+
+    println!(
+        "Generated-workload ablation: {} cases ({} per family) on line:8, seed {SEED}",
+        suite.len(),
+        suite.len() / Family::ALL.len()
+    );
+    println!();
+    println!(
+        "{:<28} {:>12} {:>8} {:>10}",
+        "router", "2q gates", "swaps", "Δ (µs)"
+    );
+    rule(62);
+    for router in &routers {
+        let compiler = compiler_for(router);
+        let mut two_q = Vec::new();
+        let mut swaps = 0usize;
+        let mut durations = Vec::new();
+        for case in &suite {
+            let compiled = compiler
+                .compile(&case.circuit, &topo)
+                .unwrap_or_else(|e| panic!("{router} failed on {}: {e}", case.name));
+            two_q.push(compiled.stats.two_qubit_gates.max(1) as f64);
+            swaps += compiled.stats.swap_count;
+            durations.push(compiled.stats.duration_us.max(f64::MIN_POSITIVE));
+        }
+        println!(
+            "{:<28} {:>12.1} {:>8} {:>10.2}",
+            router,
+            geomean(&two_q),
+            swaps,
+            geomean(&durations)
+        );
+    }
+    rule(62);
+    println!();
+    println!("families: {}", Family::ALL.map(|f| f.name()).join(", "));
+    println!("expected: trio-family routers beat baseline on the Toffoli-bearing");
+    println!("families (toffoli-ripple, layered) and tie it on the Toffoli-free ones");
+}

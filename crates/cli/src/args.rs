@@ -25,8 +25,67 @@ pub enum Command {
     Verify(Options),
     /// `trios sweep [flags]` — the evaluation grid.
     Sweep(SweepOptions),
+    /// `trios gen [family] [flags]` — emit a generated circuit (or list
+    /// the families).
+    Gen(GenOptions),
+    /// `trios fuzz [flags]` — the differential fuzz harness.
+    Fuzz(FuzzOptions),
     /// `trios help` (also `-h` / `--help` / no arguments).
     Help,
+}
+
+/// Flags of `trios gen`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GenOptions {
+    /// Family registry name; `None` lists the families and their grids.
+    pub family: Option<String>,
+    /// Generation seed (also picks the grid entry when no explicit
+    /// parameters are given).
+    pub seed: u64,
+    /// Explicit width override.
+    pub qubits: Option<usize>,
+    /// Explicit depth override.
+    pub depth: Option<usize>,
+    /// Explicit three-qubit-gate density override (`layered` only).
+    pub density: Option<f64>,
+    /// Write the OpenQASM here instead of stdout.
+    pub out: Option<String>,
+}
+
+/// Flags of `trios fuzz`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzOptions {
+    /// Comma-separated family names, or `all`.
+    pub families: String,
+    /// Generated case count.
+    pub cases: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Comma-separated router registry names, or `all`.
+    pub routers: String,
+    /// Comma-separated device specs.
+    pub devices: String,
+    /// Worker threads (`0` = one per available core).
+    pub jobs: usize,
+    /// Compilation-cache capacity (`0` disables).
+    pub cache_size: usize,
+    /// Minimize failing cases to QASM reproducers.
+    pub shrink: bool,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            families: "all".into(),
+            cases: 25,
+            seed: 0,
+            routers: "all".into(),
+            devices: "line:8,grid:4x2".into(),
+            jobs: 0,
+            cache_size: 256,
+            shrink: false,
+        }
+    }
 }
 
 /// Flags shared by `compile` and `estimate`.
@@ -153,60 +212,175 @@ impl Default for SweepOptions {
     }
 }
 
+/// Fetches the value following the flag at `rest[*i]`, advancing `i`.
+fn flag_value(rest: &[&String], i: &mut usize, flag: &str) -> Result<String, CliError> {
+    *i += 1;
+    rest.get(*i)
+        .map(|s| s.to_string())
+        .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+}
+
+/// Parses an integer flag value (any unsigned width via `FromStr`).
+fn flag_int<T: std::str::FromStr>(flag: &str, v: String) -> Result<T, CliError> {
+    v.parse()
+        .map_err(|_| CliError::Usage(format!("{flag} must be an integer, got '{v}'")))
+}
+
+/// Validates a comma-separated router list against the standard registry.
+fn check_router_names(names: &str) -> Result<(), CliError> {
+    let registry = StrategyRegistry::standard();
+    for name in names.split(',') {
+        if !registry.contains(name.trim()) {
+            return Err(CliError::Usage(format!(
+                "--routers must name registered strategies ({}), got '{name}'",
+                registry.names().collect::<Vec<_>>().join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
 fn parse_sweep_args(rest: &[&String]) -> Result<SweepOptions, CliError> {
     let mut options = SweepOptions::default();
     let mut i = 0usize;
-    let value = |i: &mut usize, flag: &str| -> Result<String, CliError> {
-        *i += 1;
-        rest.get(*i)
-            .map(|s| s.to_string())
-            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
-    };
-    let parse_usize = |flag: &str, v: String| -> Result<usize, CliError> {
-        v.parse()
-            .map_err(|_| CliError::Usage(format!("{flag} must be an integer, got '{v}'")))
-    };
     while i < rest.len() {
         match rest[i].as_str() {
-            "--benchmarks" | "-b" => options.benchmarks = value(&mut i, "--benchmarks")?,
-            "--devices" | "-d" => options.devices = value(&mut i, "--devices")?,
+            "--benchmarks" | "-b" => options.benchmarks = flag_value(rest, &mut i, "--benchmarks")?,
+            "--devices" | "-d" => options.devices = flag_value(rest, &mut i, "--devices")?,
             "--routers" | "-r" => {
-                let names = value(&mut i, "--routers")?;
-                let registry = StrategyRegistry::standard();
-                for name in names.split(',') {
-                    if !registry.contains(name.trim()) {
-                        return Err(CliError::Usage(format!(
-                            "--routers must name registered strategies ({}), got '{name}'",
-                            registry.names().collect::<Vec<_>>().join(", ")
-                        )));
-                    }
-                }
+                let names = flag_value(rest, &mut i, "--routers")?;
+                check_router_names(&names)?;
                 options.routers = names;
             }
-            "--calibrations" | "-c" => options.calibrations = value(&mut i, "--calibrations")?,
-            "--crosstalk" => options.crosstalk = value(&mut i, "--crosstalk")?,
+            "--calibrations" | "-c" => {
+                options.calibrations = flag_value(rest, &mut i, "--calibrations")?
+            }
+            "--crosstalk" => options.crosstalk = flag_value(rest, &mut i, "--crosstalk")?,
             "--shots" => {
-                let v = value(&mut i, "--shots")?;
-                options.shots = Some(parse_usize("--shots", v)?);
+                let v = flag_value(rest, &mut i, "--shots")?;
+                options.shots = Some(flag_int("--shots", v)?);
             }
             "--jobs" | "-j" => {
-                let v = value(&mut i, "--jobs")?;
-                options.jobs = parse_usize("--jobs", v)?;
+                let v = flag_value(rest, &mut i, "--jobs")?;
+                options.jobs = flag_int("--jobs", v)?;
             }
             "--seed" | "-s" => {
-                let v = value(&mut i, "--seed")?;
-                options.seed = v.parse().map_err(|_| {
-                    CliError::Usage(format!("--seed must be an integer, got '{v}'"))
-                })?;
+                let v = flag_value(rest, &mut i, "--seed")?;
+                options.seed = flag_int("--seed", v)?;
             }
             "--cache-size" => {
-                let v = value(&mut i, "--cache-size")?;
-                options.cache_size = parse_usize("--cache-size", v)?;
+                let v = flag_value(rest, &mut i, "--cache-size")?;
+                options.cache_size = flag_int("--cache-size", v)?;
             }
-            "--report" => options.report = Some(value(&mut i, "--report")?),
+            "--report" => options.report = Some(flag_value(rest, &mut i, "--report")?),
             flag => {
                 return Err(CliError::Usage(format!(
                     "unknown sweep flag or argument '{flag}'"
+                )))
+            }
+        }
+        i += 1;
+    }
+    Ok(options)
+}
+
+fn parse_gen_args(rest: &[&String]) -> Result<GenOptions, CliError> {
+    let mut options = GenOptions::default();
+    let mut saw_flag = false;
+    let mut i = 0usize;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--seed" | "-s" => {
+                let v = flag_value(rest, &mut i, "--seed")?;
+                options.seed = flag_int("--seed", v)?;
+                saw_flag = true;
+            }
+            "--qubits" | "-n" => {
+                let v = flag_value(rest, &mut i, "--qubits")?;
+                options.qubits = Some(flag_int("--qubits", v)?);
+                saw_flag = true;
+            }
+            "--depth" => {
+                let v = flag_value(rest, &mut i, "--depth")?;
+                options.depth = Some(flag_int("--depth", v)?);
+                saw_flag = true;
+            }
+            "--density" => {
+                let v = flag_value(rest, &mut i, "--density")?;
+                let density: f64 = v.parse().map_err(|_| {
+                    CliError::Usage(format!("--density must be a number, got '{v}'"))
+                })?;
+                if !(0.0..=1.0).contains(&density) {
+                    return Err(CliError::Usage(format!(
+                        "--density must be in [0, 1], got '{v}'"
+                    )));
+                }
+                options.density = Some(density);
+                saw_flag = true;
+            }
+            "--emit-qasm" | "-o" => {
+                options.out = Some(flag_value(rest, &mut i, "--emit-qasm")?);
+                saw_flag = true;
+            }
+            flag if flag.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown gen flag '{flag}'")))
+            }
+            family => {
+                if options.family.is_some() {
+                    return Err(CliError::Usage("gen takes one family".into()));
+                }
+                options.family = Some(family.to_string());
+            }
+        }
+        i += 1;
+    }
+    // Flags without a family are a forgotten argument, not a request for
+    // the listing: silently ignoring them (worst case: not writing
+    // --emit-qasm's file) would hide the mistake. Checked here, at parse
+    // time, so explicitly passed default values ('--seed 0') are caught
+    // too.
+    if saw_flag && options.family.is_none() {
+        return Err(CliError::Usage(
+            "gen flags need a family (run 'trios gen' alone to list them)".into(),
+        ));
+    }
+    Ok(options)
+}
+
+fn parse_fuzz_args(rest: &[&String]) -> Result<FuzzOptions, CliError> {
+    let mut options = FuzzOptions::default();
+    let mut i = 0usize;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--families" | "-f" => options.families = flag_value(rest, &mut i, "--families")?,
+            "--cases" | "-c" => {
+                let v = flag_value(rest, &mut i, "--cases")?;
+                options.cases = flag_int("--cases", v)?;
+            }
+            "--seed" | "-s" => {
+                let v = flag_value(rest, &mut i, "--seed")?;
+                options.seed = flag_int("--seed", v)?;
+            }
+            "--routers" | "-r" => {
+                let names = flag_value(rest, &mut i, "--routers")?;
+                if names != "all" {
+                    check_router_names(&names)?;
+                }
+                options.routers = names;
+            }
+            "--devices" | "-d" => options.devices = flag_value(rest, &mut i, "--devices")?,
+            "--jobs" | "-j" => {
+                let v = flag_value(rest, &mut i, "--jobs")?;
+                options.jobs = flag_int("--jobs", v)?;
+            }
+            "--cache-size" => {
+                let v = flag_value(rest, &mut i, "--cache-size")?;
+                options.cache_size = flag_int("--cache-size", v)?;
+            }
+            "--shrink" => options.shrink = true,
+            flag => {
+                return Err(CliError::Usage(format!(
+                    "unknown fuzz flag or argument '{flag}'"
                 )))
             }
         }
@@ -234,6 +408,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let rest: Vec<&String> = it.collect();
             parse_sweep_args(&rest).map(Command::Sweep)
         }
+        "gen" => {
+            let rest: Vec<&String> = it.collect();
+            parse_gen_args(&rest).map(Command::Gen)
+        }
+        "fuzz" => {
+            let rest: Vec<&String> = it.collect();
+            parse_fuzz_args(&rest).map(Command::Fuzz)
+        }
         "help" | "-h" | "--help" => Ok(Command::Help),
         "compile" | "compile-batch" | "estimate" | "verify" => {
             let mut options = Options::default();
@@ -241,17 +423,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut positional = Vec::new();
             let rest: Vec<&String> = it.collect();
             let mut i = 0usize;
-            let value = |i: &mut usize, flag: &str| -> Result<String, CliError> {
-                *i += 1;
-                rest.get(*i)
-                    .map(|s| s.to_string())
-                    .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
-            };
             while i < rest.len() {
                 match rest[i].as_str() {
-                    "--device" | "-d" => options.device = value(&mut i, "--device")?,
+                    "--device" | "-d" => options.device = flag_value(&rest, &mut i, "--device")?,
                     "--pipeline" | "-p" => {
-                        options.pipeline = match value(&mut i, "--pipeline")?.as_str() {
+                        options.pipeline = match flag_value(&rest, &mut i, "--pipeline")?.as_str() {
                             "baseline" => Pipeline::Baseline,
                             "trios" => Pipeline::Trios,
                             other => {
@@ -262,7 +438,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         }
                     }
                     "--router" | "-r" => {
-                        let name = value(&mut i, "--router")?;
+                        let name = flag_value(&rest, &mut i, "--router")?;
                         // Validate at parse time so typos fail before any
                         // file IO or compilation starts.
                         let registry = StrategyRegistry::standard();
@@ -275,7 +451,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         options.router = Some(name);
                     }
                     "--toffoli" => {
-                        options.toffoli = match value(&mut i, "--toffoli")?.as_str() {
+                        options.toffoli = match flag_value(&rest, &mut i, "--toffoli")?.as_str() {
                             "6" => ToffoliDecomposition::Six,
                             "8" => ToffoliDecomposition::Eight,
                             "aware" => ToffoliDecomposition::ConnectivityAware,
@@ -287,16 +463,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         }
                     }
                     "--seed" | "-s" => {
-                        let v = value(&mut i, "--seed")?;
-                        options.seed = v.parse().map_err(|_| {
-                            CliError::Usage(format!("--seed must be an integer, got '{v}'"))
-                        })?;
+                        let v = flag_value(&rest, &mut i, "--seed")?;
+                        options.seed = flag_int("--seed", v)?;
                     }
                     // compile-batch falls through to the unknown-flag error
                     // for the per-circuit-output flags it cannot honor,
                     // instead of swallowing them silently.
                     "--improve" if cmd != "compile-batch" => {
-                        let v = value(&mut i, "--improve")?;
+                        let v = flag_value(&rest, &mut i, "--improve")?;
                         options.improve = v.parse().map_err(|_| {
                             CliError::Usage(format!("--improve must be a number, got '{v}'"))
                         })?;
@@ -305,19 +479,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--bridge" => options.bridge = true,
                     "--report" => options.report = true,
                     "--emit-qasm" if cmd != "compile-batch" => {
-                        options.emit_qasm = Some(value(&mut i, "--emit-qasm")?)
+                        options.emit_qasm = Some(flag_value(&rest, &mut i, "--emit-qasm")?)
                     }
                     "--jobs" | "-j" if cmd == "compile-batch" => {
-                        let v = value(&mut i, "--jobs")?;
-                        batch.jobs = v.parse().map_err(|_| {
-                            CliError::Usage(format!("--jobs must be an integer, got '{v}'"))
-                        })?;
+                        let v = flag_value(&rest, &mut i, "--jobs")?;
+                        batch.jobs = flag_int("--jobs", v)?;
                     }
                     "--cache-size" if cmd == "compile-batch" => {
-                        let v = value(&mut i, "--cache-size")?;
-                        batch.cache_size = v.parse().map_err(|_| {
-                            CliError::Usage(format!("--cache-size must be an integer, got '{v}'"))
-                        })?;
+                        let v = flag_value(&rest, &mut i, "--cache-size")?;
+                        batch.cache_size = flag_int("--cache-size", v)?;
                     }
                     flag if flag.starts_with('-') => {
                         return Err(CliError::Usage(format!("unknown flag '{flag}'")))
@@ -548,6 +718,84 @@ mod tests {
         assert!(parse_args(&args(&["sweep", "positional"])).is_err());
         assert!(parse_args(&args(&["sweep", "--shots", "x"])).is_err());
         assert!(parse_args(&args(&["sweep", "--shots"])).is_err());
+    }
+
+    #[test]
+    fn parses_gen_with_flags() {
+        let Command::Gen(o) = parse_args(&args(&["gen"])).unwrap() else {
+            panic!("expected gen");
+        };
+        assert_eq!(o, GenOptions::default());
+        assert!(o.family.is_none());
+
+        let Command::Gen(o) = parse_args(&args(&[
+            "gen",
+            "layered",
+            "-s",
+            "7",
+            "-n",
+            "6",
+            "--depth",
+            "12",
+            "--density",
+            "0.5",
+        ]))
+        .unwrap() else {
+            panic!("expected gen");
+        };
+        assert_eq!(o.family.as_deref(), Some("layered"));
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.qubits, Some(6));
+        assert_eq!(o.depth, Some(12));
+        assert_eq!(o.density, Some(0.5));
+        assert!(parse_args(&args(&["gen", "a", "b"])).is_err());
+        assert!(parse_args(&args(&["gen", "--qubits", "x"])).is_err());
+        assert!(parse_args(&args(&["gen", "--density", "1.5"])).is_err());
+        assert!(parse_args(&args(&["gen", "--seed"])).is_err());
+    }
+
+    #[test]
+    fn parses_fuzz_with_defaults_and_flags() {
+        let Command::Fuzz(o) = parse_args(&args(&["fuzz"])).unwrap() else {
+            panic!("expected fuzz");
+        };
+        assert_eq!(o, FuzzOptions::default());
+        assert_eq!(o.cases, 25);
+        assert!(!o.shrink);
+
+        let Command::Fuzz(o) = parse_args(&args(&[
+            "fuzz",
+            "--seed",
+            "42",
+            "--cases",
+            "50",
+            "--families",
+            "qft,layered",
+            "--routers",
+            "baseline,trios",
+            "--devices",
+            "line:8",
+            "--jobs",
+            "2",
+            "--cache-size",
+            "64",
+            "--shrink",
+        ]))
+        .unwrap() else {
+            panic!("expected fuzz");
+        };
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.cases, 50);
+        assert_eq!(o.families, "qft,layered");
+        assert_eq!(o.routers, "baseline,trios");
+        assert_eq!(o.devices, "line:8");
+        assert_eq!(o.jobs, 2);
+        assert_eq!(o.cache_size, 64);
+        assert!(o.shrink);
+        // Router names are validated at parse time, like sweep's.
+        assert!(parse_args(&args(&["fuzz", "--routers", "sabre"])).is_err());
+        assert!(parse_args(&args(&["fuzz", "--wat"])).is_err());
+        assert!(parse_args(&args(&["fuzz", "--cases"])).is_err());
     }
 
     #[test]

@@ -1,14 +1,17 @@
 //! Command execution.
 
-use crate::args::{parse_args, parse_device, BatchOptions, Command, Options, SweepOptions};
+use crate::args::{
+    parse_args, parse_device, BatchOptions, Command, FuzzOptions, GenOptions, Options, SweepOptions,
+};
 use crate::CliError;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use trios_benchmarks::{Benchmark, ExtendedBenchmark};
 use trios_core::{
-    run_sweep, Calibration, CompilationCache, CompiledProgram, Compiler, CrosstalkPolicy,
-    StrategyRegistry, SweepBenchmark, SweepSpec,
+    run_fuzz, run_sweep, Calibration, CompilationCache, CompiledProgram, Compiler, CrosstalkPolicy,
+    FuzzSpec, StrategyRegistry, SweepBenchmark, SweepSpec,
 };
+use trios_gen::Family;
 use trios_ir::Circuit;
 use trios_route::LookaheadConfig;
 
@@ -30,6 +33,11 @@ COMMANDS:
     sweep [flags]                run a benchmark × device × router ×
                                  calibration evaluation grid (the paper's
                                  Figure 6/8/9/11 comparison)
+    gen [family] [flags]         emit a seeded generated circuit as OpenQASM
+                                 (no family: list the generator families)
+    fuzz [flags]                 differentially fuzz every router: generated
+                                 circuits × devices × routers, simulator- and
+                                 legality-checked, failures shrunk
     help                         this text
 
 FLAGS (compile / estimate):
@@ -52,8 +60,9 @@ FLAGS (compile-batch only):
     --cache-size <n>             cache capacity, 0 = off      (default 256)
 
 FLAGS (sweep):
-    --benchmarks, -b <list>      'paper' | 'toffoli' | comma-separated
-                                 benchmark names or .qasm paths (default paper)
+    --benchmarks, -b <list>      'paper' | 'toffoli' | 'generated' | comma-
+                                 separated benchmark names, gen:<family>:<seed>
+                                 specs, or .qasm paths (default paper)
     --devices, -d <list>         comma-separated device specs (default johannesburg)
     --routers, -r <list>         comma-separated registry names
                                  (default baseline,trios)
@@ -64,6 +73,25 @@ FLAGS (sweep):
                                  compiled qubits
     --jobs, -j / --seed, -s / --cache-size    as for compile-batch
     --report <path|->            write the SweepReport JSON
+
+FLAGS (gen):
+    --seed, -s <n>               generation seed (also picks grid parameters)
+    --qubits, -n <n>             width override
+    --depth <n>                  depth/layers/sweeps override (per family)
+    --density <f>                3q-gate density override (layered only)
+    --emit-qasm, -o <path>       write the QASM to a file instead of stdout
+
+FLAGS (fuzz):
+    --families, -f <list>        'all' or comma-separated family names
+    --cases, -c <n>              generated case count          (default 25)
+    --routers, -r <list>         'all' or comma-separated registry names
+    --devices, -d <list>         comma-separated device specs
+                                 (default line:8,grid:4x2)
+    --shrink                     minimize failing cases to QASM reproducers
+    --jobs, -j / --seed, -s / --cache-size    as for compile-batch
+
+Benchmark inputs everywhere (compile/estimate/verify/sweep) also accept
+'gen:<family>:<seed>' for a generated instance.
 ";
 
 /// Parses `args` (without the program name) and runs the command,
@@ -96,6 +124,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         Command::CompileBatch(batch) => run_compile_batch(&batch),
         Command::Sweep(options) => run_sweep_command(&options),
+        Command::Gen(options) => run_gen_command(&options),
+        Command::Fuzz(options) => run_fuzz_command(&options),
         Command::Verify(options) => {
             let circuit = load_input(&options.input)?;
             let device = parse_device(&options.device)?;
@@ -279,6 +309,14 @@ fn sweep_benchmarks(selector: &str) -> Result<Vec<SweepBenchmark>, CliError> {
     Ok(match selector {
         "paper" => named(Benchmark::ALL.to_vec()),
         "toffoli" => named(Benchmark::toffoli_suite().collect()),
+        // One seed-0 instance per generator family: the open-ended suite.
+        "generated" => Family::ALL
+            .into_iter()
+            .map(|family| {
+                let case = family.generate_case(0);
+                SweepBenchmark::measured(case.name, case.circuit)
+            })
+            .collect(),
         list => list
             .split(',')
             .map(str::trim)
@@ -344,18 +382,28 @@ fn parse_crosstalk(spec: &str) -> Result<CrosstalkPolicy, CliError> {
     }
 }
 
+/// Splits a comma-separated flag value, trimming and dropping empties.
+fn comma(list: &str) -> Vec<String> {
+    list.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Resolves a comma-separated device list into named topologies.
+fn parse_devices(list: &str) -> Result<Vec<(String, trios_core::Topology)>, CliError> {
+    comma(list)
+        .into_iter()
+        .map(|spec| {
+            let topology = parse_device(&spec)?;
+            Ok((spec, topology))
+        })
+        .collect()
+}
+
 fn run_sweep_command(options: &SweepOptions) -> Result<String, CliError> {
-    let comma = |list: &str| -> Vec<String> {
-        list.split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .map(str::to_string)
-            .collect()
-    };
-    let mut devices = Vec::new();
-    for spec in comma(&options.devices) {
-        devices.push((spec.clone(), parse_device(&spec)?));
-    }
+    let devices = parse_devices(&options.devices)?;
     let mut calibrations = Vec::new();
     for spec in comma(&options.calibrations) {
         calibrations.push((spec.clone(), parse_calibration(&spec)?));
@@ -387,10 +435,137 @@ fn run_sweep_command(options: &SweepOptions) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Resolves a generator-family name, listing the valid names on failure.
+fn parse_family(name: &str) -> Result<Family, CliError> {
+    Family::parse(name).ok_or_else(|| {
+        CliError::Unknown(format!(
+            "family '{name}' (families: {})",
+            Family::ALL.map(|f| f.name()).join(", ")
+        ))
+    })
+}
+
+fn run_gen_command(options: &GenOptions) -> Result<String, CliError> {
+    // Flags without a family never reach here: parse_gen_args rejects
+    // them, so a missing family always means listing mode.
+    let Some(name) = &options.family else {
+        return Ok(render_families());
+    };
+    let family = parse_family(name)?;
+    let mut case = family.generate_case(options.seed);
+    if options.qubits.is_some() || options.depth.is_some() || options.density.is_some() {
+        let mut params = case.params;
+        if let Some(qubits) = options.qubits {
+            params.qubits = qubits;
+        }
+        if let Some(depth) = options.depth {
+            params.depth = depth;
+        }
+        if let Some(density) = options.density {
+            params.three_q_density = density;
+        }
+        if params.qubits < 3 {
+            return Err(CliError::Usage("--qubits must be at least 3".into()));
+        }
+        let circuit = family.generate(&params, options.seed);
+        case.name = circuit.name().to_string();
+        case.params = params;
+        case.circuit = circuit;
+    }
+    let qasm = trios_qasm::emit(&case.circuit);
+    match &options.out {
+        Some(path) => {
+            std::fs::write(path, &qasm)?;
+            Ok(format!(
+                "wrote {} ({} gates, {} qubits) to {path}\n",
+                case.name,
+                case.circuit.len(),
+                case.circuit.num_qubits()
+            ))
+        }
+        None => Ok(qasm),
+    }
+}
+
+fn render_families() -> String {
+    let mut out = String::new();
+    out.push_str("generator families (use with 'trios gen <family>', 'trios fuzz --families',\nor as benchmark inputs 'gen:<family>:<seed>'):\n");
+    for family in Family::ALL {
+        let grid = family.grid();
+        let widths: Vec<usize> = grid.iter().map(|p| p.qubits).collect();
+        let _ = writeln!(
+            out,
+            "  {:<16} {} ({} grid entries, {}-{} qubits)",
+            family.name(),
+            family.description(),
+            grid.len(),
+            widths.iter().min().expect("grids are nonempty"),
+            widths.iter().max().expect("grids are nonempty"),
+        );
+    }
+    out.push_str("\ndeterminism: the same (family, parameters, seed) always generates a\nbyte-identical circuit.\n");
+    out
+}
+
+fn run_fuzz_command(options: &FuzzOptions) -> Result<String, CliError> {
+    let families = if options.families == "all" {
+        Family::ALL.to_vec()
+    } else {
+        comma(&options.families)
+            .iter()
+            .map(|name| parse_family(name))
+            .collect::<Result<Vec<_>, CliError>>()?
+    };
+    let routers = if options.routers == "all" {
+        StrategyRegistry::standard()
+            .names()
+            .map(str::to_string)
+            .collect()
+    } else {
+        comma(&options.routers)
+    };
+    let devices = parse_devices(&options.devices)?;
+    let spec = FuzzSpec {
+        families,
+        cases: options.cases,
+        seed: options.seed,
+        routers,
+        devices,
+        jobs: options.jobs,
+        cache_size: options.cache_size,
+        shrink: options.shrink,
+        ..FuzzSpec::new()
+    };
+    let report = run_fuzz(&spec)?;
+    if report.passed() {
+        Ok(format!("{report}\n"))
+    } else {
+        Err(CliError::FuzzFailed {
+            failures: report.failures.len(),
+            report: report.to_string(),
+        })
+    }
+}
+
 fn load_input(input: &str) -> Result<Circuit, CliError> {
     if input.ends_with(".qasm") {
         let source = std::fs::read_to_string(input)?;
         return Ok(trios_qasm::parse(&source)?);
+    }
+    if let Some(rest) = input.strip_prefix("gen:") {
+        // `gen:<family>[:<seed>]`: a generated instance as a benchmark.
+        let (name, seed) = match rest.split_once(':') {
+            Some((name, seed)) => (
+                name,
+                seed.parse::<u64>().map_err(|_| {
+                    CliError::Usage(format!(
+                        "gen:<family>:<seed> needs an integer seed, got '{seed}'"
+                    ))
+                })?,
+            ),
+            None => (rest, 0),
+        };
+        return Ok(parse_family(name)?.generate_case(seed).circuit);
     }
     if let Some(b) = Benchmark::ALL.into_iter().find(|b| b.name() == input) {
         return Ok(b.build());
@@ -482,6 +657,10 @@ fn render_list() -> String {
             c.num_qubits(),
             counts.three_qubit
         );
+    }
+    out.push_str("\ngenerator families (seeded; see 'trios gen'):\n");
+    for family in Family::ALL {
+        let _ = writeln!(out, "  gen:{}:<seed>", family.name());
     }
     out.push_str(
         "\ndevices: johannesburg, heavy-hex, grid, line, clusters,\n         \
@@ -990,6 +1169,131 @@ mod tests {
     fn unknown_benchmark_is_a_clean_error() {
         let err = run(&args(&["compile", "not_a_benchmark", "-d", "line:4"])).unwrap_err();
         assert!(err.to_string().contains("not_a_benchmark"));
+    }
+
+    #[test]
+    fn gen_without_family_lists_families() {
+        let out = run(&args(&["gen"])).unwrap();
+        for family in Family::ALL {
+            assert!(out.contains(family.name()), "missing {family}:\n{out}");
+        }
+        assert!(out.contains("determinism"), "{out}");
+    }
+
+    #[test]
+    fn gen_emits_deterministic_qasm() {
+        let a = run(&args(&["gen", "layered", "--seed", "42"])).unwrap();
+        let b = run(&args(&["gen", "layered", "--seed", "42"])).unwrap();
+        assert_eq!(a, b, "same seed must emit byte-identical QASM");
+        assert!(a.contains("OPENQASM 2.0;"), "{a}");
+        let c = run(&args(&["gen", "layered", "--seed", "43"])).unwrap();
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn gen_honors_parameter_overrides_and_writes_files() {
+        let out = run(&args(&["gen", "qft", "--qubits", "4", "--seed", "1"])).unwrap();
+        assert!(out.contains("qreg q[4];"), "{out}");
+        let dir = std::env::temp_dir().join("trios-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gen.qasm");
+        let out = run(&args(&[
+            "gen",
+            "toffoli-ripple",
+            "--qubits",
+            "5",
+            "--depth",
+            "2",
+            "-o",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(trios_qasm::parse(&written).is_ok());
+    }
+
+    #[test]
+    fn gen_rejects_bad_inputs() {
+        assert!(run(&args(&["gen", "nope"])).is_err());
+        assert!(run(&args(&["gen", "qft", "--qubits", "2"])).is_err());
+        assert!(run(&args(&["gen", "qft", "extra"])).is_err());
+        assert!(run(&args(&["gen", "layered", "--density", "7"])).is_err());
+        assert!(run(&args(&["gen", "layered", "--wat"])).is_err());
+        // Flags without a family are a forgotten argument, not a listing
+        // request: erroring beats silently skipping --emit-qasm.
+        let err = run(&args(&["gen", "--seed", "7"])).unwrap_err();
+        assert!(err.to_string().contains("need a family"), "{err}");
+    }
+
+    #[test]
+    fn gen_benchmark_selector_compiles_and_verifies() {
+        let out = run(&args(&[
+            "verify",
+            "gen:toffoli-ripple:3",
+            "--device",
+            "line:8",
+        ]))
+        .unwrap();
+        assert!(out.contains("VERIFIED"), "{out}");
+        assert!(run(&args(&["compile", "gen:nope:3", "-d", "line:8"])).is_err());
+        assert!(run(&args(&["compile", "gen:qft:x", "-d", "line:8"])).is_err());
+    }
+
+    #[test]
+    fn fuzz_smoke_passes_and_is_deterministic_across_jobs() {
+        let fuzz = |jobs: &str| {
+            run(&args(&[
+                "fuzz",
+                "--families",
+                "toffoli-ripple,clifford-t",
+                "--cases",
+                "4",
+                "--seed",
+                "5",
+                "--routers",
+                "baseline,trios",
+                "--devices",
+                "line:8",
+                "--jobs",
+                jobs,
+            ]))
+            .unwrap()
+        };
+        let one = fuzz("1");
+        assert!(one.contains("PASS"), "{one}");
+        assert!(one.contains("4 cases x 1 devices x 2 routers"), "{one}");
+        assert_eq!(one, fuzz("4"), "report must not depend on --jobs");
+    }
+
+    #[test]
+    fn sweep_accepts_generated_benchmarks() {
+        let out = run(&args(&[
+            "sweep",
+            "-b",
+            "gen:toffoli-ripple:1,gen:layered:2",
+            "-d",
+            "line:8",
+            "-r",
+            "baseline,trios",
+            "-c",
+            "future",
+            "-j",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("toffoli-ripple"), "{out}");
+        assert!(out.contains("layered"), "{out}");
+        assert!(out.contains("geomean(trios / baseline)"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_rejects_bad_specs() {
+        assert!(run(&args(&["fuzz", "--families", "nope"])).is_err());
+        assert!(run(&args(&["fuzz", "--routers", "sabre"])).is_err());
+        assert!(run(&args(&["fuzz", "--devices", "torus:3x3"])).is_err());
+        assert!(run(&args(&["fuzz", "--cases", "x"])).is_err());
+        assert!(run(&args(&["fuzz", "positional"])).is_err());
     }
 
     #[test]

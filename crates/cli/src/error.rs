@@ -33,6 +33,16 @@ pub enum CliError {
     /// An evaluation sweep failed (malformed grid or a cell that would
     /// not compile).
     Sweep(trios_core::SweepError),
+    /// A fuzz run could not start (malformed spec).
+    FuzzSpec(trios_core::FuzzError),
+    /// A fuzz run finished and found failing cells; the full report is
+    /// carried so the driver can print it before exiting nonzero.
+    FuzzFailed {
+        /// Number of failing cells.
+        failures: usize,
+        /// The rendered [`trios_core::FuzzReport`].
+        report: String,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -50,6 +60,10 @@ impl fmt::Display for CliError {
                 write!(f, "batch compile error in {file}: {}", source.diagnostic)
             }
             CliError::Sweep(e) => write!(f, "sweep error: {e}"),
+            CliError::FuzzSpec(e) => write!(f, "fuzz error: {e}"),
+            CliError::FuzzFailed { failures, report } => {
+                write!(f, "{report}\nfuzz found {failures} failing cells")
+            }
         }
     }
 }
@@ -62,6 +76,7 @@ impl Error for CliError {
             CliError::Compile(e) => Some(e),
             CliError::Batch { source, .. } => Some(source),
             CliError::Sweep(e) => Some(e),
+            CliError::FuzzSpec(e) => Some(e),
             _ => None,
         }
     }
@@ -70,6 +85,12 @@ impl Error for CliError {
 impl From<trios_core::SweepError> for CliError {
     fn from(e: trios_core::SweepError) -> Self {
         CliError::Sweep(e)
+    }
+}
+
+impl From<trios_core::FuzzError> for CliError {
+    fn from(e: trios_core::FuzzError) -> Self {
+        CliError::FuzzSpec(e)
     }
 }
 

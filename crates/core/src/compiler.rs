@@ -14,7 +14,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 use trios_ir::Circuit;
 use trios_passes::{OptimizeOptions, ToffoliDecomposition};
-use trios_route::{DirectionPolicy, InitialMapping, LookaheadConfig, PathMetric};
+use trios_route::{DirectionPolicy, InitialMapping, LookaheadConfig, PathMetric, StrategyRegistry};
 use trios_topology::Topology;
 
 /// The compiler, configured once and reusable across circuits and
@@ -42,9 +42,19 @@ use trios_topology::Topology;
 /// assert!(report.pass("route-trios").is_some());
 /// # Ok::<(), trios_core::Diagnostic>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Compiler {
     options: CompileOptions,
+    registry: StrategyRegistry,
+}
+
+impl PartialEq for Compiler {
+    fn eq(&self, other: &Self) -> bool {
+        // Registries hold constructors, which cannot be compared; two
+        // compilers are equal when they run the same options over
+        // registries exposing the same strategy names.
+        self.options == other.options && self.registry.names().eq(other.registry.names())
+    }
 }
 
 impl Compiler {
@@ -53,14 +63,33 @@ impl Compiler {
         CompilerBuilder::default()
     }
 
-    /// A compiler running exactly `options`.
+    /// A compiler running exactly `options` over the standard
+    /// [`StrategyRegistry`].
     pub fn new(options: CompileOptions) -> Self {
-        Compiler { options }
+        Compiler::with_strategies(options, StrategyRegistry::standard())
+    }
+
+    /// A compiler resolving [`CompileOptions::router_name`] in a
+    /// caller-supplied registry — the injection point for custom
+    /// [`RoutingStrategy`](trios_route::RoutingStrategy) implementations
+    /// into every compile path, including the parallel batch compiler
+    /// and [`fuzz`](crate::fuzz).
+    pub fn with_strategies(options: CompileOptions, registry: StrategyRegistry) -> Self {
+        Compiler { options, registry }
     }
 
     /// The configuration this compiler runs.
     pub fn options(&self) -> &CompileOptions {
         &self.options
+    }
+
+    /// The strategy registry this compiler resolves routers in.
+    pub fn strategies(&self) -> &StrategyRegistry {
+        &self.registry
+    }
+
+    fn pass_manager(&self) -> PassManager {
+        PassManager::for_options_with_registry(&self.options, &self.registry)
     }
 
     /// Compiles one circuit for one device.
@@ -88,7 +117,7 @@ impl Compiler {
         circuit: &Circuit,
         topology: &Topology,
     ) -> Result<(CompiledProgram, CompileReport), Diagnostic> {
-        let mut manager = PassManager::for_options(&self.options);
+        let mut manager = self.pass_manager();
         self.run_pipeline(&mut manager, circuit, topology)
     }
 
@@ -130,7 +159,7 @@ impl Compiler {
         circuits: &[Circuit],
         topology: &Topology,
     ) -> Result<Vec<(CompiledProgram, CompileReport)>, BatchDiagnostic> {
-        let mut manager = PassManager::for_options(&self.options);
+        let mut manager = self.pass_manager();
         circuits
             .iter()
             .enumerate()
@@ -207,7 +236,7 @@ impl Compiler {
                     // One pipeline per worker, reused across its circuits,
                     // so per-pipeline setup (the schedule pass's duration
                     // table) happens once per worker, not once per circuit.
-                    let mut manager = PassManager::for_options(&self.options);
+                    let mut manager = self.pass_manager();
                     loop {
                         if failed.load(Ordering::Relaxed) {
                             break;
@@ -344,9 +373,19 @@ impl Error for BatchDiagnostic {
 /// Starts from [`CompileOptions::default`] (the paper's full Trios);
 /// every setter overrides one knob. [`CompilerBuilder::config`] applies a
 /// named [`PaperConfig`] wholesale.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct CompilerBuilder {
     options: CompileOptions,
+    registry: Option<StrategyRegistry>,
+}
+
+impl PartialEq for CompilerBuilder {
+    fn eq(&self, other: &Self) -> bool {
+        let names = |r: &Option<StrategyRegistry>| -> Option<Vec<String>> {
+            r.as_ref().map(|r| r.names().map(str::to_string).collect())
+        };
+        self.options == other.options && names(&self.registry) == names(&other.registry)
+    }
 }
 
 impl CompilerBuilder {
@@ -438,9 +477,20 @@ impl CompilerBuilder {
         self
     }
 
+    /// Resolves routers in `registry` instead of the standard one, so
+    /// custom [`RoutingStrategy`](trios_route::RoutingStrategy)
+    /// registrations are selectable by name through every compile path.
+    pub fn strategies(mut self, registry: StrategyRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> Compiler {
-        Compiler::new(self.options)
+        match self.registry {
+            Some(registry) => Compiler::with_strategies(self.options, registry),
+            None => Compiler::new(self.options),
+        }
     }
 }
 

@@ -1,0 +1,730 @@
+//! The differential fuzz harness: compile seeded generated circuits
+//! through every registered routing strategy × a set of devices, check
+//! each result against the simulator and the hardware-legality and
+//! metric invariants, and greedily shrink any failure to a minimal
+//! reproducer.
+//!
+//! The paper's evaluation (and this repo's test suite until now) runs on
+//! a fixed benchmark list; [`run_fuzz`] instead draws unbounded
+//! structured workloads from [`trios_gen`]'s families and
+//! cross-checks every cell of the `(case × device × router)` grid:
+//!
+//! * **semantics** — `trios_sim::compiled_equivalent` replays random
+//!   states through the initial/final layouts (devices up to
+//!   [`FuzzSpec::max_sim_qubits`] wide),
+//! * **legality** — [`trios_route::verify_legal`]: every gate in the
+//!   hardware set, every two-qubit gate on a coupling edge, no surviving
+//!   three-qubit gate,
+//! * **metric invariants** — the reported [`CompileStats`] agree with
+//!   the circuit they describe (recomputed two-qubit count and depth),
+//!   `mean_gather_distance` is finite and non-negative, the scheduled
+//!   duration is finite and non-negative.
+//!
+//! Compilation goes through the cached parallel batch compiler, so a
+//! fuzz run shares work exactly like a production sweep; results are
+//! **byte-identical across worker counts** (the report carries no
+//! timings and cells are visited in deterministic grid order).
+//!
+//! When [`FuzzSpec::shrink`] is set, each failing case is minimized by
+//! greedy gate removal and qubit compaction — every candidate is
+//! recompiled and must reproduce the *same kind* of failure — and the
+//! minimal circuit is emitted as an OpenQASM reproducer in the report.
+//!
+//! # Examples
+//!
+//! ```
+//! use trios_core::fuzz::{run_fuzz, FuzzSpec};
+//!
+//! let spec = FuzzSpec {
+//!     cases: 4,
+//!     seed: 1,
+//!     routers: vec!["trios".into()],
+//!     ..FuzzSpec::new()
+//! };
+//! let report = run_fuzz(&spec)?;
+//! assert!(report.passed(), "{report}");
+//! # Ok::<(), trios_core::fuzz::FuzzError>(())
+//! ```
+
+use crate::cache::CompilationCache;
+use crate::{BatchDiagnostic, CompileStats, CompiledProgram, Compiler, Diagnostic};
+use std::error::Error;
+use std::fmt;
+use trios_gen::{generate_suite, Family, GeneratedCircuit};
+use trios_ir::Circuit;
+use trios_route::{verify_legal, StrategyRegistry};
+use trios_sim::compiled_equivalent;
+use trios_topology::{grid, line, Topology};
+
+/// What one fuzz run covers: the case stream, the differential grid, and
+/// the harness knobs.
+#[derive(Debug, Clone)]
+pub struct FuzzSpec {
+    /// Families the case stream cycles through.
+    pub families: Vec<Family>,
+    /// Number of generated cases (seeds `seed, seed+1, …`).
+    pub cases: usize,
+    /// Base generation seed (also the compilation and simulation seed).
+    pub seed: u64,
+    /// Routing strategies by registry name; every case × device is
+    /// compiled through each.
+    pub routers: Vec<String>,
+    /// Named devices to compile onto.
+    pub devices: Vec<(String, Topology)>,
+    /// Worker threads for batch compilation (`0` = one per core). The
+    /// report is identical regardless of this knob.
+    pub jobs: usize,
+    /// Compilation-cache capacity shared across the whole run (`0`
+    /// disables).
+    pub cache_size: usize,
+    /// Minimize failing cases to a QASM reproducer.
+    pub shrink: bool,
+    /// Widest device that gets the statevector-equivalence check; wider
+    /// cells still get legality and invariant checks.
+    pub max_sim_qubits: usize,
+    /// Random-state trials per equivalence check.
+    pub trials: usize,
+}
+
+impl FuzzSpec {
+    /// The default grid: every family, all four standard routers, an
+    /// 8-qubit line and a 4×2 grid (both fully simulable), 25 cases,
+    /// shrinking off.
+    pub fn new() -> Self {
+        FuzzSpec {
+            families: Family::ALL.to_vec(),
+            cases: 25,
+            seed: 0,
+            routers: StrategyRegistry::standard()
+                .names()
+                .map(str::to_string)
+                .collect(),
+            devices: vec![
+                ("line:8".to_string(), line(8)),
+                ("grid:4x2".to_string(), grid(4, 2)),
+            ],
+            jobs: 0,
+            cache_size: 256,
+            shrink: false,
+            max_sim_qubits: 8,
+            trials: 2,
+        }
+    }
+}
+
+impl Default for FuzzSpec {
+    fn default() -> Self {
+        FuzzSpec::new()
+    }
+}
+
+/// A malformed [`FuzzSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FuzzError {
+    /// The spec cannot be run as given.
+    InvalidSpec {
+        /// What is wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FuzzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzError::InvalidSpec { reason } => write!(f, "invalid fuzz spec: {reason}"),
+        }
+    }
+}
+
+impl Error for FuzzError {}
+
+/// Which check a failing cell tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuzzFailureKind {
+    /// The compiler returned a diagnostic instead of a circuit.
+    Compile,
+    /// The compiled circuit violates hardware legality.
+    Legality,
+    /// The compiled circuit does not implement the generated program.
+    Equivalence,
+    /// A reported metric disagrees with the circuit it describes.
+    Invariant,
+}
+
+impl fmt::Display for FuzzFailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FuzzFailureKind::Compile => "compile",
+            FuzzFailureKind::Legality => "legality",
+            FuzzFailureKind::Equivalence => "equivalence",
+            FuzzFailureKind::Invariant => "invariant",
+        })
+    }
+}
+
+/// A minimized failing input, ready to paste into a bug report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzReproducer {
+    /// Gate count of the minimized circuit.
+    pub gates: usize,
+    /// Width of the minimized circuit.
+    pub qubits: usize,
+    /// The minimized circuit as OpenQASM 2.0.
+    pub qasm: String,
+}
+
+/// One failing cell of the fuzz grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzFailure {
+    /// Generated case name (`family-n…-s<seed>`); regenerates the input.
+    pub case: String,
+    /// Family registry name.
+    pub family: String,
+    /// Generation seed of the case.
+    pub seed: u64,
+    /// Device spec the cell compiled onto.
+    pub device: String,
+    /// Routing strategy the cell compiled through.
+    pub router: String,
+    /// The check that failed.
+    pub kind: FuzzFailureKind,
+    /// Human-readable failure detail.
+    pub message: String,
+    /// The shrunk reproducer, when shrinking ran.
+    pub reproducer: Option<FuzzReproducer>,
+}
+
+impl fmt::Display for FuzzFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "FAIL [{}] case {} (seed {}) on {} via {}",
+            self.kind, self.case, self.seed, self.device, self.router
+        )?;
+        writeln!(f, "  {}", self.message)?;
+        if let Some(repro) = &self.reproducer {
+            writeln!(
+                f,
+                "  reproducer ({} gates, {} qubits):",
+                repro.gates, repro.qubits
+            )?;
+            for qasm_line in repro.qasm.lines() {
+                writeln!(f, "    {qasm_line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of one fuzz run. [`fmt::Display`] renders the full
+/// report; the text contains no timings, so it is byte-identical for
+/// identical specs regardless of worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzReport {
+    /// Family names fuzzed, in spec order.
+    pub families: Vec<String>,
+    /// Router names fuzzed, in spec order.
+    pub routers: Vec<String>,
+    /// Device names fuzzed, in spec order.
+    pub devices: Vec<String>,
+    /// Number of generated cases.
+    pub cases: usize,
+    /// Base seed of the run.
+    pub seed: u64,
+    /// `(case × device × router)` cells compiled and checked.
+    pub cells: usize,
+    /// Cells that additionally ran the statevector-equivalence check.
+    pub equivalence_checked: usize,
+    /// Cells skipped because the case was wider than the device.
+    pub skipped: usize,
+    /// Every failing cell, in deterministic grid order.
+    pub failures: Vec<FuzzFailure>,
+}
+
+impl FuzzReport {
+    /// `true` when no cell failed any check.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for FuzzReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fuzz: {} cases x {} devices x {} routers, seed {}",
+            self.cases,
+            self.devices.len(),
+            self.routers.len(),
+            self.seed
+        )?;
+        writeln!(f, "families: {}", self.families.join(", "))?;
+        writeln!(f, "routers:  {}", self.routers.join(", "))?;
+        writeln!(f, "devices:  {}", self.devices.join(", "))?;
+        writeln!(
+            f,
+            "cells:    {} checked ({} equivalence-checked, {} skipped: wider than device)",
+            self.cells, self.equivalence_checked, self.skipped
+        )?;
+        if self.failures.is_empty() {
+            write!(f, "result:   PASS (0 failures)")
+        } else {
+            writeln!(f, "result:   FAIL ({} failures)", self.failures.len())?;
+            for failure in &self.failures {
+                writeln!(f)?;
+                write!(f, "{failure}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Runs the fuzz grid with the standard [`StrategyRegistry`].
+///
+/// # Errors
+///
+/// Returns [`FuzzError::InvalidSpec`] for an empty or inconsistent spec.
+/// Failing *cells* are not errors — they are collected in the report.
+pub fn run_fuzz(spec: &FuzzSpec) -> Result<FuzzReport, FuzzError> {
+    run_fuzz_with_registry(spec, &StrategyRegistry::standard())
+}
+
+/// [`run_fuzz`] over a caller-supplied registry — how the test suite
+/// injects deliberately broken strategies to prove the harness catches
+/// and shrinks real bugs.
+///
+/// # Errors
+///
+/// Returns [`FuzzError::InvalidSpec`] for an empty spec or a router name
+/// missing from `registry`.
+pub fn run_fuzz_with_registry(
+    spec: &FuzzSpec,
+    registry: &StrategyRegistry,
+) -> Result<FuzzReport, FuzzError> {
+    let invalid = |reason: &str| FuzzError::InvalidSpec {
+        reason: reason.to_string(),
+    };
+    if spec.families.is_empty() {
+        return Err(invalid("no families selected"));
+    }
+    if spec.cases == 0 {
+        return Err(invalid("cases must be positive"));
+    }
+    if spec.routers.is_empty() {
+        return Err(invalid("no routers selected"));
+    }
+    if spec.devices.is_empty() {
+        return Err(invalid("no devices selected"));
+    }
+    if spec.trials == 0 {
+        return Err(invalid("trials must be positive"));
+    }
+    for router in &spec.routers {
+        if !registry.contains(router) {
+            return Err(FuzzError::InvalidSpec {
+                reason: format!(
+                    "unknown router '{router}' (registered: {})",
+                    registry.names().collect::<Vec<_>>().join(", ")
+                ),
+            });
+        }
+    }
+
+    let suite = generate_suite(&spec.families, spec.cases, spec.seed);
+    let cache = CompilationCache::new(spec.cache_size);
+    let jobs = if spec.jobs > 0 {
+        spec.jobs
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+
+    let mut cells = 0usize;
+    let mut equivalence_checked = 0usize;
+    let mut skipped = 0usize;
+    let mut failures = Vec::new();
+
+    for (device_name, topology) in &spec.devices {
+        let fitting: Vec<&GeneratedCircuit> = suite
+            .iter()
+            .filter(|case| case.circuit.num_qubits() <= topology.num_qubits())
+            .collect();
+        skipped += (suite.len() - fitting.len()) * spec.routers.len();
+        let simulate = topology.num_qubits() <= spec.max_sim_qubits;
+        // One owned copy of the device's slab, shared by every router's
+        // batch call (the batch API takes a slice).
+        let circuits: Vec<Circuit> = fitting.iter().map(|case| case.circuit.clone()).collect();
+
+        for router in &spec.routers {
+            let compiler = Compiler::builder()
+                .router(router.clone())
+                .seed(spec.seed)
+                .strategies(registry.clone())
+                .build();
+
+            // Compile the whole device×router slab through the cached
+            // parallel batch compiler. The batch stops at its first
+            // failure, so on an error the slab falls back to one
+            // per-circuit compile each — a failing slab means more
+            // failures are likely, and the fallback keeps total work
+            // linear in the slab size even with the cache disabled.
+            let mut compiled: Vec<(&GeneratedCircuit, CompiledProgram)> = Vec::new();
+            let mut record_compile_failure = |case, diagnostic: Diagnostic| {
+                failures.push(build_failure(
+                    spec,
+                    &compiler,
+                    case,
+                    device_name,
+                    topology,
+                    router,
+                    FuzzFailureKind::Compile,
+                    diagnostic.to_string(),
+                    simulate,
+                ));
+            };
+            match compiler.compile_batch_parallel_with_cache(
+                &circuits,
+                topology,
+                jobs,
+                Some(&cache),
+            ) {
+                Ok(outcome) => {
+                    for (case, (program, _)) in fitting.iter().copied().zip(outcome.results) {
+                        compiled.push((case, program));
+                    }
+                }
+                Err(BatchDiagnostic { index, diagnostic }) => {
+                    for (position, &case) in fitting.iter().enumerate() {
+                        if position == index {
+                            cells += 1;
+                            record_compile_failure(case, diagnostic.clone());
+                            continue;
+                        }
+                        match compiler.compile(&case.circuit, topology) {
+                            Ok(program) => compiled.push((case, program)),
+                            Err(diagnostic) => {
+                                cells += 1;
+                                record_compile_failure(case, diagnostic);
+                            }
+                        }
+                    }
+                }
+            }
+
+            for (case, program) in compiled {
+                cells += 1;
+                let outcome = check_cell(&case.circuit, &program, topology, simulate, spec);
+                if outcome.equivalence_ran {
+                    equivalence_checked += 1;
+                }
+                if let Some((kind, message)) = outcome.failure {
+                    failures.push(build_failure(
+                        spec,
+                        &compiler,
+                        case,
+                        device_name,
+                        topology,
+                        router,
+                        kind,
+                        message,
+                        simulate,
+                    ));
+                }
+            }
+        }
+    }
+
+    Ok(FuzzReport {
+        families: spec.families.iter().map(|f| f.name().to_string()).collect(),
+        routers: spec.routers.clone(),
+        devices: spec.devices.iter().map(|(n, _)| n.clone()).collect(),
+        cases: spec.cases,
+        seed: spec.seed,
+        cells,
+        equivalence_checked,
+        skipped,
+        failures,
+    })
+}
+
+/// Runs every check on one compiled cell.
+fn check_cell(
+    original: &Circuit,
+    program: &CompiledProgram,
+    topology: &Topology,
+    simulate: bool,
+    spec: &FuzzSpec,
+) -> CellOutcome {
+    let fail = |kind, message: String| CellOutcome {
+        failure: Some((kind, message)),
+        equivalence_ran: false,
+    };
+    if let Err(violation) = verify_legal(&program.circuit, topology) {
+        return fail(FuzzFailureKind::Legality, violation.to_string());
+    }
+    if let Some(message) = stats_violation(&program.stats, &program.circuit) {
+        return fail(FuzzFailureKind::Invariant, message);
+    }
+    let mut failure = None;
+    if simulate {
+        match compiled_equivalent(
+            original,
+            &program.circuit,
+            &program.initial_layout.to_mapping(),
+            &program.final_layout.to_mapping(),
+            spec.trials,
+            spec.seed,
+            1e-7,
+        ) {
+            Ok(true) => {}
+            Ok(false) => {
+                failure = Some((
+                    FuzzFailureKind::Equivalence,
+                    "compiled circuit does not implement the generated program".to_string(),
+                ))
+            }
+            Err(e) => {
+                failure = Some((
+                    FuzzFailureKind::Invariant,
+                    format!("equivalence check could not run: {e}"),
+                ))
+            }
+        }
+    }
+    CellOutcome {
+        failure,
+        equivalence_ran: simulate,
+    }
+}
+
+/// What [`check_cell`] found: the first failure (if any) and whether the
+/// statevector-equivalence stage actually executed (earlier failures
+/// short-circuit it, and wide devices skip it).
+struct CellOutcome {
+    failure: Option<(FuzzFailureKind, String)>,
+    equivalence_ran: bool,
+}
+
+/// The metric invariants: reported stats must describe the circuit they
+/// accompany.
+fn stats_violation(stats: &CompileStats, circuit: &Circuit) -> Option<String> {
+    let counts = circuit.counts();
+    if stats.two_qubit_gates != counts.two_qubit {
+        return Some(format!(
+            "stats claim {} two-qubit gates, circuit has {}",
+            stats.two_qubit_gates, counts.two_qubit
+        ));
+    }
+    let depth = circuit.depth();
+    if stats.depth != depth {
+        return Some(format!(
+            "stats claim depth {}, circuit has {depth}",
+            stats.depth
+        ));
+    }
+    if let Some(gather) = stats.mean_gather_distance {
+        if !gather.is_finite() || gather < 0.0 {
+            return Some(format!("mean_gather_distance is {gather}"));
+        }
+    }
+    if !stats.duration_us.is_finite() || stats.duration_us < 0.0 {
+        return Some(format!("scheduled duration is {} µs", stats.duration_us));
+    }
+    None
+}
+
+/// Assembles a [`FuzzFailure`], shrinking the case first when the spec
+/// asks for it.
+#[allow(clippy::too_many_arguments)]
+fn build_failure(
+    spec: &FuzzSpec,
+    compiler: &Compiler,
+    case: &GeneratedCircuit,
+    device: &str,
+    topology: &Topology,
+    router: &str,
+    kind: FuzzFailureKind,
+    message: String,
+    simulate: bool,
+) -> FuzzFailure {
+    let reproducer = spec.shrink.then(|| {
+        let fails = |candidate: &Circuit| -> bool {
+            match compiler.compile(candidate, topology) {
+                Err(_) => kind == FuzzFailureKind::Compile,
+                Ok(program) => check_cell(candidate, &program, topology, simulate, spec)
+                    .failure
+                    .is_some_and(|(k, _)| k == kind),
+            }
+        };
+        let minimized = shrink_circuit(&case.circuit, &fails);
+        FuzzReproducer {
+            gates: minimized.len(),
+            qubits: minimized.num_qubits(),
+            qasm: trios_qasm::emit(&minimized),
+        }
+    });
+    FuzzFailure {
+        case: case.name.clone(),
+        family: case.family.name().to_string(),
+        seed: case.seed,
+        device: device.to_string(),
+        router: router.to_string(),
+        kind,
+        message,
+        reproducer,
+    }
+}
+
+/// Greedily minimizes `circuit` while `fails` holds: gate removal to a
+/// fixed point (each surviving gate is individually necessary), then
+/// compaction of untouched qubit lines, repeated until neither makes
+/// progress. The result still reproduces the failure; on a predicate no
+/// removal satisfies, the input comes back unchanged.
+pub fn shrink_circuit(circuit: &Circuit, fails: &dyn Fn(&Circuit) -> bool) -> Circuit {
+    let mut best = circuit.clone();
+    loop {
+        let mut progress = false;
+        // Gate removal: try deleting each instruction; on success stay at
+        // the same index (the next instruction slid into it).
+        let mut i = 0;
+        while i < best.len() {
+            let mut instructions = best.instructions().to_vec();
+            instructions.remove(i);
+            let mut candidate = Circuit::from_instructions(best.num_qubits(), instructions)
+                .expect("removing an instruction keeps the circuit valid");
+            candidate.set_name(best.name().to_string());
+            if fails(&candidate) {
+                best = candidate;
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+        // Qubit compaction: relabel the active qubits onto 0..k and drop
+        // the idle lines.
+        let active = best.active_qubits();
+        if !active.is_empty() && active.len() < best.num_qubits() {
+            let mut map = vec![0usize; best.num_qubits()];
+            for (new, &old) in active.iter().enumerate() {
+                map[old] = new;
+            }
+            if let Ok(candidate) = best.remapped(active.len(), &map) {
+                if fails(&candidate) {
+                    best = candidate;
+                    progress = true;
+                }
+            }
+        }
+        if !progress {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_specs_are_rejected() {
+        let assert_invalid = |spec: FuzzSpec, needle: &str| {
+            let err = run_fuzz(&spec).unwrap_err();
+            assert!(err.to_string().contains(needle), "{err}");
+        };
+        assert_invalid(
+            FuzzSpec {
+                families: Vec::new(),
+                ..FuzzSpec::new()
+            },
+            "families",
+        );
+        assert_invalid(
+            FuzzSpec {
+                cases: 0,
+                ..FuzzSpec::new()
+            },
+            "cases",
+        );
+        assert_invalid(
+            FuzzSpec {
+                routers: Vec::new(),
+                ..FuzzSpec::new()
+            },
+            "routers",
+        );
+        assert_invalid(
+            FuzzSpec {
+                devices: Vec::new(),
+                ..FuzzSpec::new()
+            },
+            "devices",
+        );
+        assert_invalid(
+            FuzzSpec {
+                routers: vec!["sabre".into()],
+                ..FuzzSpec::new()
+            },
+            "sabre",
+        );
+    }
+
+    #[test]
+    fn small_fixed_seed_run_passes_and_counts_cells() {
+        let spec = FuzzSpec {
+            cases: 4,
+            seed: 3,
+            families: vec![Family::Layered, Family::ToffoliRipple],
+            routers: vec!["baseline".into(), "trios".into()],
+            devices: vec![("line:8".into(), line(8))],
+            jobs: 1,
+            ..FuzzSpec::new()
+        };
+        let report = run_fuzz(&spec).unwrap();
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.cells, 8, "4 cases x 1 device x 2 routers");
+        assert_eq!(report.equivalence_checked, 8);
+        assert_eq!(report.skipped, 0);
+        let text = report.to_string();
+        assert!(text.contains("PASS"), "{text}");
+        assert!(text.contains("layered, toffoli-ripple"), "{text}");
+    }
+
+    #[test]
+    fn too_wide_cases_are_skipped_not_failed() {
+        let spec = FuzzSpec {
+            cases: 6,
+            seed: 0,
+            families: vec![Family::Qft], // widths 3..=8
+            routers: vec!["trios".into()],
+            devices: vec![("line:4".into(), line(4))],
+            jobs: 1,
+            ..FuzzSpec::new()
+        };
+        let report = run_fuzz(&spec).unwrap();
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.cells + report.skipped, 6);
+        assert!(report.skipped > 0, "some QFT widths exceed line:4");
+    }
+
+    #[test]
+    fn shrink_finds_a_minimal_gate_set() {
+        // Predicate: fails while a CCX on qubits (0,1,2) is present.
+        let mut c = Circuit::new(5);
+        c.h(0).cx(0, 3).ccx(0, 1, 2).t(4).cx(3, 4);
+        let fails = |candidate: &Circuit| candidate.iter().any(|i| i.gate() == trios_ir::Gate::Ccx);
+        let minimal = shrink_circuit(&c, &fails);
+        assert_eq!(minimal.len(), 1, "{minimal}");
+        assert_eq!(minimal.num_qubits(), 3, "idle qubits compacted away");
+        assert!(fails(&minimal));
+    }
+
+    #[test]
+    fn shrink_returns_input_when_nothing_can_be_removed() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let minimal = shrink_circuit(&c, &|candidate: &Circuit| !candidate.is_empty());
+        assert_eq!(minimal.len(), 1);
+        assert_eq!(minimal.num_qubits(), 2);
+    }
+}

@@ -66,6 +66,16 @@
 //! by Monte Carlo trajectory simulation) into a [`SweepReport`] of
 //! per-cell breakdowns, trios/baseline success ratios, and per-router
 //! geomeans, serializable to JSON behind the `serde` feature.
+//!
+//! # Differential fuzzing
+//!
+//! The [`fuzz`] module turns the equivalence checker into a correctness
+//! backstop over *unbounded* inputs: [`run_fuzz`] draws seeded cases from
+//! `trios_gen`'s structured families, compiles each through every
+//! selected router × device via the cached parallel batch compiler,
+//! cross-checks semantics (simulator), hardware legality, and metric
+//! invariants, and greedily shrinks any failure to a minimal OpenQASM
+//! reproducer.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -75,6 +85,7 @@ mod cache;
 mod compiler;
 mod context;
 mod diagnostics;
+pub mod fuzz;
 mod manager;
 mod options;
 mod pass;
@@ -90,6 +101,10 @@ pub use context::{
     SwapTrace,
 };
 pub use diagnostics::Diagnostic;
+pub use fuzz::{
+    run_fuzz, run_fuzz_with_registry, shrink_circuit, FuzzError, FuzzFailure, FuzzFailureKind,
+    FuzzReport, FuzzReproducer, FuzzSpec,
+};
 pub use manager::PassManager;
 pub use options::{CompileOptions, PaperConfig, Pipeline};
 pub use pass::{

@@ -43,8 +43,22 @@ impl PassManager {
     ///
     /// [`StrategyRegistry`]: trios_route::StrategyRegistry
     pub fn for_options(options: &CompileOptions) -> Self {
+        PassManager::for_options_with_registry(options, &StrategyRegistry::standard())
+    }
+
+    /// [`PassManager::for_options`] resolving the router in a
+    /// caller-supplied `registry` instead of the standard one — how
+    /// custom [`RoutingStrategy`] implementations enter the full
+    /// pipeline (and, through
+    /// [`Compiler::strategies`](crate::CompilerBuilder::strategies), the
+    /// batch compiler and the fuzz harness).
+    ///
+    /// [`RoutingStrategy`]: trios_route::RoutingStrategy
+    pub fn for_options_with_registry(
+        options: &CompileOptions,
+        registry: &StrategyRegistry,
+    ) -> Self {
         let router = options.router_name();
-        let registry = StrategyRegistry::standard();
         // Unknown names fall back to the pipeline's ordering here; the
         // route pass itself reports them as a proper diagnostic.
         let decompose_first = match registry.get(router) {
@@ -56,7 +70,7 @@ impl PassManager {
         if decompose_first {
             manager.push(DecomposeToffolisPass);
         }
-        manager.push(RoutePass::with_registry(router, registry));
+        manager.push(RoutePass::with_registry(router, registry.clone()));
         manager.push(LowerPass);
         manager.push(OptimizePass);
         if options.validate {

@@ -1,0 +1,509 @@
+//! The circuit families: stable names, parameter grids, and seeded
+//! generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+use std::fmt;
+use trios_benchmarks::qft;
+use trios_ir::Circuit;
+
+/// Parameters of one family instance.
+///
+/// Not every family reads every knob: `qft` ignores `depth` and
+/// `three_q_density`, the random families ignore whichever axis their
+/// grid does not vary. Unused knobs are zero in the grid entries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    /// Circuit width.
+    pub qubits: usize,
+    /// Family-specific depth knob: gate count for `clifford-t`, layer
+    /// count for `layered` and `qaoa`, sweep count for `toffoli-ripple`.
+    pub depth: usize,
+    /// Probability in `[0, 1]` that a slot becomes a three-qubit gate
+    /// (`layered` only).
+    pub three_q_density: f64,
+}
+
+impl Params {
+    /// Parameters with the density knob zeroed.
+    pub fn new(qubits: usize, depth: usize) -> Self {
+        Params {
+            qubits,
+            depth,
+            three_q_density: 0.0,
+        }
+    }
+}
+
+/// A named, seeded generator of structured circuits.
+///
+/// Every variant has a stable registry [`name`](Family::name) (what
+/// `trios gen`/`trios fuzz --families` accept), a fixed parameter
+/// [`grid`](Family::grid), and a deterministic
+/// [`generate`](Family::generate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Textbook quantum Fourier transform (Toffoli-free pair-routing
+    /// stress).
+    Qft,
+    /// QAOA Max-Cut on a seeded Erdős–Rényi random graph (random
+    /// long-range two-qubit interactions).
+    Qaoa,
+    /// Uniformly random Clifford+T circuits (the gate set of
+    /// fault-tolerant workloads).
+    CliffordT,
+    /// Ripple-carry / CnX-style chains of overlapping Toffolis (the
+    /// paper's adder-shaped workloads, randomized).
+    ToffoliRipple,
+    /// Layered random circuits with a tunable three-qubit-gate density.
+    Layered,
+}
+
+impl Family {
+    /// All families, in listing order.
+    pub const ALL: [Family; 5] = [
+        Family::Qft,
+        Family::Qaoa,
+        Family::CliffordT,
+        Family::ToffoliRipple,
+        Family::Layered,
+    ];
+
+    /// The stable registry name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Qft => "qft",
+            Family::Qaoa => "qaoa",
+            Family::CliffordT => "clifford-t",
+            Family::ToffoliRipple => "toffoli-ripple",
+            Family::Layered => "layered",
+        }
+    }
+
+    /// Resolves a registry name back to the family.
+    pub fn parse(name: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.name() == name)
+    }
+
+    /// One-line description for listings.
+    pub fn description(self) -> &'static str {
+        match self {
+            Family::Qft => "quantum Fourier transform (Toffoli-free pair-routing stress)",
+            Family::Qaoa => "QAOA Max-Cut on a seeded random graph",
+            Family::CliffordT => "uniformly random Clifford+T circuit",
+            Family::ToffoliRipple => "ripple-carry/CnX-style chains of overlapping Toffolis",
+            Family::Layered => "layered random circuit with tunable 3q-gate density",
+        }
+    }
+
+    /// The fixed parameter grid [`generate_case`](Family::generate_case)
+    /// draws from. Widths stay ≤ 8 qubits so every instance fits the
+    /// fuzz harness's statevector-equivalence budget.
+    pub fn grid(self) -> Vec<Params> {
+        match self {
+            Family::Qft => (3..=8).map(|n| Params::new(n, 0)).collect(),
+            Family::Qaoa => (4..=8)
+                .flat_map(|n| (1..=2).map(move |p| Params::new(n, p)))
+                .collect(),
+            Family::CliffordT => [4, 6, 8]
+                .into_iter()
+                .flat_map(|n| [20, 40].into_iter().map(move |d| Params::new(n, d)))
+                .collect(),
+            Family::ToffoliRipple => [4, 6, 8]
+                .into_iter()
+                .flat_map(|n| (1..=3).map(move |s| Params::new(n, s)))
+                .collect(),
+            Family::Layered => [4, 6, 8]
+                .into_iter()
+                .flat_map(|n| {
+                    [(8, 0.0), (8, 0.25), (16, 0.25), (16, 0.5)]
+                        .into_iter()
+                        .map(move |(d, t)| Params {
+                            qubits: n,
+                            depth: d,
+                            three_q_density: t,
+                        })
+                })
+                .collect(),
+        }
+    }
+
+    /// The stable instance name for `(params, seed)` — also the circuit
+    /// name [`generate`](Family::generate) assigns, so a fuzz failure's
+    /// case name alone identifies the exact reproducing input.
+    pub fn instance_name(self, params: &Params, seed: u64) -> String {
+        match self {
+            Family::Qft => format!("qft-n{}-s{seed}", params.qubits),
+            Family::Layered => format!(
+                "layered-n{}-d{}-t{:02}-s{seed}",
+                params.qubits,
+                params.depth,
+                (params.three_q_density * 100.0).round() as u32
+            ),
+            _ => format!(
+                "{}-n{}-d{}-s{seed}",
+                self.name(),
+                params.qubits,
+                params.depth
+            ),
+        }
+    }
+
+    /// Generates the instance for `(params, seed)`.
+    ///
+    /// Deterministic: the same triple always produces a byte-identical
+    /// circuit. The result is unitary (no measurements) so it can be
+    /// statevector-checked directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.qubits < 3` (every family needs room for at
+    /// least one three-qubit gate or a nontrivial interaction graph).
+    pub fn generate(self, params: &Params, seed: u64) -> Circuit {
+        assert!(params.qubits >= 3, "families need at least 3 qubits");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut circuit = match self {
+            Family::Qft => qft(params.qubits),
+            Family::Qaoa => qaoa_random_graph(params.qubits, params.depth.max(1), &mut rng),
+            Family::CliffordT => random_clifford_t(params.qubits, params.depth.max(1), &mut rng),
+            Family::ToffoliRipple => toffoli_ripple(params.qubits, params.depth.max(1), &mut rng),
+            Family::Layered => layered(
+                params.qubits,
+                params.depth.max(1),
+                params.three_q_density,
+                &mut rng,
+            ),
+        };
+        circuit.set_name(self.instance_name(params, seed));
+        circuit
+    }
+
+    /// Generates one case for `seed` alone: the seed picks a grid entry
+    /// (uniformly, via a SplitMix64 scramble so consecutive seeds spread
+    /// over the grid) and then drives generation.
+    pub fn generate_case(self, seed: u64) -> GeneratedCircuit {
+        let grid = self.grid();
+        let params = grid[(splitmix64(seed) % grid.len() as u64) as usize];
+        let circuit = self.generate(&params, seed);
+        GeneratedCircuit {
+            name: circuit.name().to_string(),
+            family: self,
+            params,
+            seed,
+            circuit,
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One generated instance: the circuit plus everything needed to
+/// regenerate it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedCircuit {
+    /// The stable instance name (`family-n…-s<seed>`).
+    pub name: String,
+    /// The family that produced it.
+    pub family: Family,
+    /// The grid entry used.
+    pub params: Params,
+    /// The generation seed.
+    pub seed: u64,
+    /// The circuit itself.
+    pub circuit: Circuit,
+}
+
+/// Generates `cases` circuits by cycling through `families` with seeds
+/// `seed, seed+1, …` — the fuzz harness's case stream.
+///
+/// # Panics
+///
+/// Panics if `families` is empty.
+pub fn generate_suite(families: &[Family], cases: usize, seed: u64) -> Vec<GeneratedCircuit> {
+    assert!(!families.is_empty(), "need at least one family");
+    (0..cases)
+        .map(|i| families[i % families.len()].generate_case(seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+/// SplitMix64 scramble (the same mix the vendored StdRng seeds with), so
+/// consecutive case seeds land on unrelated grid entries.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `k` distinct qubit indices below `n`.
+fn distinct(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
+    let mut picked = Vec::with_capacity(k);
+    while picked.len() < k {
+        let q = rng.gen_range(0..n);
+        if !picked.contains(&q) {
+            picked.push(q);
+        }
+    }
+    picked
+}
+
+/// QAOA Max-Cut on an Erdős–Rényi `G(n, 1/2)` graph: the edge set is
+/// drawn once, then `layers` alternations of the cost unitary
+/// (`cx·rz·cx` per edge) and the `rx` mixer, with per-layer random
+/// angles. Isolated graphs still produce the `h` + mixer skeleton.
+fn qaoa_random_graph(n: usize, layers: usize, rng: &mut StdRng) -> Circuit {
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            if rng.gen_bool(0.5) {
+                edges.push((i, j));
+            }
+        }
+    }
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for _ in 0..layers {
+        let gamma = rng.gen_range(0.0..PI);
+        let beta = rng.gen_range(0.0..PI);
+        for &(i, j) in &edges {
+            c.cx(i, j).rz(2.0 * gamma, j).cx(i, j);
+        }
+        for q in 0..n {
+            c.rx(2.0 * beta, q);
+        }
+    }
+    c
+}
+
+/// `gates` uniformly random Clifford+T gates: 60% single-qubit draws
+/// from {H, S, S†, T, T†, X, Z}, 40% two-qubit draws from {CX, CZ} on
+/// distinct operands.
+fn random_clifford_t(n: usize, gates: usize, rng: &mut StdRng) -> Circuit {
+    let mut c = Circuit::new(n);
+    for _ in 0..gates {
+        if rng.gen_bool(0.6) {
+            let q = rng.gen_range(0..n);
+            match rng.gen_range(0..7) {
+                0 => c.h(q),
+                1 => c.s(q),
+                2 => c.sdg(q),
+                3 => c.t(q),
+                4 => c.tdg(q),
+                5 => c.x(q),
+                _ => c.z(q),
+            };
+        } else {
+            let pair = distinct(rng, n, 2);
+            if rng.gen_bool(0.5) {
+                c.cx(pair[0], pair[1]);
+            } else {
+                c.cz(pair[0], pair[1]);
+            }
+        }
+    }
+    c
+}
+
+/// `sweeps` ripple passes of overlapping Toffolis (up or down the
+/// register, seeded), each followed by a random carry CNOT — the shape
+/// of the paper's CnX ladders and ripple-carry adders.
+fn toffoli_ripple(n: usize, sweeps: usize, rng: &mut StdRng) -> Circuit {
+    let mut c = Circuit::new(n);
+    for _ in 0..sweeps {
+        if rng.gen_bool(0.5) {
+            for i in 0..n - 2 {
+                c.ccx(i, i + 1, i + 2);
+            }
+        } else {
+            for i in (0..n - 2).rev() {
+                c.ccx(i + 2, i + 1, i);
+            }
+        }
+        let a = rng.gen_range(0..n - 1);
+        c.cx(a, a + 1);
+    }
+    c
+}
+
+/// `layers` layers packed greedily with random gates on disjoint
+/// operands: each free slot becomes a three-qubit gate (CCX/CCZ/CSWAP)
+/// with probability `density`, otherwise a CX/CZ when a partner is
+/// free, otherwise a random single-qubit gate.
+fn layered(n: usize, layers: usize, density: f64, rng: &mut StdRng) -> Circuit {
+    let mut c = Circuit::new(n);
+    for _ in 0..layers {
+        let mut free: Vec<usize> = (0..n).collect();
+        while let Some(&q) = free.first() {
+            if free.len() >= 3 && rng.gen_bool(density) {
+                let mut rest = free[1..].to_vec();
+                let i = rng.gen_range(0..rest.len());
+                let a = rest.remove(i);
+                let b = rest[rng.gen_range(0..rest.len())];
+                match rng.gen_range(0..3) {
+                    0 => c.ccx(q, a, b),
+                    1 => c.ccz(q, a, b),
+                    _ => c.cswap(q, a, b),
+                };
+                free.retain(|&x| x != q && x != a && x != b);
+            } else if free.len() >= 2 && rng.gen_bool(0.6) {
+                let a = free[1 + rng.gen_range(0..free.len() - 1)];
+                if rng.gen_bool(0.5) {
+                    c.cx(q, a);
+                } else {
+                    c.cz(q, a);
+                }
+                free.retain(|&x| x != q && x != a);
+            } else {
+                match rng.gen_range(0..4) {
+                    0 => c.h(q),
+                    1 => c.t(q),
+                    2 => c.s(q),
+                    _ => c.rz(rng.gen_range(0.0..PI), q),
+                };
+                free.retain(|&x| x != q);
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_generates_valid_nonempty_circuits_over_its_grid() {
+        for family in Family::ALL {
+            let grid = family.grid();
+            assert!(!grid.is_empty(), "{family}");
+            for (i, params) in grid.iter().enumerate() {
+                let c = family.generate(params, i as u64);
+                assert!(c.validate().is_ok(), "{family} {params:?}");
+                assert!(!c.is_empty(), "{family} {params:?}");
+                assert_eq!(c.num_qubits(), params.qubits, "{family} {params:?}");
+                assert!(c.num_qubits() <= 8, "{family} grid must stay simulable");
+                assert_eq!(c.name(), family.instance_name(params, i as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for family in Family::ALL {
+            let a = family.generate_case(7);
+            let b = family.generate_case(7);
+            assert_eq!(a, b, "{family}");
+            assert_eq!(a.circuit, b.circuit, "{family}");
+        }
+    }
+
+    #[test]
+    fn random_families_vary_with_the_seed() {
+        for family in [Family::Qaoa, Family::CliffordT, Family::Layered] {
+            let params = family.grid()[0];
+            let a = family.generate(&params, 1);
+            let b = family.generate(&params, 2);
+            assert_ne!(a.instructions(), b.instructions(), "{family}");
+        }
+    }
+
+    #[test]
+    fn names_parse_back_and_are_stable() {
+        for family in Family::ALL {
+            assert_eq!(Family::parse(family.name()), Some(family));
+            assert!(!family.description().is_empty());
+        }
+        assert_eq!(Family::parse("nope"), None);
+        let case = Family::Layered.generate_case(42);
+        assert!(case.name.starts_with("layered-n"), "{}", case.name);
+        assert!(case.name.ends_with("-s42"), "{}", case.name);
+        assert_eq!(case.circuit.name(), case.name);
+    }
+
+    #[test]
+    fn layered_density_controls_three_qubit_gates() {
+        let zero = Family::Layered.generate(
+            &Params {
+                qubits: 8,
+                depth: 16,
+                three_q_density: 0.0,
+            },
+            3,
+        );
+        assert_eq!(zero.counts().three_qubit, 0);
+        let dense = Family::Layered.generate(
+            &Params {
+                qubits: 8,
+                depth: 16,
+                three_q_density: 1.0,
+            },
+            3,
+        );
+        assert!(dense.counts().three_qubit >= 16, "one 3q gate per layer");
+    }
+
+    #[test]
+    fn toffoli_ripple_contains_toffolis_and_qaoa_does_not() {
+        let ripple = Family::ToffoliRipple.generate(&Params::new(6, 2), 0);
+        assert!(ripple.counts().ccx > 0);
+        let qaoa = Family::Qaoa.generate(&Params::new(6, 2), 0);
+        assert_eq!(qaoa.counts().three_qubit, 0);
+        assert!(
+            qaoa.counts().two_qubit > 0,
+            "G(6, 1/2) is nonempty at seed 0"
+        );
+    }
+
+    #[test]
+    fn suite_cycles_families_and_advances_seeds() {
+        let suite = generate_suite(&[Family::Qft, Family::Layered], 5, 10);
+        assert_eq!(suite.len(), 5);
+        assert_eq!(suite[0].family, Family::Qft);
+        assert_eq!(suite[1].family, Family::Layered);
+        assert_eq!(suite[2].family, Family::Qft);
+        for (i, case) in suite.iter().enumerate() {
+            assert_eq!(case.seed, 10 + i as u64);
+        }
+        // Regenerating the suite is byte-identical.
+        assert_eq!(
+            suite,
+            generate_suite(&[Family::Qft, Family::Layered], 5, 10)
+        );
+    }
+
+    #[test]
+    fn distinct_seeds_produce_distinct_structural_hashes_on_random_families() {
+        // The cache-soundness property the fuzz harness relies on: cases
+        // with different seeds must not collide into one cache entry.
+        let mut hashes = std::collections::HashSet::new();
+        for seed in 0..64 {
+            let case = Family::Layered.generate_case(seed);
+            assert!(
+                hashes.insert(case.circuit.structural_hash()),
+                "seed {seed} collided"
+            );
+        }
+    }
+
+    #[test]
+    fn qft_family_matches_the_benchmark_generator() {
+        let params = Params::new(5, 0);
+        let ours = Family::Qft.generate(&params, 9);
+        let reference = trios_benchmarks::qft(5);
+        assert_eq!(ours.instructions(), reference.instructions());
+    }
+
+    #[test]
+    fn narrow_widths_are_rejected() {
+        assert!(
+            std::panic::catch_unwind(|| Family::Layered.generate(&Params::new(2, 4), 0)).is_err()
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! # trios-gen — seeded generators of structured circuit families
+//!
+//! The paper evaluates on a fixed, hand-picked benchmark suite (Table 1);
+//! this crate produces *unbounded* structured workloads so the rest of the
+//! workspace — the differential fuzz harness in `trios_core::fuzz`, the
+//! sweep engine, and the benches — can exercise every router and pass on
+//! inputs nobody hand-picked.
+//!
+//! Each [`Family`] is a named generator with a fixed [parameter
+//! grid](Family::grid) and a seeded [`Family::generate`]. Generation is
+//! **fully deterministic**: the same `(family, params, seed)` triple
+//! produces a byte-identical circuit on every platform (the workspace's
+//! vendored xoshiro256++ PRNG is seed-stable), so any fuzz failure is
+//! reproducible from its case name alone.
+//!
+//! | name             | family                                                |
+//! |------------------|-------------------------------------------------------|
+//! | `qft`            | textbook quantum Fourier transform (Toffoli-free)     |
+//! | `qaoa`           | QAOA Max-Cut on a seeded Erdős–Rényi random graph     |
+//! | `clifford-t`     | uniformly random Clifford+T circuits                  |
+//! | `toffoli-ripple` | ripple-carry / CnX-style chains of overlapping CCXs   |
+//! | `layered`        | layered random circuits with tunable 3q-gate density  |
+//!
+//! # Examples
+//!
+//! ```
+//! use trios_gen::Family;
+//!
+//! // Same seed, same circuit — the determinism the fuzz harness relies on.
+//! let a = Family::Layered.generate_case(42);
+//! let b = Family::Layered.generate_case(42);
+//! assert_eq!(a.circuit, b.circuit);
+//! assert!(a.name.starts_with("layered-"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod families;
+
+pub use families::{generate_suite, Family, GeneratedCircuit, Params};

@@ -35,6 +35,14 @@ pub enum LegalityViolation {
         /// Device width.
         device: usize,
     },
+    /// A gate outside the hardware set (arbitrary 1q gates, CX,
+    /// measurement) survived lowering — e.g. an unlowered SWAP or CZ.
+    /// Reported by [`verify_legal`] only; [`check_legal`] validates
+    /// placement, not the gate basis.
+    NonHardwareGate {
+        /// Index of the instruction.
+        instruction: usize,
+    },
 }
 
 impl fmt::Display for LegalityViolation {
@@ -55,6 +63,11 @@ impl fmt::Display for LegalityViolation {
             LegalityViolation::TooWide { circuit, device } => write!(
                 f,
                 "circuit has {circuit} qubits but the device only has {device}"
+            ),
+            LegalityViolation::NonHardwareGate { instruction } => write!(
+                f,
+                "instruction {instruction} uses a gate outside the hardware set \
+                 (1q gates, CX, measurement)"
             ),
         }
     }
@@ -126,6 +139,65 @@ pub fn check_legal(
     Ok(())
 }
 
+/// The error type of [`verify_legal`].
+///
+/// Currently an alias of [`LegalityViolation`]; the name is the stable
+/// part of the contract (callers match on the violation variants).
+pub type LegalityError = LegalityViolation;
+
+/// Verifies that `circuit` is fully routed and fully decomposed for
+/// `topology`: it fits the device, every two-qubit gate sits on a
+/// coupling edge, no three-qubit gate survives (an intact Toffoli after
+/// compilation means routing never finished its job), and every gate is
+/// in the hardware set (arbitrary 1q gates, CX, measurement).
+///
+/// This is the strict, public form of [`check_legal`] — the invariant a
+/// *finished* compilation must satisfy, used by the fuzz harness and
+/// available to downstream callers validating circuits from any source.
+/// For the mid-pipeline state where gathered Toffolis are still intact
+/// (or SWAPs not yet lowered), call [`check_legal`], which validates
+/// placement only.
+///
+/// # Errors
+///
+/// Returns the first [`LegalityError`] found:
+///
+/// * [`LegalityViolation::TooWide`] — the circuit references qubits
+///   outside the device's range,
+/// * [`LegalityViolation::NonAdjacentPair`] — a two-qubit gate spans a
+///   disconnected (non-edge) pair,
+/// * [`LegalityViolation::ToffoliPresent`] — an unrouted three-qubit
+///   gate survives,
+/// * [`LegalityViolation::NonHardwareGate`] — a well-placed gate is
+///   still outside the hardware basis (e.g. an unlowered SWAP or CZ).
+///
+/// # Examples
+///
+/// ```
+/// use trios_ir::Circuit;
+/// use trios_route::{verify_legal, LegalityViolation};
+/// use trios_topology::line;
+///
+/// let mut c = Circuit::new(3);
+/// c.cx(0, 2); // 0 and 2 are not adjacent on a line
+/// assert!(matches!(
+///     verify_legal(&c, &line(3)),
+///     Err(LegalityViolation::NonAdjacentPair { .. })
+/// ));
+/// ```
+pub fn verify_legal(circuit: &Circuit, topology: &Topology) -> Result<(), LegalityError> {
+    // Placement first (non-adjacent pairs and surviving Toffolis give
+    // the more specific diagnosis), then the gate basis.
+    check_legal(circuit, topology, ToffoliPolicy::Forbid)?;
+    match circuit
+        .iter()
+        .position(|i| !i.gate().is_hardware_supported())
+    {
+        Some(instruction) => Err(LegalityViolation::NonHardwareGate { instruction }),
+        None => Ok(()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +248,85 @@ mod tests {
             check_legal(&c, &line(3), ToffoliPolicy::Forbid),
             Err(LegalityViolation::TooWide { .. })
         ));
+    }
+
+    #[test]
+    fn verify_legal_accepts_finished_compilations() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(1, 2).cx(2, 3).measure(3);
+        assert_eq!(verify_legal(&c, &line(4)), Ok(()));
+    }
+
+    #[test]
+    fn verify_legal_reports_disconnected_edges() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cz(0, 3); // (0,3) is not a line edge
+        assert_eq!(
+            verify_legal(&c, &line(4)),
+            Err(LegalityViolation::NonAdjacentPair {
+                instruction: 1,
+                a: 0,
+                b: 3
+            })
+        );
+    }
+
+    #[test]
+    fn verify_legal_reports_out_of_range_qubits() {
+        // The circuit addresses qubits 0..=6; the device only has 0..=4.
+        let mut c = Circuit::new(7);
+        c.cx(5, 6);
+        assert_eq!(
+            verify_legal(&c, &line(5)),
+            Err(LegalityViolation::TooWide {
+                circuit: 7,
+                device: 5
+            })
+        );
+    }
+
+    #[test]
+    fn verify_legal_reports_unrouted_three_qubit_gates() {
+        // Even a perfectly gathered trio fails: a finished compilation
+        // has no three-qubit gates left at all.
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        assert_eq!(
+            verify_legal(&c, &line(3)),
+            Err(LegalityViolation::ToffoliPresent { instruction: 0 })
+        );
+    }
+
+    #[test]
+    fn verify_legal_reports_unlowered_hardware_gates() {
+        // A SWAP (or CZ) on a perfectly good edge passes placement but
+        // is not in the hardware basis: a finished compilation must have
+        // lowered it.
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).swap(1, 2);
+        assert_eq!(
+            verify_legal(&c, &line(3)),
+            Err(LegalityViolation::NonHardwareGate { instruction: 1 })
+        );
+        let mut c = Circuit::new(2);
+        c.cz(0, 1);
+        assert!(matches!(
+            verify_legal(&c, &line(2)),
+            Err(LegalityViolation::NonHardwareGate { instruction: 0 })
+        ));
+        // check_legal stays placement-only: the same circuits pass it.
+        let mut swaps = Circuit::new(3);
+        swaps.cx(0, 1).swap(1, 2);
+        assert!(check_legal(&swaps, &line(3), ToffoliPolicy::Forbid).is_ok());
+    }
+
+    #[test]
+    fn violations_render_their_coordinates() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 2);
+        let err = verify_legal(&c, &line(3)).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("instruction 0"), "{text}");
+        assert!(text.contains('2'), "{text}");
     }
 }

@@ -20,8 +20,9 @@
 //!   placement-appropriate decomposition (6-CNOT on triangles, 8-CNOT with
 //!   the correct middle on lines). (A thin shim over
 //!   [`OrchestratedTrios`].)
-//! * [`check_legal`] — the hardware-legality invariant every strategy must
-//!   (and is tested to) satisfy.
+//! * [`check_legal`] / [`verify_legal`] — the hardware-legality invariant
+//!   every strategy must (and is tested to) satisfy; `verify_legal` is the
+//!   strict form for finished compilations.
 //!
 //! # Examples
 //!
@@ -59,7 +60,7 @@ mod strategy;
 pub use engine::RoutingEngine;
 pub use error::RouteError;
 pub use layout::Layout;
-pub use legality::{check_legal, LegalityViolation, ToffoliPolicy};
+pub use legality::{check_legal, verify_legal, LegalityError, LegalityViolation, ToffoliPolicy};
 pub use mapper::{initial_layout, InitialMapping};
 pub use options::{DirectionPolicy, LookaheadConfig, PathMetric, RouterOptions};
 pub use router::{route_baseline, route_trios, RoutedCircuit, TrioEvent};

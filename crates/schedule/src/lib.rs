@@ -33,5 +33,5 @@ mod durations;
 
 pub use alap::{alap_idle_us, asap_idle_us, idle_report, schedule_alap, IdleReport};
 pub use asap::{schedule_asap, Schedule, ScheduledOp};
-pub use crosstalk::{crosstalk_conflicts, schedule_crosstalk_aware};
+pub use crosstalk::{crosstalk_conflicts, schedule_crosstalk_aware, schedule_crosstalk_aware_alap};
 pub use durations::GateDurations;

@@ -13,7 +13,8 @@
 //! | [`noise`] | Johannesburg calibration and the §2.6 success model |
 //! | [`sim`] | statevector simulator and equivalence checking |
 //! | [`benchmarks`] | the Table 1 benchmark generators (+ extended suite) |
-//! | [`core`] | the end-to-end baseline and Trios pipelines |
+//! | [`gen`] | seeded structured-circuit families for fuzzing |
+//! | [`core`] | the end-to-end baseline and Trios pipelines (+ fuzz harness) |
 //! | [`qasm`] | OpenQASM 2.0 emitter and parser |
 //!
 //! # Quick start
@@ -42,6 +43,7 @@
 
 pub use trios_benchmarks as benchmarks;
 pub use trios_core as core;
+pub use trios_gen as gen;
 pub use trios_ir as ir;
 pub use trios_noise as noise;
 pub use trios_passes as passes;

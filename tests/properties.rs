@@ -5,8 +5,10 @@
 //! compiled outputs must survive an OpenQASM round trip.
 
 use proptest::prelude::*;
-use trios_core::{CompileOptions, Compiler, DirectionPolicy, Pipeline, ToffoliDecomposition};
-use trios_ir::Circuit;
+use trios_core::{
+    CompilationCache, CompileOptions, Compiler, DirectionPolicy, Pipeline, ToffoliDecomposition,
+};
+use trios_ir::{Circuit, Instruction};
 use trios_route::{check_legal, Layout, LookaheadConfig, ToffoliPolicy};
 use trios_sim::compiled_equivalent;
 use trios_topology::{clusters, grid, johannesburg, line, ring, Topology};
@@ -227,6 +229,50 @@ proptest! {
     }
 
     #[test]
+    fn structural_hash_is_stable_on_clones_and_rebuilds(
+        gates in proptest::collection::vec(arb_gate(6), 1..20),
+    ) {
+        let circuit = build_circuit(6, &gates);
+        // Clone: trivially equal structure.
+        prop_assert_eq!(circuit.structural_hash(), circuit.clone().structural_hash());
+        // Semantically identical rebuild: same instruction stream pushed
+        // through a fresh builder, under a different name.
+        let mut rebuilt = Circuit::with_name(6, "rebuilt-under-another-name");
+        for &(kind, a, b, c) in &gates {
+            let one = build_circuit(6, &[(kind, a, b, c)]);
+            rebuilt.append(&one);
+        }
+        prop_assert_eq!(circuit.structural_hash(), rebuilt.structural_hash());
+        // And via from_instructions (the deserialization path).
+        let again = Circuit::from_instructions(6, circuit.instructions().to_vec()).unwrap();
+        prop_assert_eq!(circuit.structural_hash(), again.structural_hash());
+    }
+
+    #[test]
+    fn structural_hash_changes_when_gate_order_or_operands_change(
+        gates in proptest::collection::vec(arb_gate(6), 2..16),
+        swap_at in any::<proptest::sample::Index>(),
+    ) {
+        let circuit = build_circuit(6, &gates);
+        let original = circuit.structural_hash();
+
+        // Swapping two adjacent distinct instructions changes the hash.
+        let i = swap_at.index(gates.len() - 1);
+        let mut instructions: Vec<Instruction> = circuit.instructions().to_vec();
+        instructions.swap(i, i + 1);
+        if instructions != circuit.instructions() {
+            let reordered = Circuit::from_instructions(6, instructions).unwrap();
+            prop_assert_ne!(original, reordered.structural_hash(), "order must be hashed");
+        }
+
+        // Rotating every operand label (same width, no fixed points)
+        // changes the hash: operands are part of the structure, and no
+        // instruction can equal its relabeled self.
+        let rotated = circuit.remapped(6, &[1, 2, 3, 4, 5, 0]).unwrap();
+        prop_assert_ne!(original, rotated.structural_hash(), "operands must be hashed");
+    }
+
+    #[test]
     fn direction_policies_insert_minimal_swaps_for_single_pair(
         a in 0usize..20,
         b in 0usize..20,
@@ -253,4 +299,45 @@ proptest! {
         let d = topo.distance(a, b).unwrap();
         prop_assert_eq!(compiled.stats.swap_count, d - 1);
     }
+}
+
+/// Generated circuits with distinct seeds must never false-hit the
+/// compilation cache: every random-family case gets its own key, and a
+/// warm batch over the full set replays each case's own result.
+#[test]
+fn generated_circuits_with_distinct_seeds_never_false_hit_the_cache() {
+    use orchestrated_trios::gen::Family;
+
+    let topo = line(8);
+    let options = CompileOptions::default();
+    let mut keys = std::collections::HashSet::new();
+    let mut circuits = Vec::new();
+    for family in [Family::Layered, Family::CliffordT, Family::Qaoa] {
+        for seed in 0..24 {
+            let case = family.generate_case(seed);
+            assert!(
+                keys.insert(CompilationCache::key(&case.circuit, &topo, &options)),
+                "{} seed {seed} collided with an earlier case",
+                family.name()
+            );
+            if case.circuit.num_qubits() <= topo.num_qubits() {
+                circuits.push(case.circuit);
+            }
+        }
+    }
+
+    // Cold batch fills the cache; a warm rerun must hit every job and
+    // return exactly the cold results (a false hit would splice another
+    // case's program in).
+    let compiler = Compiler::new(options);
+    let cache = CompilationCache::new(circuits.len());
+    let cold = compiler
+        .compile_batch_parallel_with_cache(&circuits, &topo, 4, Some(&cache))
+        .unwrap();
+    assert_eq!(cold.report.cache_hits, 0, "distinct cases must all miss");
+    let warm = compiler
+        .compile_batch_parallel_with_cache(&circuits, &topo, 4, Some(&cache))
+        .unwrap();
+    assert_eq!(warm.report.cache_hits as usize, circuits.len());
+    assert_eq!(warm.results, cold.results);
 }

@@ -308,6 +308,32 @@ pub mod sample {
             picked.into_iter().map(|i| self.values[i].clone()).collect()
         }
     }
+
+    /// A deferred collection index, as in proptest's `sample::Index`:
+    /// drawn with `any::<Index>()` and resolved against a concrete
+    /// length with [`Index::index`], so one strategy works for
+    /// collections whose size is only known inside the test body.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolves to a valid index into a collection of `len` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl crate::Arbitrary for Index {
+        fn arbitrary(rng: &mut StdRng) -> Index {
+            use rand::Rng as _;
+            Index(rng.gen_range(0u64..u64::MAX))
+        }
+    }
 }
 
 /// Seeds each property's RNG from its name, so runs are reproducible.
@@ -390,6 +416,30 @@ macro_rules! prop_assert_eq {
     }};
 }
 
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {l:?}",
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  both: {l:?}",
+                format!($($fmt)*),
+            )));
+        }
+    }};
+}
+
 /// Skips the current case unless `cond` holds.
 #[macro_export]
 macro_rules! prop_assume {
@@ -403,7 +453,9 @@ macro_rules! prop_assume {
 /// The usual glob import for property tests.
 pub mod prelude {
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy,
+    };
 }
 
 #[cfg(test)]
@@ -449,6 +501,14 @@ mod tests {
             prop_assert!(x < 100);
             prop_assume!(flip);
             prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+
+        #[test]
+        fn index_resolves_in_bounds(idx in any::<crate::sample::Index>(), len in 1usize..40) {
+            prop_assert!(idx.index(len) < len);
+            // Resolution is stable for one drawn Index.
+            prop_assert_eq!(idx.index(len), idx.index(len));
         }
     }
 }
