@@ -1,0 +1,272 @@
+//! Serve-mode throughput: seeded `trios-gen` traffic replayed against an
+//! in-process [`trios_server::Server`] by N concurrent clients, emitted
+//! as `BENCH_serve.json` — the daemon's perf trajectory later PRs regress
+//! against.
+//!
+//! Four measurements:
+//!
+//! * **cold** — every request is a distinct generated circuit, so every
+//!   one pays a full compile: the pipeline-bound regime.
+//! * **warm** — the identical request list again: every request hits the
+//!   shared sharded cache, so this is the protocol+cache-bound regime.
+//!   The warm/cold speedup is the headline number (must be ≥ 2×).
+//! * **busy** — a burst at a one-slot queue with one worker must observe
+//!   structured `busy` errors, never a hang.
+//! * **drain** — jobs queued at shutdown are all answered before join
+//!   returns.
+//!
+//! Run with `cargo bench -p trios-bench --bench serve_throughput`.
+//! Pass `-- --test` (as CI does) for a fast smoke run: a reduced request
+//! grid, no file output, with the same invariants asserted.
+
+use std::time::Instant;
+use trios_server::{Client, Server, ServerConfig};
+
+/// Seeded request lines: `clients × per_client` distinct generated
+/// circuits (families round-robin, seeds never reused), split so client
+/// `c` replays slice `c`. Identical across runs — the traffic is part of
+/// the benchmark definition.
+fn traffic(clients: usize, per_client: usize) -> Vec<Vec<String>> {
+    const FAMILIES: [&str; 4] = ["qft", "toffoli-ripple", "clifford-t", "layered"];
+    (0..clients)
+        .map(|c| {
+            (0..per_client)
+                .map(|i| {
+                    let n = c * per_client + i;
+                    let family = FAMILIES[n % FAMILIES.len()];
+                    // The routing seed varies per request: families like
+                    // qft are structurally deterministic per width, so the
+                    // gen seed alone would not keep cache keys distinct.
+                    format!(
+                        r#"{{"benchmark": "gen:{family}:{seed}", "device": "line:8", "seed": {n}}}"#,
+                        seed = n / FAMILIES.len()
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Replays each client's slice on its own connection/thread; returns the
+/// wall time and the number of `"cached":true` responses.
+fn replay(addr: std::net::SocketAddr, requests: &[Vec<String>]) -> (f64, u64) {
+    let started = Instant::now();
+    let cached: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|slice| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut cached = 0u64;
+                    for params in slice {
+                        let response = client.call("compile", params).expect("call");
+                        assert!(
+                            response.contains(r#""ok":true"#),
+                            "request failed: {response}"
+                        );
+                        if response.contains(r#""cached":true"#) {
+                            cached += 1;
+                        }
+                    }
+                    cached
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    (started.elapsed().as_secs_f64(), cached)
+}
+
+struct Phase {
+    requests: usize,
+    wall_s: f64,
+    rps: f64,
+}
+
+fn run_phase(addr: std::net::SocketAddr, requests: &[Vec<String>]) -> (Phase, u64) {
+    let total: usize = requests.iter().map(Vec::len).sum();
+    let (wall_s, cached) = replay(addr, requests);
+    (
+        Phase {
+            requests: total,
+            wall_s,
+            rps: total as f64 / wall_s,
+        },
+        cached,
+    )
+}
+
+/// The busy probe: a burst at a deliberately tiny server. Returns
+/// (ok, busy) response counts; the call itself completing proves the
+/// full queue rejects instead of hanging.
+fn busy_probe(burst: usize) -> (u64, u64) {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        cache_capacity: 0,
+        allow_shutdown: true,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for i in 0..burst {
+        client
+            .send_raw(&format!(
+                r#"{{"id": {i}, "method": "compile", "params": {{"benchmark": "cnx_dirty-11", "seed": {i}}}}}"#
+            ))
+            .expect("send");
+    }
+    let (mut ok, mut busy) = (0u64, 0u64);
+    for _ in 0..burst {
+        let response = client.read_line().expect("read");
+        if response.contains(r#""ok":true"#) {
+            ok += 1;
+        } else {
+            assert!(response.contains(r#""kind":"busy""#), "{response}");
+            busy += 1;
+        }
+    }
+    server.shutdown();
+    server.join();
+    (ok, busy)
+}
+
+/// The drain probe: queue `jobs` compiles on one worker, request
+/// shutdown, count the answers that still arrive. Returns answered jobs.
+fn drain_probe(jobs: usize) -> usize {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        allow_shutdown: true,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for i in 1..=jobs {
+        client
+            .send_raw(&format!(
+                r#"{{"id": {i}, "method": "compile", "params": {{"benchmark": "bv-20", "seed": {i}}}}}"#
+            ))
+            .expect("send");
+    }
+    client
+        .send_raw(r#"{"id": 0, "method": "shutdown"}"#)
+        .expect("send");
+    let mut answered = 0;
+    for _ in 0..=jobs {
+        let response = client.read_line().expect("read");
+        if response.contains(r#""cached""#) {
+            assert!(response.contains(r#""ok":true"#), "{response}");
+            answered += 1;
+        }
+    }
+    server.join();
+    answered
+}
+
+fn run(clients: usize, per_client: usize) -> (Phase, Phase, trios_server::ServerSnapshot) {
+    let server = Server::start(ServerConfig {
+        workers: 4,
+        allow_shutdown: true,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let requests = traffic(clients, per_client);
+
+    let (cold, cached_cold) = run_phase(addr, &requests);
+    assert_eq!(cached_cold, 0, "cold requests are all distinct");
+    let (warm, cached_warm) = run_phase(addr, &requests);
+    assert_eq!(
+        cached_warm as usize, warm.requests,
+        "warm requests must all hit the shared cache"
+    );
+
+    let snapshot = server.snapshot();
+    assert_eq!(snapshot.served, (cold.requests + warm.requests) as u64);
+    server.shutdown();
+    server.join();
+    (cold, warm, snapshot)
+}
+
+fn run_test_mode() {
+    let (cold, warm, snapshot) = run(2, 4);
+    assert!(
+        warm.rps > cold.rps,
+        "warm replay must beat cold ({:.0} vs {:.0} rps)",
+        warm.rps,
+        cold.rps
+    );
+    assert!(snapshot.latency.p99_us >= snapshot.latency.p50_us);
+    let (ok, busy) = busy_probe(16);
+    assert!(ok >= 1 && busy >= 1, "burst: {ok} ok, {busy} busy");
+    assert_eq!(drain_probe(3), 3, "shutdown must drain queued jobs");
+    println!(
+        "serve_throughput --test: cold {:.0} rps, warm {:.0} rps ({:.1}x), {} busy in burst, drain ok",
+        cold.rps,
+        warm.rps,
+        warm.rps / cold.rps,
+        busy
+    );
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--test") {
+        run_test_mode();
+        return;
+    }
+
+    let clients = 4;
+    let per_client = 32;
+    let (cold, warm, snapshot) = run(clients, per_client);
+    let speedup = warm.rps / cold.rps;
+    assert!(
+        speedup >= 2.0,
+        "warm replay must be at least 2x cold, got {speedup:.2}x"
+    );
+    let (ok, busy) = busy_probe(32);
+    assert!(busy >= 1, "the burst must observe busy backpressure");
+    let drain_jobs = 5;
+    let drained = drain_probe(drain_jobs);
+    assert_eq!(drained, drain_jobs, "shutdown must drain queued jobs");
+
+    let phase_json = |p: &Phase| {
+        format!(
+            r#"{{"requests": {}, "wall_s": {:.4}, "requests_per_s": {:.1}}}"#,
+            p.requests, p.wall_s, p.rps
+        )
+    };
+    let json = format!(
+        r#"{{
+  "bench": "serve_throughput",
+  "config": {{"clients": {clients}, "requests_per_client": {per_client}, "workers": 4, "shards": {shards}}},
+  "cold": {cold_json},
+  "warm": {warm_json},
+  "warm_over_cold": {speedup:.2},
+  "latency_us": {{"count": {lc}, "p50": {p50}, "p90": {p90}, "p99": {p99}, "max": {max}}},
+  "cache": {{"hits": {hits}, "misses": {misses}}},
+  "busy_burst": {{"requests": 32, "ok": {ok}, "busy": {busy}}},
+  "drain": {{"queued": {drain_jobs}, "answered": {drained}}}
+}}
+"#,
+        shards = snapshot.shards.len(),
+        cold_json = phase_json(&cold),
+        warm_json = phase_json(&warm),
+        lc = snapshot.latency.count,
+        p50 = snapshot.latency.p50_us,
+        p90 = snapshot.latency.p90_us,
+        p99 = snapshot.latency.p99_us,
+        max = snapshot.latency.max_us,
+        hits = snapshot.cache.hits,
+        misses = snapshot.cache.misses,
+    );
+
+    // Anchor at the workspace root regardless of the bench's cwd.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    println!(
+        "serve_throughput: cold {:.0} rps, warm {:.0} rps ({speedup:.1}x), p99 {}us, \
+         {busy} busy in burst, {drained}/{drain_jobs} drained",
+        cold.rps, warm.rps, snapshot.latency.p99_us
+    );
+    println!("wrote BENCH_serve.json");
+}

@@ -2,9 +2,7 @@
 
 use crate::CliError;
 use trios_core::{Pipeline, StrategyRegistry, ToffoliDecomposition};
-use trios_topology::{
-    clusters, full, grid, heavy_hex_falcon27, johannesburg, line, ring, Topology,
-};
+use trios_topology::{parse_spec, Topology};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +28,8 @@ pub enum Command {
     Gen(GenOptions),
     /// `trios fuzz [flags]` — the differential fuzz harness.
     Fuzz(FuzzOptions),
+    /// `trios serve [flags]` — the compilation daemon.
+    Serve(ServeOptions),
     /// `trios help` (also `-h` / `--help` / no arguments).
     Help,
 }
@@ -84,6 +84,46 @@ impl Default for FuzzOptions {
             jobs: 0,
             cache_size: 256,
             shrink: false,
+        }
+    }
+}
+
+/// Flags of `trios serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (`0` = one per available core).
+    pub workers: usize,
+    /// Admission queue capacity; a full queue answers `busy`.
+    pub queue: usize,
+    /// Compilation-cache shard count.
+    pub shards: usize,
+    /// Total compilation-cache capacity in entries (`0` disables).
+    pub cache_size: usize,
+    /// Per-request budget in milliseconds (`0` = no timeout).
+    pub timeout_ms: u64,
+    /// Maximum request line length in KiB.
+    pub max_line_kb: usize,
+    /// Honor `shutdown` requests from clients.
+    pub allow_shutdown: bool,
+    /// Smoke mode: bind an ephemeral port, round-trip one compile
+    /// through a real socket, and exit 0 — a CI/liveness probe.
+    pub check: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7878".into(),
+            workers: 0,
+            queue: 64,
+            shards: 8,
+            cache_size: 256,
+            timeout_ms: 0,
+            max_line_kb: 1024,
+            allow_shutdown: false,
+            check: false,
         }
     }
 }
@@ -389,6 +429,54 @@ fn parse_fuzz_args(rest: &[&String]) -> Result<FuzzOptions, CliError> {
     Ok(options)
 }
 
+fn parse_serve_args(rest: &[&String]) -> Result<ServeOptions, CliError> {
+    let mut options = ServeOptions::default();
+    let mut i = 0usize;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--addr" | "-a" => options.addr = flag_value(rest, &mut i, "--addr")?,
+            "--workers" | "-j" => {
+                let v = flag_value(rest, &mut i, "--workers")?;
+                options.workers = flag_int("--workers", v)?;
+            }
+            "--queue" | "-q" => {
+                let v = flag_value(rest, &mut i, "--queue")?;
+                options.queue = flag_int("--queue", v)?;
+            }
+            "--shards" => {
+                let v = flag_value(rest, &mut i, "--shards")?;
+                options.shards = flag_int("--shards", v)?;
+            }
+            "--cache-size" => {
+                let v = flag_value(rest, &mut i, "--cache-size")?;
+                options.cache_size = flag_int("--cache-size", v)?;
+            }
+            "--timeout-ms" => {
+                let v = flag_value(rest, &mut i, "--timeout-ms")?;
+                options.timeout_ms = flag_int("--timeout-ms", v)?;
+            }
+            "--max-line-kb" => {
+                let v = flag_value(rest, &mut i, "--max-line-kb")?;
+                options.max_line_kb = flag_int("--max-line-kb", v)?;
+            }
+            "--allow-shutdown" => options.allow_shutdown = true,
+            "--check" => options.check = true,
+            flag => {
+                return Err(CliError::Usage(format!(
+                    "unknown serve flag or argument '{flag}'"
+                )))
+            }
+        }
+        i += 1;
+    }
+    if options.queue == 0 {
+        return Err(CliError::Usage(
+            "--queue must be at least 1 (a zero-slot queue rejects everything)".into(),
+        ));
+    }
+    Ok(options)
+}
+
 /// Parses a full argument list (without the program name).
 ///
 /// # Errors
@@ -415,6 +503,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "fuzz" => {
             let rest: Vec<&String> = it.collect();
             parse_fuzz_args(&rest).map(Command::Fuzz)
+        }
+        "serve" => {
+            let rest: Vec<&String> = it.collect();
+            parse_serve_args(&rest).map(Command::Serve)
         }
         "help" | "-h" | "--help" => Ok(Command::Help),
         "compile" | "compile-batch" | "estimate" | "verify" => {
@@ -517,42 +609,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     }
 }
 
-/// Resolves a device spec to a topology.
-///
-/// Named devices: `johannesburg`, `heavy-hex`, `grid` (5×4), `line` (20),
-/// `clusters` (4×5). Parametric: `line:N`, `ring:N`, `full:N`,
-/// `grid:CxR`, `clusters:KxS`.
+/// Resolves a device spec to a topology via the shared grammar in
+/// [`trios_topology::parse_spec`] (named devices plus `line:N`, `ring:N`,
+/// `full:N`, `grid:CxR`, `clusters:KxS`), so the CLI and the serve
+/// protocol accept identical specs.
 ///
 /// # Errors
 ///
 /// Returns [`CliError::Unknown`] for unrecognized specs.
 pub fn parse_device(spec: &str) -> Result<Topology, CliError> {
-    let unknown = || CliError::Unknown(format!("device '{spec}'"));
-    match spec {
-        "johannesburg" => return Ok(johannesburg()),
-        "heavy-hex" => return Ok(heavy_hex_falcon27()),
-        "grid" => return Ok(grid(5, 4)),
-        "line" => return Ok(line(20)),
-        "clusters" => return Ok(clusters(4, 5)),
-        _ => {}
-    }
-    let (kind, params) = spec.split_once(':').ok_or_else(unknown)?;
-    let parse_n = |s: &str| s.parse::<usize>().map_err(|_| unknown());
-    match kind {
-        "line" => Ok(line(parse_n(params)?)),
-        "ring" => Ok(ring(parse_n(params)?)),
-        "full" => Ok(full(parse_n(params)?)),
-        "grid" | "clusters" => {
-            let (a, b) = params.split_once('x').ok_or_else(unknown)?;
-            let (a, b) = (parse_n(a)?, parse_n(b)?);
-            if kind == "grid" {
-                Ok(grid(a, b))
-            } else {
-                Ok(clusters(a, b))
-            }
-        }
-        _ => Err(unknown()),
-    }
+    parse_spec(spec).map_err(|_| CliError::Unknown(format!("device '{spec}'")))
 }
 
 #[cfg(test)]
@@ -796,6 +862,53 @@ mod tests {
         assert!(parse_args(&args(&["fuzz", "--routers", "sabre"])).is_err());
         assert!(parse_args(&args(&["fuzz", "--wat"])).is_err());
         assert!(parse_args(&args(&["fuzz", "--cases"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_with_defaults_and_flags() {
+        let Command::Serve(o) = parse_args(&args(&["serve"])).unwrap() else {
+            panic!("expected serve");
+        };
+        assert_eq!(o, ServeOptions::default());
+        assert_eq!(o.addr, "127.0.0.1:7878");
+        assert!(!o.allow_shutdown && !o.check);
+
+        let Command::Serve(o) = parse_args(&args(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--queue",
+            "8",
+            "--shards",
+            "4",
+            "--cache-size",
+            "128",
+            "--timeout-ms",
+            "500",
+            "--max-line-kb",
+            "64",
+            "--allow-shutdown",
+            "--check",
+        ]))
+        .unwrap() else {
+            panic!("expected serve");
+        };
+        assert_eq!(o.addr, "127.0.0.1:0");
+        assert_eq!(o.workers, 2);
+        assert_eq!(o.queue, 8);
+        assert_eq!(o.shards, 4);
+        assert_eq!(o.cache_size, 128);
+        assert_eq!(o.timeout_ms, 500);
+        assert_eq!(o.max_line_kb, 64);
+        assert!(o.allow_shutdown);
+        assert!(o.check);
+
+        assert!(parse_args(&args(&["serve", "--queue", "0"])).is_err());
+        assert!(parse_args(&args(&["serve", "--workers", "x"])).is_err());
+        assert!(parse_args(&args(&["serve", "--wat"])).is_err());
+        assert!(parse_args(&args(&["serve", "positional"])).is_err());
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Command execution.
 
 use crate::args::{
-    parse_args, parse_device, BatchOptions, Command, FuzzOptions, GenOptions, Options, SweepOptions,
+    parse_args, parse_device, BatchOptions, Command, FuzzOptions, GenOptions, Options,
+    ServeOptions, SweepOptions,
 };
 use crate::CliError;
 use std::fmt::Write as _;
@@ -38,6 +39,9 @@ COMMANDS:
     fuzz [flags]                 differentially fuzz every router: generated
                                  circuits × devices × routers, simulator- and
                                  legality-checked, failures shrunk
+    serve [flags]                run the compilation daemon: line-delimited
+                                 JSON over TCP with a shared sharded cache,
+                                 admission control, and live stats
     help                         this text
 
 FLAGS (compile / estimate):
@@ -90,6 +94,19 @@ FLAGS (fuzz):
     --shrink                     minimize failing cases to QASM reproducers
     --jobs, -j / --seed, -s / --cache-size    as for compile-batch
 
+FLAGS (serve):
+    --addr, -a <host:port>       bind address        (default 127.0.0.1:7878)
+    --workers, -j <n>            worker threads      (default: one per core)
+    --queue, -q <n>              admission queue capacity; full queues answer
+                                 structured 'busy' errors       (default 64)
+    --shards <n>                 compilation-cache shard count   (default 8)
+    --cache-size <n>             total cache entries, 0 = off  (default 256)
+    --timeout-ms <n>             per-request budget, 0 = none    (default 0)
+    --max-line-kb <n>            request line limit in KiB    (default 1024)
+    --allow-shutdown             honor 'shutdown' requests from clients
+    --check                      smoke mode: bind an ephemeral port, round-
+                                 trip one compile, and exit 0 (CI probe)
+
 Benchmark inputs everywhere (compile/estimate/verify/sweep) also accept
 'gen:<family>:<seed>' for a generated instance.
 ";
@@ -126,6 +143,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Command::Sweep(options) => run_sweep_command(&options),
         Command::Gen(options) => run_gen_command(&options),
         Command::Fuzz(options) => run_fuzz_command(&options),
+        Command::Serve(options) => run_serve(&options),
         Command::Verify(options) => {
             let circuit = load_input(&options.input)?;
             let device = parse_device(&options.device)?;
@@ -287,6 +305,9 @@ fn run_compile_batch(batch: &BatchOptions) -> Result<String, CliError> {
     let _ = writeln!(out);
     if options.report {
         let _ = writeln!(out, "{}", outcome.report);
+        // The cache's own snapshot (the same CacheStats the serve daemon
+        // reports over the wire), next to the batch aggregates.
+        let _ = writeln!(out, "cache:           {}", cache.stats());
     } else {
         let report = &outcome.report;
         let _ = writeln!(
@@ -545,6 +566,73 @@ fn run_fuzz_command(options: &FuzzOptions) -> Result<String, CliError> {
             report: report.to_string(),
         })
     }
+}
+
+fn run_serve(options: &ServeOptions) -> Result<String, CliError> {
+    use trios_server::{Client, Server, ServerConfig};
+    let config = ServerConfig {
+        // --check must not collide with a real daemon on the default port.
+        addr: if options.check {
+            "127.0.0.1:0".into()
+        } else {
+            options.addr.clone()
+        },
+        workers: options.workers,
+        queue_capacity: options.queue,
+        shards: options.shards,
+        cache_capacity: options.cache_size,
+        timeout_ms: options.timeout_ms,
+        max_line_bytes: options.max_line_kb * 1024,
+        allow_shutdown: options.allow_shutdown || options.check,
+    };
+    let workers = config.effective_workers();
+    let server = Server::start(config)
+        .map_err(|e| CliError::Usage(format!("cannot bind '{}': {e}", options.addr)))?;
+    let addr = server.local_addr();
+
+    if options.check {
+        // Smoke probe: a real client on a real socket round-trips the
+        // whole stack — ping, one compile, stats, drained shutdown.
+        let mut client = Client::connect(addr)?;
+        client.ping()?;
+        let response = client.call(
+            "compile",
+            r#"{"benchmark": "cnx_inplace-4", "device": "line:6"}"#,
+        )?;
+        if !response.contains("\"ok\":true") {
+            return Err(CliError::Usage(format!(
+                "serve check: compile round-trip failed: {response}"
+            )));
+        }
+        let stats = client.call("stats", "{}")?;
+        if !stats.contains("\"served\"") {
+            return Err(CliError::Usage(format!(
+                "serve check: stats round-trip failed: {stats}"
+            )));
+        }
+        let _ = client.call("shutdown", "{}")?;
+        server.join();
+        return Ok(format!(
+            "serve check: ok ({addr}, ping + compile + stats round-tripped, drained)\n"
+        ));
+    }
+
+    // Daemon mode: announce immediately (run()'s return value only prints
+    // after the server stops), then block until a client asks us to stop
+    // (--allow-shutdown) or the process is killed.
+    println!(
+        "trios serve: listening on {addr} ({workers} workers, queue {}, {} cache entries in {} shards{})",
+        options.queue,
+        options.cache_size,
+        options.shards,
+        if options.allow_shutdown {
+            ", shutdown-by-request on"
+        } else {
+            ""
+        }
+    );
+    server.join();
+    Ok("trios serve: drained and stopped\n".to_string())
 }
 
 fn load_input(input: &str) -> Result<Circuit, CliError> {
@@ -964,6 +1052,9 @@ mod tests {
         assert!(out.contains("route-trios"), "{out}");
         assert!(out.contains("throughput:"), "{out}");
         assert!(out.contains("hit rate"), "{out}");
+        // The CacheStats snapshot line (shared with serve's stats method).
+        assert!(out.contains("cache:           "), "{out}");
+        assert!(out.contains("entries"), "{out}");
     }
 
     #[test]
@@ -1387,6 +1478,21 @@ mod tests {
             assert!(out.contains(pass), "missing pass {pass}:\n{out}");
         }
         assert!(out.contains("total:"));
+    }
+
+    #[test]
+    fn serve_check_round_trips_a_real_socket() {
+        let out = run(&args(&["serve", "--check", "--workers", "2"])).unwrap();
+        assert!(out.contains("serve check: ok"), "{out}");
+        assert!(out.contains("drained"), "{out}");
+    }
+
+    #[test]
+    fn help_names_the_serve_command() {
+        let out = run(&args(&["help"])).unwrap();
+        assert!(out.contains("serve"), "{out}");
+        assert!(out.contains("--allow-shutdown"), "{out}");
+        assert!(out.contains("--check"), "{out}");
     }
 
     #[test]

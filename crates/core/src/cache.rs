@@ -191,12 +191,103 @@ impl CompilationCache {
         (total > 0).then(|| inner.hits as f64 / total as f64)
     }
 
+    /// One consistent snapshot of every counter, read under a single lock
+    /// acquisition. Prefer this over calling [`hits`](Self::hits),
+    /// [`misses`](Self::misses), and [`len`](Self::len) separately: those
+    /// take the lock once each, so concurrent traffic can slip between
+    /// the reads and produce counters that never coexisted.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            len: inner.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+
     /// Drops every entry and resets the hit/miss counters.
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("cache lock poisoned");
         inner.entries.clear();
         inner.hits = 0;
         inner.misses = 0;
+    }
+}
+
+/// One atomic snapshot of a cache's counters: hits, misses, occupancy,
+/// and capacity read together under a single lock, so the numbers are
+/// mutually consistent even while other threads keep hitting the cache.
+///
+/// Produced by [`CompilationCache::stats`] and
+/// [`ShardedCache::stats`](crate::ShardedCache::stats); rendered by the
+/// `trios serve` stats method and `compile-batch --report`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub len: usize,
+    /// Maximum entries (0 = caching disabled).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Total lookups in the snapshot.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups that hit, or `None` before any lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        (self.lookups() > 0).then(|| self.hits as f64 / self.lookups() as f64)
+    }
+
+    /// The elementwise sum of two snapshots (aggregating shards).
+    pub(crate) fn merge(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            len: self.len + other.len,
+            capacity: self.capacity + other.capacity,
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses, {}/{} entries, hit rate {}",
+            self.hits,
+            self.misses,
+            self.len,
+            self.capacity,
+            match self.hit_rate() {
+                Some(rate) => format!("{:.1}%", rate * 100.0),
+                None => "n/a".into(),
+            }
+        )
+    }
+}
+
+#[cfg(feature = "serde")]
+mod cache_stats_serde {
+    use super::CacheStats;
+    use serde::{Serialize, SerializeStruct, Serializer};
+
+    impl Serialize for CacheStats {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let mut s = serializer.serialize_struct("CacheStats", 5)?;
+            s.serialize_field("hits", &self.hits)?;
+            s.serialize_field("misses", &self.misses)?;
+            s.serialize_field("len", &self.len)?;
+            s.serialize_field("capacity", &self.capacity)?;
+            s.serialize_field("hit_rate", &self.hit_rate())?;
+            s.end()
+        }
     }
 }
 
@@ -487,6 +578,26 @@ mod tests {
         cache.clear();
         assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 0, 0));
         assert_eq!(cache.hit_rate(), None);
+    }
+
+    #[test]
+    fn stats_snapshot_is_consistent_and_formats_the_empty_case() {
+        let cache = CompilationCache::new(4);
+        let stats = cache.stats();
+        assert_eq!(stats, CacheStats::default().merge(stats));
+        assert_eq!(stats.hit_rate(), None);
+        assert!(stats.to_string().contains("n/a"), "{stats}");
+        cache.insert(1, dummy(1));
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(2).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+        assert_eq!(stats.capacity, 4);
+        assert_eq!(stats.lookups(), 2);
+        assert_eq!(stats.hit_rate(), Some(0.5));
+        let text = stats.to_string();
+        assert!(text.contains("1 hits / 1 misses"), "{text}");
+        assert!(text.contains("50.0%"), "{text}");
     }
 
     #[test]

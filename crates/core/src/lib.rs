@@ -91,10 +91,11 @@ mod options;
 mod pass;
 mod pipeline;
 mod report;
+mod shard;
 pub mod sweep;
 
 pub use batch::{BatchOutcome, BatchPassStat, BatchReport};
-pub use cache::{CachedCompilation, CompilationCache};
+pub use cache::{CacheStats, CachedCompilation, CompilationCache};
 pub use compiler::{BatchDiagnostic, Compiler, CompilerBuilder};
 pub use context::{
     Artifact, ArtifactMap, CompileContext, PostRouteCircuit, ProgramSchedule, RouterTrace,
@@ -113,6 +114,7 @@ pub use pass::{
 };
 pub use pipeline::{compile, with_measurements, CompileError, CompiledProgram};
 pub use report::{CompileReport, CompileStats, PassRecord};
+pub use shard::ShardedCache;
 pub use sweep::{
     run_sweep, RatioRow, RouterGeomean, SweepBenchmark, SweepCell, SweepError, SweepMonteCarlo,
     SweepReport, SweepSpec,
@@ -127,4 +129,4 @@ pub use trios_route::{
     DirectionPolicy, InitialMapping, Layout, PathMetric, RoutingStrategy, RoutingTrace,
     StrategyRegistry,
 };
-pub use trios_topology::{PaperDevice, Topology};
+pub use trios_topology::{parse_spec, PaperDevice, SpecError, Topology};

@@ -1,0 +1,112 @@
+//! A minimal blocking client for the trios wire protocol.
+//!
+//! One connection, one request line out, one response line back — enough
+//! for the CLI's `serve --check` probe, the integration tests, and the
+//! bench harness. Request ids are assigned by the client and echoed by
+//! the server, so a caller interleaving its own raw lines can still match
+//! responses.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A blocking connection to a running trios server.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect (or clone) error.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        // Request/response over tiny messages: Nagle + delayed ACK would
+        // add ~40ms to every call.
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            writer,
+            reader,
+            next_id: 1,
+        })
+    }
+
+    /// Sends `{"id": <auto>, "method": ..., "params": ...}` and reads one
+    /// response line. `params_json` must be a JSON object literal (pass
+    /// `"{}"` for none).
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket error; a closed connection mid-response reads
+    /// as [`io::ErrorKind::UnexpectedEof`].
+    pub fn call(&mut self, method: &str, params_json: &str) -> io::Result<String> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let line = format!("{{\"id\":{id},\"method\":\"{method}\",\"params\":{params_json}}}");
+        self.send_raw(&line)?;
+        self.read_line()
+    }
+
+    /// Writes one raw request line (no trailing newline needed) without
+    /// reading a response.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket write error.
+    pub fn send_raw(&mut self, line: &str) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        self.writer.write_all(&buf)?;
+        self.writer.flush()
+    }
+
+    /// Reads one response line (without the newline).
+    ///
+    /// # Errors
+    ///
+    /// Returns socket errors; EOF before a newline is
+    /// [`io::ErrorKind::UnexpectedEof`].
+    pub fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end_matches(['\n', '\r']).to_string())
+    }
+
+    /// Round-trips a `ping` and checks the `pong` came back.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or [`io::ErrorKind::InvalidData`] if the response
+    /// is not a pong.
+    pub fn ping(&mut self) -> io::Result<()> {
+        let response = self.call("ping", "{}")?;
+        let value = serde_json::from_str(&response)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let pong = value.get("ok").and_then(|v| v.as_bool()) == Some(true)
+            && value
+                .get("result")
+                .and_then(|r| r.get("pong"))
+                .and_then(|v| v.as_bool())
+                == Some(true);
+        if pong {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a pong, got: {response}"),
+            ))
+        }
+    }
+}

@@ -27,8 +27,10 @@ mod error;
 mod graph;
 mod named;
 mod render;
+mod spec;
 
 pub use error::TopologyError;
 pub use graph::{Topology, TripleShape};
 pub use named::{clusters, full, grid, heavy_hex_falcon27, johannesburg, line, ring, PaperDevice};
 pub use render::GridEmbedding;
+pub use spec::{parse_spec, SpecError};

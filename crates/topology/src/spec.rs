@@ -1,0 +1,126 @@
+//! Textual device specs (`line:8`, `grid:5x4`, `johannesburg`, …).
+//!
+//! One grammar shared by every surface that names devices in text: the
+//! `trios` CLI flags (`--device`, `--devices`) and the `trios-server`
+//! protocol's per-request `device` field, so a spec means the same
+//! topology everywhere.
+
+use crate::{clusters, full, grid, heavy_hex_falcon27, johannesburg, line, ring, Topology};
+use std::error::Error;
+use std::fmt;
+
+/// A device spec that names no known topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// The spec as given.
+    pub spec: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown device '{}' (named: johannesburg, heavy-hex, grid, line, clusters; \
+             parametric: line:N, ring:N, full:N, grid:CxR, clusters:KxS)",
+            self.spec
+        )
+    }
+}
+
+impl Error for SpecError {}
+
+/// Resolves a device spec to a topology.
+///
+/// Named devices: `johannesburg`, `heavy-hex`, `grid` (5×4), `line` (20),
+/// `clusters` (4×5). Parametric: `line:N`, `ring:N`, `full:N`,
+/// `grid:CxR`, `clusters:KxS`. Parametric sizes must be positive (and a
+/// ring at least 3): zero dimensions are rejected here rather than
+/// reaching the constructors' panics.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] for unrecognized or malformed specs.
+///
+/// # Examples
+///
+/// ```
+/// use trios_topology::parse_spec;
+///
+/// assert_eq!(parse_spec("grid:3x3").unwrap().num_qubits(), 9);
+/// assert!(parse_spec("torus:3x3").is_err());
+/// ```
+pub fn parse_spec(spec: &str) -> Result<Topology, SpecError> {
+    let unknown = || SpecError { spec: spec.into() };
+    match spec {
+        "johannesburg" => return Ok(johannesburg()),
+        "heavy-hex" => return Ok(heavy_hex_falcon27()),
+        "grid" => return Ok(grid(5, 4)),
+        "line" => return Ok(line(20)),
+        "clusters" => return Ok(clusters(4, 5)),
+        _ => {}
+    }
+    let (kind, params) = spec.split_once(':').ok_or_else(unknown)?;
+    let parse_n = |s: &str| match s.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(unknown()),
+    };
+    match kind {
+        "line" => Ok(line(parse_n(params)?)),
+        "ring" => {
+            let n = parse_n(params)?;
+            if n < 3 {
+                return Err(unknown());
+            }
+            Ok(ring(n))
+        }
+        "full" => Ok(full(parse_n(params)?)),
+        "grid" | "clusters" => {
+            let (a, b) = params.split_once('x').ok_or_else(unknown)?;
+            let (a, b) = (parse_n(a)?, parse_n(b)?);
+            if kind == "grid" {
+                Ok(grid(a, b))
+            } else {
+                Ok(clusters(a, b))
+            }
+        }
+        _ => Err(unknown()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_and_parametric_specs_resolve() {
+        assert_eq!(parse_spec("johannesburg").unwrap().num_qubits(), 20);
+        assert_eq!(parse_spec("heavy-hex").unwrap().num_qubits(), 27);
+        assert_eq!(parse_spec("grid").unwrap().num_qubits(), 20);
+        assert_eq!(parse_spec("line").unwrap().num_qubits(), 20);
+        assert_eq!(parse_spec("clusters").unwrap().num_qubits(), 20);
+        assert_eq!(parse_spec("line:7").unwrap().num_qubits(), 7);
+        assert_eq!(parse_spec("ring:8").unwrap().num_qubits(), 8);
+        assert_eq!(parse_spec("full:5").unwrap().num_qubits(), 5);
+        assert_eq!(parse_spec("grid:3x3").unwrap().num_qubits(), 9);
+        assert_eq!(parse_spec("clusters:2x4").unwrap().num_qubits(), 8);
+    }
+
+    #[test]
+    fn bad_specs_error_instead_of_panicking() {
+        for bad in [
+            "torus:3x3",
+            "line:x",
+            "line:0",
+            "ring:2",
+            "grid:3",
+            "grid:0x3",
+            "clusters:2x",
+            "nonsense",
+            "",
+        ] {
+            let err = parse_spec(bad).unwrap_err();
+            assert_eq!(err.spec, bad);
+            assert!(err.to_string().contains("unknown device"), "{err}");
+        }
+    }
+}

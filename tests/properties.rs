@@ -6,7 +6,8 @@
 
 use proptest::prelude::*;
 use trios_core::{
-    CompilationCache, CompileOptions, Compiler, DirectionPolicy, Pipeline, ToffoliDecomposition,
+    CachedCompilation, CompilationCache, CompileOptions, CompileReport, CompileStats,
+    CompiledProgram, Compiler, DirectionPolicy, Pipeline, ShardedCache, ToffoliDecomposition,
 };
 use trios_ir::{Circuit, Instruction};
 use trios_route::{check_legal, Layout, LookaheadConfig, ToffoliPolicy};
@@ -298,6 +299,88 @@ proptest! {
         // A single CX at distance d needs exactly d−1 SWAPs under every policy.
         let d = topo.distance(a, b).unwrap();
         prop_assert_eq!(compiled.stats.swap_count, d - 1);
+    }
+}
+
+/// A distinguishable cached value: `tag` H gates, so two entries with
+/// different tags compare unequal through the cache.
+fn tagged_entry(tag: usize) -> CachedCompilation {
+    let mut circuit = Circuit::new(2);
+    for _ in 0..tag {
+        circuit.h(0);
+    }
+    let program = CompiledProgram {
+        circuit,
+        initial_layout: Layout::trivial(2, 2),
+        final_layout: Layout::trivial(2, 2),
+        stats: CompileStats::default(),
+    };
+    (
+        program,
+        CompileReport::new(Vec::new(), CompileStats::default()),
+    )
+}
+
+fn tag_of(entry: &CachedCompilation) -> usize {
+    entry.0.circuit.instructions().len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With a single shard, [`ShardedCache`] is observationally identical
+    /// to a flat [`CompilationCache`] of the same capacity: every
+    /// interleaving of inserts and lookups returns the same values and
+    /// leaves the same counters, so sharding is purely a contention
+    /// optimization, never a semantic change (LRU order included — the
+    /// key range deliberately exceeds the capacity range to force
+    /// evictions).
+    #[test]
+    fn single_shard_cache_matches_the_flat_cache(
+        capacity in 0usize..6,
+        ops in proptest::collection::vec((any::<bool>(), 0u64..16, 1usize..8), 0..60),
+    ) {
+        let sharded = ShardedCache::new(1, capacity);
+        let flat = CompilationCache::new(capacity);
+        for &(is_insert, key, tag) in &ops {
+            if is_insert {
+                sharded.insert(key, tagged_entry(tag));
+                flat.insert(key, tagged_entry(tag));
+            } else {
+                let a = sharded.get(key).as_ref().map(tag_of);
+                let b = flat.get(key).as_ref().map(tag_of);
+                prop_assert_eq!(a, b);
+            }
+            prop_assert_eq!(sharded.stats(), flat.stats());
+            prop_assert_eq!(sharded.len(), flat.len());
+        }
+    }
+
+    /// Shard routing is a pure function of the key: stable across calls,
+    /// across instances, and under arbitrary cache mutation — only the
+    /// shard count matters. (Inserts landing where later lookups route is
+    /// what makes the per-shard counters in `serve` stats trustworthy.)
+    #[test]
+    fn shard_routing_is_a_pure_function_of_the_key(
+        shards in 1usize..16,
+        keys in proptest::collection::vec(any::<u64>(), 1..40),
+        tag in 1usize..4,
+    ) {
+        let a = ShardedCache::new(shards, 2);
+        let b = ShardedCache::new(shards, 2);
+        let routed: Vec<usize> = keys.iter().map(|&k| a.shard_of(k)).collect();
+        for (&key, &shard) in keys.iter().zip(&routed) {
+            prop_assert!(shard < a.num_shards());
+            prop_assert_eq!(shard, b.shard_of(key));
+            // Mutate both caches between observations …
+            a.insert(key, tagged_entry(tag));
+            let _ = b.get(key);
+        }
+        // … and every key still routes exactly where it did before.
+        for (&key, &shard) in keys.iter().zip(&routed) {
+            prop_assert_eq!(a.shard_of(key), shard);
+            prop_assert_eq!(b.shard_of(key), shard);
+        }
     }
 }
 
