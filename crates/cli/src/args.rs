@@ -71,6 +71,10 @@ pub struct FuzzOptions {
     pub cache_size: usize,
     /// Minimize failing cases to QASM reproducers.
     pub shrink: bool,
+    /// Equivalence backend policy: `auto`, `dense`, or `stabilizer`.
+    pub backend: String,
+    /// Widest device checked with the dense statevector backend.
+    pub max_dense_qubits: usize,
 }
 
 impl Default for FuzzOptions {
@@ -84,6 +88,8 @@ impl Default for FuzzOptions {
             jobs: 0,
             cache_size: 256,
             shrink: false,
+            backend: "auto".into(),
+            max_dense_qubits: 8,
         }
     }
 }
@@ -418,6 +424,15 @@ fn parse_fuzz_args(rest: &[&String]) -> Result<FuzzOptions, CliError> {
                 options.cache_size = flag_int("--cache-size", v)?;
             }
             "--shrink" => options.shrink = true,
+            "--backend" => {
+                let v = flag_value(rest, &mut i, "--backend")?;
+                v.parse::<trios_sim::Backend>().map_err(CliError::Usage)?;
+                options.backend = v;
+            }
+            "--max-dense-qubits" => {
+                let v = flag_value(rest, &mut i, "--max-dense-qubits")?;
+                options.max_dense_qubits = flag_int("--max-dense-qubits", v)?;
+            }
             flag => {
                 return Err(CliError::Usage(format!(
                     "unknown fuzz flag or argument '{flag}'"
@@ -846,6 +861,10 @@ mod tests {
             "--cache-size",
             "64",
             "--shrink",
+            "--backend",
+            "stabilizer",
+            "--max-dense-qubits",
+            "12",
         ]))
         .unwrap() else {
             panic!("expected fuzz");
@@ -858,10 +877,14 @@ mod tests {
         assert_eq!(o.jobs, 2);
         assert_eq!(o.cache_size, 64);
         assert!(o.shrink);
+        assert_eq!(o.backend, "stabilizer");
+        assert_eq!(o.max_dense_qubits, 12);
         // Router names are validated at parse time, like sweep's.
         assert!(parse_args(&args(&["fuzz", "--routers", "sabre"])).is_err());
         assert!(parse_args(&args(&["fuzz", "--wat"])).is_err());
         assert!(parse_args(&args(&["fuzz", "--cases"])).is_err());
+        // Backend names are validated at parse time too.
+        assert!(parse_args(&args(&["fuzz", "--backend", "statevector"])).is_err());
     }
 
     #[test]

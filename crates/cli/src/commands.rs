@@ -92,6 +92,10 @@ FLAGS (fuzz):
     --devices, -d <list>         comma-separated device specs
                                  (default line:8,grid:4x2)
     --shrink                     minimize failing cases to QASM reproducers
+    --backend <which>            auto | dense | stabilizer     (default auto:
+                                 dense up to --max-dense-qubits, stabilizer
+                                 for Clifford circuits on wider devices)
+    --max-dense-qubits <n>       widest device dense-checked   (default 8)
     --jobs, -j / --seed, -s / --cache-size    as for compile-batch
 
 FLAGS (serve):
@@ -555,6 +559,8 @@ fn run_fuzz_command(options: &FuzzOptions) -> Result<String, CliError> {
         jobs: options.jobs,
         cache_size: options.cache_size,
         shrink: options.shrink,
+        backend: options.backend.parse().map_err(CliError::Usage)?,
+        max_sim_qubits: options.max_dense_qubits,
         ..FuzzSpec::new()
     };
     let report = run_fuzz(&spec)?;

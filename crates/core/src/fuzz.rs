@@ -9,9 +9,11 @@
 //! structured workloads from [`trios_gen`]'s families and
 //! cross-checks every cell of the `(case × device × router)` grid:
 //!
-//! * **semantics** — `trios_sim::compiled_equivalent` replays random
-//!   states through the initial/final layouts (devices up to
-//!   [`FuzzSpec::max_sim_qubits`] wide),
+//! * **semantics** — a [`trios_sim::Simulator`] backend replays random
+//!   states through the initial/final layouts: dense statevector on
+//!   devices up to [`FuzzSpec::max_sim_qubits`] wide, stabilizer tableau
+//!   for Clifford circuits on anything wider (full Johannesburg,
+//!   127-qubit-class grids),
 //! * **legality** — [`trios_route::verify_legal`]: every gate in the
 //!   hardware set, every two-qubit gate on a coupling edge, no surviving
 //!   three-qubit gate,
@@ -53,7 +55,10 @@ use std::fmt;
 use trios_gen::{generate_suite, Family, GeneratedCircuit};
 use trios_ir::Circuit;
 use trios_route::{verify_legal, StrategyRegistry};
-use trios_sim::compiled_equivalent;
+use trios_sim::{
+    auto_backend, first_non_clifford, strip_t_gates, Backend, DenseSimulator, Simulator,
+    StabilizerSimulator, MAX_QUBITS,
+};
 use trios_topology::{grid, line, Topology};
 
 /// What one fuzz run covers: the case stream, the differential grid, and
@@ -79,11 +84,17 @@ pub struct FuzzSpec {
     pub cache_size: usize,
     /// Minimize failing cases to a QASM reproducer.
     pub shrink: bool,
-    /// Widest device that gets the statevector-equivalence check; wider
-    /// cells still get legality and invariant checks.
+    /// Widest device that gets the *dense* statevector-equivalence
+    /// check; wider cells fall back to the stabilizer backend when the
+    /// circuit is Clifford (under [`Backend::Auto`]) and always keep the
+    /// legality and invariant checks.
     pub max_sim_qubits: usize,
     /// Random-state trials per equivalence check.
     pub trials: usize,
+    /// Equivalence backend policy: [`Backend::Auto`] picks per cell,
+    /// `Dense`/`Stabilizer` force one backend (cells it cannot simulate
+    /// skip equivalence, never fail).
+    pub backend: Backend,
 }
 
 impl FuzzSpec {
@@ -108,6 +119,7 @@ impl FuzzSpec {
             shrink: false,
             max_sim_qubits: 8,
             trials: 2,
+            backend: Backend::Auto,
         }
     }
 }
@@ -233,8 +245,12 @@ pub struct FuzzReport {
     pub seed: u64,
     /// `(case × device × router)` cells compiled and checked.
     pub cells: usize,
-    /// Cells that additionally ran the statevector-equivalence check.
+    /// Cells that additionally ran an equivalence check (any backend).
     pub equivalence_checked: usize,
+    /// Equivalence checks that ran on the dense statevector backend.
+    pub equivalence_dense: usize,
+    /// Equivalence checks that ran on the stabilizer tableau backend.
+    pub equivalence_stabilizer: usize,
     /// Cells skipped because the case was wider than the device.
     pub skipped: usize,
     /// Every failing cell, in deterministic grid order.
@@ -263,8 +279,12 @@ impl fmt::Display for FuzzReport {
         writeln!(f, "devices:  {}", self.devices.join(", "))?;
         writeln!(
             f,
-            "cells:    {} checked ({} equivalence-checked, {} skipped: wider than device)",
-            self.cells, self.equivalence_checked, self.skipped
+            "cells:    {} checked ({} equivalence-checked: {} dense + {} stabilizer, {} skipped: wider than device)",
+            self.cells,
+            self.equivalence_checked,
+            self.equivalence_dense,
+            self.equivalence_stabilizer,
+            self.skipped
         )?;
         if self.failures.is_empty() {
             write!(f, "result:   PASS (0 failures)")
@@ -342,16 +362,42 @@ pub fn run_fuzz_with_registry(
 
     let mut cells = 0usize;
     let mut equivalence_checked = 0usize;
+    let mut equivalence_dense = 0usize;
+    let mut equivalence_stabilizer = 0usize;
     let mut skipped = 0usize;
     let mut failures = Vec::new();
 
     for (device_name, topology) in &spec.devices {
-        let fitting: Vec<&GeneratedCircuit> = suite
+        let mut fitting: Vec<GeneratedCircuit> = suite
             .iter()
             .filter(|case| case.circuit.num_qubits() <= topology.num_qubits())
+            .cloned()
             .collect();
         skipped += (suite.len() - fitting.len()) * spec.routers.len();
-        let simulate = topology.num_qubits() <= spec.max_sim_qubits;
+        // On devices beyond dense reach, derive a Clifford shadow of each
+        // non-Clifford case by stripping its T/T† gates: the stabilizer
+        // backend can then equivalence-check the routed shadow at full
+        // device size, exercising the same routing decisions.
+        if topology.num_qubits() > spec.max_sim_qubits && spec.backend != Backend::Dense {
+            let shadows: Vec<GeneratedCircuit> = fitting
+                .iter()
+                .filter(|case| first_non_clifford(&case.circuit).is_some())
+                .filter_map(|case| {
+                    let stripped = strip_t_gates(&case.circuit);
+                    if stripped.len() == case.circuit.len()
+                        || first_non_clifford(&stripped).is_some()
+                    {
+                        return None;
+                    }
+                    let mut shadow = case.clone();
+                    shadow.name = format!("{}-stript", case.name);
+                    shadow.circuit = stripped;
+                    shadow.circuit.set_name(shadow.name.clone());
+                    Some(shadow)
+                })
+                .collect();
+            fitting.extend(shadows);
+        }
         // One owned copy of the device's slab, shared by every router's
         // batch call (the batch API takes a slice).
         let circuits: Vec<Circuit> = fitting.iter().map(|case| case.circuit.clone()).collect();
@@ -380,7 +426,6 @@ pub fn run_fuzz_with_registry(
                     router,
                     FuzzFailureKind::Compile,
                     diagnostic.to_string(),
-                    simulate,
                 ));
             };
             match compiler.compile_batch_parallel_with_cache(
@@ -390,12 +435,12 @@ pub fn run_fuzz_with_registry(
                 Some(&cache),
             ) {
                 Ok(outcome) => {
-                    for (case, (program, _)) in fitting.iter().copied().zip(outcome.results) {
+                    for (case, (program, _)) in fitting.iter().zip(outcome.results) {
                         compiled.push((case, program));
                     }
                 }
                 Err(BatchDiagnostic { index, diagnostic }) => {
-                    for (position, &case) in fitting.iter().enumerate() {
+                    for (position, case) in fitting.iter().enumerate() {
                         if position == index {
                             cells += 1;
                             record_compile_failure(case, diagnostic.clone());
@@ -414,9 +459,17 @@ pub fn run_fuzz_with_registry(
 
             for (case, program) in compiled {
                 cells += 1;
-                let outcome = check_cell(&case.circuit, &program, topology, simulate, spec);
-                if outcome.equivalence_ran {
-                    equivalence_checked += 1;
+                let outcome = check_cell(&case.circuit, &program, topology, spec);
+                match outcome.backend {
+                    Some("stabilizer") => {
+                        equivalence_checked += 1;
+                        equivalence_stabilizer += 1;
+                    }
+                    Some(_) => {
+                        equivalence_checked += 1;
+                        equivalence_dense += 1;
+                    }
+                    None => {}
                 }
                 if let Some((kind, message)) = outcome.failure {
                     failures.push(build_failure(
@@ -428,7 +481,6 @@ pub fn run_fuzz_with_registry(
                         router,
                         kind,
                         message,
-                        simulate,
                     ));
                 }
             }
@@ -443,9 +495,32 @@ pub fn run_fuzz_with_registry(
         seed: spec.seed,
         cells,
         equivalence_checked,
+        equivalence_dense,
+        equivalence_stabilizer,
         skipped,
         failures,
     })
+}
+
+/// Picks the equivalence backend for one cell under the spec's policy,
+/// or `None` when no backend can simulate the pair (equivalence is then
+/// skipped, never failed).
+fn select_backend(
+    spec: &FuzzSpec,
+    width: usize,
+    original: &Circuit,
+    compiled: &Circuit,
+) -> Option<Box<dyn Simulator>> {
+    match spec.backend {
+        Backend::Auto => auto_backend(width, &[original, compiled], spec.max_sim_qubits),
+        Backend::Dense => (width <= spec.max_sim_qubits.min(MAX_QUBITS))
+            .then(|| Box::new(DenseSimulator::default()) as Box<dyn Simulator>),
+        Backend::Stabilizer => {
+            let stab = StabilizerSimulator::new();
+            (stab.supports_circuit(original).is_ok() && stab.supports_circuit(compiled).is_ok())
+                .then(|| Box::new(stab) as Box<dyn Simulator>)
+        }
+    }
 }
 
 /// Runs every check on one compiled cell.
@@ -453,12 +528,11 @@ fn check_cell(
     original: &Circuit,
     program: &CompiledProgram,
     topology: &Topology,
-    simulate: bool,
     spec: &FuzzSpec,
 ) -> CellOutcome {
     let fail = |kind, message: String| CellOutcome {
         failure: Some((kind, message)),
-        equivalence_ran: false,
+        backend: None,
     };
     if let Err(violation) = verify_legal(&program.circuit, topology) {
         return fail(FuzzFailureKind::Legality, violation.to_string());
@@ -467,15 +541,16 @@ fn check_cell(
         return fail(FuzzFailureKind::Invariant, message);
     }
     let mut failure = None;
-    if simulate {
-        match compiled_equivalent(
+    let mut backend = None;
+    if let Some(sim) = select_backend(spec, topology.num_qubits(), original, &program.circuit) {
+        backend = Some(sim.capability().name);
+        match sim.compiled_equivalent(
             original,
             &program.circuit,
             &program.initial_layout.to_mapping(),
             &program.final_layout.to_mapping(),
             spec.trials,
             spec.seed,
-            1e-7,
         ) {
             Ok(true) => {}
             Ok(false) => {
@@ -492,18 +567,15 @@ fn check_cell(
             }
         }
     }
-    CellOutcome {
-        failure,
-        equivalence_ran: simulate,
-    }
+    CellOutcome { failure, backend }
 }
 
-/// What [`check_cell`] found: the first failure (if any) and whether the
-/// statevector-equivalence stage actually executed (earlier failures
-/// short-circuit it, and wide devices skip it).
+/// What [`check_cell`] found: the first failure (if any) and the name of
+/// the backend whose equivalence stage actually executed (`None` when
+/// an earlier failure short-circuited it or no backend fits the cell).
 struct CellOutcome {
     failure: Option<(FuzzFailureKind, String)>,
-    equivalence_ran: bool,
+    backend: Option<&'static str>,
 }
 
 /// The metric invariants: reported stats must describe the circuit they
@@ -546,13 +618,12 @@ fn build_failure(
     router: &str,
     kind: FuzzFailureKind,
     message: String,
-    simulate: bool,
 ) -> FuzzFailure {
     let reproducer = spec.shrink.then(|| {
         let fails = |candidate: &Circuit| -> bool {
             match compiler.compile(candidate, topology) {
                 Err(_) => kind == FuzzFailureKind::Compile,
-                Ok(program) => check_cell(candidate, &program, topology, simulate, spec)
+                Ok(program) => check_cell(candidate, &program, topology, spec)
                     .failure
                     .is_some_and(|(k, _)| k == kind),
             }
@@ -684,6 +755,8 @@ mod tests {
         assert!(report.passed(), "{report}");
         assert_eq!(report.cells, 8, "4 cases x 1 device x 2 routers");
         assert_eq!(report.equivalence_checked, 8);
+        assert_eq!(report.equivalence_dense, 8, "line:8 is within dense reach");
+        assert_eq!(report.equivalence_stabilizer, 0);
         assert_eq!(report.skipped, 0);
         let text = report.to_string();
         assert!(text.contains("PASS"), "{text}");
@@ -705,6 +778,60 @@ mod tests {
         assert!(report.passed(), "{report}");
         assert_eq!(report.cells + report.skipped, 6);
         assert!(report.skipped > 0, "some QFT widths exceed line:4");
+    }
+
+    #[test]
+    fn wide_clifford_cells_use_the_stabilizer_backend() {
+        // 20-qubit Johannesburg is far beyond the dense cap; pure-Clifford
+        // cases must still get routed-vs-input equivalence via the tableau.
+        let spec = FuzzSpec {
+            cases: 2,
+            seed: 42,
+            families: vec![Family::Clifford],
+            routers: vec!["trios".into()],
+            devices: vec![("johannesburg".into(), trios_topology::johannesburg())],
+            jobs: 1,
+            ..FuzzSpec::new()
+        };
+        let report = run_fuzz(&spec).unwrap();
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.cells, 2);
+        assert_eq!(report.equivalence_checked, 2);
+        assert_eq!(report.equivalence_stabilizer, 2, "{report}");
+        assert_eq!(report.equivalence_dense, 0);
+        assert_eq!(report.skipped, 0);
+    }
+
+    #[test]
+    fn wide_devices_check_stript_shadows_with_the_stabilizer() {
+        // A clifford-t case carries T gates, so the case itself cannot be
+        // tableau-checked — but its derived `-stript` shadow can, and the
+        // shadow must appear as an extra cell on the wide device only.
+        let spec = FuzzSpec {
+            cases: 1,
+            seed: 7,
+            families: vec![Family::CliffordT],
+            routers: vec!["trios".into()],
+            devices: vec![("johannesburg".into(), trios_topology::johannesburg())],
+            jobs: 1,
+            ..FuzzSpec::new()
+        };
+        let report = run_fuzz(&spec).unwrap();
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.cells, 2, "original + -stript shadow");
+        assert_eq!(report.equivalence_dense, 0);
+        assert_eq!(report.equivalence_stabilizer, 1, "{report}");
+
+        // A dense-only policy derives no shadows and skips equivalence
+        // entirely on a device this wide.
+        let dense_only = FuzzSpec {
+            backend: Backend::Dense,
+            ..spec
+        };
+        let report = run_fuzz(&dense_only).unwrap();
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.cells, 1);
+        assert_eq!(report.equivalence_checked, 0);
     }
 
     #[test]

@@ -53,6 +53,10 @@ pub enum Family {
     /// Uniformly random Clifford+T circuits (the gate set of
     /// fault-tolerant workloads).
     CliffordT,
+    /// Uniformly random pure-Clifford circuits on *wide* registers
+    /// (up to 20 qubits): stabilizer-checkable at full device size, so
+    /// routed-vs-input equivalence runs where statevectors cannot.
+    Clifford,
     /// Ripple-carry / CnX-style chains of overlapping Toffolis (the
     /// paper's adder-shaped workloads, randomized).
     ToffoliRipple,
@@ -62,10 +66,11 @@ pub enum Family {
 
 impl Family {
     /// All families, in listing order.
-    pub const ALL: [Family; 5] = [
+    pub const ALL: [Family; 6] = [
         Family::Qft,
         Family::Qaoa,
         Family::CliffordT,
+        Family::Clifford,
         Family::ToffoliRipple,
         Family::Layered,
     ];
@@ -76,6 +81,7 @@ impl Family {
             Family::Qft => "qft",
             Family::Qaoa => "qaoa",
             Family::CliffordT => "clifford-t",
+            Family::Clifford => "clifford",
             Family::ToffoliRipple => "toffoli-ripple",
             Family::Layered => "layered",
         }
@@ -92,6 +98,7 @@ impl Family {
             Family::Qft => "quantum Fourier transform (Toffoli-free pair-routing stress)",
             Family::Qaoa => "QAOA Max-Cut on a seeded random graph",
             Family::CliffordT => "uniformly random Clifford+T circuit",
+            Family::Clifford => "wide pure-Clifford circuit (stabilizer-checkable at device size)",
             Family::ToffoliRipple => "ripple-carry/CnX-style chains of overlapping Toffolis",
             Family::Layered => "layered random circuit with tunable 3q-gate density",
         }
@@ -99,7 +106,9 @@ impl Family {
 
     /// The fixed parameter grid [`generate_case`](Family::generate_case)
     /// draws from. Widths stay ≤ 8 qubits so every instance fits the
-    /// fuzz harness's statevector-equivalence budget.
+    /// fuzz harness's statevector-equivalence budget — except `clifford`,
+    /// whose whole point is width: its instances (up to 20 qubits) are
+    /// verified by the stabilizer backend instead.
     pub fn grid(self) -> Vec<Params> {
         match self {
             Family::Qft => (3..=8).map(|n| Params::new(n, 0)).collect(),
@@ -109,6 +118,10 @@ impl Family {
             Family::CliffordT => [4, 6, 8]
                 .into_iter()
                 .flat_map(|n| [20, 40].into_iter().map(move |d| Params::new(n, d)))
+                .collect(),
+            Family::Clifford => [8, 12, 16, 20]
+                .into_iter()
+                .flat_map(|n| [40, 80].into_iter().map(move |d| Params::new(n, d)))
                 .collect(),
             Family::ToffoliRipple => [4, 6, 8]
                 .into_iter()
@@ -167,6 +180,7 @@ impl Family {
             Family::Qft => qft(params.qubits),
             Family::Qaoa => qaoa_random_graph(params.qubits, params.depth.max(1), &mut rng),
             Family::CliffordT => random_clifford_t(params.qubits, params.depth.max(1), &mut rng),
+            Family::Clifford => random_clifford(params.qubits, params.depth.max(1), &mut rng),
             Family::ToffoliRipple => toffoli_ripple(params.qubits, params.depth.max(1), &mut rng),
             Family::Layered => layered(
                 params.qubits,
@@ -311,6 +325,34 @@ fn random_clifford_t(n: usize, gates: usize, rng: &mut StdRng) -> Circuit {
     c
 }
 
+/// `gates` uniformly random Clifford gates: the `clifford-t` mix with
+/// the T/T† draws removed — 60% single-qubit from {H, S, S†, X, Z}, 40%
+/// two-qubit from {CX, CZ} on distinct operands. Every instance is
+/// exactly verifiable by the stabilizer backend at any width.
+fn random_clifford(n: usize, gates: usize, rng: &mut StdRng) -> Circuit {
+    let mut c = Circuit::new(n);
+    for _ in 0..gates {
+        if rng.gen_bool(0.6) {
+            let q = rng.gen_range(0..n);
+            match rng.gen_range(0..5) {
+                0 => c.h(q),
+                1 => c.s(q),
+                2 => c.sdg(q),
+                3 => c.x(q),
+                _ => c.z(q),
+            };
+        } else {
+            let pair = distinct(rng, n, 2);
+            if rng.gen_bool(0.5) {
+                c.cx(pair[0], pair[1]);
+            } else {
+                c.cz(pair[0], pair[1]);
+            }
+        }
+    }
+    c
+}
+
 /// `sweeps` ripple passes of overlapping Toffolis (up or down the
 /// register, seeded), each followed by a random carry CNOT — the shape
 /// of the paper's CnX ladders and ripple-carry adders.
@@ -388,7 +430,11 @@ mod tests {
                 assert!(c.validate().is_ok(), "{family} {params:?}");
                 assert!(!c.is_empty(), "{family} {params:?}");
                 assert_eq!(c.num_qubits(), params.qubits, "{family} {params:?}");
-                assert!(c.num_qubits() <= 8, "{family} grid must stay simulable");
+                let cap = if family == Family::Clifford { 20 } else { 8 };
+                assert!(
+                    c.num_qubits() <= cap,
+                    "{family} grid must stay within its verification budget"
+                );
                 assert_eq!(c.name(), family.instance_name(params, i as u64));
             }
         }
@@ -406,7 +452,12 @@ mod tests {
 
     #[test]
     fn random_families_vary_with_the_seed() {
-        for family in [Family::Qaoa, Family::CliffordT, Family::Layered] {
+        for family in [
+            Family::Qaoa,
+            Family::CliffordT,
+            Family::Clifford,
+            Family::Layered,
+        ] {
             let params = family.grid()[0];
             let a = family.generate(&params, 1);
             let b = family.generate(&params, 2);
@@ -490,6 +541,21 @@ mod tests {
                 "seed {seed} collided"
             );
         }
+    }
+
+    #[test]
+    fn clifford_family_is_pure_clifford_and_wide() {
+        use trios_ir::Gate;
+        for params in Family::Clifford.grid() {
+            let c = Family::Clifford.generate(&params, 3);
+            assert!(params.qubits >= 8, "clifford exists to be wide");
+            assert!(
+                c.iter().all(|i| !matches!(i.gate(), Gate::T | Gate::Tdg)),
+                "clifford family must not emit T gates"
+            );
+        }
+        // The grid reaches the paper's full Johannesburg width.
+        assert!(Family::Clifford.grid().iter().any(|p| p.qubits == 20));
     }
 
     #[test]

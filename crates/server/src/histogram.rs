@@ -50,17 +50,21 @@ impl Default for Inner {
 }
 
 /// The bucket index for a sample: 0 for 0µs, otherwise one past the
-/// position of the highest set bit.
+/// position of the highest set bit — clamped to the last slot, so a
+/// sample at or beyond 2^63 µs lands in bucket 63 instead of indexing
+/// past the table (and panicking with the stats mutex held).
 fn bucket_of(us: u64) -> usize {
-    (64 - us.leading_zeros()) as usize
+    ((64 - us.leading_zeros()) as usize).min(63)
 }
 
 /// The largest value a bucket covers, reported as the quantile estimate.
+/// The last bucket absorbs everything from 2^62 µs up, so its bound is
+/// the full range.
 fn bucket_upper(bucket: usize) -> u64 {
-    if bucket == 0 {
-        0
-    } else {
-        (1u64 << bucket) - 1
+    match bucket {
+        0 => 0,
+        63 => u64::MAX,
+        b => (1u64 << b) - 1,
     }
 }
 
@@ -129,14 +133,32 @@ mod tests {
         assert_eq!(bucket_of(2), 2);
         assert_eq!(bucket_of(3), 2);
         assert_eq!(bucket_of(4), 3);
-        assert_eq!(bucket_of(u64::MAX), 64 - 1 + 1);
+        assert_eq!(bucket_of(u64::MAX), 63, "clamped to the last slot");
         assert_eq!(bucket_upper(0), 0);
         assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(63), u64::MAX);
         // Every value lands in a bucket whose range contains it.
-        for us in [0u64, 1, 7, 100, 1_000_000, u64::MAX / 2] {
+        for us in [0u64, 1, 7, 100, 1_000_000, u64::MAX / 2, u64::MAX] {
             let b = bucket_of(us);
+            assert!(b < 64, "{us} must stay in the 64-slot table");
             assert!(us <= bucket_upper(b), "{us} above bucket {b} upper");
         }
+    }
+
+    #[test]
+    fn huge_samples_clamp_to_the_last_bucket_instead_of_panicking() {
+        // Regression: 2^63 µs and above used to index buckets[64] and
+        // panic while holding the stats mutex, poisoning it for every
+        // later stats request.
+        let h = LatencyHistogram::new();
+        h.record_us(u64::MAX);
+        h.record_us(1u64 << 63);
+        h.record_us(3);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max_us, u64::MAX);
+        assert!(s.p50_us <= s.p90_us && s.p90_us <= s.p99_us);
+        assert!(s.p99_us <= s.max_us);
     }
 
     #[test]
@@ -165,6 +187,49 @@ mod tests {
         // One sample: every quantile is that sample's bucket, capped at max.
         assert_eq!(s.p50_us, 37);
         assert_eq!(s.p99_us, 37);
+    }
+
+    proptest::proptest! {
+        /// Any sample stream — including extremes like 0, 1, and
+        /// u64::MAX — keeps the quantile ladder monotone, within range,
+        /// and the count exact.
+        #[test]
+        fn quantile_invariants_hold_for_random_streams(
+            samples in proptest::collection::vec(
+                (0u8..5, proptest::any::<u64>()).prop_map(|(kind, v)| match kind {
+                    0 => 0,
+                    1 => 1,
+                    2 => u64::MAX,
+                    3 => v,
+                    _ => v % 10_000_000,
+                }),
+                1..200,
+            ),
+        ) {
+            let h = LatencyHistogram::new();
+            for &us in &samples {
+                h.record_us(us);
+            }
+            let s = h.snapshot();
+            proptest::prop_assert_eq!(s.count, samples.len() as u64);
+            proptest::prop_assert_eq!(
+                s.max_us,
+                samples.iter().copied().max().unwrap_or(0)
+            );
+            proptest::prop_assert!(s.p50_us <= s.p90_us);
+            proptest::prop_assert!(s.p90_us <= s.p99_us);
+            proptest::prop_assert!(s.p99_us <= s.max_us);
+            // Each quantile estimate is at least the true nearest-rank
+            // value (bucket upper bounds only ever round up).
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let rank = |q: f64| {
+                let r = (q * sorted.len() as f64).ceil() as usize;
+                sorted[r.clamp(1, sorted.len()) - 1]
+            };
+            proptest::prop_assert!(s.p50_us >= rank(0.50));
+            proptest::prop_assert!(s.p99_us >= rank(0.99));
+        }
     }
 
     #[test]

@@ -34,9 +34,9 @@ pub fn circuits_equivalent(a: &Circuit, b: &Circuit, eps: f64) -> Result<bool, S
     let mut phase: Option<C64> = None;
     for k in 0..dim {
         let mut sa = State::basis(n, k)?;
-        sa.apply_circuit(a)?;
+        sa.apply_circuit_fused(a)?;
         let mut sb = State::basis(n, k)?;
-        sb.apply_circuit(b)?;
+        sb.apply_circuit_fused(b)?;
         for (x, y) in sa.amplitudes().iter().zip(sb.amplitudes()) {
             match phase {
                 None => {
@@ -85,9 +85,9 @@ pub fn circuits_equivalent_sampled(
     for t in 0..trials {
         let base = State::random(a.num_qubits(), seed.wrapping_add(t as u64))?;
         let mut sa = base.clone();
-        sa.apply_circuit(a)?;
+        sa.apply_circuit_fused(a)?;
         let mut sb = base;
-        sb.apply_circuit(b)?;
+        sb.apply_circuit_fused(b)?;
         if !sa.approx_eq_up_to_phase(&sb, eps) {
             return Ok(false);
         }
@@ -144,11 +144,11 @@ pub fn compiled_equivalent(
 
         // Embed through the initial layout and run the compiled circuit.
         let mut phys = embed(&logical_in, n_phys, initial_layout)?;
-        phys.apply_circuit(compiled)?;
+        phys.apply_circuit_fused(compiled)?;
 
         // Reference: run the original, embed through the final layout.
         let mut logical_out = logical_in;
-        logical_out.apply_circuit(original)?;
+        logical_out.apply_circuit_fused(original)?;
         let expected = embed(&logical_out, n_phys, final_layout)?;
 
         if !phys.approx_eq_up_to_phase(&expected, eps) {

@@ -25,6 +25,14 @@ pub enum SimError {
         /// Actual width.
         actual: usize,
     },
+    /// A gate is outside the backend's supported set (e.g. a T gate on
+    /// the stabilizer backend).
+    UnsupportedGate {
+        /// Display form of the offending gate.
+        gate: String,
+        /// Backend that rejected it.
+        backend: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -40,6 +48,9 @@ impl fmt::Display for SimError {
             ),
             SimError::WidthMismatch { expected, actual } => {
                 write!(f, "expected width {expected}, got {actual}")
+            }
+            SimError::UnsupportedGate { gate, backend } => {
+                write!(f, "gate {gate} is not supported by the {backend} backend")
             }
         }
     }

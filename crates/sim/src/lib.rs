@@ -29,12 +29,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod backend;
 mod complex;
 mod equivalence;
 mod error;
 mod matrix;
 mod state;
+mod tableau;
 
+pub use backend::{
+    auto_backend, Backend, Capability, DenseSimulator, Simulator, StabilizerSimulator,
+};
 pub use complex::C64;
 pub use equivalence::{
     circuits_equivalent, circuits_equivalent_sampled, compiled_equivalent, embed,
@@ -45,3 +50,4 @@ pub use matrix::{
     xpow_matrix, zyz_decompose, Mat2, ZyzAngles, MAT2_IDENTITY,
 };
 pub use state::{State, MAX_QUBITS};
+pub use tableau::{first_non_clifford, strip_t_gates, Tableau};

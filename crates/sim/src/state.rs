@@ -1,10 +1,17 @@
 //! Dense statevector simulation.
 
 use crate::{single_qubit_matrix, SimError, C64};
+use std::ops::Range;
 use trios_ir::{Circuit, Gate, Instruction};
 
 /// Hard cap on dense-simulation width (2²⁴ amplitudes ≈ 268 MB).
 pub const MAX_QUBITS: usize = 24;
+
+/// Amplitude count above which the auto thread policy goes parallel.
+///
+/// Below this the per-gate work is far smaller than the cost of spawning
+/// scoped worker threads, so the kernels stay single-threaded.
+const PARALLEL_THRESHOLD: usize = 1 << 17;
 
 /// A dense statevector over `n` qubits.
 ///
@@ -15,6 +22,18 @@ pub const MAX_QUBITS: usize = 24;
 /// every routed circuit in this workspace is checked against the original
 /// program's statevector. It is not meant to compete with production
 /// simulators, but it comfortably handles the paper's 20-qubit benchmarks.
+///
+/// # Kernels
+///
+/// Gate application walks the affected amplitude tuples directly with
+/// bit-stride ("insert zero bit") index construction — a 1-qubit gate
+/// visits exactly `2^(n-1)` pairs, a CX exactly `2^(n-2)`, a Toffoli
+/// exactly `2^(n-3)` — instead of scanning all `2^n` indices and
+/// branching away the non-participants. Above [`PARALLEL_THRESHOLD`]
+/// amplitudes the tuple range is split across scoped worker threads
+/// ([`State::set_threads`] pins the count); every tuple is computed by
+/// the same floating-point expression regardless of the split, so
+/// results are **byte-identical across thread counts**.
 ///
 /// # Examples
 ///
@@ -28,10 +47,20 @@ pub const MAX_QUBITS: usize = 24;
 /// let state = State::run(&c).unwrap();
 /// assert!((state.probability(0b111) - 1.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct State {
     num_qubits: usize,
     amps: Vec<C64>,
+    /// Worker threads for the kernels: `0` = automatic (parallel only
+    /// above [`PARALLEL_THRESHOLD`]). Not part of the state's value —
+    /// `PartialEq` ignores it.
+    threads: usize,
+}
+
+impl PartialEq for State {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_qubits == other.num_qubits && self.amps == other.amps
+    }
 }
 
 impl State {
@@ -67,7 +96,11 @@ impl State {
         );
         let mut amps = vec![C64::ZERO; dim];
         amps[index] = C64::ONE;
-        Ok(State { num_qubits, amps })
+        Ok(State {
+            num_qubits,
+            amps,
+            threads: 0,
+        })
     }
 
     /// A deterministic pseudo-random state (uniform amplitudes, normalized),
@@ -89,7 +122,11 @@ impl State {
         for _ in 0..dim {
             amps.push(C64::new(rng.next_unit() - 0.5, rng.next_unit() - 0.5));
         }
-        let mut state = State { num_qubits, amps };
+        let mut state = State {
+            num_qubits,
+            amps,
+            threads: 0,
+        };
         state.normalize();
         Ok(state)
     }
@@ -114,7 +151,11 @@ impl State {
                 max: MAX_QUBITS,
             });
         }
-        Ok(State { num_qubits, amps })
+        Ok(State {
+            num_qubits,
+            amps,
+            threads: 0,
+        })
     }
 
     /// Runs `circuit` on `|0…0⟩`. Measurements are skipped (the success
@@ -132,6 +173,14 @@ impl State {
     /// Register width.
     pub fn num_qubits(&self) -> usize {
         self.num_qubits
+    }
+
+    /// Pins the kernel worker-thread count: `0` restores the automatic
+    /// policy (single-threaded below [`PARALLEL_THRESHOLD`] amplitudes,
+    /// one worker per available core above it). Results are byte-identical
+    /// for every setting; this knob exists for benchmarks and tests.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
     }
 
     /// The raw amplitudes (little-endian qubit order).
@@ -176,14 +225,77 @@ impl State {
         Ok(())
     }
 
+    /// [`State::apply_circuit`] with single-qubit gate fusion: each maximal
+    /// run of *consecutive* single-qubit gates on one qubit is multiplied
+    /// into a single 2×2 matrix and applied with one kernel sweep.
+    ///
+    /// The result is the same unitary, so amplitudes agree with the unfused
+    /// path to floating-point re-association error (≪ 1e-12) — the
+    /// equivalence checkers use this path; callers that need the exact
+    /// legacy gate-by-gate arithmetic use [`State::apply_circuit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WidthMismatch`] if the circuit is wider than the
+    /// state.
+    pub fn apply_circuit_fused(&mut self, circuit: &Circuit) -> Result<(), SimError> {
+        if circuit.num_qubits() > self.num_qubits {
+            return Err(SimError::WidthMismatch {
+                expected: self.num_qubits,
+                actual: circuit.num_qubits(),
+            });
+        }
+        let instrs = circuit.instructions();
+        let mut i = 0;
+        while i < instrs.len() {
+            let instr = &instrs[i];
+            let gate = instr.gate();
+            if gate.is_measurement() {
+                i += 1;
+                continue;
+            }
+            if gate.is_single_qubit() {
+                if let Some(mut m) = single_qubit_matrix(gate) {
+                    let q = instr.qubit(0).index();
+                    self.check_operands(instr);
+                    let mut j = i + 1;
+                    while j < instrs.len() {
+                        let next = instrs[j].gate();
+                        if !next.is_single_qubit()
+                            || next.is_measurement()
+                            || instrs[j].qubit(0).index() != q
+                        {
+                            break;
+                        }
+                        match single_qubit_matrix(next) {
+                            Some(n) => m = crate::mat2_mul(&n, &m),
+                            None => break,
+                        }
+                        j += 1;
+                    }
+                    self.apply_1q(q, &m);
+                    i = j;
+                    continue;
+                }
+            }
+            self.apply(instr);
+            i += 1;
+        }
+        Ok(())
+    }
+
     /// Applies one unitary instruction.
     ///
     /// # Panics
     ///
-    /// Panics on measurement instructions or out-of-range qubits.
+    /// Panics on measurement instructions or out-of-range qubits. The
+    /// bounds check is unconditional (not a `debug_assert`): in a release
+    /// build a qubit index ≥ 64 would otherwise wrap through the shift
+    /// (`1usize << q` masks `q` on x86/ARM) and silently corrupt the
+    /// amplitudes of a *different* qubit.
     pub fn apply(&mut self, instr: &Instruction) {
+        self.check_operands(instr);
         let qs = instr.qubits();
-        debug_assert!(qs.iter().all(|q| q.index() < self.num_qubits));
         match instr.gate() {
             Gate::Measure => panic!("cannot apply a measurement as a unitary"),
             Gate::I => {}
@@ -213,101 +325,218 @@ impl State {
         }
     }
 
+    /// The uniform operand guard every kernel entry point runs.
+    fn check_operands(&self, instr: &Instruction) {
+        for q in instr.qubits() {
+            let idx = q.index();
+            assert!(
+                idx < self.num_qubits,
+                "qubit {idx} out of range for a {}-qubit state (gate {})",
+                self.num_qubits,
+                instr.gate()
+            );
+        }
+    }
+
+    /// Worker count for a kernel visiting `count` amplitude tuples.
+    fn kernel_threads(&self, count: usize) -> usize {
+        if count < 2 {
+            return 1;
+        }
+        let threads = if self.threads != 0 {
+            self.threads
+        } else if self.amps.len() >= PARALLEL_THRESHOLD {
+            available_threads()
+        } else {
+            1
+        };
+        threads.clamp(1, count)
+    }
+
     fn apply_1q(&mut self, q: usize, m: &crate::Mat2) {
         let mask = 1usize << q;
-        for i in 0..self.amps.len() {
-            if i & mask == 0 {
+        let count = self.amps.len() / 2;
+        let threads = self.kernel_threads(count);
+        let ptr = AmpPtr(self.amps.as_mut_ptr());
+        let m = *m;
+        let kernel = move |range: Range<usize>| {
+            let p = ptr.get();
+            for k in range {
+                let i = insert_zero(k, mask);
                 let j = i | mask;
-                let (a0, a1) = (self.amps[i], self.amps[j]);
-                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
-                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+                // SAFETY: `insert_zero` maps distinct `k < 2^(n-1)` to
+                // disjoint in-range pairs `(i, j)`, and ranges never
+                // overlap, so no two iterations alias.
+                unsafe {
+                    let a0 = *p.add(i);
+                    let a1 = *p.add(j);
+                    *p.add(i) = m[0][0] * a0 + m[0][1] * a1;
+                    *p.add(j) = m[1][0] * a0 + m[1][1] * a1;
+                }
             }
-        }
+        };
+        run_ranges(count, threads, &kernel);
     }
 
     fn apply_x(&mut self, q: usize) {
         let mask = 1usize << q;
-        for i in 0..self.amps.len() {
-            if i & mask == 0 {
-                self.amps.swap(i, i | mask);
+        let count = self.amps.len() / 2;
+        let threads = self.kernel_threads(count);
+        let ptr = AmpPtr(self.amps.as_mut_ptr());
+        let kernel = move |range: Range<usize>| {
+            let p = ptr.get();
+            for k in range {
+                let i = insert_zero(k, mask);
+                // SAFETY: disjoint in-range pairs, as in `apply_1q`.
+                unsafe { std::ptr::swap(p.add(i), p.add(i | mask)) };
             }
-        }
+        };
+        run_ranges(count, threads, &kernel);
     }
 
     fn apply_phase_1q(&mut self, q: usize, phase: C64) {
         let mask = 1usize << q;
-        for (i, a) in self.amps.iter_mut().enumerate() {
-            if i & mask != 0 {
-                *a *= phase;
+        let count = self.amps.len() / 2;
+        let threads = self.kernel_threads(count);
+        let ptr = AmpPtr(self.amps.as_mut_ptr());
+        let kernel = move |range: Range<usize>| {
+            let p = ptr.get();
+            for k in range {
+                let i = insert_zero(k, mask) | mask;
+                // SAFETY: distinct `k` give distinct in-range `i`.
+                unsafe { *p.add(i) *= phase };
             }
-        }
+        };
+        run_ranges(count, threads, &kernel);
     }
 
     fn apply_cx(&mut self, c: usize, t: usize) {
         let (cm, tm) = (1usize << c, 1usize << t);
-        for i in 0..self.amps.len() {
-            if i & cm != 0 && i & tm == 0 {
-                self.amps.swap(i, i | tm);
+        let (lo, hi) = (cm.min(tm), cm.max(tm));
+        let count = self.amps.len() / 4;
+        let threads = self.kernel_threads(count);
+        let ptr = AmpPtr(self.amps.as_mut_ptr());
+        let kernel = move |range: Range<usize>| {
+            let p = ptr.get();
+            for k in range {
+                let base = insert_zero(insert_zero(k, lo), hi) | cm;
+                // SAFETY: disjoint in-range pairs (control set, target
+                // clear vs. set).
+                unsafe { std::ptr::swap(p.add(base), p.add(base | tm)) };
             }
-        }
+        };
+        run_ranges(count, threads, &kernel);
     }
 
     fn apply_cphase(&mut self, a: usize, b: usize, phase: C64) {
-        let mask = (1usize << a) | (1usize << b);
-        for (i, amp) in self.amps.iter_mut().enumerate() {
-            if i & mask == mask {
-                *amp *= phase;
+        let (am, bm) = (1usize << a, 1usize << b);
+        let (lo, hi) = (am.min(bm), am.max(bm));
+        let count = self.amps.len() / 4;
+        let threads = self.kernel_threads(count);
+        let ptr = AmpPtr(self.amps.as_mut_ptr());
+        let kernel = move |range: Range<usize>| {
+            let p = ptr.get();
+            for k in range {
+                let i = insert_zero(insert_zero(k, lo), hi) | am | bm;
+                // SAFETY: distinct `k` give distinct in-range `i`.
+                unsafe { *p.add(i) *= phase };
             }
-        }
+        };
+        run_ranges(count, threads, &kernel);
     }
 
     fn apply_swap(&mut self, a: usize, b: usize) {
         let (am, bm) = (1usize << a, 1usize << b);
-        for i in 0..self.amps.len() {
-            if i & am != 0 && i & bm == 0 {
-                self.amps.swap(i, i ^ am ^ bm);
+        let (lo, hi) = (am.min(bm), am.max(bm));
+        let count = self.amps.len() / 4;
+        let threads = self.kernel_threads(count);
+        let ptr = AmpPtr(self.amps.as_mut_ptr());
+        let kernel = move |range: Range<usize>| {
+            let p = ptr.get();
+            for k in range {
+                let i0 = insert_zero(insert_zero(k, lo), hi);
+                // SAFETY: disjoint in-range pairs (`|01⟩` vs. `|10⟩` on
+                // the swapped bits).
+                unsafe { std::ptr::swap(p.add(i0 | am), p.add(i0 | bm)) };
             }
-        }
+        };
+        run_ranges(count, threads, &kernel);
     }
 
     fn apply_ccx(&mut self, c1: usize, c2: usize, t: usize) {
         let (c1m, c2m, tm) = (1usize << c1, 1usize << c2, 1usize << t);
-        let cm = c1m | c2m;
-        for i in 0..self.amps.len() {
-            if i & cm == cm && i & tm == 0 {
-                self.amps.swap(i, i | tm);
+        let [m0, m1, m2] = sorted3(c1m, c2m, tm);
+        let count = self.amps.len() / 8;
+        let threads = self.kernel_threads(count);
+        let ptr = AmpPtr(self.amps.as_mut_ptr());
+        let kernel = move |range: Range<usize>| {
+            let p = ptr.get();
+            for k in range {
+                let base = insert_zero(insert_zero(insert_zero(k, m0), m1), m2) | c1m | c2m;
+                // SAFETY: disjoint in-range pairs (controls set, target
+                // clear vs. set).
+                unsafe { std::ptr::swap(p.add(base), p.add(base | tm)) };
             }
-        }
+        };
+        run_ranges(count, threads, &kernel);
     }
 
     fn apply_ccz(&mut self, a: usize, b: usize, c: usize) {
-        let mask = (1usize << a) | (1usize << b) | (1usize << c);
-        for (i, amp) in self.amps.iter_mut().enumerate() {
-            if i & mask == mask {
-                *amp = -*amp;
+        let (am, bm, cm) = (1usize << a, 1usize << b, 1usize << c);
+        let [m0, m1, m2] = sorted3(am, bm, cm);
+        let count = self.amps.len() / 8;
+        let threads = self.kernel_threads(count);
+        let ptr = AmpPtr(self.amps.as_mut_ptr());
+        let kernel = move |range: Range<usize>| {
+            let p = ptr.get();
+            for k in range {
+                let i = insert_zero(insert_zero(insert_zero(k, m0), m1), m2) | am | bm | cm;
+                // SAFETY: distinct `k` give distinct in-range `i`.
+                unsafe { *p.add(i) = -*p.add(i) };
             }
-        }
+        };
+        run_ranges(count, threads, &kernel);
     }
 
     fn apply_cswap(&mut self, c: usize, a: usize, b: usize) {
         let (cm, am, bm) = (1usize << c, 1usize << a, 1usize << b);
-        for i in 0..self.amps.len() {
-            if i & cm != 0 && i & am != 0 && i & bm == 0 {
-                self.amps.swap(i, i ^ am ^ bm);
+        let [m0, m1, m2] = sorted3(cm, am, bm);
+        let count = self.amps.len() / 8;
+        let threads = self.kernel_threads(count);
+        let ptr = AmpPtr(self.amps.as_mut_ptr());
+        let kernel = move |range: Range<usize>| {
+            let p = ptr.get();
+            for k in range {
+                let i0 = insert_zero(insert_zero(insert_zero(k, m0), m1), m2) | cm;
+                // SAFETY: disjoint in-range pairs, as in `apply_swap`.
+                unsafe { std::ptr::swap(p.add(i0 | am), p.add(i0 | bm)) };
             }
-        }
+        };
+        run_ranges(count, threads, &kernel);
     }
 
     fn apply_controlled_1q(&mut self, c: usize, t: usize, m: &crate::Mat2) {
         let (cm, tm) = (1usize << c, 1usize << t);
-        for i in 0..self.amps.len() {
-            if i & cm != 0 && i & tm == 0 {
+        let (lo, hi) = (cm.min(tm), cm.max(tm));
+        let count = self.amps.len() / 4;
+        let threads = self.kernel_threads(count);
+        let ptr = AmpPtr(self.amps.as_mut_ptr());
+        let m = *m;
+        let kernel = move |range: Range<usize>| {
+            let p = ptr.get();
+            for k in range {
+                let i = insert_zero(insert_zero(k, lo), hi) | cm;
                 let j = i | tm;
-                let (a0, a1) = (self.amps[i], self.amps[j]);
-                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
-                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+                // SAFETY: disjoint in-range pairs, as in `apply_cx`.
+                unsafe {
+                    let a0 = *p.add(i);
+                    let a1 = *p.add(j);
+                    *p.add(i) = m[0][0] * a0 + m[0][1] * a1;
+                    *p.add(j) = m[1][0] * a0 + m[1][1] * a1;
+                }
             }
-        }
+        };
+        run_ranges(count, threads, &kernel);
     }
 
     /// Probability of measuring the full register in basis state `outcome`.
@@ -423,19 +652,83 @@ impl State {
     }
 }
 
+/// Inserts a zero bit at the position marked by `mask` (a single set bit):
+/// the bits of `k` below the position stay put, the rest shift up one.
+/// Applying it for each of a gate's qubit masks in ascending order
+/// enumerates exactly the basis indices with zeros on those qubits.
+#[inline(always)]
+fn insert_zero(k: usize, mask: usize) -> usize {
+    let low = k & (mask - 1);
+    ((k ^ low) << 1) | low
+}
+
+/// Three single-bit masks in ascending order.
+#[inline(always)]
+fn sorted3(a: usize, b: usize, c: usize) -> [usize; 3] {
+    let mut m = [a, b, c];
+    m.sort_unstable();
+    m
+}
+
+/// Raw amplitude pointer that scoped kernel workers share. Safe because
+/// every kernel partitions the tuple index range disjointly and each tuple
+/// touches amplitudes no other tuple does.
+#[derive(Clone, Copy)]
+struct AmpPtr(*mut C64);
+
+unsafe impl Send for AmpPtr {}
+unsafe impl Sync for AmpPtr {}
+
+impl AmpPtr {
+    /// Accessor (rather than direct field use) so `move` closures capture
+    /// the `Sync` wrapper, not the raw pointer field.
+    fn get(self) -> *mut C64 {
+        self.0
+    }
+}
+
+/// Splits `0..count` into `threads` contiguous ranges and runs `kernel`
+/// on each, on scoped worker threads when `threads > 1`.
+fn run_ranges(count: usize, threads: usize, kernel: &(dyn Fn(Range<usize>) + Sync)) {
+    if threads <= 1 || count == 0 {
+        kernel(0..count);
+        return;
+    }
+    let chunk = count.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut start = 0usize;
+        while start < count {
+            let end = (start + chunk).min(count);
+            scope.spawn(move || kernel(start..end));
+            start = end;
+        }
+    });
+}
+
+/// One worker per available core (cached; 1 if the count is unknown).
+fn available_threads() -> usize {
+    use std::sync::OnceLock;
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
 /// SplitMix64: tiny deterministic PRNG for reproducible random states
 /// without an external dependency.
 #[derive(Debug)]
-struct SplitMix64 {
+pub(crate) struct SplitMix64 {
     state: u64,
 }
 
 impl SplitMix64 {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         SplitMix64 { state: seed }
     }
 
-    fn next_u64(&mut self) -> u64 {
+    pub(crate) fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -718,5 +1011,284 @@ mod tests {
         assert!(State::run(&a)
             .unwrap()
             .approx_eq_up_to_phase(&State::run(&b).unwrap(), 1e-10));
+    }
+
+    #[test]
+    fn insert_zero_enumerates_cleared_bit_indices() {
+        // For a 4-bit space and mask 0b0100, k = 0..8 must enumerate, in
+        // order, exactly the indices with bit 2 clear.
+        let expect: Vec<usize> = (0..16).filter(|i| i & 0b100 == 0).collect();
+        let got: Vec<usize> = (0..8).map(|k| insert_zero(k, 0b100)).collect();
+        assert_eq!(got, expect);
+    }
+
+    /// The seed-era kernels: full-index scans that branch away the
+    /// non-participating amplitudes. The new stride kernels must match
+    /// them **bitwise** — same expressions per amplitude tuple, just
+    /// without the scan — which this module pins for every gate kind.
+    mod naive {
+        use super::super::*;
+
+        pub fn apply_1q(amps: &mut [C64], q: usize, m: &crate::Mat2) {
+            let mask = 1usize << q;
+            for i in 0..amps.len() {
+                if i & mask == 0 {
+                    let j = i | mask;
+                    let (a0, a1) = (amps[i], amps[j]);
+                    amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                    amps[j] = m[1][0] * a0 + m[1][1] * a1;
+                }
+            }
+        }
+
+        pub fn apply_x(amps: &mut [C64], q: usize) {
+            let mask = 1usize << q;
+            for i in 0..amps.len() {
+                if i & mask == 0 {
+                    amps.swap(i, i | mask);
+                }
+            }
+        }
+
+        pub fn apply_phase_1q(amps: &mut [C64], q: usize, phase: C64) {
+            let mask = 1usize << q;
+            for (i, a) in amps.iter_mut().enumerate() {
+                if i & mask != 0 {
+                    *a *= phase;
+                }
+            }
+        }
+
+        pub fn apply_cx(amps: &mut [C64], c: usize, t: usize) {
+            let (cm, tm) = (1usize << c, 1usize << t);
+            for i in 0..amps.len() {
+                if i & cm != 0 && i & tm == 0 {
+                    amps.swap(i, i | tm);
+                }
+            }
+        }
+
+        pub fn apply_cphase(amps: &mut [C64], a: usize, b: usize, phase: C64) {
+            let mask = (1usize << a) | (1usize << b);
+            for (i, amp) in amps.iter_mut().enumerate() {
+                if i & mask == mask {
+                    *amp *= phase;
+                }
+            }
+        }
+
+        pub fn apply_swap(amps: &mut [C64], a: usize, b: usize) {
+            let (am, bm) = (1usize << a, 1usize << b);
+            for i in 0..amps.len() {
+                if i & am != 0 && i & bm == 0 {
+                    amps.swap(i, i ^ am ^ bm);
+                }
+            }
+        }
+
+        pub fn apply_ccx(amps: &mut [C64], c1: usize, c2: usize, t: usize) {
+            let (c1m, c2m, tm) = (1usize << c1, 1usize << c2, 1usize << t);
+            let cm = c1m | c2m;
+            for i in 0..amps.len() {
+                if i & cm == cm && i & tm == 0 {
+                    amps.swap(i, i | tm);
+                }
+            }
+        }
+
+        pub fn apply_ccz(amps: &mut [C64], a: usize, b: usize, c: usize) {
+            let mask = (1usize << a) | (1usize << b) | (1usize << c);
+            for (i, amp) in amps.iter_mut().enumerate() {
+                if i & mask == mask {
+                    *amp = -*amp;
+                }
+            }
+        }
+
+        pub fn apply_cswap(amps: &mut [C64], c: usize, a: usize, b: usize) {
+            let (cm, am, bm) = (1usize << c, 1usize << a, 1usize << b);
+            for i in 0..amps.len() {
+                if i & cm != 0 && i & am != 0 && i & bm == 0 {
+                    amps.swap(i, i ^ am ^ bm);
+                }
+            }
+        }
+
+        pub fn apply_controlled_1q(amps: &mut [C64], c: usize, t: usize, m: &crate::Mat2) {
+            let (cm, tm) = (1usize << c, 1usize << t);
+            for i in 0..amps.len() {
+                if i & cm != 0 && i & tm == 0 {
+                    let j = i | tm;
+                    let (a0, a1) = (amps[i], amps[j]);
+                    amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                    amps[j] = m[1][0] * a0 + m[1][1] * a1;
+                }
+            }
+        }
+    }
+
+    /// One instruction of every gate kind the dense simulator applies,
+    /// on deliberately shuffled operands (high/low, adjacent, spread).
+    fn all_kind_instructions() -> Vec<Instruction> {
+        use trios_ir::Qubit;
+        let q = Qubit::new;
+        let i = Instruction::new;
+        vec![
+            i(Gate::H, &[q(3)]),
+            i(Gate::X, &[q(5)]),
+            i(Gate::Y, &[q(0)]),
+            i(Gate::Z, &[q(4)]),
+            i(Gate::S, &[q(1)]),
+            i(Gate::Sdg, &[q(2)]),
+            i(Gate::T, &[q(5)]),
+            i(Gate::Tdg, &[q(0)]),
+            i(Gate::Sx, &[q(3)]),
+            i(Gate::Rx(0.3), &[q(2)]),
+            i(Gate::Ry(0.7), &[q(4)]),
+            i(Gate::Rz(1.1), &[q(1)]),
+            i(Gate::U1(0.9), &[q(0)]),
+            i(Gate::U2(0.2, 0.4), &[q(5)]),
+            i(Gate::U3(0.3, 0.5, 0.7), &[q(2)]),
+            i(Gate::Xpow(0.25), &[q(3)]),
+            i(Gate::Cx, &[q(4), q(1)]),
+            i(Gate::Cx, &[q(0), q(5)]),
+            i(Gate::Cz, &[q(2), q(4)]),
+            i(Gate::Cp(0.6), &[q(5), q(0)]),
+            i(Gate::Swap, &[q(1), q(4)]),
+            i(Gate::Cxpow(0.5), &[q(3), q(0)]),
+            i(Gate::Ccx, &[q(5), q(0), q(3)]),
+            i(Gate::Ccz, &[q(1), q(4), q(2)]),
+            i(Gate::Cswap, &[q(2), q(5), q(1)]),
+        ]
+    }
+
+    /// Applies `instr` to raw amplitudes with the seed-era scan kernels.
+    fn naive_apply(amps: &mut [C64], instr: &Instruction) {
+        let qs = instr.qubits();
+        match instr.gate() {
+            Gate::X => naive::apply_x(amps, qs[0].index()),
+            Gate::Z => naive::apply_phase_1q(amps, qs[0].index(), -C64::ONE),
+            Gate::S => naive::apply_phase_1q(amps, qs[0].index(), C64::I),
+            Gate::Sdg => naive::apply_phase_1q(amps, qs[0].index(), -C64::I),
+            Gate::T => {
+                naive::apply_phase_1q(amps, qs[0].index(), C64::cis(std::f64::consts::FRAC_PI_4))
+            }
+            Gate::Tdg => {
+                naive::apply_phase_1q(amps, qs[0].index(), C64::cis(-std::f64::consts::FRAC_PI_4))
+            }
+            Gate::U1(l) => naive::apply_phase_1q(amps, qs[0].index(), C64::cis(l)),
+            Gate::Cx => naive::apply_cx(amps, qs[0].index(), qs[1].index()),
+            Gate::Cz => naive::apply_cphase(amps, qs[0].index(), qs[1].index(), -C64::ONE),
+            Gate::Cp(l) => naive::apply_cphase(amps, qs[0].index(), qs[1].index(), C64::cis(l)),
+            Gate::Swap => naive::apply_swap(amps, qs[0].index(), qs[1].index()),
+            Gate::Ccx => naive::apply_ccx(amps, qs[0].index(), qs[1].index(), qs[2].index()),
+            Gate::Ccz => naive::apply_ccz(amps, qs[0].index(), qs[1].index(), qs[2].index()),
+            Gate::Cswap => naive::apply_cswap(amps, qs[0].index(), qs[1].index(), qs[2].index()),
+            Gate::Cxpow(t) => {
+                let m = crate::xpow_matrix(t);
+                naive::apply_controlled_1q(amps, qs[0].index(), qs[1].index(), &m);
+            }
+            g => {
+                let m = single_qubit_matrix(g).expect("1q matrix");
+                naive::apply_1q(amps, qs[0].index(), &m);
+            }
+        }
+    }
+
+    #[test]
+    fn stride_kernels_match_naive_kernels_bitwise_for_every_gate_kind() {
+        let mut state = State::random(6, 99).unwrap();
+        let mut reference: Vec<C64> = state.amplitudes().to_vec();
+        for instr in all_kind_instructions() {
+            state.apply(&instr);
+            naive_apply(&mut reference, &instr);
+            // Bitwise equality, not approximate: the stride kernels must
+            // compute the identical floating-point expressions.
+            assert_eq!(
+                state.amplitudes(),
+                &reference[..],
+                "kernel diverged on {instr:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_are_byte_identical_across_thread_counts() {
+        for threads in [2usize, 3, 5] {
+            let mut serial = State::random(7, 1234).unwrap();
+            serial.set_threads(1);
+            let mut parallel = serial.clone();
+            parallel.set_threads(threads);
+            for instr in all_kind_instructions() {
+                serial.apply(&instr);
+                parallel.apply(&instr);
+            }
+            assert_eq!(
+                serial.amplitudes(),
+                parallel.amplitudes(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_application_matches_unfused() {
+        let mut c = Circuit::new(4);
+        c.h(0).t(0).s(0).h(1).x(0).cx(0, 1).h(2).sdg(2).tdg(2);
+        c.rz(0.4, 3)
+            .rx(0.2, 3)
+            .ccx(0, 1, 2)
+            .h(3)
+            .u3(0.1, 0.2, 0.3, 3);
+        let mut unfused = State::random(4, 5).unwrap();
+        let mut fused = unfused.clone();
+        unfused.apply_circuit(&c).unwrap();
+        fused.apply_circuit_fused(&c).unwrap();
+        assert!(fused.approx_eq_up_to_phase(&unfused, 1e-12));
+    }
+
+    #[test]
+    fn fused_application_skips_measurements() {
+        let mut c = Circuit::new(2);
+        c.h(0).measure(0).t(0).measure(1);
+        let mut a = State::zero(2).unwrap();
+        a.apply_circuit_fused(&c).unwrap();
+        let mut b = State::zero(2).unwrap();
+        b.apply_circuit(&c).unwrap();
+        assert!(a.approx_eq_up_to_phase(&b, 1e-12));
+    }
+
+    #[test]
+    fn out_of_range_qubit_panics_with_clear_message_in_every_build() {
+        use trios_ir::Qubit;
+        // q = 70 ≥ 64: without the explicit check the shift would wrap
+        // and corrupt qubit 6 instead of panicking.
+        let instr = Instruction::new(Gate::X, &[Qubit::new(70)]);
+        let mut state = State::zero(3).unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            state.apply(&instr);
+        }))
+        .unwrap_err();
+        let message = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            message.contains("qubit 70 out of range"),
+            "panic message: {message}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_qubit_panics_for_multi_qubit_kernels() {
+        use trios_ir::Qubit;
+        let mut state = State::zero(3).unwrap();
+        for instr in [
+            Instruction::new(Gate::Cx, &[Qubit::new(0), Qubit::new(3)]),
+            Instruction::new(Gate::Ccx, &[Qubit::new(0), Qubit::new(1), Qubit::new(64)]),
+            Instruction::new(Gate::Swap, &[Qubit::new(9), Qubit::new(1)]),
+        ] {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                state.apply(&instr);
+            }));
+            assert!(result.is_err(), "{instr:?} must panic");
+        }
     }
 }

@@ -12,7 +12,7 @@ use orchestrated_trios::route::{
     RoutingTrace, StrategyRegistry,
 };
 use orchestrated_trios::sim::compiled_equivalent;
-use orchestrated_trios::topology::{line, Topology};
+use orchestrated_trios::topology::{johannesburg, line, Topology};
 
 #[test]
 fn fixed_seed_fuzz_is_clean_over_every_router_and_family() {
@@ -32,11 +32,42 @@ fn fixed_seed_fuzz_is_clean_over_every_router_and_family() {
     assert_eq!(spec.routers.len(), 4, "all registered routers");
     let report = run_fuzz(&spec).unwrap();
     assert!(report.passed(), "{report}");
-    assert_eq!(report.cells, 10 * 4, "every (case, router) cell compiled");
+    // The clifford family generates up to 20 qubits, so its wide cases
+    // skip line:8; everything that fits is compiled and dense-checked.
+    assert_eq!(
+        report.cells + report.skipped,
+        10 * 4,
+        "every (case, router) cell compiled or counted as skipped"
+    );
     assert_eq!(
         report.equivalence_checked, report.cells,
-        "an 8-qubit device simulates every cell"
+        "an 8-qubit device simulates every fitting cell"
     );
+    assert_eq!(report.equivalence_dense, report.cells, "{report}");
+}
+
+#[test]
+fn full_johannesburg_clifford_fuzz_passes_through_the_stabilizer_backend() {
+    // The acceptance criterion of the simulator refactor: routed-vs-input
+    // equivalence on the full 20-qubit Johannesburg device — impossible
+    // under the old 8-qubit dense wall — for every registered router.
+    let spec = FuzzSpec {
+        cases: 4,
+        seed: 42,
+        families: vec![Family::Clifford],
+        devices: vec![("johannesburg".into(), johannesburg())],
+        jobs: 2,
+        ..FuzzSpec::new()
+    };
+    assert_eq!(spec.routers.len(), 4, "all registered routers");
+    let report = run_fuzz(&spec).unwrap();
+    assert!(report.passed(), "{report}");
+    assert_eq!(report.cells, 4 * 4);
+    assert_eq!(
+        report.equivalence_stabilizer, report.cells,
+        "every cell tableau-checked at device width:\n{report}"
+    );
+    assert_eq!(report.skipped, 0);
 }
 
 #[test]
