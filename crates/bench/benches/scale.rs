@@ -1,0 +1,193 @@
+//! Compile-time scaling curves across the large-device zoo, emitted as
+//! `BENCH_scale.json` — the perf budgets later PRs regress against.
+//!
+//! The grid is device family × device size × circuit size × router:
+//!
+//! * **heavy-hex** — IBM's Eagle/Osprey/Condor lattices (127/433/1121
+//!   qubits), sparse degree-≤3 graphs where routing does real work.
+//! * **grid** — square-ish 2D grids at matching sizes, the denser
+//!   superconducting alternative.
+//! * **alltoall** — ion-trap complete graphs (stored implicitly: ~628k
+//!   edges at 1121 qubits never materialize), where routing inserts no
+//!   SWAPs but placement and validation still walk the full circuit.
+//!
+//! Workload: seeded `ToffoliRipple` chains (the paper's adder-shaped
+//! programs) at 52 and 102 qubits — the 102-qubit instance carries 200
+//! Toffolis, double the ≥100 the scaling acceptance budget is defined
+//! over.
+//!
+//! **Asserted budgets** (release): `trios` routes the 200-Toffoli
+//! workload on `heavy-hex:1121` in < 5 s, and on `alltoall:1121` in
+//! < 5 s. Regressions fail the bench, and CI's `--test` smoke keeps a
+//! reduced version of the same assertions on every push.
+//!
+//! Run with `cargo bench -p trios-bench --bench scale`; pass `-- --test`
+//! for the CI smoke (127-qubit devices only, no file output).
+
+use std::time::Instant;
+use trios_core::Compiler;
+use trios_gen::{Family, Params};
+use trios_ir::Circuit;
+use trios_topology::parse_spec;
+
+/// The two routers the curves compare: the paper's trios router and its
+/// lookahead variant (the hot path the in-place swap scoring rewrote).
+const ROUTERS: [&str; 2] = ["trios", "trios-lookahead"];
+
+fn workload(qubits: usize) -> Circuit {
+    // depth 2 → 2 · (qubits − 2) Toffolis plus a carry CX per sweep.
+    Family::ToffoliRipple.generate(&Params::new(qubits, 2), 7)
+}
+
+fn toffoli_count(circuit: &Circuit) -> usize {
+    circuit
+        .iter()
+        .filter(|i| matches!(i.gate(), trios_ir::Gate::Ccx | trios_ir::Gate::Ccz))
+        .count()
+}
+
+struct Point {
+    device: String,
+    device_qubits: usize,
+    router: &'static str,
+    circuit_qubits: usize,
+    toffolis: usize,
+    swaps: usize,
+    wall_s: f64,
+}
+
+fn measure(spec: &str, router: &'static str, circuit: &Circuit) -> Point {
+    let device = parse_spec(spec).expect("bench device spec is valid");
+    let compiler = Compiler::builder().router(router).seed(7).build();
+    let started = Instant::now();
+    let program = compiler
+        .compile(circuit, &device)
+        .unwrap_or_else(|e| panic!("{router} on {spec} failed: {e}"));
+    let wall_s = started.elapsed().as_secs_f64();
+    Point {
+        device: spec.to_string(),
+        device_qubits: device.num_qubits(),
+        router,
+        circuit_qubits: circuit.num_qubits(),
+        toffolis: toffoli_count(circuit),
+        swaps: program.stats.swap_count,
+        wall_s,
+    }
+}
+
+fn run_test_mode() {
+    // CI smoke: the smallest size of each family, both routers, with a
+    // generous ceiling that still catches an accidental return to any of
+    // the O(n²)/O(n³) paths this bench was built to guard.
+    let circuit = workload(52);
+    for spec in ["heavy-hex:127", "grid:12x11", "alltoall:127"] {
+        for router in ROUTERS {
+            let p = measure(spec, router, &circuit);
+            assert!(
+                p.wall_s < 30.0,
+                "{router} on {spec} took {:.2}s in the smoke budget",
+                p.wall_s
+            );
+            println!(
+                "scale --test: {spec} {router}: {:.3}s, {} swaps",
+                p.wall_s, p.swaps
+            );
+        }
+    }
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--test") {
+        run_test_mode();
+        return;
+    }
+
+    let devices = [
+        "heavy-hex:127",
+        "heavy-hex:433",
+        "heavy-hex:1121",
+        "grid:12x11",
+        "grid:21x21",
+        "grid:34x33",
+        "alltoall:127",
+        "alltoall:433",
+        "alltoall:1121",
+    ];
+    let circuits = [workload(52), workload(102)];
+    assert!(
+        toffoli_count(&circuits[1]) >= 100,
+        "the budget workload must carry at least 100 Toffolis"
+    );
+
+    let mut points = Vec::new();
+    for spec in devices {
+        for circuit in &circuits {
+            for router in ROUTERS {
+                let p = measure(spec, router, circuit);
+                println!(
+                    "scale: {:>14} ({:>4}q) {:<15} circuit {:>3}q/{} toffolis: {:>7.3}s, {} swaps",
+                    p.device,
+                    p.device_qubits,
+                    p.router,
+                    p.circuit_qubits,
+                    p.toffolis,
+                    p.wall_s,
+                    p.swaps
+                );
+                points.push(p);
+            }
+        }
+    }
+
+    // The acceptance budgets: the 200-Toffoli workload on the
+    // 1121-qubit devices, trios router, must compile in < 5 s.
+    let budget = |device: &str| {
+        let p = points
+            .iter()
+            .find(|p| p.device == device && p.router == "trios" && p.circuit_qubits == 102)
+            .expect("budgeted cell was measured");
+        assert!(
+            p.wall_s < 5.0,
+            "budget blown: trios on {device} took {:.2}s (limit 5s)",
+            p.wall_s
+        );
+        p.wall_s
+    };
+    let hh_s = budget("heavy-hex:1121");
+    let trap_s = budget("alltoall:1121");
+
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                r#"    {{"device": "{}", "device_qubits": {}, "router": "{}", "circuit_qubits": {}, "toffolis": {}, "swaps": {}, "wall_s": {:.4}}}"#,
+                p.device, p.device_qubits, p.router, p.circuit_qubits, p.toffolis, p.swaps, p.wall_s
+            )
+        })
+        .collect();
+    let json = format!(
+        r#"{{
+  "bench": "scale",
+  "workload": "toffoli-ripple depth 2, seed 7 (52q/100 toffolis and 102q/200 toffolis)",
+  "budgets": {{
+    "heavy_hex_1121_trios_200_toffolis": {{"limit_s": 5.0, "wall_s": {hh_s:.4}}},
+    "alltoall_1121_trios_200_toffolis": {{"limit_s": 5.0, "wall_s": {trap_s:.4}}}
+  }},
+  "points": [
+{rows}
+  ]
+}}
+"#,
+        rows = rows.join(",\n"),
+    );
+
+    // Anchor at the workspace root regardless of the bench's cwd.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    std::fs::write(path, &json).expect("write BENCH_scale.json");
+    println!(
+        "scale: {} cells; heavy-hex:1121 trios {hh_s:.2}s, alltoall:1121 trios {trap_s:.2}s \
+         (budget 5s each)",
+        points.len()
+    );
+    println!("wrote BENCH_scale.json");
+}

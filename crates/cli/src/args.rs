@@ -626,8 +626,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
 
 /// Resolves a device spec to a topology via the shared grammar in
 /// [`trios_topology::parse_spec`] (named devices plus `line:N`, `ring:N`,
-/// `full:N`, `grid:CxR`, `clusters:KxS`), so the CLI and the serve
-/// protocol accept identical specs.
+/// `full:N`, `grid:CxR`, `clusters:KxS`, `alltoall:N`, `heavy-hex:N`), so
+/// the CLI and the serve protocol accept identical specs.
 ///
 /// # Errors
 ///

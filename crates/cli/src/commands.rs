@@ -47,7 +47,9 @@ COMMANDS:
 FLAGS (compile / estimate):
     --device, -d <spec>          johannesburg | heavy-hex | grid | line |
                                  clusters | line:N | ring:N | full:N |
-                                 grid:CxR | clusters:KxS   (default johannesburg)
+                                 grid:CxR | clusters:KxS | alltoall:N |
+                                 heavy-hex:N (N = 127, 433, 1121, ...)
+                                 (default johannesburg)
     --pipeline, -p <which>       baseline | trios          (default trios)
     --router, -r <name>          routing strategy by name (see 'trios routers');
                                  overrides the pipeline's default
@@ -758,7 +760,8 @@ fn render_list() -> String {
     }
     out.push_str(
         "\ndevices: johannesburg, heavy-hex, grid, line, clusters,\n         \
-         line:N, ring:N, full:N, grid:CxR, clusters:KxS\n",
+         line:N, ring:N, full:N, grid:CxR, clusters:KxS,\n         \
+         alltoall:N, heavy-hex:N (N a lattice count: 127, 433, 1121, ...)\n",
     );
     out
 }

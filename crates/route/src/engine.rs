@@ -349,7 +349,7 @@ impl<'a> RoutingEngine<'a> {
             // shortest path qualifies, so the set is never empty.
             let mut best: Option<(f64, (usize, usize))> = None;
             for (end, other) in [(pa, pb), (pb, pa)] {
-                for &n in self.topo.neighbors(end) {
+                for n in self.topo.neighbors(end) {
                     let d1 = match self.topo.distance(n, other) {
                         Some(d) => d,
                         None => continue,
@@ -357,10 +357,14 @@ impl<'a> RoutingEngine<'a> {
                     if d1 + 1 != d0 {
                         continue;
                     }
-                    let mut hypothetical = self.layout.clone();
-                    hypothetical.swap_physical(end, n);
-                    let cost =
-                        d1 as f64 + cfg.weight * self.window_cost(&hypothetical, upcoming, cfg);
+                    // Score the candidate by applying the swap in place and
+                    // undoing it: `swap_physical` is O(1) both ways, where
+                    // cloning the layout per candidate is O(n) — the
+                    // difference between routing kiloqubit devices and not.
+                    self.layout.swap_physical(end, n);
+                    let window = self.window_cost(&self.layout, upcoming, cfg);
+                    self.layout.swap_physical(end, n);
+                    let cost = d1 as f64 + cfg.weight * window;
                     let edge = (end.min(n), end.max(n));
                     let better = match best {
                         None => true,

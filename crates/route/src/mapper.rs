@@ -82,16 +82,21 @@ pub fn initial_layout(
             Layout::from_mapping(&slots, n_phys)
         }
         InitialMapping::GreedyInteraction => {
-            let dist = |a: usize, b: usize| topology.distance(a, b).unwrap_or(n_phys) as f64;
+            // `cost_distance` is the hop count on explicit devices
+            // (identical to the old `distance` closure) but the shuttle
+            // cost |a − b| on ion-trap all-to-all devices, where every
+            // hop count is 1 yet placement still decides how far ions
+            // travel.
+            let dist = |a: usize, b: usize| topology.cost_distance(a, b).unwrap_or(n_phys as f64);
             Ok(greedy_layout(circuit, topology, &dist))
         }
         InitialMapping::NoiseAware { edge_errors } => {
-            if edge_errors.len() != topology.edges().len() {
+            if edge_errors.len() != topology.num_edges() {
                 return Err(RouteError::InvalidLayout {
                     reason: format!(
                         "{} edge errors supplied for a topology with {} edges",
                         edge_errors.len(),
-                        topology.edges().len()
+                        topology.num_edges()
                     ),
                 });
             }
@@ -160,6 +165,19 @@ fn interaction_weights(circuit: &Circuit) -> Vec<Vec<f64>> {
     w
 }
 
+/// Above this device size, placement candidates are pruned to a BFS
+/// frontier around already-placed partners instead of scanning every
+/// free slot. All paper-scale devices (20–27 qubits) sit far below it,
+/// so the pruned and exact paths provably agree on the whole paper
+/// suite (pinned by the golden routing test).
+const FRONTIER_THRESHOLD: usize = 128;
+
+/// How many free candidate slots the frontier expansion gathers before
+/// stopping. Large enough that the greedy cost model, not the pruning,
+/// picks the winner; small enough that kiloqubit devices never pay a
+/// full O(n) scan per placement.
+const FRONTIER_CANDIDATES: usize = 64;
+
 fn greedy_layout(
     circuit: &Circuit,
     topology: &Topology,
@@ -168,6 +186,14 @@ fn greedy_layout(
     let n_log = circuit.num_qubits();
     let n_phys = topology.num_qubits();
     let w = interaction_weights(circuit);
+
+    // Partner lists in ascending logical index: iterating these (instead
+    // of scanning all of `assignment` per candidate) keeps each cost sum
+    // accumulating in exactly the old order, so the placement — floats
+    // and all — is bit-identical to the full-scan implementation.
+    let partners: Vec<Vec<usize>> = (0..n_log)
+        .map(|l| (0..n_log).filter(|&m| w[l][m] > 0.0).collect())
+        .collect();
 
     // Order logical qubits: heaviest total interaction first.
     let mut order: Vec<usize> = (0..n_log).collect();
@@ -181,21 +207,48 @@ fn greedy_layout(
 
     let mut assignment = vec![usize::MAX; n_log];
     let mut free: Vec<bool> = vec![true; n_phys];
+    let mut candidates: Vec<usize> = Vec::new();
 
     for &l in &order {
+        let placed: Vec<usize> = partners[l]
+            .iter()
+            .copied()
+            .filter(|&m| assignment[m] != usize::MAX)
+            .collect();
+
+        // Candidate slots to score. Small devices (and partnerless
+        // qubits, which any free slot suits equally) scan everything —
+        // the original algorithm. At kiloqubit scale a full scan per
+        // placement is O(n²) overall, and slots far from every placed
+        // partner can never win, so expand a multi-source BFS ring
+        // around the placed partners until enough free slots are found.
+        candidates.clear();
+        if n_phys <= FRONTIER_THRESHOLD || placed.is_empty() {
+            candidates.extend((0..n_phys).filter(|&p| free[p]));
+        } else {
+            frontier_candidates(
+                topology,
+                &free,
+                placed.iter().map(|&m| assignment[m]),
+                &mut candidates,
+            );
+            if candidates.is_empty() {
+                // Placed partners' component is saturated (or the graph
+                // is disconnected): fall back to the exact scan.
+                candidates.extend((0..n_phys).filter(|&p| free[p]));
+            }
+        }
+
         // Cost of placing l at p: sum over placed partners of
-        // weight · distance.
+        // weight · distance. Candidates are scored in ascending order
+        // with a strict `<`, so ties keep the lowest physical index —
+        // the full-scan tie-break.
         let mut best_p = usize::MAX;
         let mut best_cost = f64::INFINITY;
-        for (p, slot_free) in free.iter().enumerate() {
-            if !slot_free {
-                continue;
-            }
+        for &p in &candidates {
             let mut cost = 0.0;
-            for (m, &pm) in assignment.iter().enumerate() {
-                if pm != usize::MAX && w[l][m] > 0.0 {
-                    cost += w[l][m] * dist(p, pm);
-                }
+            for &m in &placed {
+                cost += w[l][m] * dist(p, assignment[m]);
             }
             // Prefer central qubits for the first placement: maximize
             // degree by subtracting a small bonus.
@@ -209,6 +262,46 @@ fn greedy_layout(
         free[best_p] = false;
     }
     Layout::from_mapping(&assignment, n_phys).expect("greedy assignment is injective")
+}
+
+/// Multi-source BFS from the placed partners' slots, collecting free
+/// slots ring by ring into `out` (sorted ascending) until at least
+/// [`FRONTIER_CANDIDATES`] are gathered and the current ring is done.
+fn frontier_candidates(
+    topology: &Topology,
+    free: &[bool],
+    sources: impl Iterator<Item = usize>,
+    out: &mut Vec<usize>,
+) {
+    let n_phys = topology.num_qubits();
+    let mut seen = vec![false; n_phys];
+    let mut ring: Vec<usize> = Vec::new();
+    for p in sources {
+        if !seen[p] {
+            seen[p] = true;
+            ring.push(p);
+            if free[p] {
+                out.push(p);
+            }
+        }
+    }
+    let mut next_ring: Vec<usize> = Vec::new();
+    while !ring.is_empty() && out.len() < FRONTIER_CANDIDATES {
+        next_ring.clear();
+        for &p in &ring {
+            for q in topology.neighbors(p) {
+                if !seen[q] {
+                    seen[q] = true;
+                    next_ring.push(q);
+                    if free[q] {
+                        out.push(q);
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut ring, &mut next_ring);
+    }
+    out.sort_unstable();
 }
 
 #[cfg(test)]

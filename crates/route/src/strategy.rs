@@ -280,7 +280,7 @@ impl RoutingStrategy for NoiseAwareTrios {
         let metric = match &options.metric {
             PathMetric::EdgeWeights(_) => options.metric.clone(),
             PathMetric::Hops => {
-                let num_edges = topology.edges().len();
+                let num_edges = topology.num_edges();
                 let errors = match &self.edge_errors {
                     Some(errors) => {
                         if errors.len() != num_edges {

@@ -394,11 +394,14 @@ fn timeouts_turn_slow_requests_into_clean_errors() {
         ..test_config()
     });
     let mut client = Client::connect(server.local_addr()).unwrap();
+    // A compiler that keeps getting faster occasionally finished the old
+    // two-benchmark request inside 1 ms, flaking the assertion — Monte
+    // Carlo shots pin the request comfortably past any compile speedup.
     let response = parse(
         &client
             .call(
                 "sweep",
-                r#"{"benchmarks": ["cuccaro_adder-20", "takahashi_adder-20"]}"#,
+                r#"{"benchmarks": ["cuccaro_adder-20", "takahashi_adder-20"], "devices": ["johannesburg", "grid", "line", "clusters"], "shots": 2000}"#,
             )
             .unwrap(),
     );

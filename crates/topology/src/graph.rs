@@ -2,8 +2,10 @@
 //! distances.
 
 use crate::TopologyError;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// How three routed qubits sit in the coupling graph — determines which
 /// Toffoli decomposition the mapping-aware pass picks (paper §4).
@@ -21,12 +23,82 @@ pub enum TripleShape {
     Disconnected,
 }
 
+/// All-pairs hop distances stored as one row-major boxed slice.
+///
+/// The nested `Vec<Vec<u32>>` of earlier versions cost one heap
+/// allocation (and one pointer chase) per source row; at kiloqubit scale
+/// the routing hot loop reads this matrix millions of times, so the
+/// flat layout matters. `get` is a single multiply-add index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DistMatrix {
+    n: usize,
+    d: Box<[u32]>,
+}
+
+impl DistMatrix {
+    #[inline]
+    fn get(&self, a: usize, b: usize) -> u32 {
+        self.d[a * self.n + b]
+    }
+}
+
+/// Per-coupling-edge cost model of an implicitly-stored device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LinkCost {
+    /// Every coupling costs the same (superconducting-style).
+    Uniform,
+    /// Coupling `a`–`b` costs `|a − b|`: the ion-shuttling model of a
+    /// linear-trap all-to-all device, where any pair can interact but
+    /// distant ions pay transport proportional to their separation.
+    LinearShuttle,
+}
+
+/// Internal storage: explicit adjacency + precomputed BFS distances for
+/// sparse hardware graphs, or a closed-form complete graph for all-to-all
+/// devices. A 1000-qubit all-to-all device has ~500k edges; storing (or
+/// BFS-ing) them is pure waste when every distance is 0 or 1, so the
+/// complete representation materializes nothing.
+#[derive(Debug)]
+enum Repr {
+    Explicit {
+        adj: Vec<Vec<usize>>,
+        edges: Vec<(usize, usize)>,
+        dist: DistMatrix,
+    },
+    Complete {
+        cost: LinkCost,
+        /// Materialized only if a caller insists on an edge *list*
+        /// (noise-aware per-edge error vectors do); closed-form paths
+        /// never touch it.
+        edges: OnceLock<Vec<(usize, usize)>>,
+    },
+}
+
+impl Clone for Repr {
+    fn clone(&self) -> Self {
+        match self {
+            Repr::Explicit { adj, edges, dist } => Repr::Explicit {
+                adj: adj.clone(),
+                edges: edges.clone(),
+                dist: dist.clone(),
+            },
+            // The lazy edge cache is derived state: a clone starts cold.
+            Repr::Complete { cost, .. } => Repr::Complete {
+                cost: *cost,
+                edges: OnceLock::new(),
+            },
+        }
+    }
+}
+
 /// An undirected hardware coupling graph.
 ///
 /// Two-qubit gates may only execute across edges of this graph; the routing
-/// passes insert SWAPs to satisfy that constraint. All-pairs shortest-path
-/// distances are precomputed at construction (devices here are ≤ a few
-/// hundred qubits).
+/// passes insert SWAPs to satisfy that constraint. Sparse devices
+/// precompute all-pairs shortest-path distances at construction (one BFS
+/// per source, flat row-major matrix); all-to-all devices
+/// ([`Topology::complete`]) answer every query in closed form and never
+/// materialize their ~n²/2 edges.
 ///
 /// # Examples
 ///
@@ -38,14 +110,77 @@ pub enum TripleShape {
 /// assert!(device.are_adjacent(2, 3));
 /// assert_eq!(device.shortest_path(0, 3), Some(vec![0, 1, 2, 3]));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Topology {
     name: String,
     num_qubits: usize,
-    adj: Vec<Vec<usize>>,
-    edges: Vec<(usize, usize)>,
-    dist: Vec<Vec<u32>>,
+    repr: Repr,
 }
+
+impl PartialEq for Topology {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.num_qubits == other.num_qubits
+            && match (&self.repr, &other.repr) {
+                (Repr::Explicit { edges: a, .. }, Repr::Explicit { edges: b, .. }) => a == b,
+                (Repr::Complete { cost: a, .. }, Repr::Complete { cost: b, .. }) => a == b,
+                _ => false,
+            }
+    }
+}
+
+impl Eq for Topology {}
+
+/// Iterator over the neighbors of a qubit, in ascending order.
+///
+/// Sparse topologies yield from their adjacency list; complete topologies
+/// yield `0..n` minus the qubit itself without materializing anything.
+#[derive(Debug, Clone)]
+pub struct Neighbors<'a> {
+    inner: NeighborsInner<'a>,
+}
+
+#[derive(Debug, Clone)]
+enum NeighborsInner<'a> {
+    Slice(std::slice::Iter<'a, usize>),
+    Complete { n: usize, skip: usize, next: usize },
+}
+
+impl Iterator for Neighbors<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match &mut self.inner {
+            NeighborsInner::Slice(it) => it.next().copied(),
+            NeighborsInner::Complete { n, skip, next } => {
+                if *next == *skip {
+                    *next += 1;
+                }
+                if *next >= *n {
+                    return None;
+                }
+                let v = *next;
+                *next += 1;
+                Some(v)
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            NeighborsInner::Slice(it) => it.size_hint(),
+            NeighborsInner::Complete { n, skip, next } => {
+                let mut remaining = n.saturating_sub(*next);
+                if *next <= *skip && *skip < *n {
+                    remaining -= 1;
+                }
+                (remaining, Some(remaining))
+            }
+        }
+    }
+}
+
+impl ExactSizeIterator for Neighbors<'_> {}
 
 const UNREACHABLE: u32 = u32::MAX;
 
@@ -53,6 +188,9 @@ impl Topology {
     /// Builds a topology from an undirected edge list.
     ///
     /// Edges are deduplicated; `(a, b)` and `(b, a)` are the same edge.
+    /// Deduplication is sort-based (`O(m log m)`), so half-million-edge
+    /// lists construct in well under a second — the linear-scan version
+    /// this replaced was `O(m²)` and effectively hung on them.
     ///
     /// # Errors
     ///
@@ -66,8 +204,7 @@ impl Topology {
         if num_qubits == 0 {
             return Err(TopologyError::Empty);
         }
-        let mut adj = vec![Vec::new(); num_qubits];
-        let mut canon: Vec<(usize, usize)> = Vec::new();
+        let mut canon: Vec<(usize, usize)> = Vec::with_capacity(edges.len());
         for &(a, b) in edges {
             if a == b {
                 return Err(TopologyError::SelfLoop { qubit: a });
@@ -80,25 +217,62 @@ impl Topology {
                     });
                 }
             }
-            let e = (a.min(b), a.max(b));
-            if !canon.contains(&e) {
-                canon.push(e);
-                adj[a].push(b);
-                adj[b].push(a);
-            }
+            canon.push((a.min(b), a.max(b)));
+        }
+        canon.sort_unstable();
+        canon.dedup();
+        let mut adj = vec![Vec::new(); num_qubits];
+        for &(a, b) in &canon {
+            adj[a].push(b);
+            adj[b].push(a);
         }
         for list in &mut adj {
             list.sort_unstable();
         }
-        canon.sort_unstable();
         let dist = all_pairs_bfs(num_qubits, &adj);
         Ok(Topology {
             name: name.into(),
             num_qubits,
-            adj,
-            edges: canon,
-            dist,
+            repr: Repr::Explicit {
+                adj,
+                edges: canon,
+                dist,
+            },
         })
+    }
+
+    /// A fully connected device with unit-cost couplings, stored
+    /// implicitly: no edge list, no BFS, every query closed-form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn complete(name: impl Into<String>, n: usize) -> Self {
+        Topology::complete_with_cost(name, n, LinkCost::Uniform)
+    }
+
+    /// A fully connected ion-trap-style device where coupling `a`–`b`
+    /// costs `|a − b|` (linear shuttling distance). Stored implicitly
+    /// like [`Topology::complete`]; [`Topology::link_cost`] and
+    /// [`Topology::cost_distance`] expose the weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn complete_linear_cost(name: impl Into<String>, n: usize) -> Self {
+        Topology::complete_with_cost(name, n, LinkCost::LinearShuttle)
+    }
+
+    fn complete_with_cost(name: impl Into<String>, n: usize, cost: LinkCost) -> Self {
+        assert!(n > 0, "device size must be positive");
+        Topology {
+            name: name.into(),
+            num_qubits: n,
+            repr: Repr::Complete {
+                cost,
+                edges: OnceLock::new(),
+            },
+        }
     }
 
     /// Human-readable device name (e.g. `"ibmq-johannesburg"`).
@@ -111,36 +285,121 @@ impl Topology {
         self.num_qubits
     }
 
+    /// Number of coupling edges. Closed-form for complete devices —
+    /// prefer this over `edges().len()`, which would materialize them.
+    pub fn num_edges(&self) -> usize {
+        match &self.repr {
+            Repr::Explicit { edges, .. } => edges.len(),
+            Repr::Complete { .. } => self.num_qubits * (self.num_qubits - 1) / 2,
+        }
+    }
+
     /// Canonical (a < b) undirected edge list, sorted.
+    ///
+    /// For complete devices this materializes all `n(n−1)/2` edges on
+    /// first call (and caches them) — only per-edge consumers like
+    /// noise-calibration vectors need it; routing never calls this.
     pub fn edges(&self) -> &[(usize, usize)] {
-        &self.edges
+        match &self.repr {
+            Repr::Explicit { edges, .. } => edges,
+            Repr::Complete { edges, .. } => edges.get_or_init(|| {
+                let n = self.num_qubits;
+                let mut all = Vec::with_capacity(n * (n - 1) / 2);
+                for a in 0..n {
+                    for b in a + 1..n {
+                        all.push((a, b));
+                    }
+                }
+                all
+            }),
+        }
     }
 
     /// Neighbors of `q`, in ascending order.
-    pub fn neighbors(&self, q: usize) -> &[usize] {
-        &self.adj[q]
+    pub fn neighbors(&self, q: usize) -> Neighbors<'_> {
+        let inner = match &self.repr {
+            Repr::Explicit { adj, .. } => NeighborsInner::Slice(adj[q].iter()),
+            Repr::Complete { .. } => NeighborsInner::Complete {
+                n: self.num_qubits,
+                skip: q,
+                next: 0,
+            },
+        };
+        Neighbors { inner }
     }
 
     /// Degree of `q`.
     pub fn degree(&self, q: usize) -> usize {
-        self.adj[q].len()
+        match &self.repr {
+            Repr::Explicit { adj, .. } => adj[q].len(),
+            Repr::Complete { .. } => self.num_qubits - 1,
+        }
     }
 
     /// `true` if `a` and `b` share an edge.
     pub fn are_adjacent(&self, a: usize, b: usize) -> bool {
-        self.adj[a].binary_search(&b).is_ok()
+        match &self.repr {
+            Repr::Explicit { adj, .. } => adj[a].binary_search(&b).is_ok(),
+            Repr::Complete { .. } => a != b && a < self.num_qubits && b < self.num_qubits,
+        }
     }
 
     /// Hop distance between `a` and `b` (`Some(0)` when equal), or `None`
     /// if disconnected.
     pub fn distance(&self, a: usize, b: usize) -> Option<usize> {
-        let d = self.dist[a][b];
-        (d != UNREACHABLE).then_some(d as usize)
+        match &self.repr {
+            Repr::Explicit { dist, .. } => {
+                let d = dist.get(a, b);
+                (d != UNREACHABLE).then_some(d as usize)
+            }
+            Repr::Complete { .. } => Some(usize::from(a != b)),
+        }
+    }
+
+    /// Cost of the direct coupling `a`–`b`, or `None` if not adjacent.
+    ///
+    /// Explicitly-built devices have unit-cost couplings; complete
+    /// ion-trap devices ([`Topology::complete_linear_cost`]) charge
+    /// `|a − b|` shuttling distance.
+    pub fn link_cost(&self, a: usize, b: usize) -> Option<f64> {
+        if !self.are_adjacent(a, b) {
+            return None;
+        }
+        Some(match &self.repr {
+            Repr::Explicit { .. } => 1.0,
+            Repr::Complete { cost, .. } => match cost {
+                LinkCost::Uniform => 1.0,
+                LinkCost::LinearShuttle => a.abs_diff(b) as f64,
+            },
+        })
+    }
+
+    /// Cheapest-path distance under the device's intrinsic link costs
+    /// (`Some(0.0)` when equal), or `None` if disconnected.
+    ///
+    /// For unit-cost devices this equals the hop distance; for an
+    /// ion-trap all-to-all device it is the `|a − b|` shuttling distance
+    /// (the direct link, which the triangle inequality makes optimal).
+    /// Placement uses this so hot pairs land on *cheap* couplings, not
+    /// merely few hops apart.
+    pub fn cost_distance(&self, a: usize, b: usize) -> Option<f64> {
+        match &self.repr {
+            Repr::Explicit { .. } => self.distance(a, b).map(|d| d as f64),
+            Repr::Complete { cost, .. } => Some(match cost {
+                LinkCost::Uniform => f64::from(a != b),
+                LinkCost::LinearShuttle => a.abs_diff(b) as f64,
+            }),
+        }
     }
 
     /// `true` if every qubit can reach every other.
     pub fn is_connected(&self) -> bool {
-        self.dist[0].iter().all(|&d| d != UNREACHABLE)
+        match &self.repr {
+            Repr::Explicit { dist, .. } => {
+                (0..self.num_qubits).all(|b| dist.get(0, b) != UNREACHABLE)
+            }
+            Repr::Complete { .. } => true,
+        }
     }
 
     /// A shortest path from `a` to `b` inclusive, or `None` if disconnected.
@@ -150,6 +409,12 @@ impl Topology {
     /// reproducible regardless of how the adjacency lists happen to be
     /// ordered.
     pub fn shortest_path(&self, a: usize, b: usize) -> Option<Vec<usize>> {
+        let (adj, dist) = match &self.repr {
+            Repr::Explicit { adj, dist, .. } => (adj, dist),
+            Repr::Complete { .. } => {
+                return Some(if a == b { vec![a] } else { vec![a, b] });
+            }
+        };
         self.distance(a, b)?;
         // Walk greedily from a toward b along the precomputed distances.
         // The qubit index is part of the key: `min_by_key` alone would
@@ -158,9 +423,9 @@ impl Topology {
         let mut path = vec![a];
         let mut cur = a;
         while cur != b {
-            let next = *self.adj[cur]
+            let next = *adj[cur]
                 .iter()
-                .min_by_key(|&&v| (self.dist[v][b], v))
+                .min_by_key(|&&v| (dist.get(v, b), v))
                 .expect("connected node has neighbors");
             path.push(next);
             cur = next;
@@ -172,7 +437,10 @@ impl Topology {
     /// noise-aware routing with `w = −log(1 − e2q)`), or `None` if
     /// disconnected.
     ///
-    /// Weights must be non-negative; ties break toward lower indices.
+    /// Binary-heap extraction (`O(m log n)`); the linear-scan extraction
+    /// this replaced was `O(n²)` per query, which dominated noise-aware
+    /// setup on kiloqubit devices. Weights must be non-negative; ties
+    /// break toward lower indices, exactly as the linear scan did.
     pub fn shortest_path_weighted(
         &self,
         a: usize,
@@ -183,31 +451,25 @@ impl Topology {
         let mut dist = vec![f64::INFINITY; n];
         let mut prev = vec![usize::MAX; n];
         let mut done = vec![false; n];
+        let mut heap: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::new();
         dist[a] = 0.0;
-        for _ in 0..n {
-            // Linear extraction: devices are small, no heap needed.
-            let mut u = usize::MAX;
-            let mut best = f64::INFINITY;
-            for v in 0..n {
-                if !done[v] && dist[v] < best {
-                    best = dist[v];
-                    u = v;
-                }
-            }
-            if u == usize::MAX {
-                break;
-            }
+        heap.push(Reverse(HeapEntry { cost: 0.0, node: a }));
+        while let Some(Reverse(HeapEntry { node: u, .. })) = heap.pop() {
             if u == b {
                 break;
             }
+            if done[u] {
+                continue;
+            }
             done[u] = true;
-            for &v in &self.adj[u] {
+            for v in self.neighbors(u) {
                 let w = weight(u, v);
                 debug_assert!(w >= 0.0, "edge weights must be non-negative");
                 let nd = dist[u] + w;
                 if nd < dist[v] - 1e-15 {
                     dist[v] = nd;
                     prev[v] = u;
+                    heap.push(Reverse(HeapEntry { cost: nd, node: v }));
                 }
             }
         }
@@ -231,7 +493,8 @@ impl Topology {
     /// One call computes what `num_qubits` calls of
     /// [`Topology::shortest_path_weighted`] from the same source would —
     /// the all-pairs reliability matrix of the noise-aware mapper costs
-    /// `O(n)` Dijkstra runs instead of `O(n²)`.
+    /// `O(n)` heap-based Dijkstra runs (`O(m log n)` each) instead of
+    /// `O(n)` linear-extraction runs at `O(n²)` each.
     ///
     /// Weights must be non-negative.
     pub fn weighted_distances_from(
@@ -242,27 +505,24 @@ impl Topology {
         let n = self.num_qubits;
         let mut dist = vec![f64::INFINITY; n];
         let mut done = vec![false; n];
+        let mut heap: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::new();
         dist[source] = 0.0;
-        for _ in 0..n {
-            // Linear extraction: devices are small, no heap needed.
-            let mut u = usize::MAX;
-            let mut best = f64::INFINITY;
-            for v in 0..n {
-                if !done[v] && dist[v] < best {
-                    best = dist[v];
-                    u = v;
-                }
-            }
-            if u == usize::MAX {
-                break;
+        heap.push(Reverse(HeapEntry {
+            cost: 0.0,
+            node: source,
+        }));
+        while let Some(Reverse(HeapEntry { node: u, .. })) = heap.pop() {
+            if done[u] {
+                continue;
             }
             done[u] = true;
-            for &v in &self.adj[u] {
+            for v in self.neighbors(u) {
                 let w = weight(u, v);
                 debug_assert!(w >= 0.0, "edge weights must be non-negative");
                 let nd = dist[u] + w;
                 if nd < dist[v] - 1e-15 {
                     dist[v] = nd;
+                    heap.push(Reverse(HeapEntry { cost: nd, node: v }));
                 }
             }
         }
@@ -312,6 +572,9 @@ impl Topology {
     /// forced into; the paper's Figure 6/7 x-axis ("total swap distance")
     /// tops out near twice this value.
     pub fn diameter(&self) -> Option<usize> {
+        if let Repr::Complete { .. } = &self.repr {
+            return Some(usize::from(self.num_qubits > 1));
+        }
         let mut best = 0usize;
         for a in 0..self.num_qubits() {
             for b in (a + 1)..self.num_qubits() {
@@ -332,6 +595,9 @@ impl Topology {
         if n < 2 {
             return None;
         }
+        if let Repr::Complete { .. } = &self.repr {
+            return Some(1.0);
+        }
         let mut sum = 0usize;
         for a in 0..n {
             for b in (a + 1)..n {
@@ -347,7 +613,10 @@ impl Topology {
     /// The device *name* is excluded — two devices with the same coupling
     /// graph compile every circuit identically, so they must key the same
     /// compilation-cache entries. The hash is a pure function of the
-    /// structure, stable across runs and platforms.
+    /// structure, stable across runs and platforms. Complete devices hash
+    /// their closed form (count plus cost model — an ion-trap all-to-all
+    /// and a unit-cost full graph place circuits differently, so they must
+    /// not share cache entries) without materializing edges.
     pub fn structural_hash(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -359,24 +628,67 @@ impl Topology {
         };
         let mut h = OFFSET;
         h = write_u64(h, self.num_qubits as u64);
-        h = write_u64(h, self.edges.len() as u64);
-        for &(a, b) in &self.edges {
-            h = write_u64(h, a as u64);
-            h = write_u64(h, b as u64);
+        h = write_u64(h, self.num_edges() as u64);
+        match &self.repr {
+            Repr::Explicit { edges, .. } => {
+                for &(a, b) in edges {
+                    h = write_u64(h, a as u64);
+                    h = write_u64(h, b as u64);
+                }
+            }
+            Repr::Complete { cost, .. } => {
+                // A distinct marker word keeps the closed form from
+                // colliding with any explicit edge list prefix.
+                h = write_u64(h, 0xC0CC_0000_0000_0001);
+                h = write_u64(
+                    h,
+                    match cost {
+                        LinkCost::Uniform => 0,
+                        LinkCost::LinearShuttle => 1,
+                    },
+                );
+            }
         }
         h
     }
 
     /// `true` if the graph contains at least one triangle.
     ///
-    /// On triangle-free devices (Johannesburg, grids, lines) the 6-CNOT
-    /// Toffoli always needs extra SWAPs — the paper's central observation.
+    /// On triangle-free devices (Johannesburg, grids, lines, heavy-hex)
+    /// the 6-CNOT Toffoli always needs extra SWAPs — the paper's central
+    /// observation.
     pub fn has_triangle(&self) -> bool {
-        self.edges.iter().any(|&(a, b)| {
-            self.adj[a]
+        match &self.repr {
+            Repr::Explicit { adj, edges, .. } => edges
                 .iter()
-                .any(|&c| c != b && self.are_adjacent(b, c))
-        })
+                .any(|&(a, b)| adj[a].iter().any(|&c| c != b && self.are_adjacent(b, c))),
+            Repr::Complete { .. } => self.num_qubits >= 3,
+        }
+    }
+}
+
+/// Heap entry ordered by `(cost, node)` — the node index tie-break keeps
+/// Dijkstra's settling order identical to the old lowest-index linear
+/// scan, so weighted routing stays byte-for-byte reproducible.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.cost
+            .total_cmp(&other.cost)
+            .then(self.node.cmp(&other.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
     }
 }
 
@@ -387,15 +699,16 @@ impl fmt::Display for Topology {
             "{} ({} qubits, {} edges)",
             self.name,
             self.num_qubits,
-            self.edges.len()
+            self.num_edges()
         )
     }
 }
 
-fn all_pairs_bfs(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<u32>> {
-    let mut dist = vec![vec![UNREACHABLE; n]; n];
+fn all_pairs_bfs(n: usize, adj: &[Vec<usize>]) -> DistMatrix {
+    let mut d = vec![UNREACHABLE; n * n].into_boxed_slice();
     let mut queue = VecDeque::new();
-    for (src, row) in dist.iter_mut().enumerate() {
+    for src in 0..n {
+        let row = &mut d[src * n..(src + 1) * n];
         row[src] = 0;
         queue.clear();
         queue.push_back(src);
@@ -408,7 +721,7 @@ fn all_pairs_bfs(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<u32>> {
             }
         }
     }
-    dist
+    DistMatrix { n, d }
 }
 
 #[cfg(test)]
@@ -423,8 +736,33 @@ mod tests {
     fn from_edges_dedups_and_sorts() {
         let t = Topology::from_edges("t", 3, &[(1, 0), (0, 1), (2, 1)]).unwrap();
         assert_eq!(t.edges(), &[(0, 1), (1, 2)]);
-        assert_eq!(t.neighbors(1), &[0, 2]);
+        assert_eq!(t.neighbors(1).collect::<Vec<_>>(), vec![0, 2]);
         assert_eq!(t.degree(1), 2);
+    }
+
+    #[test]
+    fn dedup_handles_half_a_million_edges_in_bounded_time() {
+        // Regression for the O(m²) `canon.contains` dedup: a long line
+        // with every edge repeated many times used to take O(m_in · m_out)
+        // comparisons (~10⁹ here) — effectively a hang. Sort-based dedup
+        // finishes in well under a second.
+        let n = 2_000usize;
+        let mut edges = Vec::with_capacity((n - 1) * 250);
+        for _ in 0..250 {
+            for i in 0..n - 1 {
+                // Alternate orientation so canonicalization is exercised.
+                edges.push(if i % 2 == 0 { (i, i + 1) } else { (i + 1, i) });
+            }
+        }
+        let started = std::time::Instant::now();
+        let t = Topology::from_edges("fat-line", n, &edges).unwrap();
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(20),
+            "construction took {:?}",
+            started.elapsed()
+        );
+        assert_eq!(t.num_edges(), n - 1);
+        assert_eq!(t.distance(0, n - 1), Some(n - 1));
     }
 
     #[test]
@@ -581,6 +919,7 @@ mod tests {
         assert_eq!(ring(20).diameter(), Some(10));
         assert_eq!(grid(5, 4).diameter(), Some(7));
         assert_eq!(full(6).diameter(), Some(1));
+        assert_eq!(full(1).diameter(), Some(0));
     }
 
     #[test]
@@ -634,6 +973,74 @@ mod tests {
     }
 
     #[test]
+    fn heap_dijkstra_matches_linear_extraction_exactly() {
+        // Regression for the BinaryHeap rewrite: dist AND tie-broken prev
+        // pointers must reproduce the old lowest-index linear extraction.
+        // The old implementation, verbatim:
+        fn linear_dijkstra(
+            t: &Topology,
+            a: usize,
+            b: usize,
+            weight: &dyn Fn(usize, usize) -> f64,
+        ) -> Option<(Vec<usize>, f64)> {
+            let n = t.num_qubits();
+            let mut dist = vec![f64::INFINITY; n];
+            let mut prev = vec![usize::MAX; n];
+            let mut done = vec![false; n];
+            dist[a] = 0.0;
+            for _ in 0..n {
+                let mut u = usize::MAX;
+                let mut best = f64::INFINITY;
+                for v in 0..n {
+                    if !done[v] && dist[v] < best {
+                        best = dist[v];
+                        u = v;
+                    }
+                }
+                if u == usize::MAX || u == b {
+                    break;
+                }
+                done[u] = true;
+                for v in t.neighbors(u) {
+                    let nd = dist[u] + weight(u, v);
+                    if nd < dist[v] - 1e-15 {
+                        dist[v] = nd;
+                        prev[v] = u;
+                    }
+                }
+            }
+            if dist[b].is_infinite() {
+                return None;
+            }
+            let mut path = vec![b];
+            let mut cur = b;
+            while cur != a {
+                cur = prev[cur];
+                path.push(cur);
+            }
+            path.reverse();
+            Some((path, dist[b]))
+        }
+
+        use crate::{grid, johannesburg};
+        for topo in [johannesburg(), grid(6, 5)] {
+            // Weights with deliberate ties (many equal values) so the
+            // tie-breaking path is actually exercised.
+            let weight = |a: usize, b: usize| 1.0 + ((a + b) % 3) as f64;
+            for a in 0..topo.num_qubits() {
+                for b in 0..topo.num_qubits() {
+                    if a == b {
+                        continue;
+                    }
+                    let fast = topo.shortest_path_weighted(a, b, &weight);
+                    let slow = linear_dijkstra(&topo, a, b, &weight);
+                    assert_eq!(fast, slow, "heap vs linear diverged on {a}->{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn weighted_distances_from_marks_unreachable_as_infinite() {
         let t = Topology::from_edges("two-islands", 4, &[(0, 1), (2, 3)]).unwrap();
         let row = t.weighted_distances_from(0, &|_, _| 1.0);
@@ -641,5 +1048,116 @@ mod tests {
         assert_eq!(row[1], 1.0);
         assert!(row[2].is_infinite());
         assert!(row[3].is_infinite());
+    }
+
+    #[test]
+    fn complete_answers_everything_in_closed_form() {
+        let t = Topology::complete("k1000", 1000);
+        assert_eq!(t.num_qubits(), 1000);
+        assert_eq!(t.num_edges(), 499_500);
+        assert!(t.is_connected());
+        assert!(t.has_triangle());
+        assert_eq!(t.distance(3, 997), Some(1));
+        assert_eq!(t.distance(5, 5), Some(0));
+        assert!(t.are_adjacent(0, 999));
+        assert!(!t.are_adjacent(7, 7));
+        assert_eq!(t.degree(500), 999);
+        assert_eq!(t.diameter(), Some(1));
+        assert_eq!(t.mean_distance(), Some(1.0));
+        assert_eq!(t.shortest_path(4, 2), Some(vec![4, 2]));
+        assert_eq!(t.shortest_path(4, 4), Some(vec![4]));
+        assert_eq!(t.triple_shape(0, 500, 999), TripleShape::Triangle);
+        assert_eq!(t.to_string(), "k1000 (1000 qubits, 499500 edges)");
+    }
+
+    #[test]
+    fn complete_neighbors_iterate_everyone_else() {
+        let t = Topology::complete("k5", 5);
+        assert_eq!(t.neighbors(2).collect::<Vec<_>>(), vec![0, 1, 3, 4]);
+        assert_eq!(t.neighbors(0).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert_eq!(t.neighbors(4).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(t.neighbors(2).len(), 4);
+    }
+
+    #[test]
+    fn complete_edges_materialize_lazily_and_match_explicit() {
+        let implicit = Topology::complete("k5", 5);
+        let mut pairs = Vec::new();
+        for a in 0..5 {
+            for b in a + 1..5 {
+                pairs.push((a, b));
+            }
+        }
+        let explicit = Topology::from_edges("k5", 5, &pairs).unwrap();
+        assert_eq!(implicit.edges(), explicit.edges());
+        // A clone starts with a cold cache but yields the same list.
+        assert_eq!(implicit.clone().edges(), explicit.edges());
+    }
+
+    #[test]
+    fn complete_link_costs() {
+        let uniform = Topology::complete("full-6", 6);
+        assert_eq!(uniform.link_cost(0, 5), Some(1.0));
+        assert_eq!(uniform.link_cost(2, 2), None);
+        assert_eq!(uniform.cost_distance(0, 5), Some(1.0));
+        assert_eq!(uniform.cost_distance(3, 3), Some(0.0));
+
+        let trap = Topology::complete_linear_cost("alltoall-6", 6);
+        assert_eq!(trap.link_cost(0, 5), Some(5.0));
+        assert_eq!(trap.link_cost(5, 0), Some(5.0));
+        assert_eq!(trap.link_cost(2, 3), Some(1.0));
+        assert_eq!(trap.cost_distance(0, 5), Some(5.0));
+        assert_eq!(trap.cost_distance(4, 4), Some(0.0));
+
+        // Explicit devices have unit link costs and hop cost-distances.
+        let line = path4();
+        assert_eq!(line.link_cost(0, 1), Some(1.0));
+        assert_eq!(line.link_cost(0, 2), None);
+        assert_eq!(line.cost_distance(0, 3), Some(3.0));
+    }
+
+    #[test]
+    fn complete_structural_hash_separates_cost_models() {
+        let full = Topology::complete("a", 40);
+        let trap = Topology::complete_linear_cost("b", 40);
+        // Same coupling, different costs → different compile results →
+        // must not share compilation-cache entries.
+        assert_ne!(full.structural_hash(), trap.structural_hash());
+        // Name is still excluded.
+        assert_eq!(
+            full.structural_hash(),
+            Topology::complete("z", 40).structural_hash()
+        );
+        // And sizes separate.
+        assert_ne!(
+            full.structural_hash(),
+            Topology::complete("a", 41).structural_hash()
+        );
+    }
+
+    #[test]
+    fn complete_equality_is_structural() {
+        assert_eq!(Topology::complete("k", 9), Topology::complete("k", 9));
+        assert_ne!(
+            Topology::complete("k", 9),
+            Topology::complete_linear_cost("k", 9)
+        );
+        assert_ne!(Topology::complete("k", 9), Topology::complete("j", 9));
+    }
+
+    #[test]
+    fn weighted_search_works_on_complete_graphs() {
+        // Dijkstra over an implicit K_n: the direct edge wins under the
+        // shuttling metric (triangle inequality), and single-source rows
+        // agree with per-pair queries.
+        let t = Topology::complete_linear_cost("trap", 12);
+        let w = |a: usize, b: usize| t.link_cost(a, b).unwrap();
+        let (path, cost) = t.shortest_path_weighted(2, 9, &w).unwrap();
+        assert_eq!(path, vec![2, 9]);
+        assert!((cost - 7.0).abs() < 1e-12);
+        let row = t.weighted_distances_from(0, &w);
+        for (b, &value) in row.iter().enumerate() {
+            assert!((value - b as f64).abs() < 1e-12, "row[{b}] = {value}");
+        }
     }
 }

@@ -30,7 +30,10 @@ mod render;
 mod spec;
 
 pub use error::TopologyError;
-pub use graph::{Topology, TripleShape};
-pub use named::{clusters, full, grid, heavy_hex_falcon27, johannesburg, line, ring, PaperDevice};
+pub use graph::{Neighbors, Topology, TripleShape};
+pub use named::{
+    alltoall, clusters, full, grid, heavy_hex, heavy_hex_falcon27, heavy_hex_qubits, johannesburg,
+    line, ring, PaperDevice,
+};
 pub use render::GridEmbedding;
 pub use spec::{parse_spec, SpecError};

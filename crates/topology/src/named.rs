@@ -86,18 +86,115 @@ pub fn ring(n: usize) -> Topology {
 
 /// A fully connected device of `n` qubits (routing never needs SWAPs).
 ///
+/// Stored implicitly ([`Topology::complete`]): adjacency, distances, and
+/// paths are all closed-form, so `full:1000` costs a few bytes rather
+/// than ~500k materialized edges and a BFS.
+///
 /// # Panics
 ///
 /// Panics if `n == 0`.
 pub fn full(n: usize) -> Topology {
     assert!(n > 0, "device size must be positive");
+    Topology::complete(format!("full-{n}"), n)
+}
+
+/// An ion-trap all-to-all device of `n` qubits with distance-weighted
+/// link costs: any pair can interact (no SWAPs ever), but coupling ions
+/// `a` and `b` costs `|a − b|` — the shuttling distance along a linear
+/// trap. Placement therefore still matters: hot pairs belong on nearby
+/// ions.
+///
+/// Like [`full`], the graph is stored implicitly and scales to thousands
+/// of qubits for free.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn alltoall(n: usize) -> Topology {
+    assert!(n > 0, "device size must be positive");
+    Topology::complete_linear_cost(format!("alltoall-{n}"), n)
+}
+
+/// Number of qubits in the distance-`d` heavy-hex lattice of
+/// [`heavy_hex`]: `10c² + 12c + 1` with `c = (d − 1) / 2`.
+///
+/// The published IBM devices are `d = 7` → 127 (Eagle), `d = 13` → 433
+/// (Osprey), and `d = 21` → 1121 (Condor).
+///
+/// # Panics
+///
+/// Panics if `d` is even or less than 3.
+pub fn heavy_hex_qubits(d: usize) -> usize {
+    assert!(
+        d >= 3 && d % 2 == 1,
+        "heavy-hex distance must be odd and ≥ 3"
+    );
+    let c = (d - 1) / 2;
+    10 * c * c + 12 * c + 1
+}
+
+/// IBM's heavy-hex lattice at code distance `d` (odd, ≥ 3): the
+/// hexagonal tiling with an extra qubit on every edge that IBM's
+/// Eagle (`d = 7`, 127 qubits), Osprey (`d = 13`, 433 qubits), and
+/// Condor (`d = 21`, 1121 qubits) processors use.
+///
+/// Construction, with `c = (d − 1) / 2`: `2c + 1` horizontal qubit rows
+/// (row 0 spans columns `0..=4c+1`, interior rows `0..=4c+2`, the last
+/// row `1..=4c+2`), interleaved with `2c` connector rows of `c + 1`
+/// degree-2 bridge qubits each (even connector rows at columns
+/// `0, 4, …, 4c`; odd ones at `2, 6, …, 4c+2`), each bridging the same
+/// column of the rows above and below it. Qubits are numbered row-major
+/// in that interleaved order.
+///
+/// The result is connected, triangle-free, and degree ≤ 3 — so as on
+/// Johannesburg, no Toffoli ever finds a triangle and the 8-CNOT
+/// decomposition is always the one routed for (paper §2.2).
+///
+/// # Panics
+///
+/// Panics if `d` is even or less than 3.
+pub fn heavy_hex(d: usize) -> Topology {
+    let n = heavy_hex_qubits(d); // validates d
+    let c = (d - 1) / 2;
+    let width = 4 * c + 3;
+    let mut next = 0usize;
     let mut edges = Vec::new();
-    for a in 0..n {
-        for b in a + 1..n {
-            edges.push((a, b));
+    // Column → qubit id for each horizontal row, in interleaved order.
+    let mut qubit_rows: Vec<Vec<Option<usize>>> = Vec::with_capacity(2 * c + 1);
+    // (connector id, row above it, column) — wired in a second pass
+    // because the row below is numbered after the connector.
+    let mut connectors = Vec::with_capacity(2 * c * (c + 1));
+    for j in 0..=2 * c {
+        let (lo, hi) = match j {
+            0 => (0, 4 * c + 1),
+            _ if j == 2 * c => (1, 4 * c + 2),
+            _ => (0, 4 * c + 2),
+        };
+        let mut row = vec![None; width];
+        for (i, slot) in row[lo..=hi].iter_mut().enumerate() {
+            *slot = Some(next);
+            if i > 0 {
+                edges.push((next - 1, next));
+            }
+            next += 1;
+        }
+        qubit_rows.push(row);
+        if j < 2 * c {
+            let start = if j % 2 == 0 { 0 } else { 2 };
+            for x in (start..=start + 4 * c).step_by(4) {
+                connectors.push((next, j, x));
+                next += 1;
+            }
         }
     }
-    Topology::from_edges(format!("full-{n}"), n, &edges).expect("generated edges are valid")
+    debug_assert_eq!(next, n);
+    for (id, j, x) in connectors {
+        let above = qubit_rows[j][x].expect("connector column exists in row above");
+        let below = qubit_rows[j + 1][x].expect("connector column exists in row below");
+        edges.push((above, id));
+        edges.push((id, below));
+    }
+    Topology::from_edges(format!("heavy-hex-{n}"), n, &edges).expect("generated edges are valid")
 }
 
 /// The paper's clustered QCCD-style device (Figure 5c): `num_clusters`
@@ -339,6 +436,79 @@ mod tests {
         // 2 × C(3,2) + 1 link = 7.
         assert_eq!(t.edges().len(), 7);
         assert!(t.is_connected());
+    }
+
+    #[test]
+    fn heavy_hex_family_matches_published_ibm_counts() {
+        // Eagle / Osprey / Condor.
+        for (d, expected) in [(7, 127), (13, 433), (21, 1121)] {
+            assert_eq!(heavy_hex_qubits(d), expected);
+            let t = heavy_hex(d);
+            assert_eq!(t.num_qubits(), expected, "d = {d}");
+            assert_eq!(t.name(), format!("heavy-hex-{expected}"));
+        }
+    }
+
+    #[test]
+    fn heavy_hex_invariants_at_small_distances() {
+        for d in [3, 5, 7] {
+            let t = heavy_hex(d);
+            assert!(t.is_connected(), "d = {d} disconnected");
+            assert!(!t.has_triangle(), "d = {d} has a triangle");
+            assert!(
+                (0..t.num_qubits()).all(|q| t.degree(q) <= 3),
+                "d = {d} exceeds degree 3"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_hex_smallest_instance_is_23_qubits() {
+        // d = 3: c = 1 → 10 + 12 + 1 = 23.
+        let t = heavy_hex(3);
+        assert_eq!(t.num_qubits(), 23);
+        // Row 0 has 4c+2 = 6 qubits in a chain.
+        assert!(t.are_adjacent(0, 1));
+        assert!(t.are_adjacent(4, 5));
+        assert!(!t.are_adjacent(5, 6));
+        // First connector row bridges row 0 and row 1 at columns 0 and 4.
+        assert_eq!(t.degree(13), 2);
+        assert_eq!(t.degree(14), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn heavy_hex_rejects_even_distance() {
+        heavy_hex(4);
+    }
+
+    #[test]
+    fn alltoall_has_unit_distances_and_shuttle_costs() {
+        let t = alltoall(100);
+        assert_eq!(t.name(), "alltoall-100");
+        assert_eq!(t.num_edges(), 100 * 99 / 2);
+        assert_eq!(t.distance(0, 99), Some(1));
+        assert_eq!(t.diameter(), Some(1));
+        assert_eq!(t.link_cost(0, 99), Some(99.0));
+        assert_eq!(t.link_cost(41, 42), Some(1.0));
+        // Uniform-cost full graph is a *different* device.
+        assert_ne!(t.structural_hash(), full(100).structural_hash());
+    }
+
+    #[test]
+    fn kiloqubit_devices_construct_instantly() {
+        let started = std::time::Instant::now();
+        let hh = heavy_hex(21);
+        let f = full(1121);
+        let trap = alltoall(1121);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(10),
+            "zoo construction took {:?}",
+            started.elapsed()
+        );
+        assert_eq!(hh.num_qubits(), 1121);
+        assert_eq!(f.num_edges(), 1121 * 1120 / 2);
+        assert_eq!(trap.distance(0, 1120), Some(1));
     }
 
     #[test]

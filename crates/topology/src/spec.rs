@@ -5,7 +5,10 @@
 //! protocol's per-request `device` field, so a spec means the same
 //! topology everywhere.
 
-use crate::{clusters, full, grid, heavy_hex_falcon27, johannesburg, line, ring, Topology};
+use crate::{
+    alltoall, clusters, full, grid, heavy_hex, heavy_hex_falcon27, heavy_hex_qubits, johannesburg,
+    line, ring, Topology,
+};
 use std::error::Error;
 use std::fmt;
 
@@ -21,7 +24,8 @@ impl fmt::Display for SpecError {
         write!(
             f,
             "unknown device '{}' (named: johannesburg, heavy-hex, grid, line, clusters; \
-             parametric: line:N, ring:N, full:N, grid:CxR, clusters:KxS)",
+             parametric: line:N, ring:N, full:N, grid:CxR, clusters:KxS, alltoall:N, \
+             heavy-hex:N for a lattice qubit count such as 127, 433, or 1121)",
             self.spec
         )
     }
@@ -33,9 +37,13 @@ impl Error for SpecError {}
 ///
 /// Named devices: `johannesburg`, `heavy-hex`, `grid` (5×4), `line` (20),
 /// `clusters` (4×5). Parametric: `line:N`, `ring:N`, `full:N`,
-/// `grid:CxR`, `clusters:KxS`. Parametric sizes must be positive (and a
-/// ring at least 3): zero dimensions are rejected here rather than
-/// reaching the constructors' panics.
+/// `grid:CxR`, `clusters:KxS`, `alltoall:N` (ion-trap all-to-all with
+/// shuttle-distance link costs), and `heavy-hex:N` where `N` is a valid
+/// heavy-hex lattice qubit count (`10c² + 12c + 1`: 23, 63, 127, 211, …,
+/// 433, …, 1121 — IBM's Eagle/Osprey/Condor sizes among them).
+/// Parametric sizes must be positive (and a ring at least 3): zero
+/// dimensions are rejected here rather than reaching the constructors'
+/// panics.
 ///
 /// # Errors
 ///
@@ -74,6 +82,17 @@ pub fn parse_spec(spec: &str) -> Result<Topology, SpecError> {
             Ok(ring(n))
         }
         "full" => Ok(full(parse_n(params)?)),
+        "alltoall" => Ok(alltoall(parse_n(params)?)),
+        "heavy-hex" => {
+            let n = parse_n(params)?;
+            // Find the odd distance whose lattice has exactly n qubits.
+            let d = (3..)
+                .step_by(2)
+                .take_while(|&d| heavy_hex_qubits(d) <= n)
+                .find(|&d| heavy_hex_qubits(d) == n)
+                .ok_or_else(unknown)?;
+            Ok(heavy_hex(d))
+        }
         "grid" | "clusters" => {
             let (a, b) = params.split_once('x').ok_or_else(unknown)?;
             let (a, b) = (parse_n(a)?, parse_n(b)?);
@@ -103,6 +122,16 @@ mod tests {
         assert_eq!(parse_spec("full:5").unwrap().num_qubits(), 5);
         assert_eq!(parse_spec("grid:3x3").unwrap().num_qubits(), 9);
         assert_eq!(parse_spec("clusters:2x4").unwrap().num_qubits(), 8);
+        // The large-device zoo: IBM's published heavy-hex generations and
+        // ion-trap all-to-all.
+        assert_eq!(parse_spec("heavy-hex:127").unwrap().num_qubits(), 127);
+        assert_eq!(parse_spec("heavy-hex:433").unwrap().num_qubits(), 433);
+        assert_eq!(parse_spec("heavy-hex:1121").unwrap().num_qubits(), 1121);
+        assert_eq!(parse_spec("heavy-hex:23").unwrap().num_qubits(), 23);
+        let trap = parse_spec("alltoall:64").unwrap();
+        assert_eq!(trap.num_qubits(), 64);
+        assert_eq!(trap.link_cost(0, 63), Some(63.0));
+        assert_eq!(parse_spec("full:1000").unwrap().num_edges(), 499_500);
     }
 
     #[test]
@@ -117,6 +146,13 @@ mod tests {
             "clusters:2x",
             "nonsense",
             "",
+            // Not heavy-hex lattice counts (and never panic on them).
+            "heavy-hex:100",
+            "heavy-hex:1120",
+            "heavy-hex:0",
+            "heavy-hex:x",
+            "alltoall:0",
+            "alltoall:",
         ] {
             let err = parse_spec(bad).unwrap_err();
             assert_eq!(err.spec, bad);

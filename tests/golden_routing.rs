@@ -1,0 +1,114 @@
+//! Golden test pinning the compiler's routed output on the full paper
+//! suite, byte for byte.
+//!
+//! The fixture (`tests/golden/paper_suite_hashes.txt`) was captured from
+//! the compiler *before* the kiloqubit hot-path refactor (flat distance
+//! matrix, heap Dijkstra, in-place lookahead scoring, frontier-pruned
+//! placement), so this suite proves the refactor is a pure performance
+//! change: every benchmark × paper device × registered router × seed must
+//! still compile to exactly the same circuit, layouts, and SWAP count.
+//!
+//! Regenerate with `GOLDEN_ROUTING_REGEN=1 cargo test --test
+//! golden_routing -- --nocapture` — but only do that for an *intentional*
+//! routing-behavior change, never to paper over a hot-path regression.
+
+use trios_benchmarks::Benchmark;
+use trios_core::{Compiler, StrategyRegistry};
+use trios_route::{initial_layout, InitialMapping};
+use trios_topology::PaperDevice;
+
+/// One fingerprint line: everything that identifies a compiled program.
+fn fingerprint(compiler: &Compiler, b: Benchmark, device: &trios_topology::Topology) -> String {
+    let program = compiler
+        .compile(&b.build(), device)
+        .unwrap_or_else(|e| panic!("compile failed for {b} on {}: {e}", device.name()));
+    format!(
+        "{:016x} swaps={} init={:?} final={:?}",
+        program.circuit.structural_hash(),
+        program.stats.swap_count,
+        program.initial_layout.to_mapping(),
+        program.final_layout.to_mapping(),
+    )
+}
+
+fn current_table() -> String {
+    let mut lines = Vec::new();
+    for device in PaperDevice::ALL {
+        let topo = device.build();
+        for router in StrategyRegistry::standard().names() {
+            for b in Benchmark::ALL {
+                for seed in [0u64, 7] {
+                    let compiler = Compiler::builder().router(router).seed(seed).build();
+                    lines.push(format!(
+                        "{} {router} {} seed={seed}: {}",
+                        topo.name(),
+                        b.name(),
+                        fingerprint(&compiler, b, &topo)
+                    ));
+                }
+            }
+        }
+    }
+    // Greedy and noise-aware placement are not on the default pipeline
+    // (mapping defaults to Trivial), so pin them separately: the frontier
+    // pruning in `greedy_layout` must not move a single qubit on the
+    // paper-scale devices.
+    for device in PaperDevice::ALL {
+        let topo = device.build();
+        let edge_errors: Vec<f64> = topo
+            .edges()
+            .iter()
+            .map(|&(a, b)| 0.001 + 0.002 * ((a * 13 + b * 5) % 7) as f64)
+            .collect();
+        for b in Benchmark::ALL {
+            let circuit = b.build();
+            let greedy = initial_layout(&circuit, &topo, &InitialMapping::GreedyInteraction)
+                .expect("greedy placement succeeds");
+            let noise = initial_layout(
+                &circuit,
+                &topo,
+                &InitialMapping::NoiseAware {
+                    edge_errors: edge_errors.clone(),
+                },
+            )
+            .expect("noise-aware placement succeeds");
+            lines.push(format!(
+                "{} mapping {}: greedy={:?} noise={:?}",
+                topo.name(),
+                b.name(),
+                greedy.to_mapping(),
+                noise.to_mapping()
+            ));
+        }
+    }
+    lines.join("\n") + "\n"
+}
+
+#[test]
+fn routed_paper_suite_is_byte_identical_to_prerefactor_golden() {
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/paper_suite_hashes.txt"
+    );
+    let table = current_table();
+    if std::env::var_os("GOLDEN_ROUTING_REGEN").is_some() {
+        std::fs::write(fixture, &table).expect("write golden fixture");
+        println!("regenerated {fixture}");
+        return;
+    }
+    let golden = std::fs::read_to_string(fixture).expect("golden fixture exists");
+    if table != golden {
+        let diffs: Vec<&str> = table
+            .lines()
+            .zip(golden.lines())
+            .filter(|(now, was)| now != was)
+            .map(|(now, _)| now)
+            .collect();
+        panic!(
+            "routed output diverged from the pre-refactor golden on {} of {} cells; first: {}",
+            diffs.len(),
+            golden.lines().count(),
+            diffs.first().unwrap_or(&"(line counts differ)")
+        );
+    }
+}

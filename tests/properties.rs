@@ -424,3 +424,82 @@ fn generated_circuits_with_distinct_seeds_never_false_hit_the_cache() {
     assert_eq!(warm.report.cache_hits as usize, circuits.len());
     assert_eq!(warm.results, cold.results);
 }
+
+/// The nested-`Vec` per-source BFS the flat row-major distance matrix
+/// replaced, reimplemented verbatim as the reference.
+fn nested_bfs_distances(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<u32>> {
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let mut dist = vec![vec![u32::MAX; n]; n];
+    for (s, row) in dist.iter_mut().enumerate() {
+        row[s] = 0;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                if row[v] == u32::MAX {
+                    row[v] = row[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    dist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Every member of the heavy-hex family — not just the published
+    // 127/433/1121 sizes — is connected, triangle-free, degree ≤ 3, and
+    // has exactly 10c² + 12c + 1 qubits.
+    #[test]
+    fn heavy_hex_family_invariants(c in 1usize..11) {
+        let d = 2 * c + 1;
+        let topo = trios_topology::heavy_hex(d);
+        prop_assert_eq!(topo.num_qubits(), 10 * c * c + 12 * c + 1);
+        prop_assert_eq!(topo.num_qubits(), trios_topology::heavy_hex_qubits(d));
+        prop_assert!(topo.is_connected());
+        prop_assert!(!topo.has_triangle());
+        for q in 0..topo.num_qubits() {
+            prop_assert!(topo.degree(q) <= 3, "qubit {} has degree {}", q, topo.degree(q));
+        }
+        // And the spec grammar round-trips the family.
+        let respecced = trios_topology::parse_spec(
+            &format!("heavy-hex:{}", topo.num_qubits()),
+        ).unwrap();
+        prop_assert_eq!(respecced.num_qubits(), topo.num_qubits());
+    }
+
+    // The flat row-major distance matrix answers exactly what the old
+    // nested per-source BFS answered, on arbitrary (possibly
+    // disconnected) graphs.
+    #[test]
+    fn flat_distance_matrix_matches_nested_bfs(
+        n in 2usize..24,
+        raw_edges in proptest::collection::vec((0usize..24, 0usize..24), 0..60),
+    ) {
+        let edges: Vec<(usize, usize)> = raw_edges
+            .into_iter()
+            .filter(|&(a, b)| a != b)
+            .map(|(a, b)| (a % n, b % n))
+            .filter(|&(a, b)| a != b)
+            .collect();
+        let topo = Topology::from_edges("random", n, &edges).unwrap();
+        let reference = nested_bfs_distances(n, &edges);
+        for (a, row) in reference.iter().enumerate() {
+            for (b, &value) in row.iter().enumerate() {
+                let expected = match value {
+                    u32::MAX => None,
+                    d => Some(d as usize),
+                };
+                prop_assert_eq!(topo.distance(a, b), expected);
+            }
+        }
+        // Connectivity and diameter are derived from the same matrix.
+        let reachable_all = (0..n).all(|b| reference[0][b] != u32::MAX);
+        prop_assert_eq!(topo.is_connected(), reachable_all);
+    }
+}
