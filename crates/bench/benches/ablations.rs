@@ -14,9 +14,7 @@
 
 use trios_bench::{geomean, rule};
 use trios_benchmarks::Benchmark;
-use trios_core::{
-    compile, CompileOptions, DirectionPolicy, InitialMapping, Pipeline, ToffoliDecomposition,
-};
+use trios_core::{compile, CompileOptions, DirectionPolicy, InitialMapping, Pipeline};
 use trios_route::LookaheadConfig;
 use trios_topology::johannesburg;
 
@@ -82,11 +80,7 @@ fn main() {
         "benchmark", "forced-6", "forced-8", "conn-aware"
     );
     rule(64);
-    let strategies = [
-        ToffoliDecomposition::Six,
-        ToffoliDecomposition::Eight,
-        ToffoliDecomposition::ConnectivityAware,
-    ];
+    let strategies = ["six", "eight", "standard"];
     let mut per_strategy = vec![Vec::new(); 3];
     for b in &suite {
         let circuit = b.build();
@@ -94,7 +88,7 @@ fn main() {
         for (i, strategy) in strategies.into_iter().enumerate() {
             let options = CompileOptions {
                 pipeline: Pipeline::Trios,
-                toffoli: strategy,
+                decomposer: Some(strategy.into()),
                 direction: DirectionPolicy::MoveFirst,
                 ..CompileOptions::with_seed(0)
             };
@@ -139,13 +133,13 @@ fn main() {
         let configs = [
             CompileOptions {
                 pipeline: Pipeline::Baseline,
-                toffoli: ToffoliDecomposition::Six,
+                decomposer: Some("six".into()),
                 direction: DirectionPolicy::MoveFirst,
                 ..CompileOptions::with_seed(0)
             },
             CompileOptions {
                 pipeline: Pipeline::Baseline,
-                toffoli: ToffoliDecomposition::Six,
+                decomposer: Some("six".into()),
                 direction: DirectionPolicy::MoveFirst,
                 lookahead: Some(LookaheadConfig::default()),
                 ..CompileOptions::with_seed(0)

@@ -38,6 +38,9 @@ fn fig6_fig8_spec(count: usize) -> SweepSpec {
         benchmarks,
         devices: vec![("johannesburg".into(), device())],
         routers: vec!["baseline".into(), "trios".into()],
+        // The published figures use the connectivity-aware default; the
+        // decomposer axis lives in `decomposer_ablation`.
+        decomposers: vec!["standard".into()],
         calibrations: vec![("now".into(), Calibration::johannesburg_2020_08_19())],
         ..SweepSpec::new()
     }
@@ -52,6 +55,10 @@ fn run_test_mode() {
     for cell in &report.cells {
         assert!(cell.probability > 0.0 && cell.probability <= 1.0);
         assert_eq!(cell.measurements, 3, "all three qubits measured");
+        assert_eq!(
+            cell.decomposer, "standard",
+            "figures use the default lowering"
+        );
     }
     for row in &report.ratios {
         assert!(row.ratio > 0.0);

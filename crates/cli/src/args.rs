@@ -1,7 +1,7 @@
 //! Argument parsing (hand-rolled; the CLI's surface is small).
 
 use crate::CliError;
-use trios_core::{Pipeline, StrategyRegistry, ToffoliDecomposition};
+use trios_core::{DecomposerRegistry, Pipeline, StrategyRegistry};
 use trios_topology::{parse_spec, Topology};
 
 /// A parsed command line.
@@ -13,6 +13,8 @@ pub enum Command {
     Table1,
     /// `trios routers` — the registered routing strategies.
     Routers,
+    /// `trios decomposers` — the registered Toffoli decompositions.
+    Decomposers,
     /// `trios compile <input> [flags]`.
     Compile(Options),
     /// `trios compile-batch <dir> [flags]`.
@@ -63,6 +65,8 @@ pub struct FuzzOptions {
     pub seed: u64,
     /// Comma-separated router registry names, or `all`.
     pub routers: String,
+    /// Decomposer registry name (must be executable, not cost-model-only).
+    pub decomposer: String,
     /// Comma-separated device specs.
     pub devices: String,
     /// Worker threads (`0` = one per available core).
@@ -84,6 +88,7 @@ impl Default for FuzzOptions {
             cases: 25,
             seed: 0,
             routers: "all".into(),
+            decomposer: "standard".into(),
             devices: "line:8,grid:4x2".into(),
             jobs: 0,
             cache_size: 256,
@@ -145,8 +150,9 @@ pub struct Options {
     pub pipeline: Pipeline,
     /// Routing strategy by registry name (default: the pipeline's choice).
     pub router: Option<String>,
-    /// Second-pass Toffoli strategy (default: connectivity-aware).
-    pub toffoli: ToffoliDecomposition,
+    /// Toffoli decomposition by registry name (default: `standard`, the
+    /// mapping-aware paper lowering).
+    pub decomposer: Option<String>,
     /// Seed for stochastic routing (default 0).
     pub seed: u64,
     /// Use the windowed-lookahead pair strategy.
@@ -168,7 +174,7 @@ impl Default for Options {
             device: "johannesburg".into(),
             pipeline: Pipeline::Trios,
             router: None,
-            toffoli: ToffoliDecomposition::ConnectivityAware,
+            decomposer: None,
             seed: 0,
             lookahead: false,
             bridge: false,
@@ -225,6 +231,8 @@ pub struct SweepOptions {
     pub devices: String,
     /// Comma-separated router registry names.
     pub routers: String,
+    /// Comma-separated decomposer registry names.
+    pub decomposers: String,
     /// Comma-separated calibrations: `now`, `future`, or `improve:<f>`.
     pub calibrations: String,
     /// Crosstalk policy: `ignore`, `charge:<p>`, or `avoid`.
@@ -247,6 +255,7 @@ impl Default for SweepOptions {
             benchmarks: "paper".into(),
             devices: "johannesburg".into(),
             routers: "baseline,trios".into(),
+            decomposers: "standard".into(),
             calibrations: "future".into(),
             crosstalk: "ignore".into(),
             shots: None,
@@ -286,6 +295,26 @@ fn check_router_names(names: &str) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Validates one decomposer name against the standard registry.
+fn check_decomposer_name(flag: &str, name: &str) -> Result<(), CliError> {
+    let registry = DecomposerRegistry::standard();
+    if !registry.contains(name.trim()) {
+        return Err(CliError::Usage(format!(
+            "{flag} must name a registered decomposition ({}), got '{name}'",
+            registry.names().collect::<Vec<_>>().join(", ")
+        )));
+    }
+    Ok(())
+}
+
+/// Validates a comma-separated decomposer list against the registry.
+fn check_decomposer_names(names: &str) -> Result<(), CliError> {
+    for name in names.split(',') {
+        check_decomposer_name("--decomposers", name)?;
+    }
+    Ok(())
+}
+
 fn parse_sweep_args(rest: &[&String]) -> Result<SweepOptions, CliError> {
     let mut options = SweepOptions::default();
     let mut i = 0usize;
@@ -297,6 +326,11 @@ fn parse_sweep_args(rest: &[&String]) -> Result<SweepOptions, CliError> {
                 let names = flag_value(rest, &mut i, "--routers")?;
                 check_router_names(&names)?;
                 options.routers = names;
+            }
+            "--decomposers" => {
+                let names = flag_value(rest, &mut i, "--decomposers")?;
+                check_decomposer_names(&names)?;
+                options.decomposers = names;
             }
             "--calibrations" | "-c" => {
                 options.calibrations = flag_value(rest, &mut i, "--calibrations")?
@@ -414,6 +448,11 @@ fn parse_fuzz_args(rest: &[&String]) -> Result<FuzzOptions, CliError> {
                 }
                 options.routers = names;
             }
+            "--decomposer" => {
+                let name = flag_value(rest, &mut i, "--decomposer")?;
+                check_decomposer_name("--decomposer", &name)?;
+                options.decomposer = name;
+            }
             "--devices" | "-d" => options.devices = flag_value(rest, &mut i, "--devices")?,
             "--jobs" | "-j" => {
                 let v = flag_value(rest, &mut i, "--jobs")?;
@@ -507,6 +546,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "list" => Ok(Command::List),
         "table1" => Ok(Command::Table1),
         "routers" => Ok(Command::Routers),
+        "decomposers" => Ok(Command::Decomposers),
         "sweep" => {
             let rest: Vec<&String> = it.collect();
             parse_sweep_args(&rest).map(Command::Sweep)
@@ -557,17 +597,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         }
                         options.router = Some(name);
                     }
-                    "--toffoli" => {
-                        options.toffoli = match flag_value(&rest, &mut i, "--toffoli")?.as_str() {
-                            "6" => ToffoliDecomposition::Six,
-                            "8" => ToffoliDecomposition::Eight,
-                            "aware" => ToffoliDecomposition::ConnectivityAware,
-                            other => {
-                                return Err(CliError::Usage(format!(
-                                    "--toffoli must be '6', '8', or 'aware', got '{other}'"
-                                )))
-                            }
-                        }
+                    // Long-only: -d already means --device here.
+                    "--decomposer" => {
+                        let name = flag_value(&rest, &mut i, "--decomposer")?;
+                        check_decomposer_name("--decomposer", &name)?;
+                        options.decomposer = Some(name);
                     }
                     "--seed" | "-s" => {
                         let v = flag_value(&rest, &mut i, "--seed")?;
@@ -742,6 +776,38 @@ mod tests {
     }
 
     #[test]
+    fn parses_decomposer_flag_and_decomposers_command() {
+        assert_eq!(
+            parse_args(&args(&["decomposers"])).unwrap(),
+            Command::Decomposers
+        );
+        let Command::Compile(o) = parse_args(&args(&["compile", "grovers-9"])).unwrap() else {
+            panic!("expected compile");
+        };
+        assert_eq!(o.decomposer, None, "default is the registry default");
+        for name in ["standard", "six", "eight", "tdepth", "relative-phase"] {
+            let Command::Compile(o) =
+                parse_args(&args(&["compile", "grovers-9", "--decomposer", name])).unwrap()
+            else {
+                panic!("expected compile");
+            };
+            assert_eq!(o.decomposer.as_deref(), Some(name));
+        }
+        let Command::Verify(o) =
+            parse_args(&args(&["verify", "grovers-9", "--decomposer", "eight"])).unwrap()
+        else {
+            panic!("expected verify");
+        };
+        assert_eq!(o.decomposer.as_deref(), Some("eight"));
+        // Unknown names fail at parse time, naming the registry.
+        let err = parse_args(&args(&["compile", "a", "--decomposer", "margolus"])).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("margolus"), "{text}");
+        assert!(text.contains("relative-phase"), "{text}");
+        assert!(parse_args(&args(&["compile", "a", "--decomposer"])).is_err());
+    }
+
+    #[test]
     fn parses_sweep_with_defaults_and_flags() {
         let Command::Sweep(o) = parse_args(&args(&["sweep"])).unwrap() else {
             panic!("expected sweep");
@@ -749,6 +815,7 @@ mod tests {
         assert_eq!(o, SweepOptions::default());
         assert_eq!(o.benchmarks, "paper");
         assert_eq!(o.routers, "baseline,trios");
+        assert_eq!(o.decomposers, "standard");
         assert_eq!(o.calibrations, "future");
 
         let Command::Sweep(o) = parse_args(&args(&[
@@ -759,6 +826,8 @@ mod tests {
             "line:8,johannesburg",
             "--routers",
             "baseline,trios-lookahead",
+            "--decomposers",
+            "standard,eight,qutrit",
             "--calibrations",
             "now,improve:10",
             "--crosstalk",
@@ -780,6 +849,7 @@ mod tests {
         assert_eq!(o.benchmarks, "cnx_inplace-4,grovers-9");
         assert_eq!(o.devices, "line:8,johannesburg");
         assert_eq!(o.routers, "baseline,trios-lookahead");
+        assert_eq!(o.decomposers, "standard,eight,qutrit");
         assert_eq!(o.calibrations, "now,improve:10");
         assert_eq!(o.crosstalk, "charge:0.02");
         assert_eq!(o.shots, Some(50));
@@ -795,6 +865,11 @@ mod tests {
         let text = err.to_string();
         assert!(text.contains("sabre"), "{text}");
         assert!(text.contains("trios"), "{text}");
+        // Decomposer names too.
+        let err = parse_args(&args(&["sweep", "--decomposers", "standard,margolus"])).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("margolus"), "{text}");
+        assert!(text.contains("qutrit"), "{text}");
         assert!(parse_args(&args(&["sweep", "--wat"])).is_err());
         assert!(parse_args(&args(&["sweep", "positional"])).is_err());
         assert!(parse_args(&args(&["sweep", "--shots", "x"])).is_err());
@@ -854,6 +929,8 @@ mod tests {
             "qft,layered",
             "--routers",
             "baseline,trios",
+            "--decomposer",
+            "relative-phase",
             "--devices",
             "line:8",
             "--jobs",
@@ -873,14 +950,16 @@ mod tests {
         assert_eq!(o.cases, 50);
         assert_eq!(o.families, "qft,layered");
         assert_eq!(o.routers, "baseline,trios");
+        assert_eq!(o.decomposer, "relative-phase");
         assert_eq!(o.devices, "line:8");
         assert_eq!(o.jobs, 2);
         assert_eq!(o.cache_size, 64);
         assert!(o.shrink);
         assert_eq!(o.backend, "stabilizer");
         assert_eq!(o.max_dense_qubits, 12);
-        // Router names are validated at parse time, like sweep's.
+        // Router and decomposer names are validated at parse time.
         assert!(parse_args(&args(&["fuzz", "--routers", "sabre"])).is_err());
+        assert!(parse_args(&args(&["fuzz", "--decomposer", "margolus"])).is_err());
         assert!(parse_args(&args(&["fuzz", "--wat"])).is_err());
         assert!(parse_args(&args(&["fuzz", "--cases"])).is_err());
         // Backend names are validated at parse time too.

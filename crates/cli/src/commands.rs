@@ -10,7 +10,7 @@ use std::path::{Path, PathBuf};
 use trios_benchmarks::{Benchmark, ExtendedBenchmark};
 use trios_core::{
     run_fuzz, run_sweep, Calibration, CompilationCache, CompiledProgram, Compiler, CrosstalkPolicy,
-    FuzzSpec, StrategyRegistry, SweepBenchmark, SweepSpec,
+    DecomposerRegistry, FuzzSpec, StrategyRegistry, SweepBenchmark, SweepSpec,
 };
 use trios_gen::Family;
 use trios_ir::Circuit;
@@ -25,6 +25,7 @@ USAGE:
 COMMANDS:
     list                         benchmarks and devices
     routers                      the registered routing strategies
+    decomposers                  the registered Toffoli decompositions
     table1                       regenerate the paper's Table 1
     compile <input> [flags]      compile a benchmark or .qasm file
     compile-batch <dir> [flags]  compile every .qasm under a directory, in
@@ -53,7 +54,8 @@ FLAGS (compile / estimate):
     --pipeline, -p <which>       baseline | trios          (default trios)
     --router, -r <name>          routing strategy by name (see 'trios routers');
                                  overrides the pipeline's default
-    --toffoli <which>            6 | 8 | aware             (default aware)
+    --decomposer <name>          Toffoli decomposition by name (see 'trios
+                                 decomposers')          (default standard)
     --seed, -s <n>               routing seed              (default 0)
     --lookahead                  windowed-lookahead pair routing
     --bridge                     distance-2 CNOTs as 4-CNOT bridges
@@ -72,6 +74,10 @@ FLAGS (sweep):
     --devices, -d <list>         comma-separated device specs (default johannesburg)
     --routers, -r <list>         comma-separated registry names
                                  (default baseline,trios)
+    --decomposers <list>         comma-separated decomposition names; the
+                                 grid becomes router x decomposer (cost-
+                                 model-only entries like 'qutrit' are
+                                 repriced, not simulated) (default standard)
     --calibrations, -c <list>    now | future | improve:<f>, comma-separated
                                  (default future = errors improved 20x)
     --crosstalk <policy>         ignore | charge:<p> | avoid  (default ignore)
@@ -91,6 +97,8 @@ FLAGS (fuzz):
     --families, -f <list>        'all' or comma-separated family names
     --cases, -c <n>              generated case count          (default 25)
     --routers, -r <list>         'all' or comma-separated registry names
+    --decomposer <name>          executable decomposition to fuzz
+                                 (default standard)
     --devices, -d <list>         comma-separated device specs
                                  (default line:8,grid:4x2)
     --shrink                     minimize failing cases to QASM reproducers
@@ -129,6 +137,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Command::Help => Ok(HELP.to_string()),
         Command::List => Ok(render_list()),
         Command::Routers => Ok(render_routers()),
+        Command::Decomposers => Ok(render_decomposers()),
         Command::Table1 => Ok(render_table1()),
         Command::Compile(options) => {
             let (compiled, out) = compile_input(&options)?;
@@ -277,10 +286,10 @@ fn run_compile_batch(batch: &BatchOptions) -> Result<String, CliError> {
     let _ = writeln!(out, "device:          {device}");
     let _ = writeln!(
         out,
-        "pipeline:        {:?} (router {}, toffoli {:?}, seed {})",
+        "pipeline:        {:?} (router {}, decomposer {}, seed {})",
         options.pipeline,
         compiler.options().router_name(),
-        options.toffoli,
+        compiler.options().decomposer_name(),
         options.seed
     );
     // Report the clamped worker count the engine actually used (a batch
@@ -439,6 +448,7 @@ fn run_sweep_command(options: &SweepOptions) -> Result<String, CliError> {
         benchmarks: sweep_benchmarks(&options.benchmarks)?,
         devices,
         routers: comma(&options.routers),
+        decomposers: comma(&options.decomposers),
         calibrations,
         crosstalk: parse_crosstalk(&options.crosstalk)?,
         seed: options.seed,
@@ -557,6 +567,7 @@ fn run_fuzz_command(options: &FuzzOptions) -> Result<String, CliError> {
         cases: options.cases,
         seed: options.seed,
         routers,
+        decomposer: options.decomposer.clone(),
         devices,
         jobs: options.jobs,
         cache_size: options.cache_size,
@@ -683,12 +694,14 @@ fn load_input(input: &str) -> Result<Circuit, CliError> {
 fn compiler_for(options: &Options) -> Compiler {
     let mut builder = Compiler::builder()
         .pipeline(options.pipeline)
-        .toffoli(options.toffoli)
         .seed(options.seed)
         .lookahead(options.lookahead.then(LookaheadConfig::default))
         .bridge(options.bridge);
     if let Some(router) = &options.router {
         builder = builder.router(router.clone());
+    }
+    if let Some(decomposer) = &options.decomposer {
+        builder = builder.decomposer(decomposer.clone());
     }
     builder.build()
 }
@@ -708,10 +721,10 @@ fn compile_input(options: &Options) -> Result<(CompiledProgram, String), CliErro
     let _ = writeln!(out, "device:          {device}");
     let _ = writeln!(
         out,
-        "pipeline:        {:?} (router {}, toffoli {:?}, seed {}{}{})",
+        "pipeline:        {:?} (router {}, decomposer {}, seed {}{}{})",
         options.pipeline,
         compiler.options().router_name(),
-        options.toffoli,
+        compiler.options().decomposer_name(),
         options.seed,
         if options.lookahead { ", lookahead" } else { "" },
         if options.bridge { ", bridge" } else { "" }
@@ -780,6 +793,28 @@ fn render_routers() -> String {
     out.push_str(
         "\ncustom strategies: implement trios_route::RoutingStrategy and register it\n\
          in a StrategyRegistry (see README \"Choosing a router\")\n",
+    );
+    out
+}
+
+fn render_decomposers() -> String {
+    let registry = DecomposerRegistry::standard();
+    let mut out = String::new();
+    out.push_str("registered Toffoli decompositions (select with --decomposer <name>):\n");
+    for name in registry.names() {
+        let strategy = registry.get(name).expect("listed name resolves");
+        let _ = writeln!(out, "  {:<16} {}", name, strategy.description());
+        if !strategy.executable() {
+            let _ = writeln!(
+                out,
+                "  {:<16} (cost model only: sweeps reprice, nothing compiles)",
+                ""
+            );
+        }
+    }
+    out.push_str(
+        "\ncustom strategies: implement trios_passes::DecompositionStrategy and\n\
+         register it in a DecomposerRegistry (see README \"Choosing a decomposition\")\n",
     );
     out
 }
@@ -909,6 +944,95 @@ mod tests {
                 .collect()
         };
         assert_eq!(gates(&named), gates(&via_pipeline));
+    }
+
+    #[test]
+    fn decomposers_lists_every_registered_strategy() {
+        let out = run(&args(&["decomposers"])).unwrap();
+        for name in DecomposerRegistry::standard().names() {
+            assert!(out.contains(name), "missing {name}:\n{out}");
+        }
+        assert!(out.contains("--decomposer"));
+        assert!(out.contains("DecompositionStrategy"));
+        assert!(out.contains("cost model only"), "{out}");
+    }
+
+    #[test]
+    fn decomposer_flag_selects_the_lowering_and_verifies() {
+        let base = run(&args(&["compile", "cnx_inplace-4", "-d", "line:6"])).unwrap();
+        assert!(base.contains("decomposer standard"), "{base}");
+        for name in ["six", "eight", "tdepth", "relative-phase"] {
+            let out = run(&args(&[
+                "verify",
+                "cnx_inplace-4",
+                "--device",
+                "line:6",
+                "--decomposer",
+                name,
+            ]))
+            .unwrap();
+            assert!(out.contains(&format!("decomposer {name}")), "{out}");
+            assert!(out.contains("VERIFIED"), "{name}:\n{out}");
+        }
+        // The cost-model-only strategy cannot compile: clean diagnostic.
+        let err = run(&args(&[
+            "compile",
+            "cnx_inplace-4",
+            "-d",
+            "line:6",
+            "--decomposer",
+            "qutrit",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("cost-model-only"), "{err}");
+    }
+
+    #[test]
+    fn sweep_expands_the_decomposer_grid() {
+        let out = run(&args(&[
+            "sweep",
+            "-b",
+            "cnx_inplace-4",
+            "-d",
+            "line:6",
+            "-r",
+            "baseline,trios",
+            "--decomposers",
+            "standard,qutrit",
+            "-c",
+            "future",
+            "-j",
+            "2",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("1 benchmarks x 1 devices x 2 routers x 2 decomposers x 1 calibrations"),
+            "{out}"
+        );
+        assert!(out.contains("qutrit"), "{out}");
+        assert!(out.contains("geomean(trios x qutrit / baseline)"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_relative_phase_smoke_passes() {
+        let out = run(&args(&[
+            "fuzz",
+            "--families",
+            "toffoli-ripple",
+            "--cases",
+            "2",
+            "--seed",
+            "5",
+            "--routers",
+            "trios",
+            "--devices",
+            "line:8",
+            "--decomposer",
+            "relative-phase",
+        ]))
+        .unwrap();
+        assert!(out.contains("PASS"), "{out}");
+        assert!(out.contains("decomposer: relative-phase"), "{out}");
     }
 
     #[test]
@@ -1191,7 +1315,7 @@ mod tests {
         ]))
         .unwrap();
         assert!(
-            out.contains("2 benchmarks x 1 devices x 2 routers x 2 calibrations"),
+            out.contains("2 benchmarks x 1 devices x 2 routers x 1 decomposers x 2 calibrations"),
             "{out}"
         );
         assert!(out.contains("cnx_inplace-4"), "{out}");
@@ -1199,7 +1323,10 @@ mod tests {
             out.contains("success-probability ratios vs baseline:"),
             "{out}"
         );
-        assert!(out.contains("geomean(trios / baseline)"), "{out}");
+        assert!(
+            out.contains("geomean(trios x standard / baseline)"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -1384,7 +1511,10 @@ mod tests {
         .unwrap();
         assert!(out.contains("toffoli-ripple"), "{out}");
         assert!(out.contains("layered"), "{out}");
-        assert!(out.contains("geomean(trios / baseline)"), "{out}");
+        assert!(
+            out.contains("geomean(trios x standard / baseline)"),
+            "{out}"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Mutex;
 use trios_ir::{hash, Circuit};
-use trios_passes::{OptimizeOptions, ToffoliDecomposition};
+use trios_passes::OptimizeOptions;
 use trios_route::{DirectionPolicy, InitialMapping, LookaheadConfig, PathMetric};
 use trios_topology::Topology;
 
@@ -324,7 +324,7 @@ fn options_hash(options: &CompileOptions) -> u64 {
     let CompileOptions {
         pipeline,
         router,
-        toffoli,
+        decomposer,
         mapping,
         direction,
         metric,
@@ -345,14 +345,10 @@ fn options_hash(options: &CompileOptions) -> u64 {
     // cache.
     h = write_str(h, options.router_name());
     let (_, _) = (pipeline, router);
-    h = hash::write_u64(
-        h,
-        match toffoli {
-            ToffoliDecomposition::Six => 0,
-            ToffoliDecomposition::Eight => 1,
-            ToffoliDecomposition::ConnectivityAware => 2,
-        },
-    );
+    // Same resolution rule for the decomposition strategy: the resolved
+    // name separates entries, so warm hits never cross decomposers.
+    h = write_str(h, options.decomposer_name());
+    let _ = decomposer;
     match mapping {
         InitialMapping::Trivial => h = hash::write_u64(h, 0),
         InitialMapping::Fixed(assignment) => {
@@ -508,6 +504,34 @@ mod tests {
             ..CompileOptions::default()
         };
         assert_eq!(keys[0], CompilationCache::key(&c, &dev, &by_pipeline));
+    }
+
+    #[test]
+    fn keys_separate_decomposers() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        let dev = line(4);
+        let keys: Vec<u64> = ["standard", "six", "eight", "tdepth", "relative-phase"]
+            .into_iter()
+            .map(|name| {
+                let options = CompileOptions {
+                    decomposer: Some(name.to_string()),
+                    ..CompileOptions::default()
+                };
+                CompilationCache::key(&c, &dev, &options)
+            })
+            .collect();
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b, "decomposers must never share a cache key");
+            }
+        }
+        // `decomposer: None` resolves to "standard" and may share that
+        // entry — they compile identically.
+        assert_eq!(
+            keys[0],
+            CompilationCache::key(&c, &dev, &CompileOptions::default())
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 use trios_ir::Circuit;
-use trios_passes::{OptimizeOptions, ToffoliDecomposition};
+use trios_passes::{DecomposerRegistry, OptimizeOptions};
 use trios_route::{DirectionPolicy, InitialMapping, LookaheadConfig, PathMetric, StrategyRegistry};
 use trios_topology::Topology;
 
@@ -46,6 +46,7 @@ use trios_topology::Topology;
 pub struct Compiler {
     options: CompileOptions,
     registry: StrategyRegistry,
+    decomposers: DecomposerRegistry,
 }
 
 impl PartialEq for Compiler {
@@ -53,7 +54,9 @@ impl PartialEq for Compiler {
         // Registries hold constructors, which cannot be compared; two
         // compilers are equal when they run the same options over
         // registries exposing the same strategy names.
-        self.options == other.options && self.registry.names().eq(other.registry.names())
+        self.options == other.options
+            && self.registry.names().eq(other.registry.names())
+            && self.decomposers.names().eq(other.decomposers.names())
     }
 }
 
@@ -75,7 +78,24 @@ impl Compiler {
     /// into every compile path, including the parallel batch compiler
     /// and [`fuzz`](crate::fuzz).
     pub fn with_strategies(options: CompileOptions, registry: StrategyRegistry) -> Self {
-        Compiler { options, registry }
+        Compiler::with_registries(options, registry, DecomposerRegistry::standard())
+    }
+
+    /// A compiler resolving both [`CompileOptions::router_name`] and
+    /// [`CompileOptions::decomposer_name`] in caller-supplied registries —
+    /// the full injection point when custom
+    /// [`DecompositionStrategy`](trios_passes::DecompositionStrategy)
+    /// implementations are in play as well.
+    pub fn with_registries(
+        options: CompileOptions,
+        registry: StrategyRegistry,
+        decomposers: DecomposerRegistry,
+    ) -> Self {
+        Compiler {
+            options,
+            registry,
+            decomposers,
+        }
     }
 
     /// The configuration this compiler runs.
@@ -88,8 +108,13 @@ impl Compiler {
         &self.registry
     }
 
+    /// The registry this compiler resolves Toffoli/CCZ decomposers in.
+    pub fn decomposer_strategies(&self) -> &DecomposerRegistry {
+        &self.decomposers
+    }
+
     fn pass_manager(&self) -> PassManager {
-        PassManager::for_options_with_registry(&self.options, &self.registry)
+        PassManager::for_options_with_registries(&self.options, &self.registry, &self.decomposers)
     }
 
     /// Compiles one circuit for one device.
@@ -377,6 +402,7 @@ impl Error for BatchDiagnostic {
 pub struct CompilerBuilder {
     options: CompileOptions,
     registry: Option<StrategyRegistry>,
+    decomposers: Option<DecomposerRegistry>,
 }
 
 impl PartialEq for CompilerBuilder {
@@ -384,7 +410,12 @@ impl PartialEq for CompilerBuilder {
         let names = |r: &Option<StrategyRegistry>| -> Option<Vec<String>> {
             r.as_ref().map(|r| r.names().map(str::to_string).collect())
         };
-        self.options == other.options && names(&self.registry) == names(&other.registry)
+        let dnames = |r: &Option<DecomposerRegistry>| -> Option<Vec<String>> {
+            r.as_ref().map(|r| r.names().map(str::to_string).collect())
+        };
+        self.options == other.options
+            && names(&self.registry) == names(&other.registry)
+            && dnames(&self.decomposers) == dnames(&other.decomposers)
     }
 }
 
@@ -395,7 +426,7 @@ impl CompilerBuilder {
     pub fn config(mut self, config: PaperConfig) -> Self {
         let named = config.to_options(self.options.seed);
         self.options.pipeline = named.pipeline;
-        self.options.toffoli = named.toffoli;
+        self.options.decomposer = named.decomposer;
         self.options.direction = named.direction;
         self
     }
@@ -420,9 +451,11 @@ impl CompilerBuilder {
         self
     }
 
-    /// Toffoli decomposition strategy.
-    pub fn toffoli(mut self, toffoli: ToffoliDecomposition) -> Self {
-        self.options.toffoli = toffoli;
+    /// Toffoli/CCZ decomposition strategy by registry name (`"standard"`,
+    /// `"six"`, `"eight"`, `"tdepth"`, `"relative-phase"`, `"qutrit"`),
+    /// overriding the connectivity-aware default.
+    pub fn decomposer(mut self, name: impl Into<String>) -> Self {
+        self.options.decomposer = Some(name.into());
         self
     }
 
@@ -485,12 +518,22 @@ impl CompilerBuilder {
         self
     }
 
+    /// Resolves decomposers in `registry` instead of the standard one, so
+    /// custom [`DecompositionStrategy`](trios_passes::DecompositionStrategy)
+    /// registrations are selectable by name through every compile path.
+    pub fn decomposer_strategies(mut self, registry: DecomposerRegistry) -> Self {
+        self.decomposers = Some(registry);
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> Compiler {
-        match self.registry {
-            Some(registry) => Compiler::with_strategies(self.options, registry),
-            None => Compiler::new(self.options),
-        }
+        Compiler::with_registries(
+            self.options,
+            self.registry.unwrap_or_else(StrategyRegistry::standard),
+            self.decomposers
+                .unwrap_or_else(DecomposerRegistry::standard),
+        )
     }
 }
 
@@ -503,10 +546,7 @@ mod tests {
     fn builder_defaults_to_full_trios() {
         let compiler = Compiler::builder().build();
         assert_eq!(compiler.options().pipeline, Pipeline::Trios);
-        assert_eq!(
-            compiler.options().toffoli,
-            ToffoliDecomposition::ConnectivityAware
-        );
+        assert_eq!(compiler.options().decomposer_name(), "standard");
         assert!(compiler.options().validate);
     }
 
@@ -514,7 +554,7 @@ mod tests {
     fn builder_setters_override_knobs() {
         let compiler = Compiler::builder()
             .pipeline(Pipeline::Baseline)
-            .toffoli(ToffoliDecomposition::Eight)
+            .decomposer("eight")
             .direction(DirectionPolicy::MoveFirst)
             .seed(9)
             .bridge(true)
@@ -522,7 +562,7 @@ mod tests {
             .build();
         let o = compiler.options();
         assert_eq!(o.pipeline, Pipeline::Baseline);
-        assert_eq!(o.toffoli, ToffoliDecomposition::Eight);
+        assert_eq!(o.decomposer_name(), "eight");
         assert_eq!(o.direction, DirectionPolicy::MoveFirst);
         assert_eq!(o.seed, 9);
         assert!(o.bridge);
@@ -537,7 +577,7 @@ mod tests {
             .build();
         assert_eq!(compiler.options().seed, 42);
         assert_eq!(compiler.options().pipeline, Pipeline::Baseline);
-        assert_eq!(compiler.options().toffoli, ToffoliDecomposition::Eight);
+        assert_eq!(compiler.options().decomposer_name(), "eight");
     }
 
     #[test]

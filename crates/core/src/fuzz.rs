@@ -54,6 +54,7 @@ use std::error::Error;
 use std::fmt;
 use trios_gen::{generate_suite, Family, GeneratedCircuit};
 use trios_ir::Circuit;
+use trios_passes::DecomposerRegistry;
 use trios_route::{verify_legal, StrategyRegistry};
 use trios_sim::{
     auto_backend, first_non_clifford, strip_t_gates, Backend, DenseSimulator, Simulator,
@@ -74,6 +75,10 @@ pub struct FuzzSpec {
     /// Routing strategies by registry name; every case × device is
     /// compiled through each.
     pub routers: Vec<String>,
+    /// Toffoli/CCZ decomposer by registry name, applied to every cell.
+    /// Must be executable — cost-model-only strategies (`"qutrit"`) have
+    /// no circuits to differentially verify.
+    pub decomposer: String,
     /// Named devices to compile onto.
     pub devices: Vec<(String, Topology)>,
     /// Worker threads for batch compilation (`0` = one per core). The
@@ -110,6 +115,7 @@ impl FuzzSpec {
                 .names()
                 .map(str::to_string)
                 .collect(),
+            decomposer: "standard".to_string(),
             devices: vec![
                 ("line:8".to_string(), line(8)),
                 ("grid:4x2".to_string(), grid(4, 2)),
@@ -237,6 +243,8 @@ pub struct FuzzReport {
     pub families: Vec<String>,
     /// Router names fuzzed, in spec order.
     pub routers: Vec<String>,
+    /// The decomposer every cell compiled with.
+    pub decomposer: String,
     /// Device names fuzzed, in spec order.
     pub devices: Vec<String>,
     /// Number of generated cases.
@@ -276,6 +284,7 @@ impl fmt::Display for FuzzReport {
         )?;
         writeln!(f, "families: {}", self.families.join(", "))?;
         writeln!(f, "routers:  {}", self.routers.join(", "))?;
+        writeln!(f, "decomposer: {}", self.decomposer)?;
         writeln!(f, "devices:  {}", self.devices.join(", "))?;
         writeln!(
             f,
@@ -349,6 +358,27 @@ pub fn run_fuzz_with_registry(
             });
         }
     }
+    let decomposers = DecomposerRegistry::standard();
+    match decomposers.get(&spec.decomposer) {
+        None => {
+            return Err(FuzzError::InvalidSpec {
+                reason: format!(
+                    "unknown decomposer '{}' (registered: {})",
+                    spec.decomposer,
+                    decomposers.names().collect::<Vec<_>>().join(", ")
+                ),
+            });
+        }
+        Some(strategy) if !strategy.executable() => {
+            return Err(FuzzError::InvalidSpec {
+                reason: format!(
+                    "decomposer '{}' is cost-model-only: it emits no circuits to verify",
+                    spec.decomposer
+                ),
+            });
+        }
+        Some(_) => {}
+    }
 
     let suite = generate_suite(&spec.families, spec.cases, spec.seed);
     let cache = CompilationCache::new(spec.cache_size);
@@ -405,6 +435,7 @@ pub fn run_fuzz_with_registry(
         for router in &spec.routers {
             let compiler = Compiler::builder()
                 .router(router.clone())
+                .decomposer(spec.decomposer.clone())
                 .seed(spec.seed)
                 .strategies(registry.clone())
                 .build();
@@ -490,6 +521,7 @@ pub fn run_fuzz_with_registry(
     Ok(FuzzReport {
         families: spec.families.iter().map(|f| f.name().to_string()).collect(),
         routers: spec.routers.clone(),
+        decomposer: spec.decomposer.clone(),
         devices: spec.devices.iter().map(|(n, _)| n.clone()).collect(),
         cases: spec.cases,
         seed: spec.seed,
@@ -738,6 +770,63 @@ mod tests {
             },
             "sabre",
         );
+        assert_invalid(
+            FuzzSpec {
+                decomposer: "margolus".into(),
+                ..FuzzSpec::new()
+            },
+            "unknown decomposer 'margolus'",
+        );
+        assert_invalid(
+            FuzzSpec {
+                decomposer: "qutrit".into(),
+                ..FuzzSpec::new()
+            },
+            "cost-model-only",
+        );
+    }
+
+    #[test]
+    fn every_executable_decomposer_passes_a_small_fixed_seed_run() {
+        for decomposer in ["standard", "six", "eight", "tdepth", "relative-phase"] {
+            let spec = FuzzSpec {
+                cases: 2,
+                seed: 5,
+                families: vec![Family::ToffoliRipple],
+                routers: vec!["trios".into()],
+                decomposer: decomposer.into(),
+                devices: vec![("line:8".into(), line(8))],
+                jobs: 1,
+                ..FuzzSpec::new()
+            };
+            let report = run_fuzz(&spec).unwrap();
+            assert!(report.passed(), "{decomposer}: {report}");
+            assert_eq!(report.equivalence_checked, 2, "{decomposer}");
+            assert!(report.to_string().contains(decomposer), "{report}");
+        }
+    }
+
+    /// The full acceptance run: every executable lowering differentially
+    /// verified on the default grid — all generator families, all four
+    /// routers, both simulable devices.
+    #[test]
+    #[ignore = "all decomposers x all families x all routers: run in the release --include-ignored CI job"]
+    fn every_executable_decomposer_survives_every_family() {
+        for decomposer in ["standard", "six", "eight", "tdepth", "relative-phase"] {
+            let spec = FuzzSpec {
+                cases: 24,
+                seed: 11,
+                decomposer: decomposer.into(),
+                ..FuzzSpec::new()
+            };
+            let report = run_fuzz(&spec).unwrap();
+            assert!(report.passed(), "{decomposer}: {report}");
+            assert!(report.equivalence_checked > 0, "{decomposer}");
+            let text = report.to_string();
+            for family in Family::ALL {
+                assert!(text.contains(family.name()), "{decomposer}: {text}");
+            }
+        }
     }
 
     #[test]

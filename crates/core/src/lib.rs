@@ -124,7 +124,12 @@ pub use sweep::{
 // users can depend on `trios-core` alone for common workflows.
 pub use trios_ir::{Circuit, Gate, GateCounts, Instruction, Qubit};
 pub use trios_noise::{Calibration, CrosstalkPolicy, SuccessEstimate};
-pub use trios_passes::{OptimizeOptions, ToffoliDecomposition};
+pub use trios_passes::{
+    DecomposerHandle, DecomposerRegistry, DecompositionPlan, DecompositionStrategy,
+    EightCnotDecomposition, LoweringCost, OptimizeOptions, QutritCostModel,
+    RelativePhaseDecomposition, SixCnotDecomposition, StandardDecomposition, TDepthDecomposition,
+    TrioPlacement,
+};
 pub use trios_route::{
     DirectionPolicy, InitialMapping, Layout, PathMetric, RoutingStrategy, RoutingTrace,
     StrategyRegistry,

@@ -9,6 +9,7 @@ use crate::report::PassRecord;
 use crate::{CompileOptions, Diagnostic, Pipeline};
 use std::fmt;
 use std::time::Instant;
+use trios_passes::DecomposerRegistry;
 use trios_route::StrategyRegistry;
 
 /// An ordered pipeline of [`Pass`]es with per-pass instrumentation.
@@ -58,6 +59,20 @@ impl PassManager {
         options: &CompileOptions,
         registry: &StrategyRegistry,
     ) -> Self {
+        PassManager::for_options_with_registries(options, registry, &DecomposerRegistry::standard())
+    }
+
+    /// [`PassManager::for_options`] resolving both the router and the
+    /// decomposer in caller-supplied registries — the full injection
+    /// point when custom [`DecompositionStrategy`] implementations are in
+    /// play as well.
+    ///
+    /// [`DecompositionStrategy`]: trios_passes::DecompositionStrategy
+    pub fn for_options_with_registries(
+        options: &CompileOptions,
+        registry: &StrategyRegistry,
+        decomposers: &DecomposerRegistry,
+    ) -> Self {
         let router = options.router_name();
         // Unknown names fall back to the pipeline's ordering here; the
         // route pass itself reports them as a proper diagnostic.
@@ -68,9 +83,15 @@ impl PassManager {
         let mut manager = PassManager::new();
         manager.push(InitialMappingPass);
         if decompose_first {
-            manager.push(DecomposeToffolisPass);
+            manager.push(DecomposeToffolisPass::with_registry(
+                options.decomposer_name(),
+                decomposers.clone(),
+            ));
         }
-        manager.push(RoutePass::with_registry(router, registry.clone()));
+        manager.push(
+            RoutePass::with_registry(router, registry.clone())
+                .with_decomposers(decomposers.clone()),
+        );
         manager.push(LowerPass);
         manager.push(OptimizePass);
         if options.validate {

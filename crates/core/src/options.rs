@@ -1,6 +1,6 @@
 //! Compilation options and the paper's named compiler configurations.
 
-use trios_passes::{OptimizeOptions, ToffoliDecomposition};
+use trios_passes::OptimizeOptions;
 use trios_route::{DirectionPolicy, InitialMapping, LookaheadConfig, PathMetric};
 
 /// Which pass structure to use (paper Figure 2).
@@ -26,10 +26,13 @@ pub struct CompileOptions {
     /// (`Baseline` → `"baseline"`, `Trios` → `"trios"`); an explicit name
     /// overrides the pipeline's choice.
     pub router: Option<String>,
-    /// Toffoli decomposition. For [`Pipeline::Baseline`] this is applied
-    /// up-front with canonical qubit roles; for [`Pipeline::Trios`] it is
-    /// the second-pass strategy (`ConnectivityAware` is the paper's Trios).
-    pub toffoli: ToffoliDecomposition,
+    /// Decomposition strategy, by registry name (`"standard"`, `"six"`,
+    /// `"eight"`, `"tdepth"`, `"relative-phase"`, `"qutrit"`, or a custom
+    /// registration). For [`Pipeline::Baseline`] it is applied up-front
+    /// with canonical qubit roles; for [`Pipeline::Trios`] it is the
+    /// placement-aware second pass. `None` means `"standard"` — the
+    /// paper's connectivity-aware 6/8-CNOT split.
+    pub decomposer: Option<String>,
     /// Initial placement strategy.
     pub mapping: InitialMapping,
     /// Which endpoint moves when routing distant pairs.
@@ -58,7 +61,7 @@ impl Default for CompileOptions {
         CompileOptions {
             pipeline: Pipeline::Trios,
             router: None,
-            toffoli: ToffoliDecomposition::ConnectivityAware,
+            decomposer: None,
             mapping: InitialMapping::Trivial,
             direction: DirectionPolicy::Stochastic,
             metric: PathMetric::Hops,
@@ -78,6 +81,13 @@ impl CompileOptions {
             seed,
             ..CompileOptions::default()
         }
+    }
+
+    /// The decomposition-strategy registry name this compilation uses:
+    /// the explicit [`CompileOptions::decomposer`] when set, otherwise
+    /// `"standard"`.
+    pub fn decomposer_name(&self) -> &str {
+        self.decomposer.as_deref().unwrap_or("standard")
     }
 
     /// The routing-strategy registry name this compilation uses: the
@@ -137,16 +147,16 @@ impl PaperConfig {
     /// qubits is central to its motivation — but seeded, so every figure
     /// is exactly reproducible.
     pub fn to_options(self, seed: u64) -> CompileOptions {
-        let (pipeline, toffoli) = match self {
-            PaperConfig::QiskitBaseline => (Pipeline::Baseline, ToffoliDecomposition::Six),
-            PaperConfig::QiskitEight => (Pipeline::Baseline, ToffoliDecomposition::Eight),
-            PaperConfig::TriosSix => (Pipeline::Trios, ToffoliDecomposition::Six),
-            PaperConfig::TriosEight => (Pipeline::Trios, ToffoliDecomposition::Eight),
-            PaperConfig::Trios => (Pipeline::Trios, ToffoliDecomposition::ConnectivityAware),
+        let (pipeline, decomposer) = match self {
+            PaperConfig::QiskitBaseline => (Pipeline::Baseline, Some("six")),
+            PaperConfig::QiskitEight => (Pipeline::Baseline, Some("eight")),
+            PaperConfig::TriosSix => (Pipeline::Trios, Some("six")),
+            PaperConfig::TriosEight => (Pipeline::Trios, Some("eight")),
+            PaperConfig::Trios => (Pipeline::Trios, None),
         };
         CompileOptions {
             pipeline,
-            toffoli,
+            decomposer: decomposer.map(String::from),
             direction: DirectionPolicy::Stochastic,
             seed,
             ..CompileOptions::default()
@@ -162,17 +172,22 @@ mod tests {
     fn default_is_full_trios() {
         let o = CompileOptions::default();
         assert_eq!(o.pipeline, Pipeline::Trios);
-        assert_eq!(o.toffoli, ToffoliDecomposition::ConnectivityAware);
+        assert_eq!(o.decomposer, None);
+        assert_eq!(o.decomposer_name(), "standard");
     }
 
     #[test]
     fn paper_configs_expand_correctly() {
         let o = PaperConfig::QiskitBaseline.to_options(1);
         assert_eq!(o.pipeline, Pipeline::Baseline);
-        assert_eq!(o.toffoli, ToffoliDecomposition::Six);
+        assert_eq!(o.decomposer_name(), "six");
         let o = PaperConfig::TriosEight.to_options(1);
         assert_eq!(o.pipeline, Pipeline::Trios);
-        assert_eq!(o.toffoli, ToffoliDecomposition::Eight);
+        assert_eq!(o.decomposer_name(), "eight");
+        assert_eq!(
+            PaperConfig::Trios.to_options(1).decomposer_name(),
+            "standard"
+        );
         assert_eq!(PaperConfig::FIG6.len(), 4);
     }
 

@@ -4,7 +4,10 @@
 
 use crate::context::{CompileContext, PostRouteCircuit, ProgramSchedule, RouterTrace, SwapTrace};
 use crate::{Diagnostic, Pipeline};
-use trios_passes::{decompose_toffolis, lower_to_hardware_gates, optimize};
+use trios_passes::{
+    decompose_toffolis, lower_to_hardware_gates, optimize, DecomposerHandle, DecomposerRegistry,
+    DecompositionStrategy,
+};
 use trios_route::{
     check_legal, initial_layout, RouterOptions, RoutingTrace, StrategyRegistry, ToffoliPolicy,
 };
@@ -52,8 +55,69 @@ impl Pass for InitialMappingPass {
 /// Decomposes every Toffoli up-front with canonical qubit roles — the
 /// *baseline* pipeline's first stage (paper Fig. 2a). The Trios pipeline
 /// omits this pass; its router decomposes placement-aware instead.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct DecomposeToffolisPass;
+///
+/// Both this pre-route pass and the router's second pass resolve the same
+/// [`DecompositionStrategy`] by name, so there is exactly one lowering
+/// seam no matter which pipeline runs.
+#[derive(Debug, Clone)]
+pub struct DecomposeToffolisPass {
+    decomposer: String,
+    registry: DecomposerRegistry,
+}
+
+impl Default for DecomposeToffolisPass {
+    fn default() -> Self {
+        DecomposeToffolisPass::named("standard")
+    }
+}
+
+impl DecomposeToffolisPass {
+    /// A pre-route decomposition pass using the strategy registered under
+    /// `decomposer` in the standard registry. Unknown names surface as a
+    /// validation [`Diagnostic`] when the pass runs.
+    pub fn named(decomposer: impl Into<String>) -> Self {
+        DecomposeToffolisPass::with_registry(decomposer, DecomposerRegistry::standard())
+    }
+
+    /// A pre-route decomposition pass resolving `decomposer` in a
+    /// caller-supplied `registry`.
+    pub fn with_registry(decomposer: impl Into<String>, registry: DecomposerRegistry) -> Self {
+        DecomposeToffolisPass {
+            decomposer: decomposer.into(),
+            registry,
+        }
+    }
+}
+
+/// Resolves `name` in `registry`, rejecting unknown names and (unless
+/// `allow_cost_model`) strategies that cannot emit gates.
+fn resolve_decomposer(
+    pass: &'static str,
+    name: &str,
+    registry: &DecomposerRegistry,
+) -> Result<Box<dyn DecompositionStrategy>, Diagnostic> {
+    let strategy = registry.get(name).ok_or_else(|| {
+        Diagnostic::validation(
+            pass,
+            format!(
+                "unknown decomposer '{}' (registered: {})",
+                name,
+                registry.names().collect::<Vec<_>>().join(", ")
+            ),
+        )
+    })?;
+    if !strategy.executable() {
+        return Err(Diagnostic::validation(
+            pass,
+            format!(
+                "decomposer '{}' is cost-model-only and cannot compile circuits \
+                 (use it with estimates and sweeps)",
+                name
+            ),
+        ));
+    }
+    Ok(strategy)
+}
 
 impl Pass for DecomposeToffolisPass {
     fn name(&self) -> &'static str {
@@ -61,7 +125,8 @@ impl Pass for DecomposeToffolisPass {
     }
 
     fn run(&mut self, cx: &mut CompileContext<'_>) -> Result<(), Diagnostic> {
-        cx.circuit = decompose_toffolis(&cx.circuit, cx.options.toffoli);
+        let strategy = resolve_decomposer(self.name(), &self.decomposer, &self.registry)?;
+        cx.circuit = decompose_toffolis(&cx.circuit, &*strategy);
         Ok(())
     }
 }
@@ -82,6 +147,7 @@ impl Pass for DecomposeToffolisPass {
 pub struct RoutePass {
     router: String,
     registry: StrategyRegistry,
+    decomposers: DecomposerRegistry,
 }
 
 impl RoutePass {
@@ -116,7 +182,18 @@ impl RoutePass {
         RoutePass {
             router: router.into(),
             registry,
+            decomposers: DecomposerRegistry::standard(),
         }
+    }
+
+    /// Replaces the decomposer registry the router's second decomposition
+    /// pass resolves [`CompileOptions::decomposer`] in — the injection
+    /// point for custom [`DecompositionStrategy`] implementations.
+    ///
+    /// [`CompileOptions::decomposer`]: crate::CompileOptions::decomposer
+    pub fn with_decomposers(mut self, decomposers: DecomposerRegistry) -> Self {
+        self.decomposers = decomposers;
+        self
     }
 
     /// The registry name this pass routes with.
@@ -151,8 +228,13 @@ impl Pass for RoutePass {
             Diagnostic::validation(self.name(), "no initial layout: run initial-mapping first")
         })?;
         let options = cx.options;
+        // Resolve the decomposer here (in the caller-supplied registry)
+        // rather than letting the engine look the name up in the standard
+        // registry — custom registrations must reach the router.
+        let decomposer =
+            resolve_decomposer(self.name(), options.decomposer_name(), &self.decomposers)?;
         let router_options = RouterOptions {
-            toffoli: options.toffoli,
+            decomposer: DecomposerHandle::Custom(decomposer.into()),
             direction: options.direction,
             metric: options.metric.clone(),
             seed: options.seed,
@@ -196,7 +278,20 @@ impl Pass for LowerPass {
     }
 
     fn run(&mut self, cx: &mut CompileContext<'_>) -> Result<(), Diagnostic> {
-        cx.circuit = lower_to_hardware_gates(&cx.circuit, cx.options.toffoli);
+        // Any remaining three-qubit gate is a leftover the earlier passes
+        // should have eliminated; lower it with the configured strategy
+        // when that strategy is a standard executable one, else with
+        // `standard` (custom registrations live in the route pass — this
+        // safety net must not reject them).
+        let strategy = DecomposerRegistry::standard()
+            .get(cx.options.decomposer_name())
+            .filter(|s| s.executable())
+            .unwrap_or_else(|| {
+                DecomposerRegistry::standard()
+                    .get("standard")
+                    .expect("standard registry always has 'standard'")
+            });
+        cx.circuit = lower_to_hardware_gates(&cx.circuit, &*strategy);
         Ok(())
     }
 }

@@ -1,7 +1,8 @@
 //! The evaluation sweep subsystem: run a `(benchmark × device × router ×
-//! calibration)` grid through the parallel batch compiler and the §2.6
-//! analytic success model, producing the paper's baseline-vs-trios
-//! success-probability comparison (Figures 6, 8, 9, and 11) as one
+//! decomposer × calibration)` grid through the parallel batch compiler
+//! and the §2.6 analytic success model, producing the paper's
+//! baseline-vs-trios success-probability comparison (Figures 6, 8, 9,
+//! and 11) — and its router × decomposer extension — as one
 //! machine-checkable [`SweepReport`].
 //!
 //! A [`SweepSpec`] names the grid; [`run_sweep`] expands it into jobs,
@@ -26,9 +27,10 @@
 //! ```json
 //! {
 //!   "benchmarks": ["..."], "devices": ["..."], "routers": ["..."],
-//!   "calibrations": ["..."], "crosstalk": "ignore",
+//!   "decomposers": ["..."], "calibrations": ["..."], "crosstalk": "ignore",
 //!   "seed": 0, "shots": null,
 //!   "cells": [ { "benchmark": "...", "device": "...", "router": "...",
+//!                "decomposer": "standard",
 //!                "calibration": "...", "probability": 0.5, "p_gates": 0.6,
 //!                "p_readout": 0.9, "p_coherence": 0.9, "duration_us": 1.0,
 //!                "two_qubit_gates": 0, "one_qubit_gates": 0,
@@ -43,9 +45,11 @@
 //!                                 "bound_ok": true } } ],
 //!   "ratios": [ { "benchmark": "...", "device": "...",
 //!                 "calibration": "...", "router": "...",
+//!                 "decomposer": "standard",
 //!                 "baseline_probability": 0.25, "probability": 0.5,
 //!                 "ratio": 2.0 } ],
-//!   "geomeans": [ { "router": "trios", "geomean": 2.0, "cells": 8 } ],
+//!   "geomeans": [ { "router": "trios", "decomposer": "standard",
+//!                   "geomean": 2.0, "cells": 8 } ],
 //!   "cache_hits": 0, "cache_misses": 0, "wall_time_s": 0.0
 //! }
 //! ```
@@ -61,6 +65,7 @@ use trios_noise::{
     analytic_error_free_probability, estimate_success_with_crosstalk, monte_carlo_fidelity,
     Calibration, CrosstalkPolicy, MonteCarloOptions,
 };
+use trios_passes::DecomposerRegistry;
 use trios_route::{InitialMapping, StrategyRegistry};
 use trios_topology::Topology;
 
@@ -123,6 +128,11 @@ pub struct SweepSpec {
     /// Routing strategies by registry name (`"baseline"`, `"trios"`, …).
     /// Ratio rows are emitted relative to `"baseline"` when present.
     pub routers: Vec<String>,
+    /// Toffoli/CCZ decomposers by registry name (`"standard"`, `"six"`,
+    /// `"tdepth"`, …). Cost-model-only strategies (`"qutrit"`) compile
+    /// with the standard lowering and re-price each routed trio with
+    /// their [`LoweringCost`](trios_passes::LoweringCost).
+    pub decomposers: Vec<String>,
     /// Named calibrations to estimate under (calibration does not affect
     /// compilation, so cells differing only here share one compile).
     pub calibrations: Vec<(String, Calibration)>,
@@ -150,6 +160,7 @@ impl SweepSpec {
             benchmarks: Vec::new(),
             devices: Vec::new(),
             routers: Vec::new(),
+            decomposers: vec!["standard".into()],
             calibrations: Vec::new(),
             crosstalk: CrosstalkPolicy::Ignore,
             seed: 0,
@@ -188,6 +199,13 @@ pub enum SweepError {
         /// The registered names, comma-separated.
         registered: String,
     },
+    /// A decomposer name is not in the standard registry.
+    UnknownDecomposer {
+        /// The unknown name.
+        decomposer: String,
+        /// The registered names, comma-separated.
+        registered: String,
+    },
     /// `monte_carlo_shots == Some(0)`.
     ZeroShots,
     /// A cell failed to compile.
@@ -215,6 +233,15 @@ impl fmt::Display for SweepError {
             }
             SweepError::UnknownRouter { router, registered } => {
                 write!(f, "unknown router '{router}' (registered: {registered})")
+            }
+            SweepError::UnknownDecomposer {
+                decomposer,
+                registered,
+            } => {
+                write!(
+                    f,
+                    "unknown decomposer '{decomposer}' (registered: {registered})"
+                )
             }
             SweepError::ZeroShots => {
                 write!(f, "monte_carlo_shots must be nonzero when set")
@@ -286,6 +313,9 @@ pub struct SweepCell {
     pub device: String,
     /// Router registry name.
     pub router: String,
+    /// Decomposer registry name. Cost-model-only strategies carry
+    /// re-priced gate counts and `p_gates` (see [`SweepSpec::decomposers`]).
+    pub decomposer: String,
     /// Calibration name.
     pub calibration: String,
     /// Overall success probability (the §2.6 product, with the spec's
@@ -341,6 +371,8 @@ pub struct RatioRow {
     pub calibration: String,
     /// The non-baseline router.
     pub router: String,
+    /// The decomposer both cells of the ratio share.
+    pub decomposer: String,
     /// The baseline cell's success probability.
     pub baseline_probability: f64,
     /// This router's success probability.
@@ -350,11 +382,14 @@ pub struct RatioRow {
     pub ratio: f64,
 }
 
-/// The geometric-mean success ratio of one router over its ratio rows.
+/// The geometric-mean success ratio of one router × decomposer grid cell
+/// over its ratio rows.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RouterGeomean {
     /// The router.
     pub router: String,
+    /// The decomposer.
+    pub decomposer: String,
     /// Geometric mean of its trios/baseline ratios.
     pub geomean: f64,
     /// How many ratio rows contributed.
@@ -370,6 +405,8 @@ pub struct SweepReport {
     pub devices: Vec<String>,
     /// Router names, in spec order.
     pub routers: Vec<String>,
+    /// Decomposer names, in spec order.
+    pub decomposers: Vec<String>,
     /// Calibration names, in spec order.
     pub calibrations: Vec<String>,
     /// The crosstalk policy, rendered (`"ignore"`, `"charge:<p>"`,
@@ -396,11 +433,21 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
-    /// The geometric-mean success ratio recorded for `router`, if any.
+    /// The first geometric-mean success ratio recorded for `router`
+    /// (its first decomposer in spec order), if any.
     pub fn geomean_for(&self, router: &str) -> Option<f64> {
         self.geomeans
             .iter()
             .find(|g| g.router == router)
+            .map(|g| g.geomean)
+    }
+
+    /// The geometric-mean success ratio of one router × decomposer grid
+    /// cell, if any.
+    pub fn geomean_for_grid(&self, router: &str, decomposer: &str) -> Option<f64> {
+        self.geomeans
+            .iter()
+            .find(|g| g.router == router && g.decomposer == decomposer)
             .map(|g| g.geomean)
     }
 
@@ -410,12 +457,14 @@ impl SweepReport {
         benchmark: &str,
         device: &str,
         router: &str,
+        decomposer: &str,
         calibration: &str,
     ) -> Option<&SweepCell> {
         self.cells.iter().find(|c| {
             c.benchmark == benchmark
                 && c.device == device
                 && c.router == router
+                && c.decomposer == decomposer
                 && c.calibration == calibration
         })
     }
@@ -440,10 +489,11 @@ impl SweepReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "sweep: {} benchmarks x {} devices x {} routers x {} calibrations = {} cells",
+            "sweep: {} benchmarks x {} devices x {} routers x {} decomposers x {} calibrations = {} cells",
             self.benchmarks.len(),
             self.devices.len(),
             self.routers.len(),
+            self.decomposers.len(),
             self.calibrations.len(),
             self.cells.len(),
         );
@@ -455,8 +505,18 @@ impl SweepReport {
         let _ = writeln!(out);
         let _ = writeln!(
             out,
-            "{:<28} {:<14} {:<16} {:<8} {:>10} {:>6} {:>6} {:>6} {:>9} {:>7}",
-            "benchmark", "device", "router", "cal", "P", "2q", "swaps", "depth", "Δµs", "gather"
+            "{:<28} {:<14} {:<16} {:<14} {:<8} {:>10} {:>6} {:>6} {:>6} {:>9} {:>7}",
+            "benchmark",
+            "device",
+            "router",
+            "decomposer",
+            "cal",
+            "P",
+            "2q",
+            "swaps",
+            "depth",
+            "Δµs",
+            "gather"
         );
         for cell in &self.cells {
             let gather = match cell.mean_gather_distance {
@@ -465,10 +525,11 @@ impl SweepReport {
             };
             let _ = writeln!(
                 out,
-                "{:<28} {:<14} {:<16} {:<8} {:>10.3e} {:>6} {:>6} {:>6} {:>9.2} {:>7}",
+                "{:<28} {:<14} {:<16} {:<14} {:<8} {:>10.3e} {:>6} {:>6} {:>6} {:>9.2} {:>7}",
                 cell.benchmark,
                 cell.device,
                 cell.router,
+                cell.decomposer,
                 cell.calibration,
                 cell.probability,
                 cell.two_qubit_gates,
@@ -495,22 +556,27 @@ impl SweepReport {
             let _ = writeln!(out, "success-probability ratios vs baseline:");
             let _ = writeln!(
                 out,
-                "{:<28} {:<14} {:<8} {:<16} {:>8}",
-                "benchmark", "device", "cal", "router", "ratio"
+                "{:<28} {:<14} {:<8} {:<16} {:<14} {:>8}",
+                "benchmark", "device", "cal", "router", "decomposer", "ratio"
             );
             for row in &self.ratios {
                 let _ = writeln!(
                     out,
-                    "{:<28} {:<14} {:<8} {:<16} {:>7.2}x",
-                    row.benchmark, row.device, row.calibration, row.router, row.ratio
+                    "{:<28} {:<14} {:<8} {:<16} {:<14} {:>7.2}x",
+                    row.benchmark,
+                    row.device,
+                    row.calibration,
+                    row.router,
+                    row.decomposer,
+                    row.ratio
                 );
             }
         }
         for g in &self.geomeans {
             let _ = writeln!(
                 out,
-                "geomean({} / baseline) = {:.2}x over {} cells",
-                g.router, g.geomean, g.cells
+                "geomean({} x {} / baseline) = {:.2}x over {} cells",
+                g.router, g.decomposer, g.geomean, g.cells
             );
         }
         out
@@ -546,6 +612,7 @@ fn validate(spec: &SweepSpec) -> Result<(), SweepError> {
             spec.devices.iter().map(|(n, _)| n.clone()).collect(),
         ),
         ("routers", spec.routers.clone()),
+        ("decomposers", spec.decomposers.clone()),
         (
             "calibrations",
             spec.calibrations.iter().map(|(n, _)| n.clone()).collect(),
@@ -572,10 +639,55 @@ fn validate(spec: &SweepSpec) -> Result<(), SweepError> {
             });
         }
     }
+    let decomposers = DecomposerRegistry::standard();
+    for decomposer in &spec.decomposers {
+        if !decomposers.contains(decomposer) {
+            return Err(SweepError::UnknownDecomposer {
+                decomposer: decomposer.clone(),
+                registered: decomposers.names().collect::<Vec<_>>().join(", "),
+            });
+        }
+    }
     if spec.monte_carlo_shots == Some(0) {
         return Err(SweepError::ZeroShots);
     }
     Ok(())
+}
+
+/// Re-prices a cost-model-only cell: each of its `trios` routed trios
+/// swaps the standard lowering's [`LoweringCost`] for the strategy's own
+/// (first-order, per Gokhale et al.'s qutrit analysis — the gathered trio
+/// executes as native multi-valued gates instead of a CNOT network).
+/// Gate counts shift by the per-trio delta, and `p_gates` — a product of
+/// per-gate success factors, so log-linear in the gate count — is
+/// rescaled by the same cost-weighted exponent (one-qubit gates weighted
+/// 1/10 of a two-qubit gate, the usual error-rate ratio).
+fn reprice_cell(
+    cell: &mut SweepCell,
+    trios: usize,
+    cost: trios_passes::LoweringCost,
+    standard_cost: trios_passes::LoweringCost,
+) {
+    let trios = trios as f64;
+    let two_adj = (cell.two_qubit_gates as f64 + trios * (cost.two_qubit - standard_cost.two_qubit))
+        .round()
+        .max(0.0) as usize;
+    let one_adj = (cell.one_qubit_gates as f64 + trios * (cost.one_qubit - standard_cost.one_qubit))
+        .round()
+        .max(0.0) as usize;
+    let weight = |two: usize, one: usize| two as f64 + one as f64 / 10.0;
+    let before = weight(cell.two_qubit_gates, cell.one_qubit_gates);
+    let after = weight(two_adj, one_adj);
+    if before > 0.0 && cell.p_gates > 0.0 {
+        let p_gates_adj = cell.p_gates.powf(after / before);
+        // probability may carry readout/coherence/crosstalk factors;
+        // scale only its gate component.
+        cell.probability *= p_gates_adj / cell.p_gates;
+        cell.p_gates = p_gates_adj;
+    }
+    cell.two_qubit_gates = two_adj;
+    cell.one_qubit_gates = one_adj;
+    cell.two_qubit_delta = two_adj as isize - cell.two_qubit_in as isize;
 }
 
 /// Runs the sweep described by `spec`.
@@ -609,96 +721,129 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepReport, SweepError> {
     // circuit is cloned into a cell only when that pass will actually
     // simulate it.
     type Keyed = (
-        (usize, usize, usize, usize),
+        (usize, usize, usize, usize, usize),
         SweepCell,
         Option<Circuit>,
         Calibration,
     );
     let mut keyed: Vec<Keyed> = Vec::new();
 
+    let decomposer_registry = DecomposerRegistry::standard();
+    let standard_cost = decomposer_registry
+        .get("standard")
+        .expect("standard decomposer is registered")
+        .trio_cost();
+
     for (di, (device_name, topology)) in spec.devices.iter().enumerate() {
         for (ri, router) in spec.routers.iter().enumerate() {
-            // Benchmarks sharing a mapping override share one compiler,
-            // and therefore one batch call.
-            let mut groups: Vec<(Option<InitialMapping>, Vec<usize>)> = Vec::new();
-            for (bi, bench) in spec.benchmarks.iter().enumerate() {
-                match groups.iter_mut().find(|(m, _)| *m == bench.mapping) {
-                    Some((_, indices)) => indices.push(bi),
-                    None => groups.push((bench.mapping.clone(), vec![bi])),
+            for (xi, decomposer_name) in spec.decomposers.iter().enumerate() {
+                let strategy = decomposer_registry
+                    .get(decomposer_name)
+                    .expect("decomposer names are validated");
+                let executable = strategy.executable();
+                let cost = strategy.trio_cost();
+                // Cost-model-only strategies (qutrit) compile with the
+                // standard lowering — routing, swaps, and scheduling stay
+                // realistic — and re-price the trios afterwards.
+                let compiled_decomposer = if executable {
+                    decomposer_name.as_str()
+                } else {
+                    "standard"
+                };
+                // Benchmarks sharing a mapping override share one compiler,
+                // and therefore one batch call.
+                let mut groups: Vec<(Option<InitialMapping>, Vec<usize>)> = Vec::new();
+                for (bi, bench) in spec.benchmarks.iter().enumerate() {
+                    match groups.iter_mut().find(|(m, _)| *m == bench.mapping) {
+                        Some((_, indices)) => indices.push(bi),
+                        None => groups.push((bench.mapping.clone(), vec![bi])),
+                    }
                 }
-            }
-            for (mapping, indices) in groups {
-                let mut builder = Compiler::builder().router(router.clone()).seed(spec.seed);
-                if let Some(mapping) = mapping {
-                    builder = builder.mapping(mapping);
-                }
-                let compiler = builder.build();
-                let circuits: Vec<Circuit> = indices
-                    .iter()
-                    .map(|&bi| spec.benchmarks[bi].circuit.clone())
-                    .collect();
-                let outcome = compiler
-                    .compile_batch_parallel_with_cache(&circuits, topology, jobs, Some(&cache))
-                    .map_err(|e| SweepError::Compile {
-                        benchmark: spec.benchmarks[indices[e.index]].name.clone(),
-                        device: device_name.clone(),
-                        router: router.clone(),
-                        diagnostic: Box::new(e.diagnostic),
-                    })?;
-                cache_hits += outcome.report.cache_hits;
-                cache_misses += outcome.report.cache_misses;
-                for (&bi, (program, report)) in indices.iter().zip(&outcome.results) {
-                    let bench = &spec.benchmarks[bi];
-                    let (gates_in, two_qubit_in, depth_in) = report
-                        .passes
-                        .first()
-                        .map(|p| {
-                            (
-                                p.gates_before.total,
-                                p.gates_before.two_qubit,
-                                p.depth_before,
-                            )
-                        })
-                        .unwrap_or_default();
-                    for (ci, (cal_name, calibration)) in spec.calibrations.iter().enumerate() {
-                        let estimate = estimate_success_with_crosstalk(
-                            &program.circuit,
-                            calibration,
-                            topology,
-                            spec.crosstalk,
-                        );
-                        let cell = SweepCell {
-                            benchmark: bench.name.clone(),
+                for (mapping, indices) in groups {
+                    let mut builder = Compiler::builder()
+                        .router(router.clone())
+                        .decomposer(compiled_decomposer)
+                        .seed(spec.seed);
+                    if let Some(mapping) = mapping {
+                        builder = builder.mapping(mapping);
+                    }
+                    let compiler = builder.build();
+                    let circuits: Vec<Circuit> = indices
+                        .iter()
+                        .map(|&bi| spec.benchmarks[bi].circuit.clone())
+                        .collect();
+                    let outcome = compiler
+                        .compile_batch_parallel_with_cache(&circuits, topology, jobs, Some(&cache))
+                        .map_err(|e| SweepError::Compile {
+                            benchmark: spec.benchmarks[indices[e.index]].name.clone(),
                             device: device_name.clone(),
                             router: router.clone(),
-                            calibration: cal_name.clone(),
-                            probability: estimate.probability(),
-                            p_gates: estimate.p_gates,
-                            p_readout: estimate.p_readout,
-                            p_coherence: estimate.p_coherence,
-                            duration_us: estimate.duration_us,
-                            two_qubit_gates: program.stats.two_qubit_gates,
-                            one_qubit_gates: program.stats.one_qubit_gates,
-                            measurements: program.stats.measurements,
-                            swap_count: program.stats.swap_count,
-                            depth: program.stats.depth,
-                            gates_in,
-                            two_qubit_in,
-                            two_qubit_delta: program.stats.two_qubit_gates as isize
-                                - two_qubit_in as isize,
-                            depth_delta: program.stats.depth as isize - depth_in as isize,
-                            mean_gather_distance: program.stats.mean_gather_distance,
-                            compile_time_s: report.total_time.as_secs_f64(),
-                            monte_carlo: None,
-                        };
-                        let simulable = spec.monte_carlo_shots.is_some()
-                            && program.circuit.num_qubits() <= MONTE_CARLO_MAX_QUBITS;
-                        keyed.push((
-                            (bi, di, ri, ci),
-                            cell,
-                            simulable.then(|| program.circuit.clone()),
-                            *calibration,
-                        ));
+                            diagnostic: Box::new(e.diagnostic),
+                        })?;
+                    cache_hits += outcome.report.cache_hits;
+                    cache_misses += outcome.report.cache_misses;
+                    for (&bi, (program, report)) in indices.iter().zip(&outcome.results) {
+                        let bench = &spec.benchmarks[bi];
+                        let (gates_in, two_qubit_in, three_qubit_in, depth_in) = report
+                            .passes
+                            .first()
+                            .map(|p| {
+                                (
+                                    p.gates_before.total,
+                                    p.gates_before.two_qubit,
+                                    p.gates_before.three_qubit,
+                                    p.depth_before,
+                                )
+                            })
+                            .unwrap_or_default();
+                        for (ci, (cal_name, calibration)) in spec.calibrations.iter().enumerate() {
+                            let estimate = estimate_success_with_crosstalk(
+                                &program.circuit,
+                                calibration,
+                                topology,
+                                spec.crosstalk,
+                            );
+                            let mut cell = SweepCell {
+                                benchmark: bench.name.clone(),
+                                device: device_name.clone(),
+                                router: router.clone(),
+                                decomposer: decomposer_name.clone(),
+                                calibration: cal_name.clone(),
+                                probability: estimate.probability(),
+                                p_gates: estimate.p_gates,
+                                p_readout: estimate.p_readout,
+                                p_coherence: estimate.p_coherence,
+                                duration_us: estimate.duration_us,
+                                two_qubit_gates: program.stats.two_qubit_gates,
+                                one_qubit_gates: program.stats.one_qubit_gates,
+                                measurements: program.stats.measurements,
+                                swap_count: program.stats.swap_count,
+                                depth: program.stats.depth,
+                                gates_in,
+                                two_qubit_in,
+                                two_qubit_delta: program.stats.two_qubit_gates as isize
+                                    - two_qubit_in as isize,
+                                depth_delta: program.stats.depth as isize - depth_in as isize,
+                                mean_gather_distance: program.stats.mean_gather_distance,
+                                compile_time_s: report.total_time.as_secs_f64(),
+                                monte_carlo: None,
+                            };
+                            if !executable {
+                                reprice_cell(&mut cell, three_qubit_in, cost, standard_cost);
+                            }
+                            // Cost-model cells carry re-priced numbers the
+                            // compiled circuit does not match, so they are
+                            // never cross-checked by simulation.
+                            let simulable = executable
+                                && spec.monte_carlo_shots.is_some()
+                                && program.circuit.num_qubits() <= MONTE_CARLO_MAX_QUBITS;
+                            keyed.push((
+                                (bi, di, ri, xi, ci),
+                                cell,
+                                simulable.then(|| program.circuit.clone()),
+                                *calibration,
+                            ));
+                        }
                     }
                 }
             }
@@ -741,8 +886,8 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepReport, SweepError> {
 
     let cells: Vec<SweepCell> = keyed.into_iter().map(|(_, cell, _, _)| cell).collect();
 
-    // Ratio rows: every non-baseline router against "baseline", per
-    // (benchmark, device, calibration).
+    // Ratio rows: every non-baseline router against "baseline" under the
+    // same decomposer, per (benchmark, device, calibration).
     let mut ratios = Vec::new();
     if spec.routers.iter().any(|r| r == "baseline") {
         for cell in &cells {
@@ -751,6 +896,7 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepReport, SweepError> {
             }
             let base = cells.iter().find(|c| {
                 c.router == "baseline"
+                    && c.decomposer == cell.decomposer
                     && c.benchmark == cell.benchmark
                     && c.device == cell.device
                     && c.calibration == cell.calibration
@@ -762,6 +908,7 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepReport, SweepError> {
                         device: cell.device.clone(),
                         calibration: cell.calibration.clone(),
                         router: cell.router.clone(),
+                        decomposer: cell.decomposer.clone(),
                         baseline_probability: base.probability,
                         probability: cell.probability,
                         ratio: cell.probability / base.probability,
@@ -771,23 +918,28 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepReport, SweepError> {
         }
     }
 
+    // One geomean per (router × decomposer) grid cell — the sweep's
+    // router-cooperation headline.
     let mut geomeans = Vec::new();
     for router in &spec.routers {
         if router == "baseline" {
             continue;
         }
-        let values: Vec<f64> = ratios
-            .iter()
-            .filter(|r| &r.router == router && r.ratio > 0.0)
-            .map(|r| r.ratio)
-            .collect();
-        if !values.is_empty() {
-            let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
-            geomeans.push(RouterGeomean {
-                router: router.clone(),
-                geomean: (log_sum / values.len() as f64).exp(),
-                cells: values.len(),
-            });
+        for decomposer in &spec.decomposers {
+            let values: Vec<f64> = ratios
+                .iter()
+                .filter(|r| &r.router == router && &r.decomposer == decomposer && r.ratio > 0.0)
+                .map(|r| r.ratio)
+                .collect();
+            if !values.is_empty() {
+                let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+                geomeans.push(RouterGeomean {
+                    router: router.clone(),
+                    decomposer: decomposer.clone(),
+                    geomean: (log_sum / values.len() as f64).exp(),
+                    cells: values.len(),
+                });
+            }
         }
     }
 
@@ -795,6 +947,7 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepReport, SweepError> {
         benchmarks: spec.benchmarks.iter().map(|b| b.name.clone()).collect(),
         devices: spec.devices.iter().map(|(n, _)| n.clone()).collect(),
         routers: spec.routers.clone(),
+        decomposers: spec.decomposers.clone(),
         calibrations: spec.calibrations.iter().map(|(n, _)| n.clone()).collect(),
         crosstalk: crosstalk_label(spec.crosstalk),
         seed: spec.seed,
@@ -828,10 +981,11 @@ mod serde_impls {
 
     impl Serialize for SweepCell {
         fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-            let mut s = serializer.serialize_struct("SweepCell", 21)?;
+            let mut s = serializer.serialize_struct("SweepCell", 22)?;
             s.serialize_field("benchmark", &self.benchmark)?;
             s.serialize_field("device", &self.device)?;
             s.serialize_field("router", &self.router)?;
+            s.serialize_field("decomposer", &self.decomposer)?;
             s.serialize_field("calibration", &self.calibration)?;
             s.serialize_field("probability", &self.probability)?;
             s.serialize_field("p_gates", &self.p_gates)?;
@@ -856,11 +1010,12 @@ mod serde_impls {
 
     impl Serialize for RatioRow {
         fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-            let mut s = serializer.serialize_struct("RatioRow", 7)?;
+            let mut s = serializer.serialize_struct("RatioRow", 8)?;
             s.serialize_field("benchmark", &self.benchmark)?;
             s.serialize_field("device", &self.device)?;
             s.serialize_field("calibration", &self.calibration)?;
             s.serialize_field("router", &self.router)?;
+            s.serialize_field("decomposer", &self.decomposer)?;
             s.serialize_field("baseline_probability", &self.baseline_probability)?;
             s.serialize_field("probability", &self.probability)?;
             s.serialize_field("ratio", &self.ratio)?;
@@ -870,8 +1025,9 @@ mod serde_impls {
 
     impl Serialize for RouterGeomean {
         fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-            let mut s = serializer.serialize_struct("RouterGeomean", 3)?;
+            let mut s = serializer.serialize_struct("RouterGeomean", 4)?;
             s.serialize_field("router", &self.router)?;
+            s.serialize_field("decomposer", &self.decomposer)?;
             s.serialize_field("geomean", &self.geomean)?;
             s.serialize_field("cells", &self.cells)?;
             s.end()
@@ -880,10 +1036,11 @@ mod serde_impls {
 
     impl Serialize for SweepReport {
         fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-            let mut s = serializer.serialize_struct("SweepReport", 13)?;
+            let mut s = serializer.serialize_struct("SweepReport", 14)?;
             s.serialize_field("benchmarks", &self.benchmarks)?;
             s.serialize_field("devices", &self.devices)?;
             s.serialize_field("routers", &self.routers)?;
+            s.serialize_field("decomposers", &self.decomposers)?;
             s.serialize_field("calibrations", &self.calibrations)?;
             s.serialize_field("crosstalk", &self.crosstalk)?;
             s.serialize_field("seed", &self.seed)?;
@@ -1011,6 +1168,7 @@ mod json_io {
             benchmark: string_field(value, "benchmark")?,
             device: string_field(value, "device")?,
             router: string_field(value, "router")?,
+            decomposer: string_field(value, "decomposer")?,
             calibration: string_field(value, "calibration")?,
             probability: f64_field(value, "probability")?,
             p_gates: f64_field(value, "p_gates")?,
@@ -1038,6 +1196,7 @@ mod json_io {
             device: string_field(value, "device")?,
             calibration: string_field(value, "calibration")?,
             router: string_field(value, "router")?,
+            decomposer: string_field(value, "decomposer")?,
             baseline_probability: f64_field(value, "baseline_probability")?,
             probability: f64_field(value, "probability")?,
             ratio: f64_field(value, "ratio")?,
@@ -1047,6 +1206,7 @@ mod json_io {
     fn geomean_from_value(value: &Value) -> Result<RouterGeomean, String> {
         Ok(RouterGeomean {
             router: string_field(value, "router")?,
+            decomposer: string_field(value, "decomposer")?,
             geomean: f64_field(value, "geomean")?,
             cells: usize_field(value, "cells")?,
         })
@@ -1085,6 +1245,7 @@ mod json_io {
             benchmarks: string_array(value, "benchmarks")?,
             devices: string_array(value, "devices")?,
             routers: string_array(value, "routers")?,
+            decomposers: string_array(value, "decomposers")?,
             calibrations: string_array(value, "calibrations")?,
             crosstalk: string_field(value, "crosstalk")?,
             seed: field(value, "seed")?
@@ -1238,8 +1399,12 @@ mod tests {
             ..SweepSpec::new()
         };
         let report = run_sweep(&spec).unwrap();
-        let far = report.cell("far", "line-6", "trios", "now").unwrap();
-        let near = report.cell("near", "line-6", "trios", "now").unwrap();
+        let far = report
+            .cell("far", "line-6", "trios", "standard", "now")
+            .unwrap();
+        let near = report
+            .cell("near", "line-6", "trios", "standard", "now")
+            .unwrap();
         assert!(far.swap_count > near.swap_count);
         assert!(far.mean_gather_distance.unwrap() > near.mean_gather_distance.unwrap());
         assert_eq!(near.mean_gather_distance, Some(0.0));
@@ -1272,9 +1437,109 @@ mod tests {
         assert!(matches!(err, SweepError::UnknownRouter { .. }));
         assert!(err.to_string().contains("sabre"));
 
+        let mut unknown_decomposer = small_spec();
+        unknown_decomposer.decomposers = vec!["margolus".into()];
+        let err = run_sweep(&unknown_decomposer).unwrap_err();
+        assert!(matches!(err, SweepError::UnknownDecomposer { .. }));
+        assert!(err.to_string().contains("margolus"), "{err}");
+        assert!(err.to_string().contains("relative-phase"), "{err}");
+
         let mut zero = small_spec();
         zero.monte_carlo_shots = Some(0);
         assert_eq!(run_sweep(&zero).unwrap_err(), SweepError::ZeroShots);
+    }
+
+    #[test]
+    fn decomposer_grid_expands_cells_and_geomeans() {
+        let mut spec = small_spec();
+        spec.calibrations = vec![("now".into(), Calibration::johannesburg_2020_08_19())];
+        spec.decomposers = vec!["standard".into(), "eight".into(), "tdepth".into()];
+        let report = run_sweep(&spec).unwrap();
+        // 2 benchmarks × 1 device × 2 routers × 3 decomposers × 1 cal.
+        assert_eq!(report.cells.len(), 12);
+        assert_eq!(report.decomposers, ["standard", "eight", "tdepth"]);
+        // Decomposer-major inside each router, in spec order.
+        let toff4: Vec<(&str, &str)> = report
+            .cells
+            .iter()
+            .filter(|c| c.benchmark == "toff-4")
+            .map(|c| (c.router.as_str(), c.decomposer.as_str()))
+            .collect();
+        assert_eq!(
+            toff4,
+            [
+                ("baseline", "standard"),
+                ("baseline", "eight"),
+                ("baseline", "tdepth"),
+                ("trios", "standard"),
+                ("trios", "eight"),
+                ("trios", "tdepth"),
+            ]
+        );
+        // One geomean per non-baseline (router × decomposer) grid cell,
+        // each ratio comparing like against like.
+        assert_eq!(report.geomeans.len(), 3);
+        for decomposer in ["standard", "eight", "tdepth"] {
+            let g = report.geomean_for_grid("trios", decomposer).unwrap();
+            assert!(g > 0.0, "{decomposer}: {g}");
+        }
+        for row in &report.ratios {
+            assert_eq!(row.router, "trios");
+        }
+        // The forced-eight lowering is a genuinely different compilation
+        // from the connectivity-aware standard (on a line it needs no
+        // triangle, so its totals differ).
+        let totals = |decomposer: &str| -> Vec<usize> {
+            report
+                .cells
+                .iter()
+                .filter(|c| c.decomposer == decomposer)
+                .map(|c| c.two_qubit_gates)
+                .collect()
+        };
+        assert_ne!(totals("standard"), totals("eight"));
+    }
+
+    #[test]
+    fn qutrit_cells_are_cost_model_repriced() {
+        let mut spec = small_spec();
+        spec.calibrations = vec![("now".into(), Calibration::johannesburg_2020_08_19())];
+        spec.decomposers = vec!["standard".into(), "qutrit".into()];
+        spec.monte_carlo_shots = Some(20);
+        let report = run_sweep(&spec).unwrap();
+        for decomposer in ["standard", "qutrit"] {
+            assert!(
+                report.geomean_for_grid("trios", decomposer).is_some(),
+                "{decomposer}"
+            );
+        }
+        for cell in report.cells.iter().filter(|c| c.decomposer == "qutrit") {
+            let twin = report
+                .cell(
+                    &cell.benchmark,
+                    &cell.device,
+                    &cell.router,
+                    "standard",
+                    &cell.calibration,
+                )
+                .unwrap();
+            // One trio re-priced from 6 to 3 two-qubit gates: fewer 2q
+            // gates, and strictly better gate-success odds.
+            assert!(cell.two_qubit_gates < twin.two_qubit_gates, "{cell:?}");
+            assert!(cell.p_gates > twin.p_gates, "{cell:?}");
+            assert!(cell.probability > twin.probability, "{cell:?}");
+            // Re-priced numbers never claim a simulation cross-check.
+            assert!(cell.monte_carlo.is_none(), "{cell:?}");
+            // Routing itself (swaps, depth source) came from the standard
+            // compile.
+            assert_eq!(cell.swap_count, twin.swap_count);
+        }
+        // The standard cells still run the cross-check.
+        assert!(report
+            .cells
+            .iter()
+            .filter(|c| c.decomposer == "standard")
+            .all(|c| c.monte_carlo.is_some()));
     }
 
     #[test]
@@ -1299,10 +1564,12 @@ mod tests {
     fn summary_table_reads_like_a_report() {
         let report = run_sweep(&small_spec()).unwrap();
         let text = report.summary_table();
-        assert!(text.contains("2 benchmarks x 1 devices x 2 routers x 2 calibrations"));
+        assert!(
+            text.contains("2 benchmarks x 1 devices x 2 routers x 1 decomposers x 2 calibrations")
+        );
         assert!(text.contains("toff-4"));
         assert!(text.contains("baseline"));
-        assert!(text.contains("geomean(trios / baseline)"));
+        assert!(text.contains("geomean(trios x standard / baseline)"));
         assert_eq!(text, report.to_string());
     }
 

@@ -415,10 +415,10 @@ mod tests {
         // CCX·CCX to the identity (that needs algebraic rewriting), but the
         // commutation-aware passes must strictly beat adjacent-only
         // cancellation at the decomposition junction.
-        use crate::{cancel_adjacent_inverses, toffoli_6cnot, ToffoliDecomposition};
+        use crate::{cancel_adjacent_inverses, toffoli_6cnot, SixCnotDecomposition};
         let mut c = Circuit::new(3);
         c.ccx(0, 1, 2).ccx(0, 1, 2);
-        let lowered = crate::decompose_three_qubit_gates(&c, ToffoliDecomposition::Six);
+        let lowered = crate::decompose_three_qubit_gates(&c, &SixCnotDecomposition);
         assert_eq!(lowered.len(), 2 * toffoli_6cnot(q(0), q(1), q(2)).len());
         let adjacent = cancel_adjacent_inverses(&lowered);
         let opt = merge_commuting_rotations(&cancel_commuting_inverses(&lowered));
@@ -437,7 +437,7 @@ mod tests {
     fn optimize_full_preserves_semantics_on_lowered_benchmark() {
         // A routed-and-lowered program shaped like the paper's workloads:
         // consecutive Toffoli decompositions with interleaved CX traffic.
-        use crate::{optimize, OptimizeOptions, ToffoliDecomposition};
+        use crate::{optimize, OptimizeOptions, SixCnotDecomposition};
         let mut c = Circuit::new(5);
         c.h(0)
             .ccx(0, 1, 2)
@@ -447,7 +447,7 @@ mod tests {
             .ccx(2, 3, 4)
             .t(2)
             .ccx(0, 1, 2);
-        let lowered = crate::decompose_three_qubit_gates(&c, ToffoliDecomposition::Six);
+        let lowered = crate::decompose_three_qubit_gates(&c, &SixCnotDecomposition);
         let light = optimize(&lowered, OptimizeOptions::default());
         let full = optimize(&lowered, OptimizeOptions::full());
         assert!(full.len() <= light.len());

@@ -5,7 +5,11 @@
 //! * **Toffoli decompositions** — the 6-CNOT form (paper Fig. 3, needs a
 //!   coupling triangle) and the 8-CNOT linear form (paper Fig. 4, needs only
 //!   a path, with a free choice of target). The split between them, made
-//!   *after* routing, is the paper's "mapping-aware decomposition".
+//!   *after* routing, is the paper's "mapping-aware decomposition" — and it
+//!   is pluggable: every lowering flows through a [`DecompositionStrategy`]
+//!   resolved from the [`DecomposerRegistry`] (`standard`, `six`, `eight`,
+//!   `tdepth`, `relative-phase`, `qutrit`), mirroring the routing side's
+//!   strategy registry.
 //! * **Lowering** — SWAP → 3 CX, CZ/CP/controlled-roots → CX + 1q, and the
 //!   final translation into the hardware set `{1q, cx, measure}`.
 //! * **Optimization** — inverse-pair cancellation and single-qubit-run
@@ -19,7 +23,7 @@
 //!
 //! ```
 //! use trios_ir::{Circuit, Qubit};
-//! use trios_passes::{toffoli_8cnot_linear, ToffoliDecomposition};
+//! use trios_passes::toffoli_8cnot_linear;
 //!
 //! // A Toffoli routed onto the line 4–7–9 with target 9:
 //! let gates = toffoli_8cnot_linear(
@@ -39,6 +43,7 @@
 #![warn(missing_debug_implementations)]
 
 mod commute;
+mod decomposer;
 mod lower;
 mod optimize;
 mod three_qubit;
@@ -47,6 +52,12 @@ mod toffoli;
 pub(crate) use optimize::{operands_cancel, TapName};
 
 pub use commute::{cancel_commuting_inverses, commutes, merge_commuting_rotations};
+pub use decomposer::{
+    DecomposerConstructor, DecomposerHandle, DecomposerRegistry, DecompositionPlan,
+    DecompositionStrategy, EightCnotDecomposition, LoweringCost, QutritCostModel,
+    RelativePhaseDecomposition, SixCnotDecomposition, StandardDecomposition, TDepthDecomposition,
+    TrioPlacement,
+};
 pub use lower::{
     cp_to_cx, cxpow_to_cx, cz_to_cx, lower_swaps, lower_to_hardware_gates, swap_to_cnots,
 };
@@ -58,6 +69,6 @@ pub use three_qubit::{
     ccz_6cnot, ccz_8cnot_linear, cswap_via_ccx, decompose_one, decompose_three_qubit_gates,
 };
 pub use toffoli::{
-    decompose_toffolis, toffoli_6cnot, toffoli_8cnot, toffoli_8cnot_linear, toffoli_margolus,
-    ToffoliDecomposition,
+    ccz_tdepth4, decompose_toffolis, toffoli_6cnot, toffoli_8cnot, toffoli_8cnot_linear,
+    toffoli_margolus, toffoli_tdepth4,
 };

@@ -1,7 +1,7 @@
 //! Lowering passes: SWAP → 3 CX, controlled-phase/Z/roots → CX + 1q, and
 //! the final translation into the hardware gate set.
 
-use crate::ToffoliDecomposition;
+use crate::DecompositionStrategy;
 use std::f64::consts::{FRAC_PI_2, PI};
 use trios_ir::{Circuit, Gate, Instruction, Qubit};
 
@@ -77,7 +77,7 @@ pub fn cz_to_cx(a: Qubit, b: Qubit) -> [Instruction; 3] {
 /// this is a safety net that keeps the pass total.
 ///
 /// [`merge_single_qubit_runs`]: crate::merge_single_qubit_runs
-pub fn lower_to_hardware_gates(circuit: &Circuit, strategy: ToffoliDecomposition) -> Circuit {
+pub fn lower_to_hardware_gates(circuit: &Circuit, strategy: &dyn DecompositionStrategy) -> Circuit {
     let mut out = Circuit::with_name(circuit.num_qubits(), circuit.name().to_string());
     for instr in circuit.iter() {
         match instr.gate() {
@@ -192,7 +192,7 @@ mod tests {
             .cxpow(0.5, 0, 3)
             .ccx(0, 1, 2)
             .measure(2);
-        let lowered = lower_to_hardware_gates(&c, ToffoliDecomposition::Six);
+        let lowered = lower_to_hardware_gates(&c, &crate::SixCnotDecomposition);
         assert!(lowered.is_hardware_lowered());
     }
 
@@ -205,12 +205,10 @@ mod tests {
             .cp(0.8, 2, 3)
             .cxpow(0.5, 0, 3)
             .ccx(0, 1, 2);
-        for strategy in [ToffoliDecomposition::Six, ToffoliDecomposition::Eight] {
-            let lowered = lower_to_hardware_gates(&c, strategy);
-            assert!(
-                circuits_equivalent(&c, &lowered, EPS).unwrap(),
-                "{strategy:?}"
-            );
+        for name in ["six", "eight", "tdepth"] {
+            let strategy = crate::DecomposerRegistry::standard().get(name).unwrap();
+            let lowered = lower_to_hardware_gates(&c, &*strategy);
+            assert!(circuits_equivalent(&c, &lowered, EPS).unwrap(), "{name}");
         }
     }
 }

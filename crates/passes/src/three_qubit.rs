@@ -11,7 +11,8 @@
 //!   requirements (triangle / line) and two fewer gates;
 //! * the Fredkin is a Toffoli conjugated by CNOTs on the swapped pair.
 
-use crate::{toffoli_6cnot, toffoli_8cnot_linear, ToffoliDecomposition};
+use crate::{toffoli_6cnot, toffoli_8cnot_linear, DecompositionStrategy};
+use crate::{DecompositionPlan, TrioPlacement};
 use trios_ir::{Circuit, Gate, Instruction, Qubit};
 
 /// The 6-CNOT CCZ: the Figure 3 Toffoli with its two `H` gates removed.
@@ -65,15 +66,23 @@ pub fn cswap_via_ccx(c: Qubit, a: Qubit, b: Qubit) -> Vec<Instruction> {
 /// *first-pass-decomposes-everything* behaviour (paper Fig. 2a) extended to
 /// the full three-qubit gate set.
 ///
-/// For [`ToffoliDecomposition::ConnectivityAware`] this falls back to the
-/// 6-CNOT forms: connectivity awareness only exists *after* routing, which
-/// is precisely the paper's point.
-pub fn decompose_three_qubit_gates(circuit: &Circuit, strategy: ToffoliDecomposition) -> Circuit {
+/// The strategy sees [`TrioPlacement::Unknown`] for every gate: connectivity
+/// awareness only exists *after* routing, which is precisely the paper's
+/// point. The strategy's [`plan`](DecompositionStrategy::plan) is computed
+/// once over the whole circuit, so analyses like the `relative-phase`
+/// compute/uncompute pairing work on this pre-route path too.
+pub fn decompose_three_qubit_gates(
+    circuit: &Circuit,
+    strategy: &dyn DecompositionStrategy,
+) -> Circuit {
+    let mut plan = strategy.plan(circuit);
     let mut out = Circuit::with_name(circuit.num_qubits(), circuit.name().to_string());
     for instr in circuit.iter() {
         match instr.gate() {
             Gate::Ccx | Gate::Ccz | Gate::Cswap => {
-                for li in decompose_one(instr, strategy) {
+                let mut lowered = Vec::new();
+                lower_recursive(instr, strategy, &mut plan, &mut lowered);
+                for li in lowered {
                     out.push(li);
                 }
             }
@@ -85,38 +94,43 @@ pub fn decompose_three_qubit_gates(circuit: &Circuit, strategy: ToffoliDecomposi
     out
 }
 
-/// Lowers a single three-qubit instruction with canonical operand roles.
+/// Lowers one three-qubit instruction, re-lowering any three-qubit gates in
+/// its expansion (the `cswap` expansions contain a `ccx`).
+fn lower_recursive(
+    instr: &Instruction,
+    strategy: &dyn DecompositionStrategy,
+    plan: &mut DecompositionPlan,
+    out: &mut Vec<Instruction>,
+) {
+    for li in strategy.lower(instr, TrioPlacement::Unknown, plan) {
+        if li.gate().is_three_qubit() {
+            lower_recursive(&li, strategy, plan, out);
+        } else {
+            out.push(li);
+        }
+    }
+}
+
+/// Lowers a single three-qubit instruction with canonical operand roles and
+/// no placement information, using a fresh (empty) plan — per-circuit
+/// analyses do not apply through this single-instruction entry point.
 ///
 /// # Panics
 ///
 /// Panics if the instruction is not a three-qubit gate.
-pub fn decompose_one(instr: &Instruction, strategy: ToffoliDecomposition) -> Vec<Instruction> {
+pub fn decompose_one(
+    instr: &Instruction,
+    strategy: &dyn DecompositionStrategy,
+) -> Vec<Instruction> {
     assert!(
         instr.gate().is_three_qubit(),
         "decompose_one expects a three-qubit gate, got {:?}",
         instr.gate()
     );
-    let (q0, q1, q2) = (instr.qubit(0), instr.qubit(1), instr.qubit(2));
-    match instr.gate() {
-        Gate::Ccx => match strategy {
-            ToffoliDecomposition::Eight => crate::toffoli_8cnot(q0, q1, q2),
-            _ => toffoli_6cnot(q0, q1, q2),
-        },
-        Gate::Ccz => match strategy {
-            ToffoliDecomposition::Eight => ccz_8cnot_linear(q0, q1, q2),
-            _ => ccz_6cnot(q0, q1, q2),
-        },
-        Gate::Cswap => {
-            // CX-conjugate, with the inner Toffoli lowered recursively.
-            let mut out = Vec::new();
-            out.push(Instruction::new(Gate::Cx, &[q2, q1]));
-            let ccx = Instruction::new(Gate::Ccx, &[q0, q1, q2]);
-            out.extend(decompose_one(&ccx, strategy));
-            out.push(Instruction::new(Gate::Cx, &[q2, q1]));
-            out
-        }
-        g => unreachable!("arity-3 gate {g:?} without a decomposition"),
-    }
+    let mut plan = DecompositionPlan::new();
+    let mut out = Vec::new();
+    lower_recursive(instr, strategy, &mut plan, &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -210,27 +224,23 @@ mod tests {
 
     #[test]
     fn decompose_three_qubit_gates_handles_all_gates() {
+        use crate::DecomposerRegistry;
         let mut c = Circuit::new(4);
         c.h(0).ccx(0, 1, 2).ccz(1, 2, 3).cswap(0, 2, 3).t(1);
-        for strategy in [
-            ToffoliDecomposition::Six,
-            ToffoliDecomposition::Eight,
-            ToffoliDecomposition::ConnectivityAware,
-        ] {
-            let lowered = decompose_three_qubit_gates(&c, strategy);
-            assert_eq!(lowered.counts().three_qubit, 0, "{strategy:?}");
-            assert!(
-                circuits_equivalent(&c, &lowered, EPS).unwrap(),
-                "{strategy:?}"
-            );
+        for name in ["six", "eight", "standard", "tdepth", "relative-phase"] {
+            let strategy = DecomposerRegistry::standard().get(name).unwrap();
+            let lowered = decompose_three_qubit_gates(&c, &*strategy);
+            assert_eq!(lowered.counts().three_qubit, 0, "{name}");
+            assert!(circuits_equivalent(&c, &lowered, EPS).unwrap(), "{name}");
         }
     }
 
     #[test]
     fn decompose_one_counts() {
+        use crate::SixCnotDecomposition;
         let ccz = Instruction::new(Gate::Ccz, &[q(0), q(1), q(2)]);
         assert_eq!(
-            Circuit::from_instructions(3, decompose_one(&ccz, ToffoliDecomposition::Six))
+            Circuit::from_instructions(3, decompose_one(&ccz, &SixCnotDecomposition))
                 .unwrap()
                 .counts()
                 .cx,
@@ -238,7 +248,7 @@ mod tests {
         );
         let cswap = Instruction::new(Gate::Cswap, &[q(0), q(1), q(2)]);
         assert_eq!(
-            Circuit::from_instructions(3, decompose_one(&cswap, ToffoliDecomposition::Six))
+            Circuit::from_instructions(3, decompose_one(&cswap, &SixCnotDecomposition))
                 .unwrap()
                 .counts()
                 .cx,
@@ -249,7 +259,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "expects a three-qubit gate")]
     fn decompose_one_rejects_two_qubit_gates() {
+        use crate::SixCnotDecomposition;
         let cx = Instruction::new(Gate::Cx, &[q(0), q(1)]);
-        decompose_one(&cx, ToffoliDecomposition::Six);
+        decompose_one(&cx, &SixCnotDecomposition);
     }
 }

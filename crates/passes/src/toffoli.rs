@@ -1,22 +1,10 @@
 //! Toffoli decompositions: the paper's Figure 3 (6-CNOT, needs a triangle)
-//! and Figure 4 (8-CNOT, needs only a line).
+//! and Figure 4 (8-CNOT, needs only a line), plus the T-depth-4 and
+//! Margolus variants reachable through the
+//! [`DecompositionStrategy`](crate::DecompositionStrategy) registry.
 
+use crate::DecompositionStrategy;
 use trios_ir::{Circuit, Gate, Instruction, Qubit};
-
-/// Which Toffoli decomposition the second decomposition pass uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ToffoliDecomposition {
-    /// Always the 6-CNOT decomposition (paper Fig. 3). On triangle-free
-    /// hardware this forces extra SWAPs for the third CNOT pair.
-    Six,
-    /// Always the 8-CNOT linear decomposition (paper Fig. 4).
-    Eight,
-    /// Pick per-Toffoli from the routed placement: 6-CNOT on a triangle,
-    /// 8-CNOT (with the correct middle qubit) on a line. This is Trios'
-    /// mapping-aware decomposition (paper §4).
-    #[default]
-    ConnectivityAware,
-}
 
 /// The canonical 6-CNOT Toffoli (Nielsen & Chuang; paper Figure 3).
 ///
@@ -128,6 +116,47 @@ pub fn toffoli_margolus(c1: Qubit, c2: Qubit, t: Qubit) -> Vec<Instruction> {
     ]
 }
 
+/// The T-depth-4 CCZ phase network: 6 CNOTs and 7 T/T† gates arranged so
+/// the T gates fit in **four** sequential layers (the Fig. 3 form needs
+/// six). The phase polynomial accumulates
+/// `a + b + c − (a⊕b) + (a⊕b⊕c) − (b⊕c) − (a⊕c)` — exactly CCZ — while
+/// restoring every wire. Like the 6-CNOT form it uses all three qubit
+/// pairs, so it shares the triangle connectivity class.
+///
+/// The trade this strategy makes: on fault-tolerant hardware whose
+/// magic-state factories serialize T gates, sequential T *layers* (not
+/// CNOTs) dominate latency, and four beats six.
+pub fn ccz_tdepth4(a: Qubit, b: Qubit, c: Qubit) -> Vec<Instruction> {
+    let i = |g: Gate, qs: &[Qubit]| Instruction::new(g, qs);
+    vec![
+        // Layer 1: three T gates in parallel.
+        i(Gate::T, &[a]),
+        i(Gate::T, &[b]),
+        i(Gate::T, &[c]),
+        i(Gate::Cx, &[a, b]),
+        i(Gate::Cx, &[b, c]),
+        // Layer 2: T†(a⊕b) and T(a⊕b⊕c) in parallel.
+        i(Gate::Tdg, &[b]),
+        i(Gate::T, &[c]),
+        i(Gate::Cx, &[a, c]),
+        // Layer 3: T†(b⊕c).
+        i(Gate::Tdg, &[c]),
+        i(Gate::Cx, &[b, c]),
+        // Layer 4: T†(a⊕c).
+        i(Gate::Tdg, &[c]),
+        i(Gate::Cx, &[a, b]),
+        i(Gate::Cx, &[a, c]),
+    ]
+}
+
+/// The T-depth-4 Toffoli: `H(t) · ccz_tdepth4 · H(t)`.
+pub fn toffoli_tdepth4(c1: Qubit, c2: Qubit, t: Qubit) -> Vec<Instruction> {
+    let mut out = vec![Instruction::new(Gate::H, &[t])];
+    out.extend(ccz_tdepth4(c1, c2, t));
+    out.push(Instruction::new(Gate::H, &[t]));
+    out
+}
+
 /// Replaces every Toffoli in `circuit` with the chosen decomposition,
 /// leaving all other gates untouched. Placement-unaware — this is the
 /// baseline's *first-pass-decomposes-everything* behaviour (paper Fig. 2a).
@@ -135,11 +164,7 @@ pub fn toffoli_margolus(c1: Qubit, c2: Qubit, t: Qubit) -> Vec<Instruction> {
 /// Also lowers the other three-qubit gates (`ccz`, `cswap`) so the
 /// baseline pipeline accepts the extended gate set; this is a convenience
 /// alias for [`decompose_three_qubit_gates`](crate::decompose_three_qubit_gates).
-///
-/// For [`ToffoliDecomposition::ConnectivityAware`] this falls back to the
-/// 6-CNOT form: connectivity awareness only exists *after* routing, which is
-/// precisely the paper's point.
-pub fn decompose_toffolis(circuit: &Circuit, strategy: ToffoliDecomposition) -> Circuit {
+pub fn decompose_toffolis(circuit: &Circuit, strategy: &dyn DecompositionStrategy) -> Circuit {
     crate::decompose_three_qubit_gates(circuit, strategy)
 }
 
@@ -295,26 +320,85 @@ mod tests {
     }
 
     #[test]
+    fn tdepth4_ccz_matches_ccz() {
+        let dec = Circuit::from_instructions(3, ccz_tdepth4(q(0), q(1), q(2))).unwrap();
+        assert_eq!(dec.counts().cx, 6);
+        assert_eq!(dec.counts().one_qubit, 7, "only T/T† remain");
+        let mut reference = Circuit::new(3);
+        reference.ccz(0, 1, 2);
+        assert!(circuits_equivalent(&reference, &dec, EPS).unwrap());
+    }
+
+    #[test]
+    fn tdepth4_ccz_is_operand_order_invariant() {
+        let mut reference = Circuit::new(3);
+        reference.ccz(0, 1, 2);
+        for (a, b, c) in [(1, 2, 0), (2, 0, 1), (1, 0, 2), (2, 1, 0), (0, 2, 1)] {
+            let dec = Circuit::from_instructions(3, ccz_tdepth4(q(a), q(b), q(c))).unwrap();
+            assert!(
+                circuits_equivalent(&reference, &dec, EPS).unwrap(),
+                "order ({a},{b},{c})"
+            );
+        }
+    }
+
+    #[test]
+    fn tdepth4_toffoli_matches_toffoli() {
+        let dec = circuit_of(toffoli_tdepth4(q(0), q(1), q(2)));
+        assert!(circuits_equivalent(&reference_toffoli(0, 1, 2), &dec, EPS).unwrap());
+    }
+
+    #[test]
+    fn tdepth4_has_t_depth_four() {
+        // Greedy layering of T/T† gates: a new layer starts only when a T
+        // gate must wait for an earlier T *on a path through CNOTs*. With
+        // the as-emitted order a simple dependency scan suffices: count
+        // the maximal chains of T gates separated by CNOTs on their wire.
+        let instrs = ccz_tdepth4(q(0), q(1), q(2));
+        let mut depth_per_wire = [0usize; 3];
+        let mut max_depth = 0;
+        for instr in &instrs {
+            match instr.gate() {
+                Gate::T | Gate::Tdg => {
+                    let w = instr.qubit(0).index();
+                    depth_per_wire[w] += 1;
+                    max_depth = max_depth.max(depth_per_wire[w]);
+                }
+                Gate::Cx => {
+                    // A CNOT merges the dependency frontier of its wires.
+                    let a = instr.qubit(0).index();
+                    let b = instr.qubit(1).index();
+                    let joined = depth_per_wire[a].max(depth_per_wire[b]);
+                    depth_per_wire[a] = joined;
+                    depth_per_wire[b] = joined;
+                }
+                g => panic!("unexpected gate {g:?} in the CCZ network"),
+            }
+        }
+        assert_eq!(max_depth, 4, "T-depth must be exactly 4");
+    }
+
+    #[test]
     fn decompose_toffolis_replaces_all() {
+        use crate::{EightCnotDecomposition, SixCnotDecomposition};
         let mut c = Circuit::new(4);
         c.h(0).ccx(0, 1, 2).cx(1, 3).ccx(1, 2, 3);
-        let six = decompose_toffolis(&c, ToffoliDecomposition::Six);
+        let six = decompose_toffolis(&c, &SixCnotDecomposition);
         assert_eq!(six.counts().ccx, 0);
         assert_eq!(six.counts().cx, 1 + 2 * 6);
-        let eight = decompose_toffolis(&c, ToffoliDecomposition::Eight);
+        let eight = decompose_toffolis(&c, &EightCnotDecomposition);
         assert_eq!(eight.counts().cx, 1 + 2 * 8);
     }
 
     #[test]
     fn decompose_toffolis_preserves_semantics() {
+        use crate::DecomposerRegistry;
         let mut c = Circuit::new(4);
         c.h(0).h(1).ccx(0, 1, 2).cx(2, 3).ccx(1, 2, 3).t(0);
-        for strategy in [ToffoliDecomposition::Six, ToffoliDecomposition::Eight] {
-            let lowered = decompose_toffolis(&c, strategy);
-            assert!(
-                circuits_equivalent(&c, &lowered, EPS).unwrap(),
-                "{strategy:?}"
-            );
+        for name in ["six", "eight", "tdepth"] {
+            let strategy = DecomposerRegistry::standard().get(name).unwrap();
+            let lowered = decompose_toffolis(&c, &*strategy);
+            assert!(circuits_equivalent(&c, &lowered, EPS).unwrap(), "{name}");
         }
     }
 }

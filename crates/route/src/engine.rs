@@ -17,11 +17,9 @@ use crate::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use trios_ir::{Circuit, Gate, Instruction, Qubit};
-use trios_passes::{
-    ccz_6cnot, ccz_8cnot_linear, cswap_via_ccx, toffoli_6cnot, toffoli_8cnot_linear,
-    ToffoliDecomposition,
-};
+use trios_passes::{DecompositionPlan, DecompositionStrategy, TrioPlacement};
 use trios_topology::{Topology, TripleShape};
 
 /// The shared routing core: a live layout, an output circuit under
@@ -56,6 +54,8 @@ pub struct RoutingEngine<'a> {
     rng: StdRng,
     weights: Option<HashMap<(usize, usize), f64>>,
     trio_events: Vec<TrioEvent>,
+    decomposer: Arc<dyn DecompositionStrategy>,
+    plan: DecompositionPlan,
 }
 
 impl std::fmt::Debug for RoutingEngine<'_> {
@@ -113,6 +113,23 @@ impl<'a> RoutingEngine<'a> {
                 Some(map)
             }
         };
+        let decomposer = opts
+            .decomposer
+            .resolve()
+            .map_err(|name| RouteError::InvalidOptions {
+                reason: format!("unknown decomposition strategy '{name}'"),
+            })?;
+        if opts.lower_toffoli && !decomposer.executable() {
+            return Err(RouteError::InvalidOptions {
+                reason: format!(
+                    "decomposition strategy '{}' is cost-model-only and cannot emit gates",
+                    decomposer.name()
+                ),
+            });
+        }
+        // The plan is computed lazily in `run` (this constructor does not
+        // know which circuit will be routed).
+        let plan = DecompositionPlan::new();
         Ok(RoutingEngine {
             topo,
             opts,
@@ -123,6 +140,8 @@ impl<'a> RoutingEngine<'a> {
             rng: StdRng::seed_from_u64(opts.seed),
             weights,
             trio_events: Vec::new(),
+            decomposer,
+            plan,
         })
     }
 
@@ -159,6 +178,10 @@ impl<'a> RoutingEngine<'a> {
     /// interacting qubits cannot be joined.
     pub fn run(mut self, circuit: &Circuit, allow_ccx: bool) -> Result<RoutedCircuit, RouteError> {
         let initial_layout = self.layout.clone();
+        // Per-circuit decomposition decisions (e.g. relative-phase's
+        // compute/uncompute pairing) are computed over the logical circuit
+        // before any gate moves.
+        self.plan = self.decomposer.plan(circuit);
         let mut queue: VecDeque<Instruction> = circuit.iter().copied().collect();
         let mut index = 0usize;
         while let Some(instr) = queue.pop_front() {
@@ -520,66 +543,32 @@ impl<'a> RoutingEngine<'a> {
             return Ok(Vec::new());
         }
 
-        // Second decomposition pass, now placement-aware. The decomposition
-        // is expressed over *logical* qubits and re-mapped at emission, so
-        // any SWAPs inserted for a forced-6-CNOT non-adjacent pair keep the
-        // bookkeeping consistent.
-        let q = Qubit::new;
-        Ok(match instr.gate() {
-            Gate::Ccx => {
-                let (c1, c2, t) = (logical[0], logical[1], logical[2]);
-                match self.opts.toffoli {
-                    ToffoliDecomposition::Six => toffoli_6cnot(q(c1), q(c2), q(t)),
-                    ToffoliDecomposition::Eight => {
-                        let middle = self.middle_logical(shape, &logical, c2);
-                        let ends: Vec<usize> =
-                            logical.iter().copied().filter(|&l| l != middle).collect();
-                        toffoli_8cnot_linear(q(ends[0]), q(middle), q(ends[1]), q(t))
-                    }
-                    ToffoliDecomposition::ConnectivityAware => match shape {
-                        TripleShape::Triangle => toffoli_6cnot(q(c1), q(c2), q(t)),
-                        TripleShape::Line { middle } => {
-                            let middle_logical = self
-                                .layout
-                                .logical(middle)
-                                .expect("middle of the trio holds data");
-                            let ends: Vec<usize> = logical
-                                .iter()
-                                .copied()
-                                .filter(|&l| l != middle_logical)
-                                .collect();
-                            toffoli_8cnot_linear(q(ends[0]), q(middle_logical), q(ends[1]), q(t))
-                        }
-                        TripleShape::Disconnected => unreachable!("checked above"),
-                    },
+        // Second decomposition pass, now placement-aware: hand the routed
+        // placement to the configured strategy. The decomposition is
+        // expressed over *logical* qubits and re-mapped at emission, so any
+        // SWAPs inserted for non-adjacent pairs in the chosen form keep the
+        // bookkeeping consistent. A `cswap` expansion's inner `ccx`
+        // re-enters this gather (a no-op by then, the trio being connected)
+        // and picks its own placement-appropriate form.
+        let placement = match shape {
+            TripleShape::Triangle => TrioPlacement::Triangle,
+            TripleShape::Line { middle } => {
+                let middle_logical = self
+                    .layout
+                    .logical(middle)
+                    .expect("middle of the trio holds data");
+                let middle_operand = logical
+                    .iter()
+                    .position(|&l| l == middle_logical)
+                    .expect("middle of the trio is one of the operands");
+                TrioPlacement::Line {
+                    middle: middle_operand,
                 }
             }
-            Gate::Ccz => {
-                // CCZ is symmetric, so the placement constraint is the only
-                // constraint: 6-CNOT wants a triangle, 8-CNOT wants a line
-                // with the physically-middle operand in the middle role.
-                let use_six = match self.opts.toffoli {
-                    ToffoliDecomposition::Six => true,
-                    ToffoliDecomposition::Eight => false,
-                    ToffoliDecomposition::ConnectivityAware => shape == TripleShape::Triangle,
-                };
-                if use_six {
-                    ccz_6cnot(q(logical[0]), q(logical[1]), q(logical[2]))
-                } else {
-                    let middle = self.middle_logical(shape, &logical, logical[1]);
-                    let ends: Vec<usize> =
-                        logical.iter().copied().filter(|&l| l != middle).collect();
-                    ccz_8cnot_linear(q(ends[0]), q(middle), q(ends[1]))
-                }
-            }
-            Gate::Cswap => {
-                // Expand to the CX-conjugated Toffoli over logical qubits;
-                // the inner ccx re-enters the gather (a no-op now) and
-                // picks the placement-appropriate decomposition there.
-                cswap_via_ccx(q(logical[0]), q(logical[1]), q(logical[2]))
-            }
-            g => unreachable!("gather_trio only sees 3-qubit gates, got {g:?}"),
-        })
+            TripleShape::Disconnected => unreachable!("checked above"),
+        };
+        let decomposer = Arc::clone(&self.decomposer);
+        Ok(decomposer.lower(instr, placement, &mut self.plan))
     }
 
     /// The gather destination: the candidate with the smallest summed hop
@@ -604,22 +593,6 @@ impl<'a> RoutingEngine<'a> {
             }
         }
         Ok(best.expect("candidate list is non-empty").0)
-    }
-
-    /// Picks the logical middle qubit for a forced 8-CNOT decomposition.
-    fn middle_logical(&self, shape: TripleShape, logical: &[usize], fallback: usize) -> usize {
-        match shape {
-            TripleShape::Line { middle } => self
-                .layout
-                .logical(middle)
-                .expect("middle of the trio holds data"),
-            // On a triangle every qubit touches the other two; the second
-            // control is as good a middle as any.
-            _ => {
-                let _ = logical;
-                fallback
-            }
-        }
     }
 }
 
@@ -683,6 +656,64 @@ mod tests {
         // (2n − 4), so even a maximally spread *connected* trio can never
         // outcost a disconnected one.
         assert!(bad >= 2.0 * topo.num_qubits() as f64, "got {bad}");
+    }
+
+    #[test]
+    fn unknown_decomposer_is_rejected_at_engine_construction() {
+        let topo = trios_topology::line(3);
+        let circuit = Circuit::new(3);
+        let options = RouterOptions {
+            decomposer: trios_passes::DecomposerHandle::named("nope"),
+            ..RouterOptions::deterministic()
+        };
+        let mut trace = RoutingTrace::new();
+        let err = match RoutingEngine::new(
+            &topo,
+            Layout::trivial(3, 3),
+            &options,
+            &circuit,
+            &mut trace,
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("unknown decomposer must not build"),
+        };
+        assert!(matches!(err, RouteError::InvalidOptions { .. }));
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn cost_model_only_decomposer_is_rejected_when_lowering() {
+        let topo = trios_topology::line(3);
+        let circuit = Circuit::new(3);
+        let options = RouterOptions {
+            decomposer: trios_passes::DecomposerHandle::named("qutrit"),
+            ..RouterOptions::deterministic()
+        };
+        let mut trace = RoutingTrace::new();
+        let err = match RoutingEngine::new(
+            &topo,
+            Layout::trivial(3, 3),
+            &options,
+            &circuit,
+            &mut trace,
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("cost-model-only decomposer must not lower"),
+        };
+        assert!(err.to_string().contains("cost-model-only"));
+
+        // With lowering off the router never asks it for gates, so it is
+        // allowed (e.g. for routing-only inspection runs).
+        let options = RouterOptions {
+            decomposer: trios_passes::DecomposerHandle::named("qutrit"),
+            lower_toffoli: false,
+            ..RouterOptions::deterministic()
+        };
+        let mut trace = RoutingTrace::new();
+        assert!(
+            RoutingEngine::new(&topo, Layout::trivial(3, 3), &options, &circuit, &mut trace)
+                .is_ok()
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Router configuration.
 
-use trios_passes::ToffoliDecomposition;
+use trios_passes::DecomposerHandle;
 
 /// Which endpoint of a distant 2-qubit gate the router moves (paper §3:
 /// "usually by adding SWAPs from control to target or the reverse, but a
@@ -82,10 +82,13 @@ impl Default for LookaheadConfig {
 /// Options shared by the baseline pair router and the Trios trio router.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RouterOptions {
-    /// Toffoli handling for the Trios router's inline second decomposition
-    /// pass. `ConnectivityAware` is the paper's Trios;
-    /// `Six`/`Eight` force one decomposition for the Fig. 6/7 ablation.
-    pub toffoli: ToffoliDecomposition,
+    /// Decomposition strategy for the Trios router's inline second
+    /// decomposition pass. `standard` is the paper's connectivity-aware
+    /// Trios; `six`/`eight` force one form for the Fig. 6/7 ablation, and
+    /// the registry adds `tdepth` and `relative-phase`. Resolved when the
+    /// engine is built — unknown names (and non-executable strategies while
+    /// `lower_toffoli` is on) are rejected as invalid options.
+    pub decomposer: DecomposerHandle,
     /// Which endpoint moves when routing a distant pair.
     pub direction: DirectionPolicy,
     /// Path metric (hops, or noise-aware edge weights).
@@ -114,7 +117,7 @@ pub struct RouterOptions {
 impl Default for RouterOptions {
     fn default() -> Self {
         RouterOptions {
-            toffoli: ToffoliDecomposition::ConnectivityAware,
+            decomposer: DecomposerHandle::default(),
             direction: DirectionPolicy::default(),
             metric: PathMetric::default(),
             seed: 0,
@@ -151,7 +154,7 @@ mod tests {
     #[test]
     fn defaults_match_paper_setup() {
         let o = RouterOptions::default();
-        assert_eq!(o.toffoli, ToffoliDecomposition::ConnectivityAware);
+        assert_eq!(o.decomposer.name(), "standard");
         assert_eq!(o.direction, DirectionPolicy::Stochastic);
         assert_eq!(o.metric, PathMetric::Hops);
         assert!(o.lower_toffoli);

@@ -131,7 +131,7 @@ pub fn route_trios(
 mod tests {
     use super::*;
     use crate::{DirectionPolicy, LookaheadConfig, PathMetric};
-    use trios_passes::{lower_swaps, ToffoliDecomposition};
+    use trios_passes::{lower_swaps, DecomposerHandle, SixCnotDecomposition};
     use trios_sim::compiled_equivalent;
     use trios_topology::{grid, johannesburg, line};
 
@@ -346,7 +346,7 @@ mod tests {
         c.ccx(0, 1, 2);
         let topo = line(3);
         let opts = RouterOptions {
-            toffoli: ToffoliDecomposition::Six,
+            decomposer: DecomposerHandle::named("six"),
             ..RouterOptions::deterministic()
         };
         let routed = route_trios(&c, &topo, Layout::trivial(3, 3), &opts).unwrap();
@@ -369,7 +369,7 @@ mod tests {
         c.ccx(0, 1, 2);
         let topo = line(3);
         let opts = RouterOptions {
-            toffoli: ToffoliDecomposition::Eight,
+            decomposer: DecomposerHandle::named("eight"),
             ..RouterOptions::deterministic()
         };
         let routed = route_trios(&c, &topo, Layout::trivial(3, 3), &opts).unwrap();
@@ -401,8 +401,7 @@ mod tests {
         // The paper's Figure 1 scenario: a single distant Toffoli.
         let mut toffoli_level = Circuit::new(20);
         toffoli_level.ccx(0, 1, 2);
-        let decomposed =
-            trios_passes::decompose_toffolis(&toffoli_level, ToffoliDecomposition::Six);
+        let decomposed = trios_passes::decompose_toffolis(&toffoli_level, &SixCnotDecomposition);
         let topo = johannesburg();
         // Qubits placed far apart, like the paper's red trio.
         let mapping: Vec<usize> = {

@@ -426,7 +426,7 @@ impl fmt::Debug for StrategyRegistry {
 mod tests {
     use super::*;
     use crate::{route_baseline, route_trios};
-    use trios_passes::{decompose_toffolis, lower_swaps, ToffoliDecomposition};
+    use trios_passes::{decompose_toffolis, lower_swaps, SixCnotDecomposition};
     use trios_sim::compiled_equivalent;
     use trios_topology::{grid, johannesburg, line};
 
@@ -485,7 +485,7 @@ mod tests {
     #[test]
     fn registry_strategies_match_free_functions_exactly() {
         let program = toffoli_program();
-        let decomposed = decompose_toffolis(&program, ToffoliDecomposition::Six);
+        let decomposed = decompose_toffolis(&program, &SixCnotDecomposition);
         let topo = johannesburg();
         let registry = StrategyRegistry::standard();
         for seed in [0u64, 1, 2] {

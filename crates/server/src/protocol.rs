@@ -17,7 +17,9 @@
 //! object writer, mirroring how `SweepReport` round-trips JSON.
 
 use serde_json::Value;
-use trios_core::{Calibration, Compiler, CrosstalkPolicy, StrategyRegistry, SweepBenchmark};
+use trios_core::{
+    Calibration, Compiler, CrosstalkPolicy, DecomposerRegistry, StrategyRegistry, SweepBenchmark,
+};
 use trios_gen::Family;
 
 /// Machine-readable error classes of the protocol, the `kind` field of
@@ -93,6 +95,8 @@ pub struct CompileParams {
     pub device: String,
     /// Routing strategy registry name; `None` = the default pipeline.
     pub router: Option<String>,
+    /// Toffoli decomposition registry name; `None` = `standard`.
+    pub decomposer: Option<String>,
     /// Routing seed.
     pub seed: u64,
     /// Return the compiled circuit as OpenQASM in the response.
@@ -117,6 +121,8 @@ pub struct SweepParams {
     pub devices: Vec<String>,
     /// Router registry names.
     pub routers: Vec<String>,
+    /// Decomposer registry names.
+    pub decomposers: Vec<String>,
     /// Calibration specs.
     pub calibrations: Vec<String>,
     /// Crosstalk policy spec.
@@ -227,6 +233,20 @@ fn check_router(name: &str) -> Result<(), ProtocolError> {
     }
 }
 
+/// Validates a decomposer name against the standard registry at parse
+/// time, like [`check_router`]; `key` names the offending param field.
+fn check_decomposer(key: &str, name: &str) -> Result<(), ProtocolError> {
+    let registry = DecomposerRegistry::standard();
+    if registry.contains(name) {
+        Ok(())
+    } else {
+        Err(ProtocolError::bad(format!(
+            "'{key}' must be one of {}, got '{name}'",
+            registry.names().collect::<Vec<_>>().join(", ")
+        )))
+    }
+}
+
 fn parse_compile_params(params: &Value) -> Result<CompileParams, ProtocolError> {
     let benchmark = str_field(params, "benchmark")?;
     let qasm = str_field(params, "qasm")?;
@@ -247,11 +267,16 @@ fn parse_compile_params(params: &Value) -> Result<CompileParams, ProtocolError> 
     if let Some(name) = &router {
         check_router(name)?;
     }
+    let decomposer = str_field(params, "decomposer")?;
+    if let Some(name) = &decomposer {
+        check_decomposer("decomposer", name)?;
+    }
     Ok(CompileParams {
         benchmark,
         qasm,
         device: str_field(params, "device")?.unwrap_or_else(|| "johannesburg".into()),
         router,
+        decomposer,
         seed: u64_field(params, "seed")?.unwrap_or(0),
         emit_qasm: bool_field(params, "emit-qasm")?.unwrap_or(false),
     })
@@ -269,11 +294,15 @@ fn parse_batch_params(params: &Value) -> Result<Vec<CompileParams>, ProtocolErro
         qasm: None,
         device: str_field(params, "device")?.unwrap_or_else(|| "johannesburg".into()),
         router: str_field(params, "router")?,
+        decomposer: str_field(params, "decomposer")?,
         seed: u64_field(params, "seed")?.unwrap_or(0),
         emit_qasm: false,
     };
     if let Some(name) = &shared.router {
         check_router(name)?;
+    }
+    if let Some(name) = &shared.decomposer {
+        check_decomposer("decomposer", name)?;
     }
     Ok(circuits
         .into_iter()
@@ -304,6 +333,11 @@ fn parse_sweep_params(params: &Value) -> Result<SweepParams, ProtocolError> {
     for router in &routers {
         check_router(router)?;
     }
+    let decomposers =
+        string_array(params, "decomposers")?.unwrap_or_else(|| vec!["standard".into()]);
+    for decomposer in &decomposers {
+        check_decomposer("decomposers", decomposer)?;
+    }
     let calibrations =
         string_array(params, "calibrations")?.unwrap_or_else(|| vec!["future".into()]);
     for calibration in &calibrations {
@@ -315,6 +349,7 @@ fn parse_sweep_params(params: &Value) -> Result<SweepParams, ProtocolError> {
         benchmarks,
         devices: string_array(params, "devices")?.unwrap_or_else(|| vec!["johannesburg".into()]),
         routers,
+        decomposers,
         calibrations,
         crosstalk,
         seed: u64_field(params, "seed")?.unwrap_or(0),
@@ -432,6 +467,9 @@ pub fn compiler_for(params: &CompileParams) -> Compiler {
     if let Some(router) = &params.router {
         builder = builder.router(router.clone());
     }
+    if let Some(decomposer) = &params.decomposer {
+        builder = builder.decomposer(decomposer.clone());
+    }
     builder.build()
 }
 
@@ -492,6 +530,7 @@ pub fn resolve_sweep_benchmarks(refs: &[String]) -> Result<Vec<SweepBenchmark>, 
                 qasm: None,
                 device: String::new(),
                 router: None,
+                decomposer: None,
                 seed: 0,
                 emit_qasm: false,
             };
@@ -646,7 +685,41 @@ mod tests {
         assert_eq!(p.device, "johannesburg");
         assert_eq!(p.seed, 0);
         assert!(p.router.is_none());
+        assert!(p.decomposer.is_none());
         assert!(!p.emit_qasm);
+    }
+
+    #[test]
+    fn decomposer_params_parse_and_validate() {
+        let req = parse_request(
+            r#"{"id": 2, "method": "compile",
+                "params": {"benchmark": "bv-20", "decomposer": "eight"}}"#,
+        )
+        .unwrap();
+        let Method::Compile(p) = req.method else {
+            panic!("expected compile");
+        };
+        assert_eq!(p.decomposer.as_deref(), Some("eight"));
+        // Unknown names are a structured bad-request naming the registry.
+        let (id, e) = parse_request(
+            r#"{"id": 4, "method": "compile",
+                "params": {"benchmark": "bv-20", "decomposer": "margolus"}}"#,
+        )
+        .unwrap_err();
+        assert_eq!((id, e.kind), (4, ErrorKind::BadRequest));
+        assert!(e.message.contains("margolus"), "{}", e.message);
+        assert!(e.message.contains("relative-phase"), "{}", e.message);
+        // Batch and sweep validate too.
+        assert!(parse_request(
+            r#"{"id": 1, "method": "compile-batch",
+                "params": {"circuits": ["bv-20"], "decomposer": "margolus"}}"#
+        )
+        .is_err());
+        assert!(parse_request(
+            r#"{"id": 1, "method": "sweep",
+                "params": {"benchmarks": ["bv-20"], "decomposers": ["margolus"]}}"#
+        )
+        .is_err());
     }
 
     #[test]
@@ -734,6 +807,7 @@ mod tests {
             panic!("expected sweep");
         };
         assert_eq!(p.routers, ["baseline", "trios"]);
+        assert_eq!(p.decomposers, ["standard"]);
         assert_eq!(p.calibrations, ["future"]);
         assert_eq!(p.crosstalk, "ignore");
     }
@@ -745,6 +819,7 @@ mod tests {
             qasm: None,
             device: "line:6".into(),
             router: None,
+            decomposer: None,
             seed: 0,
             emit_qasm: false,
         };

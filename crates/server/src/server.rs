@@ -673,6 +673,7 @@ fn execute(shared: &Arc<Shared>, method: &Method) -> Result<String, ProtocolErro
                     .map(|spec| Ok((spec.clone(), protocol::resolve_device(spec)?)))
                     .collect::<Result<Vec<_>, ProtocolError>>()?,
                 routers: params.routers.clone(),
+                decomposers: params.decomposers.clone(),
                 calibrations: params
                     .calibrations
                     .iter()
@@ -734,6 +735,7 @@ fn compile_one(
         )
         .str("device", device.name())
         .str("router", compiler.options().router_name())
+        .str("decomposer", compiler.options().decomposer_name())
         .u64("seed", params.seed)
         .bool("cached", cached)
         .raw("stats", &stats);

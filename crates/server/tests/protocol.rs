@@ -267,6 +267,86 @@ fn repeated_requests_hit_the_shared_cache_across_connections() {
 }
 
 #[test]
+fn decomposers_never_share_cache_hits_and_unknown_names_error() {
+    let server = start(test_config());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Unknown decomposer: a structured bad-request naming the registry,
+    // and the connection keeps serving.
+    let response = parse(
+        &client
+            .call(
+                "compile",
+                r#"{"benchmark": "cnx_inplace-4", "decomposer": "margolus"}"#,
+            )
+            .unwrap(),
+    );
+    assert_eq!(error_kind(&response).as_deref(), Some("bad-request"));
+    let message = response
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(Value::as_str)
+        .unwrap();
+    assert!(
+        message.contains("margolus") && message.contains("relative-phase"),
+        "{message}"
+    );
+
+    // The same circuit/device/seed under each decomposer: every first
+    // request must miss (no cross-decomposer hit), every repeat must hit.
+    let mut two_qubit = std::collections::BTreeMap::new();
+    for decomposer in ["standard", "six", "eight", "tdepth", "relative-phase"] {
+        let request = format!(
+            r#"{{"benchmark": "cnx_inplace-4", "device": "line:6", "decomposer": "{decomposer}"}}"#
+        );
+        let response = parse(&client.call("compile", &request).unwrap());
+        let result = result_of(&response);
+        assert_eq!(
+            result.get("cached").and_then(Value::as_bool),
+            Some(false),
+            "{decomposer} must not hit another decomposer's entry"
+        );
+        assert_eq!(
+            result.get("decomposer").and_then(Value::as_str),
+            Some(decomposer)
+        );
+        two_qubit.insert(
+            decomposer,
+            result
+                .get("stats")
+                .and_then(|s| s.get("two_qubit_gates"))
+                .and_then(Value::as_u64)
+                .expect("stats carry 2q count"),
+        );
+        let response = parse(&client.call("compile", &request).unwrap());
+        assert_eq!(
+            result_of(&response).get("cached").and_then(Value::as_bool),
+            Some(true),
+            "{decomposer} repeat must hit its own entry"
+        );
+    }
+    // Forced variants really differ from each other on a line device.
+    assert_ne!(two_qubit["six"], two_qubit["eight"]);
+
+    // An absent decomposer shares the standard entry (same options hash).
+    let response = parse(
+        &client
+            .call(
+                "compile",
+                r#"{"benchmark": "cnx_inplace-4", "device": "line:6"}"#,
+            )
+            .unwrap(),
+    );
+    assert_eq!(
+        result_of(&response).get("cached").and_then(Value::as_bool),
+        Some(true)
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
 fn estimate_compile_batch_and_sweep_answer_over_the_wire() {
     let server = start(test_config());
     let mut client = Client::connect(server.local_addr()).unwrap();
@@ -307,15 +387,16 @@ fn estimate_compile_batch_and_sweep_answer_over_the_wire() {
         &client
             .call(
                 "sweep",
-                r#"{"benchmarks": ["cnx_inplace-4"], "devices": ["line:8"], "routers": ["trios"]}"#,
+                r#"{"benchmarks": ["cnx_inplace-4"], "devices": ["line:8"], "routers": ["trios"], "decomposers": ["standard", "eight"]}"#,
             )
             .unwrap(),
     );
     let report = result_of(&response).get("report").expect("sweep report");
-    assert!(
-        report.get("cells").is_some(),
-        "report has cells: {report:?}"
-    );
+    let cells = report
+        .get("cells")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| panic!("report has cells: {report:?}"));
+    assert_eq!(cells.len(), 2, "router x decomposer grid: {report:?}");
 
     server.shutdown();
     server.join();

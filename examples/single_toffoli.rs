@@ -5,7 +5,7 @@
 //! Run with `cargo run --release --example single_toffoli`.
 
 use orchestrated_trios::ir::{Circuit, Gate};
-use orchestrated_trios::passes::{decompose_toffolis, ToffoliDecomposition};
+use orchestrated_trios::passes::{decompose_toffolis, SixCnotDecomposition};
 use orchestrated_trios::route::{route_baseline, route_trios, Layout, RouterOptions};
 use orchestrated_trios::topology::{johannesburg, GridEmbedding};
 
@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", GridEmbedding::johannesburg().render(&device, &triple));
 
     // --- Baseline: decompose first, then route each CNOT individually.
-    let decomposed = decompose_toffolis(&program, ToffoliDecomposition::Six);
+    let decomposed = decompose_toffolis(&program, &SixCnotDecomposition);
     let base = route_baseline(
         &decomposed,
         &device,

@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 use trios_core::{
     CachedCompilation, CompilationCache, CompileOptions, CompileReport, CompileStats,
-    CompiledProgram, Compiler, DirectionPolicy, Pipeline, ShardedCache, ToffoliDecomposition,
+    CompiledProgram, Compiler, DirectionPolicy, Pipeline, ShardedCache,
 };
 use trios_ir::{Circuit, Instruction};
 use trios_route::{check_legal, Layout, LookaheadConfig, ToffoliPolicy};
@@ -122,7 +122,7 @@ proptest! {
     #[test]
     fn all_toffoli_strategies_preserve_semantics(
         placements in proptest::collection::vec(0usize..8, 3..6),
-        strategy_choice in 0u8..3,
+        strategy_choice in 0u8..5,
     ) {
         // A chain of Toffolis over shifting operand windows.
         let mut circuit = Circuit::new(8);
@@ -134,15 +134,12 @@ proptest! {
         if circuit.is_empty() {
             circuit.ccx(0, 1, 2);
         }
-        let strategy = match strategy_choice {
-            0 => ToffoliDecomposition::Six,
-            1 => ToffoliDecomposition::Eight,
-            _ => ToffoliDecomposition::ConnectivityAware,
-        };
+        let strategy = ["six", "eight", "standard", "tdepth", "relative-phase"]
+            [strategy_choice as usize];
         let topo = johannesburg();
         let options = CompileOptions {
             pipeline: Pipeline::Trios,
-            toffoli: strategy,
+            decomposer: Some(strategy.into()),
             direction: DirectionPolicy::MoveFirst,
             ..CompileOptions::default()
         };

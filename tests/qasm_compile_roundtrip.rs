@@ -3,8 +3,9 @@
 //! circuit as QASM, re-parse it, and check the re-parsed circuit is still
 //! semantically equivalent to the original program.
 
-use orchestrated_trios::core::{Compiler, PaperConfig};
+use orchestrated_trios::core::{Compiler, DecomposerRegistry, PaperConfig};
 use orchestrated_trios::qasm::{emit, parse};
+use orchestrated_trios::route::verify_legal;
 use orchestrated_trios::sim::compiled_equivalent;
 use orchestrated_trios::topology::{grid, johannesburg};
 
@@ -57,6 +58,53 @@ fn parsed_programs_compile_and_round_trip_on_both_pipelines() {
             .unwrap();
             assert!(ok, "{config:?} on {}: semantics broken", topo.name());
         }
+    }
+}
+
+/// Satellite of the DecompositionStrategy refactor: every executable
+/// lowering's output is hardware-legal (`verify_legal`: native gate set,
+/// coupling-map edges only — no unlowered ccx/ccz/cswap escapes) and
+/// survives a QASM emit → parse round trip byte-exactly, still
+/// implementing the source program.
+#[test]
+fn every_executable_lowering_emits_legal_round_trippable_qasm() {
+    let program = parse(PROGRAM).unwrap();
+    let registry = DecomposerRegistry::standard();
+    let topo = johannesburg();
+    for name in registry.names() {
+        if !registry.get(name).unwrap().executable() {
+            continue;
+        }
+        let compiled = Compiler::builder()
+            .seed(9)
+            .decomposer(name)
+            .build()
+            .compile(&program, &topo)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+
+        verify_legal(&compiled.circuit, &topo)
+            .unwrap_or_else(|e| panic!("{name} emitted an illegal circuit: {e}"));
+
+        let text = emit(&compiled.circuit);
+        let reparsed =
+            parse(&text).unwrap_or_else(|e| panic!("{name} re-parse failed: {e}\n{text}"));
+        assert_eq!(
+            reparsed.instructions(),
+            compiled.circuit.instructions(),
+            "{name}: QASM round trip changed the instruction stream"
+        );
+
+        let ok = compiled_equivalent(
+            &program,
+            &reparsed,
+            &compiled.initial_layout.to_mapping(),
+            &compiled.final_layout.to_mapping(),
+            2,
+            23,
+            1e-7,
+        )
+        .unwrap();
+        assert!(ok, "{name}: semantics broken after round trip");
     }
 }
 

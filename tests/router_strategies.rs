@@ -10,7 +10,7 @@
 
 use trios_benchmarks::Benchmark;
 use trios_core::{CompilationCache, CompileOptions, Compiler, Pipeline, StrategyRegistry};
-use trios_passes::{decompose_toffolis, ToffoliDecomposition};
+use trios_passes::{decompose_toffolis, SixCnotDecomposition};
 use trios_route::{route_baseline, route_trios, Layout, RouterOptions, RoutingTrace};
 use trios_topology::johannesburg;
 
@@ -20,7 +20,7 @@ fn registry_baseline_and_trios_match_free_functions_on_paper_suite() {
     let registry = StrategyRegistry::standard();
     for b in Benchmark::ALL {
         let toffoli_level = b.build();
-        let decomposed = decompose_toffolis(&toffoli_level, ToffoliDecomposition::Six);
+        let decomposed = decompose_toffolis(&toffoli_level, &SixCnotDecomposition);
         for seed in [0u64, 7] {
             // Stochastic direction (the default) so the shared RNG stream
             // is part of the byte-for-byte comparison.

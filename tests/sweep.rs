@@ -31,6 +31,7 @@ fn build_report(names: &[String], floats: &[f64], ints: &[usize], flags: &[bool]
             benchmark: name(i),
             device: name(i + 1),
             router: name(i + 2),
+            decomposer: name(i + 4),
             calibration: name(i + 3),
             probability: f(i),
             p_gates: f(i + 1),
@@ -64,6 +65,7 @@ fn build_report(names: &[String], floats: &[f64], ints: &[usize], flags: &[bool]
             device: name(i + 1),
             calibration: name(i + 2),
             router: name(i + 3),
+            decomposer: name(i + 4),
             baseline_probability: f(i),
             probability: f(i + 1),
             ratio: f(i + 2),
@@ -72,6 +74,7 @@ fn build_report(names: &[String], floats: &[f64], ints: &[usize], flags: &[bool]
     let geomeans: Vec<RouterGeomean> = (0..names.len().min(2))
         .map(|i| RouterGeomean {
             router: name(i),
+            decomposer: name(i + 1),
             geomean: f(i),
             cells: n(i),
         })
@@ -80,6 +83,7 @@ fn build_report(names: &[String], floats: &[f64], ints: &[usize], flags: &[bool]
         benchmarks: names.to_vec(),
         devices: names.iter().rev().cloned().collect(),
         routers: vec![name(0)],
+        decomposers: vec![name(1)],
         calibrations: vec![name(1)],
         crosstalk: name(2),
         seed: n(0) as u64,
