@@ -13,6 +13,10 @@
 //! * **stabilizer scaling** — tableau construction plus a canonical-form
 //!   equality check at widths far beyond dense reach (25–400 qubits),
 //!   demonstrating the broken 8-qubit verification wall.
+//! * **sparse crossover** — [`trios_sim::SparseState`] on the
+//!   toffoli-ripple shape at 8–200 qubits, against the dense backend
+//!   where dense can still fit: sparse pays a constant-factor hash-map
+//!   tax at small widths and is the only statevector option past ~26.
 //!
 //! Run with `cargo bench -p trios-bench --bench sim_kernels`.
 //! Pass `-- --test` (as CI does) for a fast smoke run: a reduced width,
@@ -20,7 +24,7 @@
 
 use std::time::Instant;
 use trios_ir::Circuit;
-use trios_sim::{single_qubit_matrix, State, Tableau, C64};
+use trios_sim::{single_qubit_matrix, SparseState, State, Tableau, C64};
 
 /// The seed-era single-qubit kernel: visit every amplitude index and
 /// branch away the upper half of each pair.
@@ -152,6 +156,63 @@ fn run_stabilizer(n: usize) -> StabPoint {
     }
 }
 
+/// The fuzz harness's toffoli-ripple shape at bench scale: a Hadamard
+/// front on the first eight qubits (so the state actually carries
+/// amplitude — on |0…0⟩ a CCX chain is a no-op) followed by a full-width
+/// Toffoli ripple.
+fn ripple(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n.min(8) {
+        c.h(q);
+    }
+    for q in 0..n.saturating_sub(2) {
+        c.ccx(q, q + 1, q + 2);
+    }
+    c
+}
+
+struct SparsePoint {
+    qubits: usize,
+    gates: usize,
+    terms: usize,
+    sparse_ms: f64,
+    /// `None` past the dense cap — the widths only sparse can verify.
+    dense_ms: Option<f64>,
+}
+
+fn run_sparse(n: usize) -> SparsePoint {
+    let circuit = ripple(n);
+
+    let started = Instant::now();
+    let mut sparse = SparseState::zero(n).unwrap();
+    sparse.apply_circuit(&circuit).unwrap();
+    let sparse_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let dense_ms = (n <= 20).then(|| {
+        let started = Instant::now();
+        let mut dense = State::basis(n, 0).unwrap();
+        dense.apply_circuit(&circuit).unwrap();
+        let elapsed = started.elapsed().as_secs_f64() * 1e3;
+        let max_err = sparse
+            .dense_amplitudes()
+            .unwrap()
+            .iter()
+            .zip(dense.amplitudes())
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 1e-9, "sparse deviates from dense by {max_err}");
+        elapsed
+    });
+
+    SparsePoint {
+        qubits: n,
+        gates: circuit.len(),
+        terms: sparse.num_terms(),
+        sparse_ms,
+        dense_ms,
+    }
+}
+
 fn run_test_mode() {
     let dense = run_dense(14, 4);
     assert!(
@@ -167,9 +228,23 @@ fn run_test_mode() {
             point.qubits
         );
     }
+    // The sparse curve's two regimes: dense-verified at 12 qubits,
+    // past-the-dense-wall at 100 (run_sparse cross-checks amplitudes
+    // against the dense backend wherever dense_ms is Some).
+    let narrow = run_sparse(12);
+    assert!(narrow.dense_ms.is_some(), "12q must be dense-verified");
+    let wide = run_sparse(100);
+    assert!(wide.dense_ms.is_none());
+    assert!(
+        wide.sparse_ms < 10_000.0,
+        "sparse too slow at 100q: {:.0}ms",
+        wide.sparse_ms
+    );
+    assert!(wide.terms > 1, "the H front must populate the state");
     println!(
-        "sim_kernels --test: 14q x {} gates, baseline {:.3}s, stride {:.3}s, fused {:.3}s",
-        dense.gates, dense.baseline_s, dense.stride_s, dense.fused_s
+        "sim_kernels --test: 14q x {} gates, baseline {:.3}s, stride {:.3}s, fused {:.3}s; \
+         sparse 100q ripple {} terms in {:.0}ms",
+        dense.gates, dense.baseline_s, dense.stride_s, dense.fused_s, wide.terms, wide.sparse_ms
     );
 }
 
@@ -193,6 +268,11 @@ fn main() {
         .map(run_stabilizer)
         .collect();
 
+    let sparse: Vec<SparsePoint> = [8, 12, 16, 20, 50, 100, 200]
+        .into_iter()
+        .map(run_sparse)
+        .collect();
+
     let rate = |s: f64| dense.gates as f64 / s;
     let stab_json: Vec<String> = stab
         .iter()
@@ -200,6 +280,18 @@ fn main() {
             format!(
                 r#"    {{"qubits": {}, "gates": {}, "wall_ms": {:.2}}}"#,
                 p.qubits, p.gates, p.wall_ms
+            )
+        })
+        .collect();
+    let sparse_json: Vec<String> = sparse
+        .iter()
+        .map(|p| {
+            let dense_ms = p
+                .dense_ms
+                .map_or("null".to_string(), |ms| format!("{ms:.2}"));
+            format!(
+                r#"    {{"qubits": {}, "gates": {}, "terms": {}, "sparse_ms": {:.2}, "dense_ms": {}}}"#,
+                p.qubits, p.gates, p.terms, p.sparse_ms, dense_ms
             )
         })
         .collect();
@@ -218,6 +310,9 @@ fn main() {
   }},
   "stabilizer_ghz_plus_canonical_eq": [
 {stab_lines}
+  ],
+  "sparse_toffoli_ripple": [
+{sparse_lines}
   ]
 }}
 "#,
@@ -229,6 +324,7 @@ fn main() {
         f = dense.fused_s,
         fr = rate(dense.fused_s),
         stab_lines = stab_json.join(",\n"),
+        sparse_lines = sparse_json.join(",\n"),
     );
 
     // Anchor at the workspace root regardless of the bench's cwd.
@@ -236,12 +332,15 @@ fn main() {
     std::fs::write(path, &json).expect("write BENCH_sim.json");
     println!(
         "sim_kernels: {qubits}q x {} gates — baseline {:.2}s, stride {:.2}s ({speedup_stride:.1}x), \
-         fused {:.2}s ({speedup_fused:.1}x); stabilizer 400q GHZ+eq {:.0}ms",
+         fused {:.2}s ({speedup_fused:.1}x); stabilizer 400q GHZ+eq {:.0}ms; \
+         sparse 200q ripple {} terms in {:.0}ms",
         dense.gates,
         dense.baseline_s,
         dense.stride_s,
         dense.fused_s,
-        stab.last().unwrap().wall_ms
+        stab.last().unwrap().wall_ms,
+        sparse.last().unwrap().terms,
+        sparse.last().unwrap().sparse_ms
     );
     println!("wrote BENCH_sim.json");
 }

@@ -75,10 +75,13 @@ pub struct FuzzOptions {
     pub cache_size: usize,
     /// Minimize failing cases to QASM reproducers.
     pub shrink: bool,
-    /// Equivalence backend policy: `auto`, `dense`, or `stabilizer`.
+    /// Equivalence backend policy: `auto`, `dense`, `stabilizer`, or
+    /// `sparse`.
     pub backend: String,
     /// Widest device checked with the dense statevector backend.
     pub max_dense_qubits: usize,
+    /// Nonzero-amplitude budget for the sparse backend.
+    pub max_terms: usize,
 }
 
 impl Default for FuzzOptions {
@@ -95,6 +98,7 @@ impl Default for FuzzOptions {
             shrink: false,
             backend: "auto".into(),
             max_dense_qubits: 8,
+            max_terms: trios_sim::DEFAULT_MAX_TERMS,
         }
     }
 }
@@ -471,6 +475,10 @@ fn parse_fuzz_args(rest: &[&String]) -> Result<FuzzOptions, CliError> {
             "--max-dense-qubits" => {
                 let v = flag_value(rest, &mut i, "--max-dense-qubits")?;
                 options.max_dense_qubits = flag_int("--max-dense-qubits", v)?;
+            }
+            "--max-terms" => {
+                let v = flag_value(rest, &mut i, "--max-terms")?;
+                options.max_terms = flag_int("--max-terms", v)?;
             }
             flag => {
                 return Err(CliError::Usage(format!(
@@ -942,6 +950,8 @@ mod tests {
             "stabilizer",
             "--max-dense-qubits",
             "12",
+            "--max-terms",
+            "4096",
         ]))
         .unwrap() else {
             panic!("expected fuzz");
@@ -957,6 +967,8 @@ mod tests {
         assert!(o.shrink);
         assert_eq!(o.backend, "stabilizer");
         assert_eq!(o.max_dense_qubits, 12);
+        assert_eq!(o.max_terms, 4096);
+        assert!(parse_args(&args(&["fuzz", "--backend", "sparse"])).is_ok());
         // Router and decomposer names are validated at parse time.
         assert!(parse_args(&args(&["fuzz", "--routers", "sabre"])).is_err());
         assert!(parse_args(&args(&["fuzz", "--decomposer", "margolus"])).is_err());

@@ -102,10 +102,14 @@ FLAGS (fuzz):
     --devices, -d <list>         comma-separated device specs
                                  (default line:8,grid:4x2)
     --shrink                     minimize failing cases to QASM reproducers
-    --backend <which>            auto | dense | stabilizer     (default auto:
-                                 dense up to --max-dense-qubits, stabilizer
-                                 for Clifford circuits on wider devices)
+    --backend <which>            auto | dense | stabilizer | sparse
+                                 (default auto: stabilizer for Clifford
+                                 pairs, dense up to --max-dense-qubits,
+                                 sparse for wider non-Clifford circuits)
     --max-dense-qubits <n>       widest device dense-checked   (default 8)
+    --max-terms <n>              sparse nonzero-amplitude budget; cells
+                                 that outgrow it are recorded as skipped
+                                 (default 1048576)
     --jobs, -j / --seed, -s / --cache-size    as for compile-batch
 
 FLAGS (serve):
@@ -574,17 +578,26 @@ fn run_fuzz_command(options: &FuzzOptions) -> Result<String, CliError> {
         shrink: options.shrink,
         backend: options.backend.parse().map_err(CliError::Usage)?,
         max_sim_qubits: options.max_dense_qubits,
+        max_terms: options.max_terms,
         ..FuzzSpec::new()
     };
     let report = run_fuzz(&spec)?;
-    if report.passed() {
-        Ok(format!("{report}\n"))
-    } else {
-        Err(CliError::FuzzFailed {
+    if !report.passed() {
+        return Err(CliError::FuzzFailed {
             failures: report.failures.len(),
             report: report.to_string(),
-        })
+        });
     }
+    // A forced backend that skipped every compiled cell verified nothing;
+    // exiting zero here would turn "couldn't check" into a silent PASS.
+    if report.forced_backend_futile() {
+        return Err(CliError::FuzzAllSkipped {
+            backend: report.backend.to_string(),
+            skipped: report.skips.len(),
+            report: report.to_string(),
+        });
+    }
+    Ok(format!("{report}\n"))
 }
 
 fn run_serve(options: &ServeOptions) -> Result<String, CliError> {
@@ -1515,6 +1528,54 @@ mod tests {
             out.contains("geomean(trios x standard / baseline)"),
             "{out}"
         );
+    }
+
+    #[test]
+    fn fuzz_forced_dense_on_a_wide_device_exits_nonzero() {
+        // Before the skip-reason rework, forcing dense onto a 100-qubit
+        // grid silently skipped every equivalence check and reported PASS.
+        let err = run(&args(&[
+            "fuzz",
+            "--families",
+            "toffoli-ripple",
+            "--cases",
+            "2",
+            "--devices",
+            "grid:10x10",
+            "--routers",
+            "trios",
+            "--backend",
+            "dense",
+        ]))
+        .unwrap_err();
+        match err {
+            CliError::FuzzAllSkipped {
+                ref backend,
+                skipped,
+                ref report,
+            } => {
+                assert_eq!(backend, "dense");
+                assert!(skipped > 0);
+                assert!(report.contains("exceeds the dense cap"), "{report}");
+            }
+            other => panic!("expected FuzzAllSkipped, got {other}"),
+        }
+        // The same cells verify cleanly when the backend choice is left
+        // to the policy (sparse picks them up at full width).
+        let out = run(&args(&[
+            "fuzz",
+            "--families",
+            "toffoli-ripple",
+            "--cases",
+            "2",
+            "--devices",
+            "grid:10x10",
+            "--routers",
+            "trios",
+        ]))
+        .unwrap();
+        assert!(out.contains("PASS"), "{out}");
+        assert!(out.contains("sparse"), "{out}");
     }
 
     #[test]

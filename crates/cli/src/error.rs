@@ -43,6 +43,17 @@ pub enum CliError {
         /// The rendered [`trios_core::FuzzReport`].
         report: String,
     },
+    /// A forced `--backend` skipped every cell it was asked to check,
+    /// so the run verified nothing. A clean exit here would report a
+    /// de-facto PASS that no simulator ever backed.
+    FuzzAllSkipped {
+        /// The forced backend.
+        backend: String,
+        /// Number of compiled cells, all of which were skipped.
+        skipped: usize,
+        /// The rendered [`trios_core::FuzzReport`] with the skip reasons.
+        report: String,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -63,6 +74,17 @@ impl fmt::Display for CliError {
             CliError::FuzzSpec(e) => write!(f, "fuzz error: {e}"),
             CliError::FuzzFailed { failures, report } => {
                 write!(f, "{report}\nfuzz found {failures} failing cells")
+            }
+            CliError::FuzzAllSkipped {
+                backend,
+                skipped,
+                report,
+            } => {
+                write!(
+                    f,
+                    "{report}\nforced backend '{backend}' skipped all {skipped} \
+                     compiled cells: nothing was verified"
+                )
             }
         }
     }

@@ -10,10 +10,14 @@
 //! cross-checks every cell of the `(case × device × router)` grid:
 //!
 //! * **semantics** — a [`trios_sim::Simulator`] backend replays random
-//!   states through the initial/final layouts: dense statevector on
-//!   devices up to [`FuzzSpec::max_sim_qubits`] wide, stabilizer tableau
-//!   for Clifford circuits on anything wider (full Johannesburg,
-//!   127-qubit-class grids),
+//!   states through the initial/final layouts: stabilizer tableau for
+//!   Clifford circuits at any width, dense statevector on devices up to
+//!   [`FuzzSpec::max_sim_qubits`] wide, and the sparse term-map backend
+//!   for non-Clifford circuits on anything wider (full Johannesburg,
+//!   127-qubit-class heavy-hex grids) while the amplitude count stays
+//!   under [`FuzzSpec::max_terms`]. A cell whose equivalence cannot run
+//!   is recorded in [`FuzzReport::skips`] with its reason — never
+//!   silently dropped,
 //! * **legality** — [`trios_route::verify_legal`]: every gate in the
 //!   hardware set, every two-qubit gate on a coupling edge, no surviving
 //!   three-qubit gate,
@@ -57,8 +61,8 @@ use trios_ir::Circuit;
 use trios_passes::DecomposerRegistry;
 use trios_route::{verify_legal, StrategyRegistry};
 use trios_sim::{
-    auto_backend, first_non_clifford, strip_t_gates, Backend, DenseSimulator, Simulator,
-    StabilizerSimulator, MAX_QUBITS,
+    auto_backend, first_non_clifford, strip_t_gates, Backend, DenseSimulator, SimError, Simulator,
+    SparseSimulator, StabilizerSimulator, DEFAULT_MAX_TERMS, MAX_QUBITS, SPARSE_MAX_QUBITS,
 };
 use trios_topology::{grid, line, Topology};
 
@@ -90,16 +94,22 @@ pub struct FuzzSpec {
     /// Minimize failing cases to a QASM reproducer.
     pub shrink: bool,
     /// Widest device that gets the *dense* statevector-equivalence
-    /// check; wider cells fall back to the stabilizer backend when the
-    /// circuit is Clifford (under [`Backend::Auto`]) and always keep the
-    /// legality and invariant checks.
+    /// check; wider cells fall back to the stabilizer backend for
+    /// Clifford circuits and the sparse backend otherwise (under
+    /// [`Backend::Auto`]), and always keep the legality and invariant
+    /// checks.
     pub max_sim_qubits: usize,
     /// Random-state trials per equivalence check.
     pub trials: usize,
     /// Equivalence backend policy: [`Backend::Auto`] picks per cell,
-    /// `Dense`/`Stabilizer` force one backend (cells it cannot simulate
-    /// skip equivalence, never fail).
+    /// `Dense`/`Stabilizer`/`Sparse` force one backend. Cells a forced
+    /// backend cannot simulate skip equivalence with a recorded
+    /// [`SkipReason`], never fail — but a forced backend that skipped
+    /// *every* cell makes [`FuzzReport::forced_backend_futile`] true.
     pub backend: Backend,
+    /// Nonzero-amplitude budget for the sparse backend; past it a cell's
+    /// equivalence is skipped with [`SkipReason::BudgetExceeded`].
+    pub max_terms: usize,
 }
 
 impl FuzzSpec {
@@ -126,6 +136,7 @@ impl FuzzSpec {
             max_sim_qubits: 8,
             trials: 2,
             backend: Backend::Auto,
+            max_terms: DEFAULT_MAX_TERMS,
         }
     }
 }
@@ -234,6 +245,55 @@ impl fmt::Display for FuzzFailure {
     }
 }
 
+/// Why a compiled cell's equivalence stage did not run. Skips are never
+/// failures, but they are never silent either: each one is recorded in
+/// [`FuzzReport::skips`] with the cell that hit it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SkipReason {
+    /// The forced (or auto-selected) backend cannot simulate this cell's
+    /// circuits at all — e.g. `--backend dense` on a device wider than
+    /// the dense cap, or `--backend stabilizer` on a non-Clifford case.
+    BackendUnsupported {
+        /// Backend that declined the cell.
+        backend: &'static str,
+        /// The first obstacle it reported.
+        detail: String,
+    },
+    /// The sparse backend started the check but the state grew past the
+    /// `max_terms` budget mid-circuit.
+    BudgetExceeded {
+        /// The budget error as reported.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkipReason::BackendUnsupported { backend, detail } => {
+                write!(f, "backend '{backend}' cannot simulate this cell: {detail}")
+            }
+            SkipReason::BudgetExceeded { detail } => {
+                write!(f, "sparse budget exceeded: {detail}")
+            }
+        }
+    }
+}
+
+/// One compiled cell whose equivalence stage was skipped, with the
+/// reason. Legality and metric-invariant checks still ran on the cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzSkip {
+    /// Generated case name.
+    pub case: String,
+    /// Device spec the cell compiled onto.
+    pub device: String,
+    /// Routing strategy the cell compiled through.
+    pub router: String,
+    /// Why equivalence did not run.
+    pub reason: SkipReason,
+}
+
 /// The outcome of one fuzz run. [`fmt::Display`] renders the full
 /// report; the text contains no timings, so it is byte-identical for
 /// identical specs regardless of worker count.
@@ -259,8 +319,16 @@ pub struct FuzzReport {
     pub equivalence_dense: usize,
     /// Equivalence checks that ran on the stabilizer tableau backend.
     pub equivalence_stabilizer: usize,
-    /// Cells skipped because the case was wider than the device.
+    /// Equivalence checks that ran on the sparse term-map backend.
+    pub equivalence_sparse: usize,
+    /// Cells skipped because the case was wider than the device (never
+    /// compiled; not in [`FuzzReport::cells`]).
     pub skipped: usize,
+    /// The backend policy the run used.
+    pub backend: Backend,
+    /// Every compiled cell whose equivalence stage was skipped, with the
+    /// reason, in deterministic grid order.
+    pub skips: Vec<FuzzSkip>,
     /// Every failing cell, in deterministic grid order.
     pub failures: Vec<FuzzFailure>,
 }
@@ -269,6 +337,30 @@ impl FuzzReport {
     /// `true` when no cell failed any check.
     pub fn passed(&self) -> bool {
         self.failures.is_empty()
+    }
+
+    /// `true` when a forced (non-auto) backend was asked to verify cells
+    /// but skipped equivalence on every single one — a run that checked
+    /// nothing the user asked it to check, which callers should surface
+    /// as an error rather than a de-facto PASS.
+    pub fn forced_backend_futile(&self) -> bool {
+        self.backend != Backend::Auto
+            && self.cells > 0
+            && self.equivalence_checked == 0
+            && !self.skips.is_empty()
+    }
+
+    /// Skip totals grouped by reason text, in first-seen (grid) order.
+    pub fn skip_totals(&self) -> Vec<(String, usize)> {
+        let mut totals: Vec<(String, usize)> = Vec::new();
+        for skip in &self.skips {
+            let text = skip.reason.to_string();
+            match totals.iter_mut().find(|(t, _)| *t == text) {
+                Some((_, n)) => *n += 1,
+                None => totals.push((text, 1)),
+            }
+        }
+        totals
     }
 }
 
@@ -286,15 +378,23 @@ impl fmt::Display for FuzzReport {
         writeln!(f, "routers:  {}", self.routers.join(", "))?;
         writeln!(f, "decomposer: {}", self.decomposer)?;
         writeln!(f, "devices:  {}", self.devices.join(", "))?;
+        if self.backend != Backend::Auto {
+            writeln!(f, "backend:  {} (forced)", self.backend)?;
+        }
         writeln!(
             f,
-            "cells:    {} checked ({} equivalence-checked: {} dense + {} stabilizer, {} skipped: wider than device)",
+            "cells:    {} checked ({} equivalence-checked: {} dense + {} stabilizer + {} sparse; {} equivalence-skipped; {} not compiled: wider than device)",
             self.cells,
             self.equivalence_checked,
             self.equivalence_dense,
             self.equivalence_stabilizer,
+            self.equivalence_sparse,
+            self.skips.len(),
             self.skipped
         )?;
+        for (reason, count) in self.skip_totals() {
+            writeln!(f, "skipped:  {count} cells: {reason}")?;
+        }
         if self.failures.is_empty() {
             write!(f, "result:   PASS (0 failures)")
         } else {
@@ -394,7 +494,9 @@ pub fn run_fuzz_with_registry(
     let mut equivalence_checked = 0usize;
     let mut equivalence_dense = 0usize;
     let mut equivalence_stabilizer = 0usize;
+    let mut equivalence_sparse = 0usize;
     let mut skipped = 0usize;
+    let mut skips: Vec<FuzzSkip> = Vec::new();
     let mut failures = Vec::new();
 
     for (device_name, topology) in &spec.devices {
@@ -404,11 +506,19 @@ pub fn run_fuzz_with_registry(
             .cloned()
             .collect();
         skipped += (suite.len() - fitting.len()) * spec.routers.len();
-        // On devices beyond dense reach, derive a Clifford shadow of each
-        // non-Clifford case by stripping its T/T† gates: the stabilizer
-        // backend can then equivalence-check the routed shadow at full
-        // device size, exercising the same routing decisions.
-        if topology.num_qubits() > spec.max_sim_qubits && spec.backend != Backend::Dense {
+        // Derive Clifford shadows by stripping T/T† gates where they are
+        // the only path to wide-device equivalence: under a forced
+        // stabilizer policy, or under auto on devices past even the
+        // sparse backend's direct reach. (Within sparse reach the case
+        // itself is checked at full width, so no shadow is needed.)
+        let wide = topology.num_qubits() > spec.max_sim_qubits;
+        let needs_shadows = wide
+            && match spec.backend {
+                Backend::Stabilizer => true,
+                Backend::Auto => topology.num_qubits() > SPARSE_MAX_QUBITS,
+                Backend::Dense | Backend::Sparse => false,
+            };
+        if needs_shadows {
             let shadows: Vec<GeneratedCircuit> = fitting
                 .iter()
                 .filter(|case| first_non_clifford(&case.circuit).is_some())
@@ -496,11 +606,23 @@ pub fn run_fuzz_with_registry(
                         equivalence_checked += 1;
                         equivalence_stabilizer += 1;
                     }
+                    Some("sparse") => {
+                        equivalence_checked += 1;
+                        equivalence_sparse += 1;
+                    }
                     Some(_) => {
                         equivalence_checked += 1;
                         equivalence_dense += 1;
                     }
                     None => {}
+                }
+                if let Some(reason) = outcome.skip {
+                    skips.push(FuzzSkip {
+                        case: case.name.clone(),
+                        device: device_name.clone(),
+                        router: router.clone(),
+                        reason,
+                    });
                 }
                 if let Some((kind, message)) = outcome.failure {
                     failures.push(build_failure(
@@ -529,28 +651,77 @@ pub fn run_fuzz_with_registry(
         equivalence_checked,
         equivalence_dense,
         equivalence_stabilizer,
+        equivalence_sparse,
         skipped,
+        backend: spec.backend,
+        skips,
         failures,
     })
 }
 
 /// Picks the equivalence backend for one cell under the spec's policy,
-/// or `None` when no backend can simulate the pair (equivalence is then
-/// skipped, never failed).
+/// or the [`SkipReason`] when no backend can simulate the pair
+/// (equivalence is then skipped and recorded, never failed).
 fn select_backend(
     spec: &FuzzSpec,
     width: usize,
     original: &Circuit,
     compiled: &Circuit,
-) -> Option<Box<dyn Simulator>> {
+) -> Result<Box<dyn Simulator>, SkipReason> {
+    let first_obstacle = |sim: &dyn Simulator| -> String {
+        sim.supports_circuit(original)
+            .and_then(|()| sim.supports_circuit(compiled))
+            .err()
+            .map_or_else(|| "unsupported".to_string(), |e| e.to_string())
+    };
     match spec.backend {
-        Backend::Auto => auto_backend(width, &[original, compiled], spec.max_sim_qubits),
-        Backend::Dense => (width <= spec.max_sim_qubits.min(MAX_QUBITS))
-            .then(|| Box::new(DenseSimulator::default()) as Box<dyn Simulator>),
+        Backend::Auto => auto_backend(
+            width,
+            &[original, compiled],
+            spec.max_sim_qubits,
+            spec.max_terms,
+        )
+        .ok_or(SkipReason::BackendUnsupported {
+            backend: "auto",
+            detail: format!(
+                "non-Clifford circuits on a {width}-qubit register, beyond both the \
+                         dense cap and the sparse backend's reach"
+            ),
+        }),
+        Backend::Dense => {
+            let cap = spec.max_sim_qubits.min(MAX_QUBITS);
+            if width <= cap {
+                Ok(Box::new(DenseSimulator::default()))
+            } else {
+                Err(SkipReason::BackendUnsupported {
+                    backend: "dense",
+                    detail: format!("device width {width} exceeds the dense cap of {cap} qubits"),
+                })
+            }
+        }
         Backend::Stabilizer => {
             let stab = StabilizerSimulator::new();
-            (stab.supports_circuit(original).is_ok() && stab.supports_circuit(compiled).is_ok())
-                .then(|| Box::new(stab) as Box<dyn Simulator>)
+            if stab.supports_circuit(original).is_ok() && stab.supports_circuit(compiled).is_ok() {
+                Ok(Box::new(stab))
+            } else {
+                Err(SkipReason::BackendUnsupported {
+                    backend: "stabilizer",
+                    detail: first_obstacle(&stab),
+                })
+            }
+        }
+        Backend::Sparse => {
+            let sparse = SparseSimulator::with_max_terms(spec.max_terms);
+            if sparse.supports_circuit(original).is_ok()
+                && sparse.supports_circuit(compiled).is_ok()
+            {
+                Ok(Box::new(sparse))
+            } else {
+                Err(SkipReason::BackendUnsupported {
+                    backend: "sparse",
+                    detail: first_obstacle(&sparse),
+                })
+            }
         }
     }
 }
@@ -565,6 +736,7 @@ fn check_cell(
     let fail = |kind, message: String| CellOutcome {
         failure: Some((kind, message)),
         backend: None,
+        skip: None,
     };
     if let Err(violation) = verify_legal(&program.circuit, topology) {
         return fail(FuzzFailureKind::Legality, violation.to_string());
@@ -574,40 +746,58 @@ fn check_cell(
     }
     let mut failure = None;
     let mut backend = None;
-    if let Some(sim) = select_backend(spec, topology.num_qubits(), original, &program.circuit) {
-        backend = Some(sim.capability().name);
-        match sim.compiled_equivalent(
-            original,
-            &program.circuit,
-            &program.initial_layout.to_mapping(),
-            &program.final_layout.to_mapping(),
-            spec.trials,
-            spec.seed,
-        ) {
-            Ok(true) => {}
-            Ok(false) => {
-                failure = Some((
-                    FuzzFailureKind::Equivalence,
-                    "compiled circuit does not implement the generated program".to_string(),
-                ))
-            }
-            Err(e) => {
-                failure = Some((
-                    FuzzFailureKind::Invariant,
-                    format!("equivalence check could not run: {e}"),
-                ))
+    let mut skip = None;
+    match select_backend(spec, topology.num_qubits(), original, &program.circuit) {
+        Err(reason) => skip = Some(reason),
+        Ok(sim) => {
+            backend = Some(sim.capability().name);
+            match sim.compiled_equivalent(
+                original,
+                &program.circuit,
+                &program.initial_layout.to_mapping(),
+                &program.final_layout.to_mapping(),
+                spec.trials,
+                spec.seed,
+            ) {
+                Ok(true) => {}
+                Ok(false) => {
+                    failure = Some((
+                        FuzzFailureKind::Equivalence,
+                        "compiled circuit does not implement the generated program".to_string(),
+                    ))
+                }
+                // A sparse budget blow-up mid-check is a recorded skip —
+                // the verdict is unknown, never wrong.
+                Err(e @ SimError::StateTooDense { .. }) => {
+                    backend = None;
+                    skip = Some(SkipReason::BudgetExceeded {
+                        detail: e.to_string(),
+                    });
+                }
+                Err(e) => {
+                    failure = Some((
+                        FuzzFailureKind::Invariant,
+                        format!("equivalence check could not run: {e}"),
+                    ))
+                }
             }
         }
     }
-    CellOutcome { failure, backend }
+    CellOutcome {
+        failure,
+        backend,
+        skip,
+    }
 }
 
-/// What [`check_cell`] found: the first failure (if any) and the name of
-/// the backend whose equivalence stage actually executed (`None` when
-/// an earlier failure short-circuited it or no backend fits the cell).
+/// What [`check_cell`] found: the first failure (if any), the name of
+/// the backend whose equivalence stage actually completed (`None` when
+/// an earlier failure short-circuited it or no backend fits the cell),
+/// and the skip reason when equivalence could not run.
 struct CellOutcome {
     failure: Option<(FuzzFailureKind, String)>,
     backend: Option<&'static str>,
+    skip: Option<SkipReason>,
 }
 
 /// The metric invariants: reported stats must describe the circuit they
@@ -846,7 +1036,9 @@ mod tests {
         assert_eq!(report.equivalence_checked, 8);
         assert_eq!(report.equivalence_dense, 8, "line:8 is within dense reach");
         assert_eq!(report.equivalence_stabilizer, 0);
+        assert_eq!(report.equivalence_sparse, 0);
         assert_eq!(report.skipped, 0);
+        assert!(report.skips.is_empty(), "{report}");
         let text = report.to_string();
         assert!(text.contains("PASS"), "{text}");
         assert!(text.contains("layered, toffoli-ripple"), "{text}");
@@ -889,13 +1081,39 @@ mod tests {
         assert_eq!(report.equivalence_stabilizer, 2, "{report}");
         assert_eq!(report.equivalence_dense, 0);
         assert_eq!(report.skipped, 0);
+        assert!(report.skips.is_empty());
     }
 
     #[test]
-    fn wide_devices_check_stript_shadows_with_the_stabilizer() {
+    fn clifford_cells_prefer_the_stabilizer_even_under_the_dense_cap() {
+        // All-Clifford pairs go to the exact tableau regardless of width:
+        // with the dense cap raised to cover the whole 20-qubit line, the
+        // clifford family's counters must still land on the stabilizer —
+        // a 2^20-amplitude dense replay would be pure waste.
+        let spec = FuzzSpec {
+            cases: 4,
+            seed: 2,
+            families: vec![Family::Clifford],
+            routers: vec!["trios".into()],
+            devices: vec![("line:20".into(), line(20))],
+            jobs: 1,
+            max_sim_qubits: 24,
+            ..FuzzSpec::new()
+        };
+        let report = run_fuzz(&spec).unwrap();
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.cells, 4);
+        assert_eq!(report.equivalence_stabilizer, 4, "{report}");
+        assert_eq!(report.equivalence_dense, 0);
+        assert_eq!(report.equivalence_sparse, 0);
+    }
+
+    #[test]
+    fn wide_non_clifford_cells_use_the_sparse_backend() {
         // A clifford-t case carries T gates, so the case itself cannot be
-        // tableau-checked — but its derived `-stript` shadow can, and the
-        // shadow must appear as an extra cell on the wide device only.
+        // tableau-checked — but on 20-qubit Johannesburg the sparse
+        // backend now verifies it at full device width, with no `-stript`
+        // shadow needed.
         let spec = FuzzSpec {
             cases: 1,
             seed: 7,
@@ -907,12 +1125,36 @@ mod tests {
         };
         let report = run_fuzz(&spec).unwrap();
         assert!(report.passed(), "{report}");
-        assert_eq!(report.cells, 2, "original + -stript shadow");
+        assert_eq!(report.cells, 1, "no shadow within sparse reach");
         assert_eq!(report.equivalence_dense, 0);
+        assert_eq!(report.equivalence_sparse, 1, "{report}");
+        assert!(report.skips.is_empty(), "{report}");
+
+        // Forcing the stabilizer still derives the shadow: the original
+        // cell skips with a recorded reason, the shadow is tableau-checked.
+        let stab_only = FuzzSpec {
+            backend: Backend::Stabilizer,
+            ..spec.clone()
+        };
+        let report = run_fuzz(&stab_only).unwrap();
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.cells, 2, "original + -stript shadow");
         assert_eq!(report.equivalence_stabilizer, 1, "{report}");
+        assert_eq!(report.skips.len(), 1);
+        assert!(
+            matches!(
+                &report.skips[0].reason,
+                SkipReason::BackendUnsupported {
+                    backend: "stabilizer",
+                    ..
+                }
+            ),
+            "{report}"
+        );
+        assert!(!report.forced_backend_futile(), "the shadow was checked");
 
         // A dense-only policy derives no shadows and skips equivalence
-        // entirely on a device this wide.
+        // entirely on a device this wide — recorded, and flagged futile.
         let dense_only = FuzzSpec {
             backend: Backend::Dense,
             ..spec
@@ -921,6 +1163,75 @@ mod tests {
         assert!(report.passed(), "{report}");
         assert_eq!(report.cells, 1);
         assert_eq!(report.equivalence_checked, 0);
+        assert_eq!(report.skips.len(), 1);
+        assert!(report.forced_backend_futile(), "{report}");
+        let text = report.to_string();
+        assert!(text.contains("exceeds the dense cap"), "{text}");
+    }
+
+    #[test]
+    fn sparse_budget_blowup_is_a_recorded_skip_not_a_verdict() {
+        // An absurdly small budget: every sparse check aborts mid-circuit
+        // with StateTooDense, which must surface as a skip (unknown
+        // verdict), not a pass or an invariant failure.
+        let spec = FuzzSpec {
+            cases: 2,
+            seed: 7,
+            families: vec![Family::CliffordT],
+            routers: vec!["trios".into()],
+            devices: vec![("johannesburg".into(), trios_topology::johannesburg())],
+            jobs: 1,
+            backend: Backend::Sparse,
+            max_terms: 2,
+            ..FuzzSpec::new()
+        };
+        let report = run_fuzz(&spec).unwrap();
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.equivalence_checked, 0);
+        assert_eq!(report.skips.len(), report.cells);
+        assert!(
+            report
+                .skips
+                .iter()
+                .all(|s| matches!(s.reason, SkipReason::BudgetExceeded { .. })),
+            "{report}"
+        );
+        assert!(report.forced_backend_futile());
+        assert!(report.to_string().contains("sparse budget exceeded"));
+    }
+
+    #[test]
+    fn forced_dense_on_a_100_qubit_device_skips_every_cell_with_reasons() {
+        // The regression the skip-reason machinery exists for: forcing
+        // dense on a 100-qubit device used to read as a green PASS while
+        // checking nothing.
+        let spec = FuzzSpec {
+            cases: 2,
+            seed: 4,
+            families: vec![Family::ToffoliRipple],
+            routers: vec!["trios".into()],
+            devices: vec![("grid:10x10".into(), grid(10, 10))],
+            jobs: 1,
+            backend: Backend::Dense,
+            ..FuzzSpec::new()
+        };
+        let report = run_fuzz(&spec).unwrap();
+        assert!(report.passed(), "failures and skips are distinct");
+        assert!(report.cells > 0);
+        assert_eq!(report.equivalence_checked, 0);
+        assert_eq!(report.skips.len(), report.cells);
+        assert!(report.forced_backend_futile(), "{report}");
+
+        // The same grid under auto verifies every cell via sparse.
+        let auto = FuzzSpec {
+            backend: Backend::Auto,
+            ..spec
+        };
+        let report = run_fuzz(&auto).unwrap();
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.equivalence_checked, report.cells);
+        assert_eq!(report.equivalence_sparse, report.cells, "{report}");
+        assert!(!report.forced_backend_futile());
     }
 
     #[test]

@@ -1,18 +1,25 @@
 //! The [`Simulator`] trait: backend-agnostic circuit verification.
 //!
-//! Two implementations ship:
+//! Three implementations ship:
 //!
 //! | backend | engine | width | gate set |
 //! |---|---|---|---|
 //! | [`DenseSimulator`] | statevector ([`State`]) | ≤ [`MAX_QUBITS`] | any unitary |
 //! | [`StabilizerSimulator`] | CHP tableau ([`Tableau`]) | hundreds of qubits | Clifford |
+//! | [`SparseSimulator`] | term map ([`SparseState`]) | ≤ [`SPARSE_MAX_QUBITS`] (more via compaction) | any unitary, ≤ `max_terms` amplitudes |
 //!
-//! The fuzz harness asks [`auto_backend`] to pick per cell: dense while the
-//! device fits under the dense cap (exhaustive gate coverage), stabilizer
-//! when the device is wide but the circuit is Clifford — which is exactly
-//! the situation for routed Clifford-family circuits on the 20-qubit
-//! Johannesburg device or 127-qubit-class grids.
+//! The fuzz harness asks [`auto_backend`] to pick per cell: stabilizer
+//! whenever the pair is all-Clifford (exact and effectively free at any
+//! width), dense while the device fits under the dense cap (exhaustive
+//! gate coverage), and sparse for non-Clifford circuits on wide devices —
+//! which is exactly the situation for routed Toffoli networks on the
+//! 20-qubit Johannesburg device or 127-qubit-class heavy-hex grids. Only
+//! a sparse budget blow-up leaves a cell unverified.
+//!
+//! [`SparseState`]: crate::SparseState
+//! [`SPARSE_MAX_QUBITS`]: crate::SPARSE_MAX_QUBITS
 
+use crate::sparse::SparseSimulator;
 use crate::state::SplitMix64;
 use crate::tableau::first_non_clifford;
 use crate::{SimError, Tableau, MAX_QUBITS};
@@ -32,14 +39,17 @@ pub struct Capability {
 /// Which simulation backend to use for equivalence checking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Backend {
-    /// Pick per circuit: dense when the register fits, stabilizer for
-    /// Clifford circuits on wide registers, skip otherwise.
+    /// Pick per circuit: stabilizer for all-Clifford pairs, dense when
+    /// the register fits, sparse for non-Clifford circuits on wide
+    /// registers, skip only on a sparse budget blow-up.
     #[default]
     Auto,
     /// Dense statevector only.
     Dense,
     /// Stabilizer tableau only.
     Stabilizer,
+    /// Sparse term-map statevector only.
+    Sparse,
 }
 
 impl std::str::FromStr for Backend {
@@ -50,8 +60,9 @@ impl std::str::FromStr for Backend {
             "auto" => Ok(Backend::Auto),
             "dense" => Ok(Backend::Dense),
             "stabilizer" => Ok(Backend::Stabilizer),
+            "sparse" => Ok(Backend::Sparse),
             other => Err(format!(
-                "unknown backend '{other}' (expected auto, dense, or stabilizer)"
+                "unknown backend '{other}' (expected auto, dense, stabilizer, or sparse)"
             )),
         }
     }
@@ -63,6 +74,7 @@ impl std::fmt::Display for Backend {
             Backend::Auto => "auto",
             Backend::Dense => "dense",
             Backend::Stabilizer => "stabilizer",
+            Backend::Sparse => "sparse",
         })
     }
 }
@@ -320,19 +332,27 @@ impl Simulator for StabilizerSimulator {
 }
 
 /// Picks a backend for verifying `circuits` on a `width`-qubit register:
-/// dense while `width ≤ max_dense_qubits`, else stabilizer if every
-/// circuit is Clifford, else `None` (equivalence must be skipped).
+/// stabilizer when every circuit is Clifford (exact and effectively free
+/// at any width), else dense while `width ≤ max_dense_qubits`, else
+/// sparse with the given `max_terms` budget, else `None` (equivalence
+/// must be skipped). A sparse pick can still abort mid-check with
+/// [`SimError::StateTooDense`] if the circuits entangle past the budget.
 pub fn auto_backend(
     width: usize,
     circuits: &[&Circuit],
     max_dense_qubits: usize,
+    max_terms: usize,
 ) -> Option<Box<dyn Simulator>> {
-    if width <= max_dense_qubits.min(MAX_QUBITS) {
-        return Some(Box::new(DenseSimulator::default()));
-    }
     let stab = StabilizerSimulator::new();
     if circuits.iter().all(|c| stab.supports_circuit(c).is_ok()) {
         return Some(Box::new(stab));
+    }
+    if width <= max_dense_qubits.min(MAX_QUBITS) {
+        return Some(Box::new(DenseSimulator::default()));
+    }
+    let sparse = SparseSimulator::with_max_terms(max_terms);
+    if circuits.iter().all(|c| sparse.supports_circuit(c).is_ok()) {
+        return Some(Box::new(sparse));
     }
     None
 }
@@ -347,6 +367,7 @@ mod tests {
             ("auto", Backend::Auto),
             ("dense", Backend::Dense),
             ("stabilizer", Backend::Stabilizer),
+            ("sparse", Backend::Sparse),
         ] {
             assert_eq!(s.parse::<Backend>().unwrap(), b);
             assert_eq!(b.to_string(), s);
@@ -447,18 +468,29 @@ mod tests {
     }
 
     #[test]
-    fn auto_backend_picks_by_width_and_gate_set() {
+    fn auto_backend_picks_by_gate_set_then_width() {
         let mut cliff = Circuit::new(20);
         cliff.h(0).cx(0, 1);
         let mut t_circ = Circuit::new(20);
         t_circ.h(0).t(0);
-        let small = Circuit::new(4);
+        let mut small_t = Circuit::new(4);
+        small_t.t(0);
+        let budget = crate::DEFAULT_MAX_TERMS;
 
-        let dense = auto_backend(4, &[&small], 8).unwrap();
-        assert_eq!(dense.capability().name, "dense");
-        let stab = auto_backend(20, &[&cliff], 8).unwrap();
+        // All-Clifford pairs go to the stabilizer at *any* width — even
+        // ones a dense simulation could also handle.
+        let stab = auto_backend(20, &[&cliff], 8, budget).unwrap();
         assert_eq!(stab.capability().name, "stabilizer");
-        assert!(auto_backend(20, &[&cliff, &t_circ], 8).is_none());
+        let stab_small = auto_backend(4, &[&Circuit::new(4)], 8, budget).unwrap();
+        assert_eq!(stab_small.capability().name, "stabilizer");
+
+        // Non-Clifford under the dense cap: dense.
+        let dense = auto_backend(4, &[&small_t], 8, budget).unwrap();
+        assert_eq!(dense.capability().name, "dense");
+
+        // Non-Clifford past the dense cap: sparse, not a skip.
+        let sparse = auto_backend(20, &[&cliff, &t_circ], 8, budget).unwrap();
+        assert_eq!(sparse.capability().name, "sparse");
     }
 
     #[test]

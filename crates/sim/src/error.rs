@@ -33,6 +33,14 @@ pub enum SimError {
         /// Backend that rejected it.
         backend: &'static str,
     },
+    /// The sparse state grew past its nonzero-amplitude budget; the
+    /// circuit is too entangling for sparse simulation at this budget.
+    StateTooDense {
+        /// Nonzero amplitudes reached when the budget tripped.
+        terms: usize,
+        /// The configured budget.
+        max_terms: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -52,6 +60,10 @@ impl fmt::Display for SimError {
             SimError::UnsupportedGate { gate, backend } => {
                 write!(f, "gate {gate} is not supported by the {backend} backend")
             }
+            SimError::StateTooDense { terms, max_terms } => write!(
+                f,
+                "sparse state reached {terms} nonzero amplitudes, over the {max_terms}-term budget"
+            ),
         }
     }
 }

@@ -34,6 +34,7 @@ mod complex;
 mod equivalence;
 mod error;
 mod matrix;
+mod sparse;
 mod state;
 mod tableau;
 
@@ -49,5 +50,6 @@ pub use matrix::{
     mat2_adjoint, mat2_approx_eq, mat2_eq_up_to_phase, mat2_mul, single_qubit_matrix, u3_matrix,
     xpow_matrix, zyz_decompose, Mat2, ZyzAngles, MAT2_IDENTITY,
 };
+pub use sparse::{SparseSimulator, SparseState, DEFAULT_MAX_TERMS, SPARSE_MAX_QUBITS};
 pub use state::{State, MAX_QUBITS};
 pub use tableau::{first_non_clifford, strip_t_gates, Tableau};

@@ -220,7 +220,7 @@ impl State {
             if instr.gate().is_measurement() {
                 continue;
             }
-            self.apply(instr);
+            self.try_apply(instr)?;
         }
         Ok(())
     }
@@ -278,26 +278,53 @@ impl State {
                     continue;
                 }
             }
-            self.apply(instr);
+            self.try_apply(instr)?;
             i += 1;
         }
         Ok(())
     }
 
-    /// Applies one unitary instruction.
+    /// Applies one unitary instruction, panicking on anything
+    /// [`State::try_apply`] rejects.
     ///
     /// # Panics
     ///
-    /// Panics on measurement instructions or out-of-range qubits. The
-    /// bounds check is unconditional (not a `debug_assert`): in a release
-    /// build a qubit index ≥ 64 would otherwise wrap through the shift
-    /// (`1usize << q` masks `q` on x86/ARM) and silently corrupt the
-    /// amplitudes of a *different* qubit.
+    /// Panics on measurement instructions, matrixless gates, or
+    /// out-of-range qubits. The bounds check is unconditional (not a
+    /// `debug_assert`): in a release build a qubit index ≥ 64 would
+    /// otherwise wrap through the shift (`1usize << q` masks `q` on
+    /// x86/ARM) and silently corrupt the amplitudes of a *different*
+    /// qubit.
     pub fn apply(&mut self, instr: &Instruction) {
+        if let Err(e) = self.try_apply(instr) {
+            panic!("cannot apply {} as a unitary: {e}", instr.gate());
+        }
+    }
+
+    /// Applies one unitary instruction.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnsupportedGate`] for measurements and any gate
+    /// without a unitary action on this backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range qubits. The bounds check is unconditional
+    /// (not a `debug_assert`): in a release build a qubit index ≥ 64
+    /// would otherwise wrap through the shift (`1usize << q` masks `q` on
+    /// x86/ARM) and silently corrupt the amplitudes of a *different*
+    /// qubit.
+    pub fn try_apply(&mut self, instr: &Instruction) -> Result<(), SimError> {
         self.check_operands(instr);
         let qs = instr.qubits();
         match instr.gate() {
-            Gate::Measure => panic!("cannot apply a measurement as a unitary"),
+            Gate::Measure => {
+                return Err(SimError::UnsupportedGate {
+                    gate: instr.gate().to_string(),
+                    backend: "dense",
+                })
+            }
             Gate::I => {}
             Gate::X => self.apply_x(qs[0].index()),
             Gate::Z => self.apply_phase_1q(qs[0].index(), -C64::ONE),
@@ -317,12 +344,17 @@ impl State {
                 let m = crate::xpow_matrix(t);
                 self.apply_controlled_1q(qs[0].index(), qs[1].index(), &m);
             }
-            g => {
-                let m =
-                    single_qubit_matrix(g).unwrap_or_else(|| panic!("no matrix for gate {g:?}"));
-                self.apply_1q(qs[0].index(), &m);
-            }
+            g => match single_qubit_matrix(g) {
+                Some(m) => self.apply_1q(qs[0].index(), &m),
+                None => {
+                    return Err(SimError::UnsupportedGate {
+                        gate: g.to_string(),
+                        backend: "dense",
+                    })
+                }
+            },
         }
+        Ok(())
     }
 
     /// The uniform operand guard every kernel entry point runs.
@@ -751,6 +783,28 @@ mod tests {
         let s = State::zero(3).unwrap();
         assert!((s.probability(0) - 1.0).abs() < 1e-15);
         assert!((s.norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn measurement_bearing_circuits_error_structurally_not_by_panic() {
+        use crate::{DenseSimulator, Simulator};
+        let mut c = Circuit::new(2);
+        c.h(0).measure(0).cx(0, 1);
+        // The dense backend replays only the unitary part; the embedded
+        // measurement must not abort the check.
+        let sim = DenseSimulator::default();
+        assert!(sim.circuits_equivalent(&c, &c, 2, 1).unwrap());
+        // Feeding the measurement directly is a structured error, not a
+        // panic.
+        let measure = c.iter().find(|i| i.gate().is_measurement()).unwrap();
+        let mut state = State::zero(2).unwrap();
+        assert!(matches!(
+            state.try_apply(measure),
+            Err(SimError::UnsupportedGate {
+                backend: "dense",
+                ..
+            })
+        ));
     }
 
     #[test]

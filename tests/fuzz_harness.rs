@@ -43,7 +43,55 @@ fn fixed_seed_fuzz_is_clean_over_every_router_and_family() {
         report.equivalence_checked, report.cells,
         "an 8-qubit device simulates every fitting cell"
     );
-    assert_eq!(report.equivalence_dense, report.cells, "{report}");
+    // Clifford pairs go to the stabilizer regardless of width; everything
+    // else fits under the dense cap on line:8, so nothing needs sparse.
+    assert_eq!(
+        report.equivalence_dense + report.equivalence_stabilizer,
+        report.cells,
+        "{report}"
+    );
+    assert!(
+        report.skips.is_empty(),
+        "no cell silently skipped: {report}"
+    );
+}
+
+#[test]
+fn every_family_verifies_at_full_johannesburg_width() {
+    // The acceptance criterion of the sparse backend: every paper
+    // benchmark family — including the non-Clifford ones that the
+    // stabilizer cannot touch and the dense backend cannot fit — is
+    // equivalence-checked at the full 20-qubit Johannesburg width, with
+    // zero silently-skipped cells.
+    // Cases cycle through the family list, so 6 cases touch every family
+    // exactly once.
+    let spec = FuzzSpec {
+        cases: 6,
+        seed: 11,
+        devices: vec![("johannesburg".into(), johannesburg())],
+        jobs: 2,
+        ..FuzzSpec::new()
+    };
+    assert_eq!(spec.families.len(), Family::ALL.len(), "all families");
+    let report = run_fuzz(&spec).unwrap();
+    assert!(report.passed(), "{report}");
+    assert_eq!(report.skipped, 0, "everything fits a 20-qubit device");
+    assert!(
+        report.skips.is_empty(),
+        "no equivalence check skipped: {report}"
+    );
+    assert_eq!(
+        report.equivalence_checked, report.cells,
+        "every compiled cell verified at device width:\n{report}"
+    );
+    assert!(
+        report.equivalence_sparse > 0,
+        "wide non-Clifford cells go through the sparse backend:\n{report}"
+    );
+    assert!(
+        report.equivalence_stabilizer > 0,
+        "Clifford cells keep the tableau fast path:\n{report}"
+    );
 }
 
 #[test]

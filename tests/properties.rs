@@ -299,6 +299,106 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The sparse backend is a drop-in for the dense one wherever both
+    /// apply: on random clifford-t/layered-style programs up to 16
+    /// qubits, the full statevectors agree amplitude-for-amplitude and
+    /// the two backends return identical equivalence verdicts — for
+    /// pairs that are equivalent and pairs that provably are not.
+    #[test]
+    fn sparse_and_dense_backends_agree_up_to_16_qubits(
+        n in 4usize..17,
+        raw_gates in proptest::collection::vec(arb_gate(16), 1..20),
+        tamper in 0u8..2,
+        seed in 0u64..100,
+    ) {
+        use trios_sim::{DenseSimulator, Simulator, SparseSimulator, SparseState, State};
+
+        // Fold the 16-qubit operand stream onto `n` qubits, dropping
+        // gates whose operands collide after the fold.
+        let gates: Vec<_> = raw_gates
+            .into_iter()
+            .map(|(kind, a, b, c)| (kind, a % n, b % n, c % n))
+            .filter(|&(kind, a, b, c)| match kind {
+                0 | 1 => true,
+                2..=4 => a != b,
+                _ => a != b && b != c && a != c,
+            })
+            .collect();
+        let circuit = build_circuit(n, &gates);
+
+        // Statevector agreement on |0…0⟩.
+        let mut sparse = SparseState::zero(n).unwrap();
+        sparse.apply_circuit(&circuit).unwrap();
+        let mut dense = State::zero(n).unwrap();
+        dense.apply_circuit(&circuit).unwrap();
+        for (i, (s, d)) in sparse
+            .dense_amplitudes()
+            .unwrap()
+            .iter()
+            .zip(dense.amplitudes())
+            .enumerate()
+        {
+            prop_assert!(
+                (*s - *d).norm_sqr() <= 1e-18,
+                "amplitude {i}: sparse {s:?} vs dense {d:?}"
+            );
+        }
+
+        // Verdict agreement, on an equivalent pair (CZ = H·CX·H rewrite
+        // of itself) and on a tampered pair (an extra X is never a
+        // global phase).
+        let mut other = build_circuit(n, &gates);
+        other.h(0).cz(0, 1).h(1).cx(0, 1).h(1).h(0);
+        if tamper == 1 {
+            other.x(n - 1);
+        }
+        let d = DenseSimulator::default();
+        let s = SparseSimulator::default();
+        let dense_verdict = d.circuits_equivalent(&circuit, &other, 2, seed).unwrap();
+        let sparse_verdict = s.circuits_equivalent(&circuit, &other, 2, seed).unwrap();
+        // Verdicts must match, and the CZ rewrite is equivalent iff untampered.
+        prop_assert_eq!(dense_verdict, sparse_verdict);
+        prop_assert_eq!(dense_verdict, tamper == 0);
+    }
+
+    /// Blowing the nonzero-amplitude budget is a structured
+    /// [`SimError::StateTooDense`], never a wrong verdict: a Hadamard
+    /// ladder on `n` qubits needs 2ⁿ terms, so any budget below that
+    /// must surface the error from both the raw state and the
+    /// equivalence entry points.
+    #[test]
+    fn sparse_budget_blowup_is_an_error_not_a_verdict(
+        n in 8usize..15,
+        budget in 2usize..64,
+    ) {
+        use trios_sim::{SimError, Simulator, SparseSimulator, SparseState};
+
+        let mut ladder = Circuit::new(n);
+        for q in 0..n {
+            ladder.h(q);
+        }
+        let mut state = SparseState::zero(n).unwrap().with_max_terms(budget);
+        match state.apply_circuit(&ladder) {
+            Err(SimError::StateTooDense { terms, max_terms }) => {
+                prop_assert_eq!(max_terms, budget);
+                prop_assert!(terms > budget);
+            }
+            other => prop_assert!(false, "expected StateTooDense, got {:?}", other),
+        }
+
+        let sim = SparseSimulator::with_max_terms(budget);
+        let verdict = sim.circuits_equivalent(&ladder, &ladder, 1, 7);
+        prop_assert!(
+            matches!(verdict, Err(SimError::StateTooDense { .. })),
+            "equivalence must refuse, not guess: {:?}",
+            verdict
+        );
+    }
+}
+
 /// A distinguishable cached value: `tag` H gates, so two entries with
 /// different tags compare unequal through the cache.
 fn tagged_entry(tag: usize) -> CachedCompilation {
